@@ -1,0 +1,236 @@
+// Command bagc checks consistency of bags and constructs witnesses.
+//
+// Usage:
+//
+//	bagc check [-max-nodes N] <file>       decide pairwise and global consistency
+//	bagc witness [-max-nodes N] [-json] <file>
+//	                                       construct a witness of global consistency
+//	bagc pair [-json] <file>               minimal witness for a 2-bag file (max flow)
+//	bagc count [-max-nodes N] <file>       count witnesses for a 2-bag file
+//	bagc verify -witness <name> <file>     check that the named bag witnesses the others
+//	bagc classify <file>                   classify the schema hypergraph of the file
+//
+// Files use the bagio text format ("bag <name>" / "schema <attrs>" /
+// tuple lines); see internal/bagio. The file "-" reads standard input.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bagconsistency/internal/bagio"
+	"bagconsistency/internal/core"
+	"bagconsistency/internal/ilp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bagc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return errors.New("usage: bagc <check|witness|pair|count|verify|classify> [flags] <file>")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("bagc "+cmd, flag.ContinueOnError)
+	maxNodes := fs.Int64("max-nodes", 10_000_000, "node budget for the integer search on cyclic schemas")
+	asJSON := fs.Bool("json", false, "emit the witness as JSON instead of text")
+	witnessName := fs.String("witness", "witness", "for verify: the name of the bag to check against the rest")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("expected exactly one input file (use - for stdin)")
+	}
+	bags, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	coll, err := bagio.ToCollection(bags)
+	if err != nil {
+		return err
+	}
+	opts := core.GlobalOptions{ILP: ilp.Options{MaxNodes: *maxNodes}}
+
+	switch cmd {
+	case "check":
+		return check(out, coll, opts)
+	case "witness":
+		return witness(out, coll, opts, *asJSON)
+	case "pair":
+		return pair(out, coll, *asJSON)
+	case "count":
+		return count(out, coll, opts)
+	case "verify":
+		return verify(out, bags, *witnessName)
+	case "classify":
+		return classify(out, coll)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func load(path string) ([]bagio.NamedBag, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return bagio.ParseCollection(r)
+}
+
+func check(out io.Writer, coll *core.Collection, opts core.GlobalOptions) error {
+	i, j, err := coll.InconsistentPair()
+	if err != nil {
+		return err
+	}
+	if i >= 0 {
+		fmt.Fprintf(out, "pairwise: INCONSISTENT (bags %d and %d disagree on shared marginals)\n", i, j)
+		fmt.Fprintln(out, "global:   INCONSISTENT")
+		return nil
+	}
+	fmt.Fprintln(out, "pairwise: consistent")
+	dec, err := coll.GloballyConsistent(opts)
+	if err != nil {
+		return err
+	}
+	if dec.Consistent {
+		fmt.Fprintf(out, "global:   CONSISTENT (method=%s, witness support=%d)\n", dec.Method, dec.Witness.SupportSize())
+	} else {
+		fmt.Fprintf(out, "global:   INCONSISTENT (method=%s)\n", dec.Method)
+	}
+	return nil
+}
+
+func witness(out io.Writer, coll *core.Collection, opts core.GlobalOptions, asJSON bool) error {
+	dec, err := coll.GloballyConsistent(opts)
+	if err != nil {
+		return err
+	}
+	if !dec.Consistent {
+		return errors.New("collection is not globally consistent; no witness exists")
+	}
+	named := []bagio.NamedBag{{Name: "witness", Bag: dec.Witness}}
+	if asJSON {
+		return bagio.EncodeJSON(out, named)
+	}
+	return bagio.WriteCollection(out, named)
+}
+
+func pair(out io.Writer, coll *core.Collection, asJSON bool) error {
+	if coll.Len() != 2 {
+		return fmt.Errorf("pair requires exactly 2 bags, file has %d", coll.Len())
+	}
+	w, ok, err := core.MinimalPairWitness(coll.Bag(0), coll.Bag(1))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("the two bags are not consistent")
+	}
+	named := []bagio.NamedBag{{Name: "minimal-witness", Bag: w}}
+	if asJSON {
+		return bagio.EncodeJSON(out, named)
+	}
+	return bagio.WriteCollection(out, named)
+}
+
+func count(out io.Writer, coll *core.Collection, opts core.GlobalOptions) error {
+	if coll.Len() != 2 {
+		return fmt.Errorf("count requires exactly 2 bags, file has %d", coll.Len())
+	}
+	n, err := core.CountPairWitnesses(coll.Bag(0), coll.Bag(1), opts.ILP)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "witnesses: %d\n", n)
+	return nil
+}
+
+func classify(out io.Writer, coll *core.Collection) error {
+	h := coll.Hypergraph()
+	fmt.Fprintf(out, "schema: %v\n", h)
+	fmt.Fprintf(out, "acyclic:   %v\n", h.IsAcyclic())
+	fmt.Fprintf(out, "chordal:   %v\n", h.IsChordal())
+	fmt.Fprintf(out, "conformal: %v\n", h.IsConformal())
+	if h.IsAcyclic() {
+		order, err := h.RunningIntersectionOrder()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "running intersection order (edge indices): %v\n", order)
+		fmt.Fprintln(out, "local-to-global consistency for bags: HOLDS (Theorem 2)")
+		fmt.Fprintln(out, "GCPB over this schema: polynomial time (Theorem 4)")
+	} else {
+		fmt.Fprintln(out, "local-to-global consistency for bags: FAILS (Theorem 2)")
+		fmt.Fprintln(out, "GCPB over this schema: NP-complete (Theorem 4)")
+	}
+	return nil
+}
+
+func verify(out io.Writer, bags []bagio.NamedBag, witnessName string) error {
+	var w *bagio.NamedBag
+	var rest []bagio.NamedBag
+	for i := range bags {
+		if bags[i].Name == witnessName {
+			if w != nil {
+				return fmt.Errorf("two bags named %q", witnessName)
+			}
+			w = &bags[i]
+			continue
+		}
+		rest = append(rest, bags[i])
+	}
+	if w == nil {
+		return fmt.Errorf("no bag named %q in the file", witnessName)
+	}
+	if len(rest) == 0 {
+		return errors.New("nothing to verify against")
+	}
+	coll, err := bagio.ToCollection(rest)
+	if err != nil {
+		return err
+	}
+	ok, err := coll.VerifyWitness(w.Bag)
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Fprintf(out, "%s IS a witness: its marginals reproduce all %d bags\n", witnessName, len(rest))
+		return nil
+	}
+	fmt.Fprintf(out, "%s is NOT a witness\n", witnessName)
+	// Pinpoint the first failing marginal for the user.
+	union, err := coll.UnionSchema()
+	if err != nil {
+		return err
+	}
+	if !w.Bag.Schema().Equal(union) {
+		fmt.Fprintf(out, "schema mismatch: witness is over %v, the collection needs %v\n", w.Bag.Schema(), union)
+		return nil
+	}
+	for _, nb := range rest {
+		m, err := w.Bag.Marginal(nb.Bag.Schema())
+		if err != nil {
+			return err
+		}
+		if !m.Equal(nb.Bag) {
+			fmt.Fprintf(out, "first mismatch: marginal on %v differs from bag %q\n", nb.Bag.Schema(), nb.Name)
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write puts content in a temp file and returns its path.
+func write(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "input.bag")
+	if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const consistentPair = `
+bag R
+schema A B
+1 2 : 1
+2 2 : 1
+
+bag S
+schema B C
+2 1 : 1
+2 2 : 1
+`
+
+const inconsistentPair = `
+bag R
+schema A B
+1 2 : 3
+
+bag S
+schema B C
+2 9 : 2
+`
+
+const triangleTseitin = `
+bag R1
+schema A1 A2
+0 0 : 1
+1 1 : 1
+
+bag R2
+schema A2 A3
+0 0 : 1
+1 1 : 1
+
+bag R3
+schema A1 A3
+0 1 : 1
+1 0 : 1
+`
+
+func TestCheckConsistent(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"check", write(t, consistentPair)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "pairwise: consistent") || !strings.Contains(got, "CONSISTENT") {
+		t.Errorf("output:\n%s", got)
+	}
+}
+
+func TestCheckInconsistent(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"check", write(t, inconsistentPair)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "INCONSISTENT") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestCheckPairwiseButNotGlobal(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"check", write(t, triangleTseitin)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "pairwise: consistent") {
+		t.Errorf("should be pairwise consistent:\n%s", got)
+	}
+	if !strings.Contains(got, "global:   INCONSISTENT") {
+		t.Errorf("should be globally inconsistent:\n%s", got)
+	}
+}
+
+func TestWitnessText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"witness", write(t, consistentPair)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bag witness") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestWitnessJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"witness", "-json", write(t, consistentPair)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"schema"`) {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestWitnessFailsOnInconsistent(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"witness", write(t, triangleTseitin)}, &out); err == nil {
+		t.Error("expected error for inconsistent collection")
+	}
+}
+
+func TestPairMinimalWitness(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"pair", write(t, consistentPair)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "minimal-witness") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestPairRequiresTwoBags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"pair", write(t, triangleTseitin)}, &out); err == nil {
+		t.Error("expected error for 3-bag file")
+	}
+}
+
+func TestCountWitnesses(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"count", write(t, consistentPair)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "witnesses: 2") {
+		t.Errorf("the Section 3 base pair has exactly 2 witnesses; output:\n%s", out.String())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"classify", write(t, triangleTseitin)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "acyclic:   false") || !strings.Contains(got, "NP-complete") {
+		t.Errorf("output:\n%s", got)
+	}
+	out.Reset()
+	if err := run([]string{"classify", write(t, consistentPair)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "polynomial time") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("expected usage error")
+	}
+	if err := run([]string{"frobnicate", "x"}, &out); err == nil {
+		t.Error("expected unknown-command error")
+	}
+	if err := run([]string{"check"}, &out); err == nil {
+		t.Error("expected missing-file error")
+	}
+	if err := run([]string{"check", "/does/not/exist.bag"}, &out); err == nil {
+		t.Error("expected file error")
+	}
+	if err := run([]string{"check", write(t, "bogus : : :")}, &out); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+const withWitness = `
+bag R
+schema A B
+1 2 : 1
+2 2 : 1
+
+bag S
+schema B C
+2 1 : 1
+2 2 : 1
+
+bag witness
+schema A B C
+1 2 2 : 1
+2 2 1 : 1
+`
+
+func TestVerifyAcceptsWitness(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"verify", write(t, withWitness)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "IS a witness") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestVerifyRejectsNonWitness(t *testing.T) {
+	broken := strings.Replace(withWitness, "1 2 2 : 1", "1 2 2 : 9", 1)
+	var out bytes.Buffer
+	if err := run([]string{"verify", write(t, broken)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "NOT a witness") || !strings.Contains(got, "first mismatch") {
+		t.Errorf("output:\n%s", got)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"verify", write(t, consistentPair)}, &out); err == nil {
+		t.Error("expected missing-witness error")
+	}
+	if err := run([]string{"verify", "-witness", "R", write(t, "bag R\nschema A\nx : 1\n")}, &out); err == nil {
+		t.Error("expected nothing-to-verify error")
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The harness itself is exercised in quick mode, one experiment at a time,
+// asserting each block's key "measured" markers. Together these are the
+// repository's end-to-end integration tests.
+
+func runOne(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(&buf, true, id); err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestE1QuickAgreesOnAllInstances(t *testing.T) {
+	out := runOne(t, "E1")
+	if !strings.Contains(out, "agreed on 10/10") {
+		t.Errorf("E1 output:\n%s", out)
+	}
+}
+
+func TestE2QuickMatchesPowersOfTwo(t *testing.T) {
+	out := runOne(t, "E2")
+	for _, marker := range []string{"2         2", "128       128"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("E2 missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+func TestE3QuickShowsBothDirections(t *testing.T) {
+	out := runOne(t, "E3")
+	if !strings.Contains(out, "false (pairwise=true)") {
+		t.Errorf("E3 should show cyclic counterexamples:\n%s", out)
+	}
+	if strings.Contains(out, "Tseitin counterexample           true") {
+		t.Errorf("E3 shows a consistent Tseitin collection:\n%s", out)
+	}
+}
+
+func TestE4QuickBoundsHold(t *testing.T) {
+	out := runOne(t, "E4")
+	if strings.Contains(out, "false") {
+		t.Errorf("E4 bound violated:\n%s", out)
+	}
+}
+
+func TestE5QuickShape(t *testing.T) {
+	out := runOne(t, "E5")
+	if !strings.Contains(out, "1024") {
+		t.Errorf("E5 should reach n=10 (2^10 uniform witness):\n%s", out)
+	}
+}
+
+func TestE6QuickRuns(t *testing.T) {
+	out := runOne(t, "E6")
+	if !strings.Contains(out, "method=acyclic-jointree") || !strings.Contains(out, "method=integer-program") {
+		t.Errorf("E6 should exercise both sides of the dichotomy:\n%s", out)
+	}
+}
+
+func TestE7QuickBoundsHold(t *testing.T) {
+	out := runOne(t, "E7")
+	if !strings.Contains(out, "bound-holds=true") || strings.Contains(out, "bound-holds=false") {
+		t.Errorf("E7 output:\n%s", out)
+	}
+}
+
+func TestE8QuickPreserved(t *testing.T) {
+	out := runOne(t, "E8")
+	if !strings.Contains(out, "(preserved)") || !strings.Contains(out, "preserved=true") {
+		t.Errorf("E8 output:\n%s", out)
+	}
+}
+
+func TestE9QuickAgrees(t *testing.T) {
+	out := runOne(t, "E9")
+	if !strings.Contains(out, "agreed with brute-force 3-colorability on 8/8") {
+		t.Errorf("E9 output:\n%s", out)
+	}
+}
+
+func TestE10Extensions(t *testing.T) {
+	out := runOne(t, "E10")
+	if !strings.Contains(out, "strict=false relaxed=true") {
+		t.Errorf("E10 should show the normalization gap:\n%s", out)
+	}
+	if !strings.Contains(out, "LP-optimal and integral") {
+		t.Errorf("E10 should exercise min-cost witnesses:\n%s", out)
+	}
+}
+
+func TestUnknownExperimentIsNoop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true, "E99"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unknown id produced output:\n%s", buf.String())
+	}
+}

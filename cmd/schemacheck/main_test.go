@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAcyclicSchema(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"A,B B,C C,D"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "acyclic:   true") {
+		t.Errorf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "running intersection order") {
+		t.Errorf("expected RIP order:\n%s", got)
+	}
+	if !strings.Contains(got, "GCPB is in P") {
+		t.Errorf("expected polynomial verdict:\n%s", got)
+	}
+}
+
+func TestCyclicTriangle(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"A,B B,C C,A"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "acyclic:   false") {
+		t.Errorf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "NP-complete") {
+		t.Errorf("expected NP verdict:\n%s", got)
+	}
+	if !strings.Contains(got, "Lemma 3 core") {
+		t.Errorf("expected a core:\n%s", got)
+	}
+}
+
+func TestNonChordalCoreReported(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"A,B B,C C,D D,A A,E"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "non-chordal cycle core") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestCounterexampleFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-counterexample", "A,B B,C C,A"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "pairwise consistent, globally inconsistent collection") {
+		t.Errorf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "bag R1") {
+		t.Errorf("expected bag dump:\n%s", got)
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "schema.txt")
+	content := "# the 4-cycle\nA,B B,C\nC,D D,A\n"
+	if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-f", p}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chordal:   false") {
+		t.Errorf("C4 should be non-chordal:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("expected no-edges error")
+	}
+	if err := run([]string{","}, &out); err == nil {
+		t.Error("expected empty-edge error")
+	}
+	if err := run([]string{"-f", "/does/not/exist"}, &out); err == nil {
+		t.Error("expected file error")
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "A,B B,C"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "GYO (Graham) reduction trace") {
+		t.Errorf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "remove ear vertex") {
+		t.Errorf("expected ear steps:\n%s", got)
+	}
+	out.Reset()
+	if err := run([]string{"-trace", "A,B B,C C,A"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stalls immediately") {
+		t.Errorf("triangle should stall:\n%s", out.String())
+	}
+}

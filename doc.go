@@ -1,0 +1,25 @@
+// Package bagconsistency reproduces Atserias & Kolaitis, "Structure and
+// Complexity of Bag Consistency" (PODS 2021): the structural
+// characterization of local-to-global consistency for bags (acyclicity),
+// the NP-membership and dichotomy results for the global consistency
+// problem, and the polynomial witness constructions.
+//
+// The implementation lives in the internal packages:
+//
+//	internal/bag         multiset algebra: schemas, tuples, bags, marginals, joins
+//	internal/hypergraph  acyclicity, chordality, conformality, join trees, cores
+//	internal/maxflow     Dinic / Edmonds–Karp integral max flow
+//	internal/lp          exact rational simplex
+//	internal/ilp         integer feasibility for the programs P(R1..Rm)
+//	internal/core        the paper's results: consistency tests, witnesses,
+//	                     the dichotomy decision procedure, Tseitin counterexamples
+//	internal/relational  the set-semantics baseline
+//	internal/reductions  HLY80 3-coloring, 3DCT, and the Lemma 6/7 lifts
+//	internal/gen         instance families and random workloads
+//	internal/bagio       text/JSON formats for the CLI tools
+//
+// Command-line entry points are cmd/bagc (consistency checking),
+// cmd/schemacheck (schema classification), and cmd/experiments (the full
+// paper reproduction harness). The benchmarks in bench_test.go regenerate
+// every experiment's measurement; see DESIGN.md and EXPERIMENTS.md.
+package bagconsistency

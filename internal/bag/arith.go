@@ -1,0 +1,28 @@
+package bag
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrOverflow is returned when a multiplicity computation exceeds int64.
+var ErrOverflow = errors.New("bag: multiplicity overflow")
+
+// checkedAdd returns a+b or ErrOverflow. Both operands must be non-negative.
+func checkedAdd(a, b int64) (int64, error) {
+	if a > math.MaxInt64-b {
+		return 0, ErrOverflow
+	}
+	return a + b, nil
+}
+
+// checkedMul returns a*b or ErrOverflow. Both operands must be non-negative.
+func checkedMul(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	if a > math.MaxInt64/b {
+		return 0, ErrOverflow
+	}
+	return a * b, nil
+}

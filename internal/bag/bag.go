@@ -1,0 +1,421 @@
+package bag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bag is a finite multiset of tuples over a schema: a function from
+// Tup(X) to non-negative integers with finite support. The zero multiplicity
+// is implicit — only tuples with positive multiplicity are stored.
+type Bag struct {
+	schema  *Schema
+	entries map[string]*entry
+}
+
+type entry struct {
+	vals  []string
+	count int64
+}
+
+// New returns an empty bag over the schema.
+func New(s *Schema) *Bag {
+	return &Bag{schema: s, entries: make(map[string]*entry)}
+}
+
+// FromRows builds a bag over s from parallel slices of value rows and
+// multiplicities. Rows with the same values accumulate. A nil counts slice
+// gives every row multiplicity 1.
+func FromRows(s *Schema, rows [][]string, counts []int64) (*Bag, error) {
+	if counts != nil && len(counts) != len(rows) {
+		return nil, fmt.Errorf("bag: %d rows but %d counts", len(rows), len(counts))
+	}
+	b := New(s)
+	for i, row := range rows {
+		c := int64(1)
+		if counts != nil {
+			c = counts[i]
+		}
+		if err := b.Add(row, c); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Schema returns the schema the bag is defined over.
+func (b *Bag) Schema() *Schema { return b.schema }
+
+// Add increases the multiplicity of the tuple with the given values (in
+// canonical attribute order) by mult. mult must be non-negative; adding 0 is
+// a no-op.
+func (b *Bag) Add(vals []string, mult int64) error {
+	if mult < 0 {
+		return fmt.Errorf("bag: negative multiplicity %d", mult)
+	}
+	if len(vals) != b.schema.Len() {
+		return fmt.Errorf("bag: row has %d values for schema %v", len(vals), b.schema)
+	}
+	if mult == 0 {
+		return nil
+	}
+	key := encodeKey(vals)
+	if e, ok := b.entries[key]; ok {
+		c, err := checkedAdd(e.count, mult)
+		if err != nil {
+			return err
+		}
+		e.count = c
+		return nil
+	}
+	cp := make([]string, len(vals))
+	copy(cp, vals)
+	b.entries[key] = &entry{vals: cp, count: mult}
+	return nil
+}
+
+// AddTuple is Add for a Tuple value. The tuple's schema must equal the
+// bag's schema.
+func (b *Bag) AddTuple(t Tuple, mult int64) error {
+	if !t.schema.Equal(b.schema) {
+		return fmt.Errorf("bag: tuple schema %v does not match bag schema %v", t.schema, b.schema)
+	}
+	return b.Add(t.vals, mult)
+}
+
+// Set fixes the multiplicity of the tuple with the given values. Setting 0
+// removes the tuple from the support.
+func (b *Bag) Set(vals []string, mult int64) error {
+	if mult < 0 {
+		return fmt.Errorf("bag: negative multiplicity %d", mult)
+	}
+	if len(vals) != b.schema.Len() {
+		return fmt.Errorf("bag: row has %d values for schema %v", len(vals), b.schema)
+	}
+	key := encodeKey(vals)
+	if mult == 0 {
+		delete(b.entries, key)
+		return nil
+	}
+	cp := make([]string, len(vals))
+	copy(cp, vals)
+	b.entries[key] = &entry{vals: cp, count: mult}
+	return nil
+}
+
+// Count returns the multiplicity of the tuple with the given values
+// (0 if the tuple is not in the support).
+func (b *Bag) Count(vals []string) int64 {
+	if e, ok := b.entries[encodeKey(vals)]; ok {
+		return e.count
+	}
+	return 0
+}
+
+// CountTuple returns the multiplicity of t in b.
+func (b *Bag) CountTuple(t Tuple) int64 { return b.Count(t.vals) }
+
+// Len returns the support size |R'| (number of distinct tuples).
+func (b *Bag) Len() int { return len(b.entries) }
+
+// sortedKeys returns the entry keys in ascending order; every deterministic
+// iteration goes through here.
+func (b *Bag) sortedKeys() []string {
+	keys := make([]string, 0, len(b.entries))
+	for k := range b.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Each calls fn once per support tuple in deterministic (sorted key) order,
+// stopping early and returning fn's error if it is non-nil.
+func (b *Bag) Each(fn func(t Tuple, count int64) error) error {
+	for _, k := range b.sortedKeys() {
+		e := b.entries[k]
+		if err := fn(Tuple{schema: b.schema, vals: e.vals}, e.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tuples returns the support tuples in deterministic order.
+func (b *Bag) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(b.entries))
+	for _, k := range b.sortedKeys() {
+		out = append(out, Tuple{schema: b.schema, vals: b.entries[k].vals})
+	}
+	return out
+}
+
+// Clone returns a deep copy of the bag.
+func (b *Bag) Clone() *Bag {
+	c := New(b.schema)
+	for k, e := range b.entries {
+		cp := make([]string, len(e.vals))
+		copy(cp, e.vals)
+		c.entries[k] = &entry{vals: cp, count: e.count}
+	}
+	return c
+}
+
+// Equal reports whether two bags have equal schemas and identical
+// multiplicity functions.
+func (b *Bag) Equal(c *Bag) bool {
+	if !b.schema.Equal(c.schema) || len(b.entries) != len(c.entries) {
+		return false
+	}
+	for k, e := range b.entries {
+		o, ok := c.entries[k]
+		if !ok || o.count != e.count {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainedIn reports bag containment R ⊆b S: R(t) ≤ S(t) for every tuple t.
+// The schemas must be equal for the result to be true.
+func (b *Bag) ContainedIn(c *Bag) bool {
+	if !b.schema.Equal(c.schema) {
+		return false
+	}
+	for k, e := range b.entries {
+		o, ok := c.entries[k]
+		if !ok || o.count < e.count {
+			return false
+		}
+	}
+	return true
+}
+
+// Marginal computes the bag R[Z] of Equation (2): the multiplicity of a
+// Z-tuple t is the sum of R(r) over support tuples r with r[Z] = t.
+// sub must be a subset of the bag's schema.
+func (b *Bag) Marginal(sub *Schema) (*Bag, error) {
+	pos, err := b.schema.positions(sub)
+	if err != nil {
+		return nil, err
+	}
+	out := New(sub)
+	for _, e := range b.entries {
+		vals := make([]string, len(pos))
+		for i, p := range pos {
+			vals[i] = e.vals[p]
+		}
+		if err := out.Add(vals, e.count); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SupportBag returns the relation underlying the bag: same support, every
+// multiplicity clamped to 1. The paper writes this R'.
+func (b *Bag) SupportBag() *Bag {
+	out := New(b.schema)
+	for k, e := range b.entries {
+		cp := make([]string, len(e.vals))
+		copy(cp, e.vals)
+		out.entries[k] = &entry{vals: cp, count: 1}
+	}
+	return out
+}
+
+// IsRelation reports whether every multiplicity is exactly 1, i.e. the bag
+// is a set.
+func (b *Bag) IsRelation() bool {
+	for _, e := range b.entries {
+		if e.count != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Join computes the bag join R ⋈b S: support R' ⋈ S' with multiplicity
+// (R ⋈b S)(t) = R(t[X]) × S(t[Y]).
+func Join(r, s *Bag) (*Bag, error) {
+	union := r.schema.Union(s.schema)
+	shared := r.schema.Intersect(s.schema)
+
+	// Hash join: group s's entries by their shared-attribute projection.
+	sharedPosS, err := s.schema.positions(shared)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string][]*entry, len(s.entries))
+	for _, e := range s.entries {
+		proj := make([]string, len(sharedPosS))
+		for i, p := range sharedPosS {
+			proj[i] = e.vals[p]
+		}
+		key := encodeKey(proj)
+		groups[key] = append(groups[key], e)
+	}
+
+	sharedPosR, err := r.schema.positions(shared)
+	if err != nil {
+		return nil, err
+	}
+	// Positions of each union attribute in r and s (prefer r's copy).
+	type src struct {
+		fromR bool
+		pos   int
+	}
+	srcs := make([]src, union.Len())
+	for i, a := range union.attrs {
+		if p := r.schema.Pos(a); p >= 0 {
+			srcs[i] = src{fromR: true, pos: p}
+		} else {
+			srcs[i] = src{fromR: false, pos: s.schema.Pos(a)}
+		}
+	}
+
+	out := New(union)
+	for _, re := range r.entries {
+		proj := make([]string, len(sharedPosR))
+		for i, p := range sharedPosR {
+			proj[i] = re.vals[p]
+		}
+		for _, se := range groups[encodeKey(proj)] {
+			vals := make([]string, union.Len())
+			for i, sc := range srcs {
+				if sc.fromR {
+					vals[i] = re.vals[sc.pos]
+				} else {
+					vals[i] = se.vals[sc.pos]
+				}
+			}
+			c, err := checkedMul(re.count, se.count)
+			if err != nil {
+				return nil, err
+			}
+			if err := out.Add(vals, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// JoinSupports returns the relational join of the supports, R' ⋈ S', as a
+// bag over the union schema with all multiplicities 1. This is the index set
+// J of the linear program P(R, S) in Section 3 of the paper.
+func JoinSupports(r, s *Bag) (*Bag, error) {
+	return Join(r.SupportBag(), s.SupportBag())
+}
+
+// SupportSize is ‖R‖supp = |R'|.
+func (b *Bag) SupportSize() int { return len(b.entries) }
+
+// MultiplicityBound is ‖R‖mu = max multiplicity in the support (0 for the
+// empty bag).
+func (b *Bag) MultiplicityBound() int64 {
+	var m int64
+	for _, e := range b.entries {
+		if e.count > m {
+			m = e.count
+		}
+	}
+	return m
+}
+
+// MultiplicitySize is ‖R‖mb = max over the support of log2(R(r)+1).
+func (b *Bag) MultiplicitySize() float64 {
+	var m float64
+	for _, e := range b.entries {
+		if v := math.Log2(float64(e.count) + 1); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// UnarySize is ‖R‖u = Σ R(r), the total multiplicity (multiset cardinality).
+func (b *Bag) UnarySize() (int64, error) {
+	var total int64
+	for _, e := range b.entries {
+		t, err := checkedAdd(total, e.count)
+		if err != nil {
+			return 0, err
+		}
+		total = t
+	}
+	return total, nil
+}
+
+// BinarySize is ‖R‖b = Σ log2(R(r)+1), the bit size of the multiplicities.
+func (b *Bag) BinarySize() float64 {
+	var total float64
+	for _, e := range b.entries {
+		total += math.Log2(float64(e.count) + 1)
+	}
+	return total
+}
+
+// String renders the bag in the tabular form used by the paper:
+//
+//	A B #
+//	a1 b1 : 2
+//	a2 b2 : 1
+func (b *Bag) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(b.schema.attrs, " "))
+	if b.schema.Len() > 0 {
+		sb.WriteString(" ")
+	}
+	sb.WriteString("#\n")
+	for _, k := range b.sortedKeys() {
+		e := b.entries[k]
+		if len(e.vals) > 0 {
+			sb.WriteString(strings.Join(e.vals, " "))
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, ": %d\n", e.count)
+	}
+	return sb.String()
+}
+
+// Sum returns the bag a ⊎ b with pointwise-added multiplicities. The
+// schemas must be equal.
+func Sum(a, b *Bag) (*Bag, error) {
+	if !a.schema.Equal(b.schema) {
+		return nil, fmt.Errorf("bag: sum of bags over %v and %v", a.schema, b.schema)
+	}
+	out := a.Clone()
+	err := b.Each(func(t Tuple, count int64) error {
+		return out.AddTuple(t, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScalarMul returns the bag with every multiplicity multiplied by k ≥ 0
+// (k = 0 yields the empty bag).
+func ScalarMul(b *Bag, k int64) (*Bag, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("bag: negative scalar %d", k)
+	}
+	out := New(b.schema)
+	if k == 0 {
+		return out, nil
+	}
+	err := b.Each(func(t Tuple, count int64) error {
+		c, err := checkedMul(count, k)
+		if err != nil {
+			return err
+		}
+		return out.AddTuple(t, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,486 @@
+package bag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mustBag builds a bag from rows of values with the given multiplicities.
+func mustBag(t *testing.T, s *Schema, rows [][]string, counts []int64) *Bag {
+	t.Helper()
+	b, err := FromRows(s, rows, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAddSetCount(t *testing.T) {
+	s := MustSchema("A", "B")
+	b := New(s)
+	if err := b.Add([]string{"1", "2"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]string{"1", "2"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Count([]string{"1", "2"}); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if err := b.Set([]string{"1", "2"}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Count([]string{"1", "2"}); got != 7 {
+		t.Errorf("count after Set = %d, want 7", got)
+	}
+	if err := b.Set([]string{"1", "2"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("support size after Set(0) = %d, want 0", b.Len())
+	}
+}
+
+func TestAddRejectsNegativeAndWrongArity(t *testing.T) {
+	b := New(MustSchema("A"))
+	if err := b.Add([]string{"1"}, -1); err == nil {
+		t.Error("expected negative multiplicity error")
+	}
+	if err := b.Add([]string{"1", "2"}, 1); err == nil {
+		t.Error("expected arity error")
+	}
+	if err := b.Set([]string{"1"}, -1); err == nil {
+		t.Error("expected negative multiplicity error from Set")
+	}
+}
+
+func TestAddOverflow(t *testing.T) {
+	b := New(MustSchema("A"))
+	if err := b.Add([]string{"1"}, math.MaxInt64); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]string{"1"}, 1); err == nil {
+		t.Error("expected overflow error")
+	}
+}
+
+func TestMarginalPaperTabularExample(t *testing.T) {
+	// The bag R(A,B) = {(a1,b1):2, (a2,b2):1, (a3,b3):5} from Section 2.
+	s := MustSchema("A", "B")
+	r := mustBag(t, s,
+		[][]string{{"a1", "b1"}, {"a2", "b2"}, {"a3", "b3"}},
+		[]int64{2, 1, 5})
+
+	onB, err := r.Marginal(MustSchema("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		val  string
+		want int64
+	}{{"b1", 2}, {"b2", 1}, {"b3", 5}, {"zz", 0}} {
+		if got := onB.Count([]string{tc.val}); got != tc.want {
+			t.Errorf("marginal B=%s: %d, want %d", tc.val, got, tc.want)
+		}
+	}
+
+	onEmpty, err := r.Marginal(MustSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := onEmpty.Count(nil); got != 8 {
+		t.Errorf("marginal on empty schema = %d, want total 8", got)
+	}
+}
+
+func TestMarginalNonSubsetErrors(t *testing.T) {
+	r := New(MustSchema("A"))
+	if _, err := r.Marginal(MustSchema("B")); err == nil {
+		t.Error("expected error for non-subset marginal")
+	}
+}
+
+// randomBag builds a pseudo-random bag over the given schema for property
+// tests, with values from a small domain so collisions exercise summing.
+func randomBag(rng *rand.Rand, s *Schema, n int, maxMult int64) *Bag {
+	b := New(s)
+	for i := 0; i < n; i++ {
+		vals := make([]string, s.Len())
+		for j := range vals {
+			vals[j] = string(rune('a' + rng.Intn(4)))
+		}
+		_ = b.Add(vals, 1+rng.Int63n(maxMult))
+	}
+	return b
+}
+
+func TestMarginalCommutesProperty(t *testing.T) {
+	// Property (paper, Section 2): R[Z][W] = R[W] for W ⊆ Z ⊆ X.
+	rng := rand.New(rand.NewSource(7))
+	x := MustSchema("A", "B", "C", "D")
+	z := MustSchema("A", "B", "C")
+	w := MustSchema("A", "C")
+	for i := 0; i < 50; i++ {
+		r := randomBag(rng, x, 20, 50)
+		rz, err := r.Marginal(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rzw, err := rz.Marginal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := r.Marginal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rzw.Equal(rw) {
+			t.Fatalf("R[Z][W] != R[W]\nR[Z][W]=\n%v\nR[W]=\n%v", rzw, rw)
+		}
+	}
+}
+
+func TestSupportCommutesWithMarginalProperty(t *testing.T) {
+	// Property (paper, Section 2): Supp(R)[Z] = Supp(R[Z]).
+	rng := rand.New(rand.NewSource(11))
+	x := MustSchema("A", "B", "C")
+	z := MustSchema("B", "C")
+	for i := 0; i < 50; i++ {
+		r := randomBag(rng, x, 15, 9)
+		lhs, err := r.SupportBag().Marginal(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs, err := r.Marginal(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lhs.SupportBag().Equal(rhs.SupportBag()) {
+			t.Fatal("support does not commute with marginal")
+		}
+	}
+}
+
+func TestMarginalPreservesUnarySizeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := MustSchema("A", "B", "C")
+	z := MustSchema("A")
+	for i := 0; i < 50; i++ {
+		r := randomBag(rng, x, 12, 100)
+		rz, err := r.Marginal(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := r.UnarySize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rz.UnarySize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("unary size changed by marginal: %d vs %d", a, b)
+		}
+	}
+}
+
+func TestJoinPaperSection3Example(t *testing.T) {
+	// R1(AB) = {(1,2):1, (2,2):1}, S1(BC) = {(2,1):1, (2,2):1}.
+	// Their bag join has support of size 4, each multiplicity 1; the join's
+	// marginal on AB is NOT R1 (it doubles), illustrating that the join does
+	// not witness bag consistency.
+	ab := MustSchema("A", "B")
+	bc := MustSchema("B", "C")
+	r1 := mustBag(t, ab, [][]string{{"1", "2"}, {"2", "2"}}, nil)
+	s1 := mustBag(t, bc, [][]string{{"2", "1"}, {"2", "2"}}, nil)
+
+	j, err := Join(r1, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 4 {
+		t.Fatalf("join support = %d, want 4", j.Len())
+	}
+	onAB, err := j.Marginal(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onAB.Equal(r1) {
+		t.Fatal("bag join should NOT witness bag consistency here (paper, Section 3)")
+	}
+	if got := onAB.Count([]string{"1", "2"}); got != 2 {
+		t.Errorf("join marginal count = %d, want 2", got)
+	}
+}
+
+func TestJoinMultiplicitiesMultiply(t *testing.T) {
+	ab := MustSchema("A", "B")
+	bc := MustSchema("B", "C")
+	r := mustBag(t, ab, [][]string{{"x", "m"}}, []int64{3})
+	s := mustBag(t, bc, [][]string{{"m", "y"}}, []int64{4})
+	j, err := Join(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Count([]string{"x", "m", "y"}); got != 12 {
+		t.Errorf("join multiplicity = %d, want 12", got)
+	}
+}
+
+func TestJoinDisjointSchemasIsCrossProduct(t *testing.T) {
+	a := mustBag(t, MustSchema("A"), [][]string{{"1"}, {"2"}}, nil)
+	b := mustBag(t, MustSchema("B"), [][]string{{"x"}, {"y"}, {"z"}}, nil)
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 6 {
+		t.Errorf("cross product size = %d, want 6", j.Len())
+	}
+}
+
+func TestJoinSupportsIsRelation(t *testing.T) {
+	ab := MustSchema("A", "B")
+	bc := MustSchema("B", "C")
+	r := mustBag(t, ab, [][]string{{"x", "m"}}, []int64{100})
+	s := mustBag(t, bc, [][]string{{"m", "y"}}, []int64{100})
+	j, err := JoinSupports(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.IsRelation() {
+		t.Error("JoinSupports should produce multiplicity-1 bags")
+	}
+	if j.Len() != 1 {
+		t.Errorf("support join size = %d, want 1", j.Len())
+	}
+}
+
+func TestJoinOverflow(t *testing.T) {
+	ab := MustSchema("A", "B")
+	bc := MustSchema("B", "C")
+	r := mustBag(t, ab, [][]string{{"x", "m"}}, []int64{math.MaxInt64})
+	s := mustBag(t, bc, [][]string{{"m", "y"}}, []int64{2})
+	if _, err := Join(r, s); err == nil {
+		t.Error("expected overflow error from join")
+	}
+}
+
+func TestEqualAndContainedIn(t *testing.T) {
+	s := MustSchema("A")
+	b1 := mustBag(t, s, [][]string{{"1"}, {"2"}}, []int64{2, 3})
+	b2 := mustBag(t, s, [][]string{{"2"}, {"1"}}, []int64{3, 2})
+	b3 := mustBag(t, s, [][]string{{"1"}, {"2"}}, []int64{2, 4})
+
+	if !b1.Equal(b2) {
+		t.Error("b1 should equal b2")
+	}
+	if b1.Equal(b3) {
+		t.Error("b1 should not equal b3")
+	}
+	if !b1.ContainedIn(b3) {
+		t.Error("b1 ⊆b b3 should hold")
+	}
+	if b3.ContainedIn(b1) {
+		t.Error("b3 ⊆b b1 should not hold")
+	}
+	other := mustBag(t, MustSchema("B"), [][]string{{"1"}}, nil)
+	if b1.Equal(other) || b1.ContainedIn(other) {
+		t.Error("bags over different schemas are incomparable")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	s := MustSchema("A")
+	b := mustBag(t, s, [][]string{{"1"}, {"2"}, {"3"}}, []int64{1, 3, 7})
+
+	if got := b.SupportSize(); got != 3 {
+		t.Errorf("SupportSize = %d, want 3", got)
+	}
+	if got := b.MultiplicityBound(); got != 7 {
+		t.Errorf("MultiplicityBound = %d, want 7", got)
+	}
+	u, err := b.UnarySize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 11 {
+		t.Errorf("UnarySize = %d, want 11", u)
+	}
+	// log2(2) + log2(4) + log2(8) = 1 + 2 + 3 = 6.
+	if got := b.BinarySize(); math.Abs(got-6) > 1e-9 {
+		t.Errorf("BinarySize = %g, want 6", got)
+	}
+	if got := b.MultiplicitySize(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("MultiplicitySize = %g, want 3", got)
+	}
+	// ‖R‖u ≤ ‖R‖supp · ‖R‖mu and ‖R‖b ≤ ‖R‖supp · ‖R‖mb (Section 5.2).
+	if float64(u) > float64(b.SupportSize())*float64(b.MultiplicityBound()) {
+		t.Error("unary size bound violated")
+	}
+	if b.BinarySize() > float64(b.SupportSize())*b.MultiplicitySize()+1e-9 {
+		t.Error("binary size bound violated")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := MustSchema("A")
+	b := mustBag(t, s, [][]string{{"1"}}, []int64{5})
+	c := b.Clone()
+	if err := c.Set([]string{"1"}, 9); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count([]string{"1"}) != 5 {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestEachDeterministicOrder(t *testing.T) {
+	s := MustSchema("A")
+	b := mustBag(t, s, [][]string{{"c"}, {"a"}, {"b"}}, nil)
+	var got []string
+	err := b.Each(func(tp Tuple, c int64) error {
+		got = append(got, tp.Values()[0])
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIsRelation(t *testing.T) {
+	s := MustSchema("A")
+	rel := mustBag(t, s, [][]string{{"1"}, {"2"}}, nil)
+	if !rel.IsRelation() {
+		t.Error("multiplicity-1 bag should be a relation")
+	}
+	notRel := mustBag(t, s, [][]string{{"1"}}, []int64{2})
+	if notRel.IsRelation() {
+		t.Error("multiplicity-2 bag is not a relation")
+	}
+}
+
+func TestFromRowsCountMismatch(t *testing.T) {
+	if _, err := FromRows(MustSchema("A"), [][]string{{"1"}}, []int64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestCheckedArithmeticProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int64(a), int64(b)
+		s, err := checkedAdd(x, y)
+		if err != nil || s != x+y {
+			return false
+		}
+		p, err := checkedMul(x, y)
+		return err == nil && p == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := checkedMul(math.MaxInt64, 2); err == nil {
+		t.Error("expected multiplication overflow")
+	}
+}
+
+func TestStringTabularForm(t *testing.T) {
+	s := MustSchema("A", "B")
+	b := mustBag(t, s, [][]string{{"a1", "b1"}}, []int64{2})
+	got := b.String()
+	want := "A B #\na1 b1 : 2\n"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSum(t *testing.T) {
+	s := MustSchema("A")
+	a := mustBag(t, s, [][]string{{"x"}, {"y"}}, []int64{2, 1})
+	b := mustBag(t, s, [][]string{{"y"}, {"z"}}, []int64{4, 5})
+	sum, err := Sum(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		val  string
+		want int64
+	}{{"x", 2}, {"y", 5}, {"z", 5}} {
+		if got := sum.Count([]string{tc.val}); got != tc.want {
+			t.Errorf("sum(%s) = %d, want %d", tc.val, got, tc.want)
+		}
+	}
+	other := mustBag(t, MustSchema("B"), [][]string{{"x"}}, nil)
+	if _, err := Sum(a, other); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+}
+
+func TestSumMarginalLinearityProperty(t *testing.T) {
+	// Property: (a ⊎ b)[Z] = a[Z] ⊎ b[Z] — marginals are additive.
+	rng := rand.New(rand.NewSource(41))
+	x := MustSchema("A", "B", "C")
+	z := MustSchema("A", "C")
+	for i := 0; i < 40; i++ {
+		a := randomBag(rng, x, 8, 10)
+		b := randomBag(rng, x, 8, 10)
+		sum, err := Sum(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhs, err := sum.Marginal(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma, err := a.Marginal(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := b.Marginal(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs, err := Sum(ma, mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lhs.Equal(rhs) {
+			t.Fatal("marginal is not additive")
+		}
+	}
+}
+
+func TestScalarMul(t *testing.T) {
+	s := MustSchema("A")
+	b := mustBag(t, s, [][]string{{"x"}}, []int64{3})
+	times4, err := ScalarMul(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := times4.Count([]string{"x"}); got != 12 {
+		t.Errorf("3·4 = %d", got)
+	}
+	zero, err := ScalarMul(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Len() != 0 {
+		t.Error("scaling by 0 should empty the bag")
+	}
+	if _, err := ScalarMul(b, -1); err == nil {
+		t.Error("expected negative scalar error")
+	}
+	big := mustBag(t, s, [][]string{{"x"}}, []int64{math.MaxInt64})
+	if _, err := ScalarMul(big, 2); err == nil {
+		t.Error("expected overflow error")
+	}
+}

@@ -1,0 +1,16 @@
+// Package bag implements the multiset (bag) relational algebra used
+// throughout the reproduction of Atserias & Kolaitis, "Structure and
+// Complexity of Bag Consistency" (PODS 2021).
+//
+// A bag over a finite set of attributes X is a function from X-tuples to
+// non-negative integer multiplicities with finite support. The package
+// provides schemas (finite attribute sets), tuples, bags, the marginal
+// operation of Equation (2) of the paper, the bag join, bag containment,
+// and the five size norms of Section 5.2 (support size, multiplicity
+// bound, multiplicity size, unary size, binary size).
+//
+// All iteration orders are deterministic (sorted by tuple key), so every
+// algorithm built on this package is reproducible run to run. Multiplicities
+// are int64 and every arithmetic path is overflow-checked: operations
+// return errors instead of silently wrapping.
+package bag

@@ -1,0 +1,40 @@
+package bag_test
+
+import (
+	"fmt"
+	"log"
+
+	"bagconsistency/internal/bag"
+)
+
+func ExampleBag_Marginal() {
+	sales, err := bag.FromRows(bag.MustSchema("DAY", "ITEM"),
+		[][]string{{"mon", "widget"}, {"mon", "gadget"}, {"tue", "widget"}},
+		[]int64{7, 3, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	perDay, err := sales.Marginal(bag.MustSchema("DAY"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(perDay)
+	// Output:
+	// DAY #
+	// mon : 10
+	// tue : 2
+}
+
+func ExampleJoin() {
+	r, _ := bag.FromRows(bag.MustSchema("A", "B"), [][]string{{"x", "m"}}, []int64{3})
+	s, _ := bag.FromRows(bag.MustSchema("B", "C"), [][]string{{"m", "y"}}, []int64{4})
+	j, err := bag.Join(r, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Bag join multiplicities multiply: 3 × 4 = 12.
+	fmt.Print(j)
+	// Output:
+	// A B C #
+	// x m y : 12
+}

@@ -1,0 +1,23 @@
+package bag
+
+import "testing"
+
+// FuzzDecodeKey checks that arbitrary byte strings never panic the tuple
+// key decoder and that accepted keys re-encode to themselves.
+func FuzzDecodeKey(f *testing.F) {
+	f.Add("")
+	f.Add("3:abc")
+	f.Add("0:")
+	f.Add("2:ab2:cd")
+	f.Add("9999999999:x")
+	f.Add(":::")
+	f.Fuzz(func(t *testing.T, key string) {
+		vals, err := decodeKey(key)
+		if err != nil {
+			return
+		}
+		if got := encodeKey(vals); got != key {
+			t.Fatalf("decode/encode not inverse: %q -> %v -> %q", key, vals, got)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package bag
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genBag is a testing/quick generator producing random small bags over a
+// fixed 3-attribute schema. It implements quick.Generator so marginal and
+// join laws can be stated directly as properties over bags.
+type genBag struct {
+	b *Bag
+}
+
+var quickSchema = MustSchema("A", "B", "C")
+
+// Generate implements quick.Generator.
+func (genBag) Generate(rng *rand.Rand, size int) reflect.Value {
+	b := New(quickSchema)
+	n := rng.Intn(size%12 + 1)
+	for i := 0; i < n; i++ {
+		vals := []string{
+			string(rune('a' + rng.Intn(3))),
+			string(rune('a' + rng.Intn(3))),
+			string(rune('a' + rng.Intn(3))),
+		}
+		_ = b.Add(vals, 1+rng.Int63n(20))
+	}
+	return reflect.ValueOf(genBag{b: b})
+}
+
+func TestQuickMarginalChain(t *testing.T) {
+	// Property: R[Z][W] = R[W] for the chain W ⊆ Z ⊆ X, for arbitrary bags.
+	z := MustSchema("A", "B")
+	w := MustSchema("A")
+	f := func(g genBag) bool {
+		rz, err := g.b.Marginal(z)
+		if err != nil {
+			return false
+		}
+		rzw, err := rz.Marginal(w)
+		if err != nil {
+			return false
+		}
+		rw, err := g.b.Marginal(w)
+		if err != nil {
+			return false
+		}
+		return rzw.Equal(rw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMarginalTotalInvariant(t *testing.T) {
+	// Property: every marginal preserves the unary size.
+	z := MustSchema("B", "C")
+	f := func(g genBag) bool {
+		m, err := g.b.Marginal(z)
+		if err != nil {
+			return false
+		}
+		a, err := g.b.UnarySize()
+		if err != nil {
+			return false
+		}
+		b, err := m.UnarySize()
+		if err != nil {
+			return false
+		}
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSelfContainmentAndEquality(t *testing.T) {
+	// Properties: R ⊆b R; R = R; clone equality.
+	f := func(g genBag) bool {
+		return g.b.ContainedIn(g.b) && g.b.Equal(g.b) && g.b.Clone().Equal(g.b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSupportIdempotent(t *testing.T) {
+	// Property: Supp(Supp(R)) = Supp(R) and Supp(R) ⊆b R.
+	f := func(g genBag) bool {
+		s := g.b.SupportBag()
+		return s.SupportBag().Equal(s) && s.ContainedIn(g.b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinSupportDistributes(t *testing.T) {
+	// Property (Section 2): Supp(R ⋈b S) = Supp(R) ⋈ Supp(S), stated on
+	// the AB/BC marginals of an arbitrary bag.
+	ab := MustSchema("A", "B")
+	bc := MustSchema("B", "C")
+	f := func(g genBag) bool {
+		r, err := g.b.Marginal(ab)
+		if err != nil {
+			return false
+		}
+		s, err := g.b.Marginal(bc)
+		if err != nil {
+			return false
+		}
+		j, err := Join(r, s)
+		if err != nil {
+			return false
+		}
+		js, err := JoinSupports(r, s)
+		if err != nil {
+			return false
+		}
+		return j.SupportBag().Equal(js)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMarginalMonotone(t *testing.T) {
+	// Property: bag containment is preserved by marginals — if R ⊆b S then
+	// R[Z] ⊆b S[Z]. Built by adding a random delta to the generated bag.
+	z := MustSchema("A", "C")
+	f := func(g genBag, extra genBag) bool {
+		sum := g.b.Clone()
+		err := extra.b.Each(func(t Tuple, c int64) error {
+			return sum.AddTuple(t, c)
+		})
+		if err != nil {
+			return false
+		}
+		if !g.b.ContainedIn(sum) {
+			return false
+		}
+		mg, err := g.b.Marginal(z)
+		if err != nil {
+			return false
+		}
+		ms, err := sum.Marginal(z)
+		if err != nil {
+			return false
+		}
+		return mg.ContainedIn(ms)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

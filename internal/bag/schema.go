@@ -1,0 +1,156 @@
+package bag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema is a finite set of attribute names with a canonical (sorted) order.
+// The empty schema is valid: it has exactly one tuple, the empty tuple, which
+// matches the convention Tup(∅) = {()} used by the paper.
+//
+// Schemas are immutable after construction and safe for concurrent use.
+type Schema struct {
+	attrs []string       // sorted ascending, no duplicates
+	index map[string]int // attribute -> position in attrs
+}
+
+// NewSchema returns the schema with the given attribute names. Duplicate
+// names are collapsed (a schema is a set). Attribute names may be any
+// non-empty strings.
+func NewSchema(attrs ...string) (*Schema, error) {
+	seen := make(map[string]bool, len(attrs))
+	uniq := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("bag: empty attribute name")
+		}
+		if !seen[a] {
+			seen[a] = true
+			uniq = append(uniq, a)
+		}
+	}
+	sort.Strings(uniq)
+	idx := make(map[string]int, len(uniq))
+	for i, a := range uniq {
+		idx[a] = i
+	}
+	return &Schema{attrs: uniq, index: idx}, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// tests, examples and literal schemas known to be valid.
+func MustSchema(attrs ...string) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Attrs returns the attribute names in canonical (sorted) order.
+// The returned slice is a copy and may be modified by the caller.
+func (s *Schema) Attrs() []string {
+	out := make([]string, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Has reports whether the schema contains the attribute.
+func (s *Schema) Has(attr string) bool {
+	_, ok := s.index[attr]
+	return ok
+}
+
+// Pos returns the canonical position of attr, or -1 if absent.
+func (s *Schema) Pos(attr string) int {
+	if i, ok := s.index[attr]; ok {
+		return i
+	}
+	return -1
+}
+
+// Equal reports whether two schemas contain exactly the same attributes.
+func (s *Schema) Equal(t *Schema) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i, a := range s.attrs {
+		if t.attrs[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every attribute of s appears in t.
+func (s *Schema) SubsetOf(t *Schema) bool {
+	for _, a := range s.attrs {
+		if !t.Has(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the schema containing the attributes of both s and t.
+func (s *Schema) Union(t *Schema) *Schema {
+	out, err := NewSchema(append(s.Attrs(), t.attrs...)...)
+	if err != nil {
+		panic("bag: union of valid schemas cannot fail: " + err.Error())
+	}
+	return out
+}
+
+// Intersect returns the schema of attributes common to s and t.
+func (s *Schema) Intersect(t *Schema) *Schema {
+	var common []string
+	for _, a := range s.attrs {
+		if t.Has(a) {
+			common = append(common, a)
+		}
+	}
+	out, err := NewSchema(common...)
+	if err != nil {
+		panic("bag: intersection of valid schemas cannot fail: " + err.Error())
+	}
+	return out
+}
+
+// Minus returns the schema of attributes of s not present in t.
+func (s *Schema) Minus(t *Schema) *Schema {
+	var rest []string
+	for _, a := range s.attrs {
+		if !t.Has(a) {
+			rest = append(rest, a)
+		}
+	}
+	out, err := NewSchema(rest...)
+	if err != nil {
+		panic("bag: difference of valid schemas cannot fail: " + err.Error())
+	}
+	return out
+}
+
+// positions returns, for each attribute of sub in canonical order, its
+// position within s. It returns an error if sub is not a subset of s.
+func (s *Schema) positions(sub *Schema) ([]int, error) {
+	pos := make([]int, sub.Len())
+	for i, a := range sub.attrs {
+		j, ok := s.index[a]
+		if !ok {
+			return nil, fmt.Errorf("bag: attribute %q not in schema %v", a, s)
+		}
+		pos[i] = j
+	}
+	return pos, nil
+}
+
+// String renders the schema as {A, B, C}.
+func (s *Schema) String() string {
+	return "{" + strings.Join(s.attrs, ", ") + "}"
+}

@@ -1,0 +1,94 @@
+package bag
+
+import (
+	"testing"
+)
+
+func TestNewSchemaSortsAndDedupes(t *testing.T) {
+	s, err := NewSchema("B", "A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Attrs()
+	want := []string{"A", "B", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("attrs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("attrs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewSchemaRejectsEmptyName(t *testing.T) {
+	if _, err := NewSchema("A", ""); err == nil {
+		t.Fatal("expected error for empty attribute name")
+	}
+}
+
+func TestEmptySchemaIsValid(t *testing.T) {
+	s := MustSchema()
+	if s.Len() != 0 {
+		t.Fatalf("empty schema has %d attrs", s.Len())
+	}
+	if !s.SubsetOf(MustSchema("A")) {
+		t.Fatal("empty schema should be a subset of everything")
+	}
+}
+
+func TestSchemaSetOperations(t *testing.T) {
+	ab := MustSchema("A", "B")
+	bc := MustSchema("B", "C")
+
+	tests := []struct {
+		name string
+		got  *Schema
+		want *Schema
+	}{
+		{"union", ab.Union(bc), MustSchema("A", "B", "C")},
+		{"intersect", ab.Intersect(bc), MustSchema("B")},
+		{"minus", ab.Minus(bc), MustSchema("A")},
+		{"minus-all", ab.Minus(ab), MustSchema()},
+		{"union-self", ab.Union(ab), ab},
+	}
+	for _, tc := range tests {
+		if !tc.got.Equal(tc.want) {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestSchemaSubsetAndHas(t *testing.T) {
+	abc := MustSchema("A", "B", "C")
+	ac := MustSchema("A", "C")
+	if !ac.SubsetOf(abc) {
+		t.Error("AC should be subset of ABC")
+	}
+	if abc.SubsetOf(ac) {
+		t.Error("ABC should not be subset of AC")
+	}
+	if !abc.Has("B") || abc.Has("D") {
+		t.Error("Has misreports membership")
+	}
+	if abc.Pos("B") != 1 || abc.Pos("Z") != -1 {
+		t.Error("Pos misreports positions")
+	}
+}
+
+func TestSchemaEqualIgnoresConstructionOrder(t *testing.T) {
+	a := MustSchema("X", "Y", "Z")
+	b := MustSchema("Z", "X", "Y")
+	if !a.Equal(b) {
+		t.Error("schemas with same attributes should be equal")
+	}
+	if a.Equal(MustSchema("X", "Y")) {
+		t.Error("schemas of different size should differ")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	if got := MustSchema("B", "A").String(); got != "{A, B}" {
+		t.Errorf("String() = %q", got)
+	}
+}

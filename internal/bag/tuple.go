@@ -1,0 +1,169 @@
+package bag
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tuple is an assignment of one value to every attribute of a schema. The
+// values are stored in the schema's canonical attribute order. Tuples are
+// immutable values.
+type Tuple struct {
+	schema *Schema
+	vals   []string
+}
+
+// NewTuple builds a tuple over s from vals, which must be given in the
+// schema's canonical (sorted) attribute order and have exactly s.Len()
+// entries.
+func NewTuple(s *Schema, vals []string) (Tuple, error) {
+	if len(vals) != s.Len() {
+		return Tuple{}, fmt.Errorf("bag: tuple has %d values for schema %v with %d attributes", len(vals), s, s.Len())
+	}
+	cp := make([]string, len(vals))
+	copy(cp, vals)
+	return Tuple{schema: s, vals: cp}, nil
+}
+
+// MustTuple is like NewTuple but panics on error; for tests and literals.
+func MustTuple(s *Schema, vals ...string) Tuple {
+	t, err := NewTuple(s, vals)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns the schema the tuple is defined over.
+func (t Tuple) Schema() *Schema { return t.schema }
+
+// Values returns a copy of the tuple's values in canonical attribute order.
+func (t Tuple) Values() []string {
+	out := make([]string, len(t.vals))
+	copy(out, t.vals)
+	return out
+}
+
+// Value returns the value assigned to attr and whether the attribute exists.
+func (t Tuple) Value(attr string) (string, bool) {
+	i := t.schema.Pos(attr)
+	if i < 0 {
+		return "", false
+	}
+	return t.vals[i], true
+}
+
+// Project returns the restriction t[sub] of the tuple to the sub-schema.
+// The paper writes this t[Y] for Y ⊆ X.
+func (t Tuple) Project(sub *Schema) (Tuple, error) {
+	pos, err := t.schema.positions(sub)
+	if err != nil {
+		return Tuple{}, err
+	}
+	vals := make([]string, len(pos))
+	for i, p := range pos {
+		vals[i] = t.vals[p]
+	}
+	return Tuple{schema: sub, vals: vals}, nil
+}
+
+// JoinsWith reports whether t and u agree on every shared attribute, i.e.
+// whether t[X∩Y] = u[X∩Y] so that the joined tuple tu exists.
+func (t Tuple) JoinsWith(u Tuple) bool {
+	shared := t.schema.Intersect(u.schema)
+	for _, a := range shared.attrs {
+		tv := t.vals[t.schema.Pos(a)]
+		uv := u.vals[u.schema.Pos(a)]
+		if tv != uv {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinTuples returns the tuple tu over the union schema that agrees with t
+// on t's attributes and with u on u's attributes. It returns an error if the
+// tuples disagree on a shared attribute.
+func JoinTuples(t, u Tuple) (Tuple, error) {
+	if !t.JoinsWith(u) {
+		return Tuple{}, fmt.Errorf("bag: tuples %v and %v disagree on shared attributes", t, u)
+	}
+	union := t.schema.Union(u.schema)
+	vals := make([]string, union.Len())
+	for i, a := range union.attrs {
+		if p := t.schema.Pos(a); p >= 0 {
+			vals[i] = t.vals[p]
+		} else {
+			vals[i] = u.vals[u.schema.Pos(a)]
+		}
+	}
+	return Tuple{schema: union, vals: vals}, nil
+}
+
+// Key returns a canonical string encoding of the tuple's values suitable for
+// use as a map key. The encoding is length-prefixed so arbitrary value
+// strings (including separators) cannot collide.
+func (t Tuple) Key() string {
+	return encodeKey(t.vals)
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	return "(" + strings.Join(t.vals, ", ") + ")"
+}
+
+// encodeKey encodes values with decimal length prefixes: "3:abc2:xy".
+func encodeKey(vals []string) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// decodeKey inverts encodeKey. It returns an error on malformed input.
+func decodeKey(key string) ([]string, error) {
+	var vals []string
+	for i := 0; i < len(key); {
+		j := strings.IndexByte(key[i:], ':')
+		if j < 0 {
+			return nil, fmt.Errorf("bag: malformed tuple key %q", key)
+		}
+		n, err := strconv.Atoi(key[i : i+j])
+		if err != nil || n < 0 || strconv.Itoa(n) != key[i:i+j] {
+			// The prefix must be the canonical decimal rendering: no leading
+			// zeros, no signs — decode is then a strict inverse of encode.
+			return nil, fmt.Errorf("bag: malformed tuple key length in %q", key)
+		}
+		start := i + j + 1
+		if start+n > len(key) {
+			return nil, fmt.Errorf("bag: truncated tuple key %q", key)
+		}
+		vals = append(vals, key[start:start+n])
+		i = start + n
+	}
+	return vals, nil
+}
+
+// CompareTuples orders tuples lexicographically by their values. Tuples must
+// be over the same schema for the order to be meaningful.
+func CompareTuples(a, b Tuple) int {
+	for i := 0; i < len(a.vals) && i < len(b.vals); i++ {
+		if a.vals[i] != b.vals[i] {
+			if a.vals[i] < b.vals[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a.vals) < len(b.vals):
+		return -1
+	case len(a.vals) > len(b.vals):
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,147 @@
+package bag
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleProject(t *testing.T) {
+	abc := MustSchema("A", "B", "C")
+	tp := MustTuple(abc, "1", "2", "3")
+
+	ac := MustSchema("A", "C")
+	got, err := tp.Project(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "(1, 3)" {
+		t.Errorf("projection = %v", got)
+	}
+
+	empty, err := tp.Project(MustSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Key() != "" {
+		t.Errorf("empty projection key = %q", empty.Key())
+	}
+
+	if _, err := tp.Project(MustSchema("Z")); err == nil {
+		t.Error("expected error projecting onto non-subset")
+	}
+}
+
+func TestTupleValue(t *testing.T) {
+	s := MustSchema("A", "B")
+	tp := MustTuple(s, "x", "y")
+	if v, ok := tp.Value("B"); !ok || v != "y" {
+		t.Errorf("Value(B) = %q, %v", v, ok)
+	}
+	if _, ok := tp.Value("C"); ok {
+		t.Error("Value(C) should not exist")
+	}
+}
+
+func TestNewTupleArityCheck(t *testing.T) {
+	s := MustSchema("A", "B")
+	if _, err := NewTuple(s, []string{"only-one"}); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestJoinTuples(t *testing.T) {
+	ab := MustSchema("A", "B")
+	bc := MustSchema("B", "C")
+	x := MustTuple(ab, "1", "2")
+	y := MustTuple(bc, "2", "3")
+	z := MustTuple(bc, "9", "3")
+
+	if !x.JoinsWith(y) {
+		t.Fatal("x should join with y")
+	}
+	if x.JoinsWith(z) {
+		t.Fatal("x should not join with z")
+	}
+	xy, err := JoinTuples(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xy.String() != "(1, 2, 3)" {
+		t.Errorf("joined tuple = %v", xy)
+	}
+	if _, err := JoinTuples(x, z); err == nil {
+		t.Error("expected join error on disagreement")
+	}
+}
+
+func TestJoinTuplesDisjointSchemas(t *testing.T) {
+	a := MustSchema("A")
+	b := MustSchema("B")
+	ab, err := JoinTuples(MustTuple(a, "1"), MustTuple(b, "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.String() != "(1, 2)" {
+		t.Errorf("cross product tuple = %v", ab)
+	}
+}
+
+func TestKeyRoundTripProperty(t *testing.T) {
+	// Property: decodeKey(encodeKey(vals)) == vals for arbitrary values,
+	// including values containing the ':' separator and empty strings.
+	f := func(vals []string) bool {
+		dec, err := decodeKey(encodeKey(vals))
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(vals) {
+			return len(vals) == 0 && len(dec) == 0
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyInjectivityProperty(t *testing.T) {
+	// Property: distinct value slices encode to distinct keys. Tricky cases
+	// like ["ab",""] vs ["a","b"] must not collide.
+	f := func(a, b []string) bool {
+		same := len(a) == len(b)
+		if same {
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+		}
+		return same == (encodeKey(a) == encodeKey(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeKeyRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"x", "3:ab", "-1:", "2ab", "1", ":"} {
+		if _, err := decodeKey(bad); err == nil {
+			t.Errorf("decodeKey(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	s := MustSchema("A", "B")
+	a := MustTuple(s, "1", "2")
+	b := MustTuple(s, "1", "3")
+	if CompareTuples(a, b) != -1 || CompareTuples(b, a) != 1 || CompareTuples(a, a) != 0 {
+		t.Error("CompareTuples ordering wrong")
+	}
+}

@@ -1,0 +1,211 @@
+// Package bagio reads and writes bags and collections in a line-oriented
+// text format and in JSON, for the command-line tools and examples.
+//
+// Text format:
+//
+//	# comments and blank lines are ignored
+//	bag orders
+//	schema CUSTOMER ITEM
+//	alice widget : 3
+//	bob gadget            # multiplicity defaults to 1
+//	bag totals
+//	schema CUSTOMER
+//	alice : 3
+//	bob
+//
+// Values are whitespace-separated tokens given in the schema's canonical
+// (sorted) attribute order; an optional ": <count>" suffix sets the
+// multiplicity. Values may not contain whitespace, '#' or be the bare
+// token ":".
+package bagio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/core"
+	"bagconsistency/internal/hypergraph"
+)
+
+// NamedBag pairs a bag with its name from the file.
+type NamedBag struct {
+	Name string
+	Bag  *bag.Bag
+}
+
+// ParseCollection reads every bag from the text format.
+func ParseCollection(r io.Reader) ([]NamedBag, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []NamedBag
+	var cur *NamedBag
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "bag":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("bagio: line %d: want \"bag <name>\"", lineno)
+			}
+			if cur != nil && cur.Bag == nil {
+				return nil, fmt.Errorf("bagio: bag %q has no schema", cur.Name)
+			}
+			out = append(out, NamedBag{Name: fields[1]})
+			cur = &out[len(out)-1]
+		case "schema":
+			if cur == nil {
+				return nil, fmt.Errorf("bagio: line %d: schema before any bag", lineno)
+			}
+			if cur.Bag != nil {
+				return nil, fmt.Errorf("bagio: line %d: duplicate schema for bag %q", lineno, cur.Name)
+			}
+			s, err := bag.NewSchema(fields[1:]...)
+			if err != nil {
+				return nil, fmt.Errorf("bagio: line %d: %w", lineno, err)
+			}
+			cur.Bag = bag.New(s)
+		default:
+			if cur == nil || cur.Bag == nil {
+				return nil, fmt.Errorf("bagio: line %d: tuple before bag/schema", lineno)
+			}
+			vals := fields
+			count := int64(1)
+			if i := indexOf(fields, ":"); i >= 0 {
+				if i != len(fields)-2 {
+					return nil, fmt.Errorf("bagio: line %d: want \"v1 v2 ... : count\"", lineno)
+				}
+				n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("bagio: line %d: bad count %q", lineno, fields[len(fields)-1])
+				}
+				count = n
+				vals = fields[:i]
+			}
+			if err := cur.Bag.Add(vals, count); err != nil {
+				return nil, fmt.Errorf("bagio: line %d: %w", lineno, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil && cur.Bag == nil {
+		return nil, fmt.Errorf("bagio: bag %q has no schema", cur.Name)
+	}
+	return out, nil
+}
+
+func indexOf(fields []string, tok string) int {
+	for i, f := range fields {
+		if f == tok {
+			return i
+		}
+	}
+	return -1
+}
+
+// WriteCollection writes bags in the text format; ParseCollection inverts it.
+func WriteCollection(w io.Writer, bags []NamedBag) error {
+	bw := bufio.NewWriter(w)
+	for i, nb := range bags {
+		if i > 0 {
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "bag %s\n", nb.Name)
+		fmt.Fprintf(bw, "schema %s\n", strings.Join(nb.Bag.Schema().Attrs(), " "))
+		err := nb.Bag.Each(func(t bag.Tuple, count int64) error {
+			_, err := fmt.Fprintf(bw, "%s : %d\n", strings.Join(t.Values(), " "), count)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ToCollection assembles a core.Collection from named bags: the hypergraph
+// has one hyperedge per bag, the bag's attribute set.
+func ToCollection(bags []NamedBag) (*core.Collection, error) {
+	if len(bags) == 0 {
+		return nil, fmt.Errorf("bagio: no bags")
+	}
+	var edges [][]string
+	var bs []*bag.Bag
+	for _, nb := range bags {
+		edges = append(edges, nb.Bag.Schema().Attrs())
+		bs = append(bs, nb.Bag)
+	}
+	h, err := hypergraph.New(edges)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCollection(h, bs)
+}
+
+// jsonBag is the JSON wire form of one bag.
+type jsonBag struct {
+	Name   string      `json:"name,omitempty"`
+	Schema []string    `json:"schema"`
+	Tuples []jsonTuple `json:"tuples"`
+}
+
+type jsonTuple struct {
+	Values []string `json:"values"`
+	Count  int64    `json:"count"`
+}
+
+// EncodeJSON writes the bags as a JSON array.
+func EncodeJSON(w io.Writer, bags []NamedBag) error {
+	arr := make([]jsonBag, 0, len(bags))
+	for _, nb := range bags {
+		jb := jsonBag{Name: nb.Name, Schema: nb.Bag.Schema().Attrs()}
+		err := nb.Bag.Each(func(t bag.Tuple, count int64) error {
+			jb.Tuples = append(jb.Tuples, jsonTuple{Values: t.Values(), Count: count})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		arr = append(arr, jb)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
+}
+
+// DecodeJSON reads bags from the JSON array form.
+func DecodeJSON(r io.Reader) ([]NamedBag, error) {
+	var arr []jsonBag
+	if err := json.NewDecoder(r).Decode(&arr); err != nil {
+		return nil, fmt.Errorf("bagio: %w", err)
+	}
+	out := make([]NamedBag, 0, len(arr))
+	for _, jb := range arr {
+		s, err := bag.NewSchema(jb.Schema...)
+		if err != nil {
+			return nil, err
+		}
+		b := bag.New(s)
+		for _, t := range jb.Tuples {
+			if err := b.Add(t.Values, t.Count); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, NamedBag{Name: jb.Name, Bag: b})
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package bagio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bagconsistency/internal/bag"
+)
+
+const sample = `
+# two bags over a shared attribute
+bag orders
+schema CUSTOMER ITEM
+alice widget : 3
+bob gadget
+
+bag totals
+schema CUSTOMER
+alice : 3
+bob : 1
+`
+
+func TestParseCollection(t *testing.T) {
+	bags, err := ParseCollection(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bags) != 2 {
+		t.Fatalf("parsed %d bags, want 2", len(bags))
+	}
+	if bags[0].Name != "orders" || bags[1].Name != "totals" {
+		t.Errorf("names = %q, %q", bags[0].Name, bags[1].Name)
+	}
+	if got := bags[0].Bag.Count([]string{"alice", "widget"}); got != 3 {
+		t.Errorf("orders(alice,widget) = %d, want 3", got)
+	}
+	if got := bags[0].Bag.Count([]string{"bob", "gadget"}); got != 1 {
+		t.Errorf("default multiplicity = %d, want 1", got)
+	}
+	if got := bags[1].Bag.Count([]string{"bob"}); got != 1 {
+		t.Errorf("totals(bob) = %d, want 1", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"tuple before bag":         "a b : 1\n",
+		"schema before bag":        "schema A B\n",
+		"bag without name":         "bag\n",
+		"double schema":            "bag x\nschema A\nschema B\n",
+		"bad count":                "bag x\nschema A\nv : notanumber\n",
+		"negative count":           "bag x\nschema A\nv : -2\n",
+		"misplaced colon":          "bag x\nschema A B\nv : 2 w\n",
+		"bag without schema (EOF)": "bag x\n",
+		"tuple arity":              "bag x\nschema A\nv w : 1\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseCollection(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	bags, err := ParseCollection(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, bags); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCollection(&buf)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\noutput was:\n%s", err, buf.String())
+	}
+	if len(back) != len(bags) {
+		t.Fatalf("round trip changed bag count")
+	}
+	for i := range bags {
+		if back[i].Name != bags[i].Name || !back[i].Bag.Equal(bags[i].Bag) {
+			t.Errorf("bag %d changed in round trip", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	bags, err := ParseCollection(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, bags); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bags {
+		if back[i].Name != bags[i].Name || !back[i].Bag.Equal(bags[i].Bag) {
+			t.Errorf("bag %d changed in JSON round trip", i)
+		}
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader("not json")); err == nil {
+		t.Error("expected JSON error")
+	}
+	if _, err := DecodeJSON(strings.NewReader(`[{"schema": [""], "tuples": []}]`)); err == nil {
+		t.Error("expected schema error")
+	}
+}
+
+func TestToCollection(t *testing.T) {
+	bags, err := ParseCollection(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ToCollection(bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("collection has %d bags", c.Len())
+	}
+	if c.Hypergraph().NumEdges() != 2 {
+		t.Errorf("hypergraph = %v", c.Hypergraph())
+	}
+	if _, err := ToCollection(nil); err == nil {
+		t.Error("expected empty error")
+	}
+}
+
+func TestParseEmptySchemaBag(t *testing.T) {
+	// A bag over the empty schema holds just the empty tuple's count.
+	input := "bag empty\nschema\n: 5\n"
+	bags, err := ParseCollection(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bags[0].Bag.Count(nil); got != 5 {
+		t.Errorf("empty-tuple count = %d, want 5", got)
+	}
+	if !bags[0].Bag.Schema().Equal(bag.MustSchema()) {
+		t.Error("schema should be empty")
+	}
+}

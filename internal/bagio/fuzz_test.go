@@ -1,0 +1,58 @@
+package bagio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCollection checks that arbitrary input never panics the parser
+// and that anything it accepts survives a write/parse round trip.
+func FuzzParseCollection(f *testing.F) {
+	f.Add(sample)
+	f.Add("bag x\nschema A\nv : 3\n")
+	f.Add("bag x\nschema\n: 5\n")
+	f.Add("schema A\n")
+	f.Add("bag x\nschema A B\n1 2\n1 2 : 9\n# comment\n")
+	f.Add(": : :")
+	f.Fuzz(func(t *testing.T, input string) {
+		bags, err := ParseCollection(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCollection(&buf, bags); err != nil {
+			t.Fatalf("write of parsed input failed: %v", err)
+		}
+		back, err := ParseCollection(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v\noutput: %q", err, buf.String())
+		}
+		if len(back) != len(bags) {
+			t.Fatalf("round trip changed bag count %d -> %d", len(bags), len(back))
+		}
+		for i := range bags {
+			if back[i].Name != bags[i].Name || !back[i].Bag.Equal(bags[i].Bag) {
+				t.Fatalf("bag %d changed in round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeJSON checks the JSON path never panics.
+func FuzzDecodeJSON(f *testing.F) {
+	f.Add(`[{"schema":["A"],"tuples":[{"values":["x"],"count":2}]}]`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(`[{"schema":[""],"tuples":[]}]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		bags, err := DecodeJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeJSON(&buf, bags); err != nil {
+			t.Fatalf("encode of decoded input failed: %v", err)
+		}
+	})
+}

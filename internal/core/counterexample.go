@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"bagconsistency/internal/hypergraph"
+)
+
+// CyclicCounterexample constructs, for any cyclic hypergraph h, a
+// collection of bags over h that is pairwise consistent but not globally
+// consistent — the effective content of Step 2 of the Theorem 2 proof.
+//
+// The construction extracts a minimal non-chordal (C_n) or non-conformal
+// (H_n) core via Lemma 3, builds the Tseitin collection C(H*) on the core
+// (k-uniform and d-regular by construction), and lifts it back to h across
+// the safe-deletion sequence using Lemma 4, which preserves k-wise
+// consistency in both directions.
+//
+// It returns an error if h is acyclic (no counterexample exists: Theorem 2).
+func CyclicCounterexample(h *hypergraph.Hypergraph) (*Collection, error) {
+	var core *hypergraph.Core
+	var err error
+	switch {
+	case !h.IsChordal():
+		core, err = h.NonChordalCore()
+	case !h.IsConformal():
+		core, err = h.NonConformalCore()
+	default:
+		return nil, fmt.Errorf("core: %v is acyclic; by Theorem 2 every pairwise consistent collection over it is globally consistent", h)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d0, err := TseitinCollection(core.Result)
+	if err != nil {
+		return nil, err
+	}
+	return LiftCollection(h, core.Sequence, d0, "0")
+}

@@ -1,0 +1,28 @@
+// Package core implements the primary contribution of Atserias & Kolaitis,
+// "Structure and Complexity of Bag Consistency" (PODS 2021): consistency of
+// bags under bag semantics.
+//
+// The package provides, mapped to the paper's results:
+//
+//   - Two-bag consistency and witness construction via max flow over the
+//     network N(R,S), with all four equivalent characterizations of
+//     Lemma 2 available for cross-checking (shared marginals, rational LP
+//     feasibility, integer feasibility, saturated flow), and the strongly
+//     polynomial minimal-witness construction of Corollary 4 with the
+//     Carathéodory support bound of Theorem 5.
+//
+//   - Collections of bags indexed by the hyperedges of a schema, with
+//     pairwise, k-wise and global consistency (Section 4), witness
+//     verification, and the linear program P(R1,...,Rm) of Equation (14).
+//
+//   - The global consistency decision procedure behind the dichotomy of
+//     Theorem 4: the polynomial join-tree composition of Theorem 6 on
+//     acyclic schemas and exact integer branch-and-bound on cyclic ones.
+//
+//   - The Tseitin-style construction C(H*) of Theorem 2 producing pairwise
+//     consistent but globally inconsistent bags over any k-uniform
+//     d-regular hypergraph, and the Lemma 4 lifting of collections across
+//     safe-deletion sequences, which together yield an explicit
+//     counterexample to local-to-global consistency over every cyclic
+//     schema.
+package core

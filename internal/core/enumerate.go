@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/ilp"
+)
+
+// CountWitnesses counts the bags witnessing the global consistency of the
+// collection by enumerating the integer points of P(R1,...,Rm). It
+// generalizes CountPairWitnesses to any number of bags; the count is 0 iff
+// the collection is globally inconsistent. Exponential in general —
+// intended for small instances and verification.
+func (c *Collection) CountWitnesses(opts ilp.Options) (int64, error) {
+	var n int64
+	err := c.EnumerateWitnesses(opts, func(*bag.Bag) error {
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// EnumerateWitnesses calls fn with every witness of the collection's
+// global consistency, in a deterministic order. fn may return an error to
+// stop early (it is propagated).
+func (c *Collection) EnumerateWitnesses(opts ilp.Options, fn func(*bag.Bag) error) error {
+	p, tuples, err := c.BuildProgram()
+	if err != nil {
+		return err
+	}
+	union, err := c.UnionSchema()
+	if err != nil {
+		return err
+	}
+	if len(p.Cols) == 0 {
+		if emptyProgramConsistent(p) {
+			return fn(bag.New(union))
+		}
+		return nil
+	}
+	return ilp.Enumerate(p, opts, func(x []int64) error {
+		w := bag.New(union)
+		for j, v := range x {
+			if v > 0 {
+				if err := w.AddTuple(tuples[j], v); err != nil {
+					return err
+				}
+			}
+		}
+		return fn(w)
+	})
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/ilp"
+)
+
+// Method identifies which algorithm decided a global-consistency query.
+type Method string
+
+const (
+	// MethodAcyclic is the polynomial-time join-tree composition of
+	// Theorem 6 (pairwise consistency check + running-intersection witness
+	// construction).
+	MethodAcyclic Method = "acyclic-jointree"
+	// MethodILP is the exact integer search over P(R1,...,Rm), the general
+	// NP procedure of Corollary 3 used on cyclic schemas.
+	MethodILP Method = "integer-program"
+	// MethodPairwiseRefuted means a pairwise inconsistency already refutes
+	// global consistency, regardless of the schema's shape.
+	MethodPairwiseRefuted Method = "pairwise-refuted"
+)
+
+// GlobalOptions configures GloballyConsistent.
+type GlobalOptions struct {
+	// ForceILP skips the acyclic fast path even on acyclic schemas, so the
+	// two procedures can be compared (ablation).
+	ForceILP bool
+	// SkipWitnessMinimization keeps the raw flow witnesses during the
+	// acyclic composition rather than minimal ones. The Theorem 6 support
+	// bound is only guaranteed with minimization on.
+	SkipWitnessMinimization bool
+	// ILP tunes the integer search on the cyclic path.
+	ILP ilp.Options
+}
+
+// Decision is the outcome of a global consistency query.
+type Decision struct {
+	// Consistent reports whether the collection is globally consistent.
+	Consistent bool
+	// Witness is a bag witnessing consistency when Consistent (both
+	// decision methods construct one).
+	Witness *bag.Bag
+	// Method says which procedure ran.
+	Method Method
+	// Nodes is the number of search nodes (MethodILP only).
+	Nodes int64
+}
+
+// GloballyConsistent decides whether the collection is globally consistent
+// (the GCPB(H) problem of Section 5.2) and constructs a witness when it is.
+//
+// On acyclic schemas it runs the polynomial algorithm of Theorem 6; on
+// cyclic schemas it first refutes by pairwise inconsistency when possible
+// and otherwise solves the integer program P(R1,...,Rm) exactly — the
+// NP-complete regime of Theorem 4, with an explicit node budget.
+func (c *Collection) GloballyConsistent(opts GlobalOptions) (*Decision, error) {
+	if len(c.bags) == 0 {
+		return nil, fmt.Errorf("core: empty collection")
+	}
+	if !opts.ForceILP && c.hg.IsAcyclic() {
+		w, ok, err := c.WitnessAcyclic(opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Decision{Consistent: ok, Witness: w, Method: MethodAcyclic}, nil
+	}
+
+	// Cheap necessary condition first.
+	pw, err := c.PairwiseConsistent()
+	if err != nil {
+		return nil, err
+	}
+	if !pw {
+		return &Decision{Consistent: false, Method: MethodPairwiseRefuted}, nil
+	}
+
+	p, tuples, err := c.BuildProgram()
+	if err != nil {
+		return nil, err
+	}
+	union, err := c.UnionSchema()
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Cols) == 0 {
+		if emptyProgramConsistent(p) {
+			return &Decision{Consistent: true, Witness: bag.New(union), Method: MethodILP}, nil
+		}
+		return &Decision{Consistent: false, Method: MethodILP}, nil
+	}
+	sol, err := ilp.Solve(p, opts.ILP)
+	if err != nil {
+		return nil, err
+	}
+	if !sol.Feasible {
+		return &Decision{Consistent: false, Method: MethodILP, Nodes: sol.Nodes}, nil
+	}
+	w := bag.New(union)
+	for j, v := range sol.X {
+		if v > 0 {
+			if err := w.AddTuple(tuples[j], v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Decision{Consistent: true, Witness: w, Method: MethodILP, Nodes: sol.Nodes}, nil
+}
+
+// WitnessAcyclic runs the polynomial witness construction of Theorem 6 on
+// an acyclic schema: test pairwise consistency, compute a running
+// intersection order from a join tree, and compose minimal pairwise
+// witnesses T_i = witness(T_{i-1}, R_{σ(i)}) along the order. When the
+// collection is consistent the returned witness has support size at most
+// the sum of the input support sizes (Corollary 4 bound applied
+// inductively).
+//
+// It returns ok = false (with nil witness) when the collection is not
+// pairwise consistent, and an error if the schema is cyclic.
+func (c *Collection) WitnessAcyclic(opts GlobalOptions) (*bag.Bag, bool, error) {
+	order, err := c.hg.RunningIntersectionOrder()
+	if err != nil {
+		return nil, false, fmt.Errorf("core: WitnessAcyclic on cyclic schema: %w", err)
+	}
+	pw, err := c.PairwiseConsistent()
+	if err != nil {
+		return nil, false, err
+	}
+	if !pw {
+		return nil, false, nil
+	}
+	witnessOf := MinimalPairWitness
+	if opts.SkipWitnessMinimization {
+		witnessOf = PairWitness
+	}
+	acc := c.bags[order[0]].Clone()
+	for _, idx := range order[1:] {
+		next, ok, err := witnessOf(acc, c.bags[idx])
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			// Step 1 of the Theorem 2 proof shows this cannot happen for a
+			// pairwise consistent collection along a RIP order.
+			return nil, false, fmt.Errorf("core: RIP composition lost consistency at edge %d", idx)
+		}
+		acc = next
+	}
+	return acc, true, nil
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/hypergraph"
+	"bagconsistency/internal/ilp"
+)
+
+func TestAcyclicWitnessConstruction(t *testing.T) {
+	// Theorem 6 on the path schema: pairwise consistent marginals compose
+	// into a global witness with bounded support.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		h := hypergraph.Path(3 + rng.Intn(3))
+		g := randomGlobalBag(t, rng, h, 4+rng.Intn(5), 6)
+		c := mustMarginalCollection(t, h, g)
+
+		dec, err := c.GloballyConsistent(GlobalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Consistent {
+			t.Fatal("marginal collection must be globally consistent")
+		}
+		if dec.Method != MethodAcyclic {
+			t.Fatalf("method = %s, want acyclic", dec.Method)
+		}
+		ok, err := c.VerifyWitness(dec.Witness)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("constructed witness fails verification")
+		}
+		// Theorem 6 support bound: ≤ Σ ‖Ri‖supp.
+		sum := 0
+		for _, b := range c.Bags() {
+			sum += b.SupportSize()
+		}
+		if dec.Witness.SupportSize() > sum {
+			t.Fatalf("witness support %d exceeds Σ‖Ri‖supp = %d", dec.Witness.SupportSize(), sum)
+		}
+		// Theorem 3(1) multiplicity bound.
+		var maxMult int64
+		for _, b := range c.Bags() {
+			if b.MultiplicityBound() > maxMult {
+				maxMult = b.MultiplicityBound()
+			}
+		}
+		if dec.Witness.MultiplicityBound() > maxMult {
+			t.Fatalf("witness multiplicity %d exceeds max input %d", dec.Witness.MultiplicityBound(), maxMult)
+		}
+	}
+}
+
+func TestAcyclicRejectsInconsistent(t *testing.T) {
+	h := hypergraph.Path(3)
+	r := mustBag(t, bag.MustSchema(h.Edge(0)...), [][]string{{"1", "1"}}, []int64{2})
+	s := mustBag(t, bag.MustSchema(h.Edge(1)...), [][]string{{"1", "1"}}, []int64{3})
+	c, err := NewCollection(h, []*bag.Bag{r, s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.GloballyConsistent(GlobalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Consistent {
+		t.Fatal("inconsistent collection accepted")
+	}
+}
+
+func TestAcyclicAgreesWithILPProperty(t *testing.T) {
+	// Dichotomy cross-check: on acyclic schemas the Theorem 6 algorithm and
+	// the general integer program must agree, for both consistent and
+	// perturbed instances.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		h := hypergraph.Path(3)
+		g := randomGlobalBag(t, rng, h, 3+rng.Intn(4), 4)
+		c := mustMarginalCollection(t, h, g)
+		if trial%2 == 1 {
+			// Perturb one bag.
+			b := c.Bag(rng.Intn(c.Len()))
+			if b.Len() > 0 {
+				tup := b.Tuples()[rng.Intn(b.Len())]
+				if err := b.AddTuple(tup, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		fast, err := c.GloballyConsistent(GlobalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := c.GloballyConsistent(GlobalOptions{ForceILP: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Consistent != slow.Consistent {
+			t.Fatalf("trial %d: acyclic=%v ilp=%v", trial, fast.Consistent, slow.Consistent)
+		}
+		if slow.Consistent {
+			ok, err := c.VerifyWitness(slow.Witness)
+			if err != nil || !ok {
+				t.Fatalf("trial %d: ILP witness invalid (err=%v)", trial, err)
+			}
+		}
+	}
+}
+
+func TestTriangleGCPBViaILP(t *testing.T) {
+	// The triangle C3 (the 3DCT schema). Consistent instance: marginals of
+	// a random bag. Inconsistent: the Tseitin collection.
+	rng := rand.New(rand.NewSource(17))
+	h := hypergraph.Triangle()
+
+	g := randomGlobalBag(t, rng, h, 5, 4)
+	c := mustMarginalCollection(t, h, g)
+	dec, err := c.GloballyConsistent(GlobalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Consistent {
+		t.Fatal("marginal collection over triangle must be consistent")
+	}
+	if dec.Method != MethodILP {
+		t.Fatalf("method = %s, want ILP on the cyclic path", dec.Method)
+	}
+	ok, err := c.VerifyWitness(dec.Witness)
+	if err != nil || !ok {
+		t.Fatalf("ILP witness invalid (err=%v)", err)
+	}
+}
+
+func TestWitnessAcyclicErrorsOnCyclicSchema(t *testing.T) {
+	h := hypergraph.Triangle()
+	c, err := TseitinCollection(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.WitnessAcyclic(GlobalOptions{}); err == nil {
+		t.Error("expected error on cyclic schema")
+	}
+}
+
+func TestSkipWitnessMinimizationStillCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	h := hypergraph.Path(4)
+	g := randomGlobalBag(t, rng, h, 6, 5)
+	c := mustMarginalCollection(t, h, g)
+	w, ok, err := c.WitnessAcyclic(GlobalOptions{SkipWitnessMinimization: true})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	valid, err := c.VerifyWitness(w)
+	if err != nil || !valid {
+		t.Fatalf("unminimized witness invalid (err=%v)", err)
+	}
+}
+
+func TestStarSchemaGlobalConsistency(t *testing.T) {
+	// Star schemas are acyclic; marginals of any bag must compose.
+	rng := rand.New(rand.NewSource(23))
+	h := hypergraph.Star(5)
+	g := randomGlobalBag(t, rng, h, 8, 10)
+	c := mustMarginalCollection(t, h, g)
+	dec, err := c.GloballyConsistent(GlobalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Consistent || dec.Method != MethodAcyclic {
+		t.Fatalf("dec = %+v", dec)
+	}
+	if ok, _ := c.VerifyWitness(dec.Witness); !ok {
+		t.Fatal("witness invalid")
+	}
+}
+
+func TestGloballyConsistentEmptyCollection(t *testing.T) {
+	c := &Collection{}
+	if _, err := c.GloballyConsistent(GlobalOptions{}); err == nil {
+		t.Error("expected error for empty collection")
+	}
+}
+
+func TestCyclicPairwiseRefutation(t *testing.T) {
+	// On a cyclic schema with a pairwise-inconsistent collection the
+	// decision must short-circuit without touching the integer program.
+	h := hypergraph.Triangle()
+	bags := []*bag.Bag{
+		mustBag(t, bag.MustSchema(h.Edge(0)...), [][]string{{"0", "0"}}, []int64{1}),
+		mustBag(t, bag.MustSchema(h.Edge(1)...), [][]string{{"0", "0"}}, []int64{2}),
+		mustBag(t, bag.MustSchema(h.Edge(2)...), [][]string{{"0", "0"}}, []int64{1}),
+	}
+	c, err := NewCollection(h, bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.GloballyConsistent(GlobalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Consistent || dec.Method != MethodPairwiseRefuted {
+		t.Fatalf("dec = %+v, want pairwise refutation", dec)
+	}
+}
+
+func TestILPNodeBudgetSurfaces(t *testing.T) {
+	// A hard-enough cyclic instance with a tiny node budget must fail
+	// loudly with ErrNodeLimit rather than hang.
+	rng := rand.New(rand.NewSource(29))
+	h := hypergraph.Triangle()
+	g := randomGlobalBag(t, rng, h, 9, 50)
+	c := mustMarginalCollection(t, h, g)
+	_, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 1}})
+	if err == nil {
+		t.Skip("instance solved within one node; budget not exercised")
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/hypergraph"
+)
+
+// LiftCollection implements Lemma 4: given a safe-deletion sequence that
+// transforms h into some hypergraph H0, and a collection d0 over H0 (its
+// bags aligned index-by-index with the edges of the final hypergraph of the
+// sequence), it constructs a collection over h that is k-wise consistent
+// iff d0 is, for every k.
+//
+// The inverse of a covered-edge deletion reinstates the deleted edge's bag
+// as the covering bag's marginal; the inverse of a vertex deletion extends
+// every affected bag with the constant defaultValue on the deleted
+// attribute (the "default value u0 ∈ Dom(A)" of the lemma's proof).
+func LiftCollection(h *hypergraph.Hypergraph, seq []hypergraph.Deletion, d0 *Collection, defaultValue string) (*Collection, error) {
+	if defaultValue == "" {
+		return nil, fmt.Errorf("core: empty default value")
+	}
+	snaps, err := h.ApplySequence(seq)
+	if err != nil {
+		return nil, err
+	}
+	final := snaps[len(snaps)-1]
+	if err := sameEdgeList(final, d0.Hypergraph()); err != nil {
+		return nil, fmt.Errorf("core: collection does not match sequence result: %w", err)
+	}
+
+	bags := d0.Bags()
+	for s := len(seq) - 1; s >= 0; s-- {
+		before := snaps[s]
+		op := seq[s]
+		switch op.Kind {
+		case hypergraph.CoveredEdgeDeletion:
+			lifted := make([]*bag.Bag, before.NumEdges())
+			for i := 0; i < before.NumEdges(); i++ {
+				if i == op.EdgeIndex {
+					continue
+				}
+				afterIdx := i
+				if i > op.EdgeIndex {
+					afterIdx = i - 1
+				}
+				lifted[i] = bags[afterIdx]
+			}
+			// The deleted edge's bag is the marginal of the covering bag.
+			coverAfter := op.CoverIndex
+			if coverAfter > op.EdgeIndex {
+				coverAfter--
+			}
+			sub, err := bag.NewSchema(before.Edge(op.EdgeIndex)...)
+			if err != nil {
+				return nil, err
+			}
+			m, err := bags[coverAfter].Marginal(sub)
+			if err != nil {
+				return nil, err
+			}
+			lifted[op.EdgeIndex] = m
+			bags = lifted
+
+		case hypergraph.VertexDeletion:
+			if len(bags) != before.NumEdges() {
+				return nil, fmt.Errorf("core: bag count %d does not match %d edges at step %d", len(bags), before.NumEdges(), s)
+			}
+			lifted := make([]*bag.Bag, before.NumEdges())
+			for i := 0; i < before.NumEdges(); i++ {
+				hasA := false
+				for _, v := range before.Edge(i) {
+					if v == op.Vertex {
+						hasA = true
+						break
+					}
+				}
+				if !hasA {
+					lifted[i] = bags[i]
+					continue
+				}
+				ext, err := extendWithConstant(bags[i], op.Vertex, defaultValue)
+				if err != nil {
+					return nil, err
+				}
+				lifted[i] = ext
+			}
+			bags = lifted
+
+		default:
+			return nil, fmt.Errorf("core: unknown deletion kind %d", op.Kind)
+		}
+	}
+	return NewCollection(h, bags)
+}
+
+// sameEdgeList checks that two hypergraphs have identical edge lists in the
+// same order (required so bag indices align).
+func sameEdgeList(a, b *hypergraph.Hypergraph) error {
+	if a.NumEdges() != b.NumEdges() {
+		return fmt.Errorf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		ea, eb := a.Edge(i), b.Edge(i)
+		if len(ea) != len(eb) {
+			return fmt.Errorf("edge %d differs: %v vs %v", i, ea, eb)
+		}
+		for j := range ea {
+			if ea[j] != eb[j] {
+				return fmt.Errorf("edge %d differs: %v vs %v", i, ea, eb)
+			}
+		}
+	}
+	return nil
+}
+
+// extendWithConstant lifts a bag over Y to a bag over Y ∪ {attr} whose
+// tuples all carry the constant value on the new attribute, preserving
+// multiplicities (the vertex-deletion inverse of Lemma 4).
+func extendWithConstant(b *bag.Bag, attrName, value string) (*bag.Bag, error) {
+	newSchema, err := bag.NewSchema(append(b.Schema().Attrs(), attrName)...)
+	if err != nil {
+		return nil, err
+	}
+	if b.Schema().Has(attrName) {
+		return nil, fmt.Errorf("core: bag already has attribute %q", attrName)
+	}
+	pos := newSchema.Pos(attrName)
+	out := bag.New(newSchema)
+	err = b.Each(func(t bag.Tuple, count int64) error {
+		old := t.Values()
+		vals := make([]string, 0, len(old)+1)
+		vals = append(vals, old[:pos]...)
+		vals = append(vals, value)
+		vals = append(vals, old[pos:]...)
+		return out.Add(vals, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ProjectCollection is the forward direction used in the Lemma 4 proof:
+// given a collection over h and a single safe-deletion operation, it
+// produces the collection over the resulting hypergraph (marginals for a
+// vertex deletion; dropping the bag for a covered-edge deletion).
+func ProjectCollection(c *Collection, op hypergraph.Deletion) (*Collection, error) {
+	h := c.Hypergraph()
+	next, err := h.Apply(op)
+	if err != nil {
+		return nil, err
+	}
+	switch op.Kind {
+	case hypergraph.CoveredEdgeDeletion:
+		var bags []*bag.Bag
+		for i := 0; i < h.NumEdges(); i++ {
+			if i != op.EdgeIndex {
+				bags = append(bags, c.Bag(i))
+			}
+		}
+		return NewCollection(next, bags)
+	case hypergraph.VertexDeletion:
+		bags := make([]*bag.Bag, h.NumEdges())
+		for i := 0; i < h.NumEdges(); i++ {
+			s, err := bag.NewSchema(next.Edge(i)...)
+			if err != nil {
+				return nil, err
+			}
+			if s.Equal(c.Bag(i).Schema()) {
+				bags[i] = c.Bag(i)
+				continue
+			}
+			m, err := c.Bag(i).Marginal(s)
+			if err != nil {
+				return nil, err
+			}
+			bags[i] = m
+		}
+		return NewCollection(next, bags)
+	default:
+		return nil, fmt.Errorf("core: unknown deletion kind %d", op.Kind)
+	}
+}

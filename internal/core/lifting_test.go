@@ -1,0 +1,483 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/hypergraph"
+	"bagconsistency/internal/ilp"
+)
+
+func TestExtendWithConstant(t *testing.T) {
+	b := mustBag(t, bag.MustSchema("B", "D"), [][]string{{"x", "y"}}, []int64{3})
+	ext, err := extendWithConstant(b, "C", "u0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Schema().Equal(bag.MustSchema("B", "C", "D")) {
+		t.Fatalf("schema = %v", ext.Schema())
+	}
+	if got := ext.Count([]string{"x", "u0", "y"}); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+	if _, err := extendWithConstant(b, "B", "u0"); err == nil {
+		t.Error("expected duplicate-attribute error")
+	}
+}
+
+func TestExtendWithConstantEmptySchema(t *testing.T) {
+	// The Lemma 4 edge case: a bag of empty schema (the empty tuple with a
+	// multiplicity) lifts to a single-attribute bag.
+	b := bag.New(bag.MustSchema())
+	if err := b.Add(nil, 7); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := extendWithConstant(b, "A", "u0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ext.Count([]string{"u0"}); got != 7 {
+		t.Errorf("count = %d, want 7", got)
+	}
+}
+
+func TestLiftVertexDeletionPreservesConsistencyBothWays(t *testing.T) {
+	// Claim 1 of Lemma 4 on the triangle: delete a vertex, lift a
+	// collection back, and compare k-wise consistency for all k.
+	h := hypergraph.Triangle() // edges {A1,A2},{A2,A3},{A3,A1}
+	v := h.Vertices()[0]
+	seq := []hypergraph.Deletion{{Kind: hypergraph.VertexDeletion, Vertex: v}}
+	snaps, err := h.ApplySequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := snaps[1]
+
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		// Random collection over h0 from marginals (consistent) or random
+		// junk (usually inconsistent).
+		var bags []*bag.Bag
+		if trial%2 == 0 {
+			s, err := bag.NewSchema(h0.Vertices()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := bag.New(s)
+			for i := 0; i < 4; i++ {
+				vals := make([]string, s.Len())
+				for j := range vals {
+					vals[j] = string(rune('a' + rng.Intn(2)))
+				}
+				_ = g.Add(vals, 1+rng.Int63n(4))
+			}
+			for i := 0; i < h0.NumEdges(); i++ {
+				es, err := bag.NewSchema(h0.Edge(i)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := g.Marginal(es)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bags = append(bags, m)
+			}
+		} else {
+			for i := 0; i < h0.NumEdges(); i++ {
+				es, err := bag.NewSchema(h0.Edge(i)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b := bag.New(es)
+				for n := 0; n < 3; n++ {
+					vals := make([]string, es.Len())
+					for j := range vals {
+						vals[j] = string(rune('a' + rng.Intn(2)))
+					}
+					_ = b.Add(vals, 1+rng.Int63n(3))
+				}
+				bags = append(bags, b)
+			}
+		}
+		d0, err := NewCollection(h0, bags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := LiftCollection(h, seq, d0, "u0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= 3; k++ {
+			k0, err := d0.KWiseConsistent(k, GlobalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k1, err := d1.KWiseConsistent(k, GlobalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k0 != k1 {
+				t.Fatalf("trial %d: %d-wise consistency not preserved: before=%v after=%v", trial, k, k0, k1)
+			}
+		}
+	}
+}
+
+func TestLiftCoveredEdgeDeletion(t *testing.T) {
+	// H1 has a covered edge {A} ⊆ {A,B}; delete it, lift back, verify the
+	// reinstated bag is the covering bag's marginal and consistency is
+	// unchanged.
+	h1 := hypergraph.Must([]string{"A"}, []string{"A", "B"})
+	seq := []hypergraph.Deletion{{Kind: hypergraph.CoveredEdgeDeletion, EdgeIndex: 0, CoverIndex: 1}}
+	snaps, err := h1.ApplySequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := snaps[1]
+
+	ab := mustBag(t, bag.MustSchema("A", "B"), [][]string{{"1", "x"}, {"1", "y"}, {"2", "x"}}, []int64{2, 1, 4})
+	d0, err := NewCollection(h0, []*bag.Bag{ab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := LiftCollection(h1, seq, d0, "u0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := ab.Marginal(bag.MustSchema("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Bag(0).Equal(wantA) {
+		t.Errorf("lifted bag 0 =\n%v\nwant marginal\n%v", d1.Bag(0), wantA)
+	}
+	if !d1.Bag(1).Equal(ab) {
+		t.Error("lifted bag 1 should be unchanged")
+	}
+	pw, err := d1.PairwiseConsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pw {
+		t.Error("lifted collection must be pairwise consistent")
+	}
+}
+
+func TestLiftCollectionValidation(t *testing.T) {
+	h := hypergraph.Triangle()
+	c, err := TseitinCollection(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence result (empty sequence) has 3 edges; mismatched collection
+	// must be rejected.
+	sub, err := c.Sub([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LiftCollection(h, nil, sub, "0"); err == nil {
+		t.Error("expected edge-list mismatch error")
+	}
+	if _, err := LiftCollection(h, nil, c, ""); err == nil {
+		t.Error("expected empty default value error")
+	}
+	// Lifting across the empty sequence is the identity.
+	same, err := LiftCollection(h, nil, c, "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Len(); i++ {
+		if !same.Bag(i).Equal(c.Bag(i)) {
+			t.Error("identity lift changed a bag")
+		}
+	}
+}
+
+func TestProjectCollectionInvertsLift(t *testing.T) {
+	// Forward (ProjectCollection) after backward (LiftCollection) over a
+	// vertex deletion recovers the original bags.
+	h := hypergraph.Triangle()
+	v := h.Vertices()[2]
+	op := hypergraph.Deletion{Kind: hypergraph.VertexDeletion, Vertex: v}
+	snaps, err := h.ApplySequence([]hypergraph.Deletion{op})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := snaps[1]
+
+	var bags []*bag.Bag
+	for i := 0; i < h0.NumEdges(); i++ {
+		s, err := bag.NewSchema(h0.Edge(i)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := bag.New(s)
+		vals := make([]string, s.Len())
+		for j := range vals {
+			vals[j] = "v"
+		}
+		if err := b.Add(vals, 5); err != nil {
+			t.Fatal(err)
+		}
+		bags = append(bags, b)
+	}
+	d0, err := NewCollection(h0, bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := LiftCollection(h, []hypergraph.Deletion{op}, d0, "u0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ProjectCollection(d1, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d0.Len(); i++ {
+		if !back.Bag(i).Equal(d0.Bag(i)) {
+			t.Errorf("bag %d: round trip lost information:\n%v\nvs\n%v", i, back.Bag(i), d0.Bag(i))
+		}
+	}
+}
+
+func TestCyclicCounterexampleOnNamedFamilies(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{
+		hypergraph.Cycle(3),
+		hypergraph.Cycle(4),
+		hypergraph.Cycle(5),
+		hypergraph.AllButOne(4),
+	} {
+		c, err := CyclicCounterexample(h)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		pw, err := c.PairwiseConsistent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pw {
+			t.Fatalf("%v: counterexample must be pairwise consistent", h)
+		}
+		dec, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Consistent {
+			t.Fatalf("%v: counterexample must not be globally consistent", h)
+		}
+	}
+}
+
+func TestCyclicCounterexampleOnEmbeddedCycle(t *testing.T) {
+	// A cyclic hypergraph that is not itself a minimal core: a C4 with a
+	// pendant edge and a covering edge. Exercises the full Lemma 3 +
+	// Lemma 4 pipeline.
+	h := hypergraph.Must(
+		[]string{"A", "B"}, []string{"B", "C"}, []string{"C", "D"}, []string{"D", "A"},
+		[]string{"A", "E"}, []string{"B"},
+	)
+	c, err := CyclicCounterexample(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != h.NumEdges() {
+		t.Fatalf("counterexample has %d bags for %d edges", c.Len(), h.NumEdges())
+	}
+	pw, err := c.PairwiseConsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pw {
+		t.Fatal("must be pairwise consistent")
+	}
+	dec, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Consistent {
+		t.Fatal("must not be globally consistent")
+	}
+}
+
+func TestCyclicCounterexampleOnNonConformal(t *testing.T) {
+	// A chordal but non-conformal hypergraph that strictly contains H3:
+	// H3's edges plus a pendant.
+	h := hypergraph.Must(
+		[]string{"A", "B"}, []string{"B", "C"}, []string{"A", "C"},
+		[]string{"C", "D"},
+	)
+	if !h.IsChordal() || h.IsConformal() {
+		t.Fatal("test premise wrong: want chordal, non-conformal")
+	}
+	c, err := CyclicCounterexample(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := c.PairwiseConsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pw {
+		t.Fatal("must be pairwise consistent")
+	}
+	dec, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Consistent {
+		t.Fatal("must not be globally consistent")
+	}
+}
+
+func TestCyclicCounterexampleRejectsAcyclic(t *testing.T) {
+	if _, err := CyclicCounterexample(hypergraph.Path(4)); err == nil {
+		t.Error("expected error on acyclic hypergraph")
+	}
+}
+
+func TestTheorem2BothDirectionsOnSmallHypergraphs(t *testing.T) {
+	// Theorem 2 end-to-end: for every hypergraph in a small catalogue,
+	// acyclic ⇒ every pairwise consistent collection we can generate is
+	// globally consistent; cyclic ⇒ CyclicCounterexample produces a
+	// pairwise consistent, globally inconsistent collection.
+	rng := rand.New(rand.NewSource(61))
+	catalogue := []*hypergraph.Hypergraph{
+		hypergraph.Path(3),
+		hypergraph.Path(4),
+		hypergraph.Star(3),
+		hypergraph.Triangle(),
+		hypergraph.Cycle(4),
+		hypergraph.AllButOne(4),
+		hypergraph.Must([]string{"A", "B", "C"}, []string{"B", "C", "D"}, []string{"C", "D", "E"}),
+	}
+	for _, h := range catalogue {
+		if h.IsAcyclic() {
+			for trial := 0; trial < 5; trial++ {
+				g := randomGlobalBag(t, rng, h, 5, 4)
+				c := mustMarginalCollection(t, h, g)
+				dec, err := c.GloballyConsistent(GlobalOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !dec.Consistent {
+					t.Fatalf("%v: acyclic local-to-global failed", h)
+				}
+			}
+			continue
+		}
+		c, err := CyclicCounterexample(h)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		pw, err := c.PairwiseConsistent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pw || dec.Consistent {
+			t.Fatalf("%v: counterexample wrong: pairwise=%v global=%v", h, pw, dec.Consistent)
+		}
+	}
+}
+
+func TestLiftedCollectionSizeBound(t *testing.T) {
+	// Lemma 4's size analysis: each lifted bag's multiset cardinality is
+	// bounded by some source bag's cardinality, so the lifted collection is
+	// at most |sequence| times the source size. Checked on the full
+	// counterexample pipeline over an embedded cycle.
+	h := hypergraph.Must(
+		[]string{"A", "B"}, []string{"B", "C"}, []string{"C", "D"}, []string{"D", "A"},
+		[]string{"A", "E"}, []string{"B"},
+	)
+	core, err := h.NonChordalCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := TseitinCollection(core.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxSrc int64
+	for i := 0; i < d0.Len(); i++ {
+		u, err := d0.Bag(i).UnarySize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u > maxSrc {
+			maxSrc = u
+		}
+	}
+	d1, err := LiftCollection(h, core.Sequence, d0, "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d1.Len(); i++ {
+		u, err := d1.Bag(i).UnarySize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u > maxSrc {
+			t.Errorf("lifted bag %d has cardinality %d > source max %d", i, u, maxSrc)
+		}
+	}
+}
+
+func TestLiftCollectionMultiStepSequence(t *testing.T) {
+	// A sequence mixing vertex and edge deletions, lifted in one call.
+	h := hypergraph.Must([]string{"A", "B", "C"}, []string{"B", "C"}, []string{"C", "D"})
+	seq := []hypergraph.Deletion{
+		{Kind: hypergraph.VertexDeletion, Vertex: "A"},
+		// After deleting A, edge 0 becomes {B,C} = edge 1: covered.
+		{Kind: hypergraph.CoveredEdgeDeletion, EdgeIndex: 0, CoverIndex: 1},
+		{Kind: hypergraph.VertexDeletion, Vertex: "D"},
+	}
+	snaps, err := h.ApplySequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := snaps[len(snaps)-1]
+
+	// Build a consistent collection over h0 ({B,C} and {C}).
+	var bags []*bag.Bag
+	for i := 0; i < h0.NumEdges(); i++ {
+		s, err := bag.NewSchema(h0.Edge(i)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := bag.New(s)
+		vals := make([]string, s.Len())
+		for j := range vals {
+			vals[j] = "v"
+		}
+		if err := b.Add(vals, 3); err != nil {
+			t.Fatal(err)
+		}
+		bags = append(bags, b)
+	}
+	d0, err := NewCollection(h0, bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := LiftCollection(h, seq, d0, "u0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Len() != h.NumEdges() {
+		t.Fatalf("lifted %d bags for %d edges", d1.Len(), h.NumEdges())
+	}
+	k0, err := d0.KWiseConsistent(d0.Len(), GlobalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := d1.KWiseConsistent(d1.Len(), GlobalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 != k1 {
+		t.Fatalf("multi-step lift changed global consistency: %v -> %v", k0, k1)
+	}
+}

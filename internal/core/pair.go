@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/ilp"
+	"bagconsistency/internal/lp"
+	"bagconsistency/internal/maxflow"
+)
+
+// PairConsistent reports whether two bags are consistent, using the
+// polynomial test of Lemma 2: R(X) and S(Y) are consistent iff
+// R[X∩Y] = S[X∩Y] under bag (marginal) semantics.
+func PairConsistent(r, s *bag.Bag) (bool, error) {
+	z := r.Schema().Intersect(s.Schema())
+	rz, err := r.Marginal(z)
+	if err != nil {
+		return false, err
+	}
+	sz, err := s.Marginal(z)
+	if err != nil {
+		return false, err
+	}
+	return rz.Equal(sz), nil
+}
+
+// pairNetwork is the network N(R,S) of Section 3: a source with an arc of
+// capacity R(r) to each support tuple of R, an arc of capacity S(s) from
+// each support tuple of S to the sink, and an effectively infinite "middle"
+// arc t[X] -> t[Y] for every t in the join of the supports.
+type pairNetwork struct {
+	nw *maxflow.Network
+	// middle[i] is the edge id of the middle arc for join tuple joined[i].
+	middle []int
+	joined []bag.Tuple
+	// want is the saturation target: total multiplicity of R (= of S when
+	// consistent).
+	wantR int64
+	wantS int64
+}
+
+// buildPairNetwork constructs N(R,S).
+func buildPairNetwork(r, s *bag.Bag) (*pairNetwork, error) {
+	j, err := bag.JoinSupports(r, s)
+	if err != nil {
+		return nil, err
+	}
+	rTuples := r.Tuples()
+	sTuples := s.Tuples()
+	n := 2 + len(rTuples) + len(sTuples)
+	source := 0
+	sink := n - 1
+	nw, err := maxflow.NewNetwork(n, source, sink)
+	if err != nil {
+		return nil, err
+	}
+	rIndex := make(map[string]int, len(rTuples))
+	for i, t := range rTuples {
+		rIndex[t.Key()] = 1 + i
+		if _, err := nw.AddEdge(source, 1+i, r.CountTuple(t)); err != nil {
+			return nil, err
+		}
+	}
+	sIndex := make(map[string]int, len(sTuples))
+	for i, t := range sTuples {
+		sIndex[t.Key()] = 1 + len(rTuples) + i
+		if _, err := nw.AddEdge(1+len(rTuples)+i, sink, s.CountTuple(t)); err != nil {
+			return nil, err
+		}
+	}
+	wantR, err := r.UnarySize()
+	if err != nil {
+		return nil, err
+	}
+	wantS, err := s.UnarySize()
+	if err != nil {
+		return nil, err
+	}
+	inf := wantR + 1 // larger than any feasible middle flow
+	pn := &pairNetwork{nw: nw, wantR: wantR, wantS: wantS}
+	for _, t := range j.Tuples() {
+		tx, err := t.Project(r.Schema())
+		if err != nil {
+			return nil, err
+		}
+		ty, err := t.Project(s.Schema())
+		if err != nil {
+			return nil, err
+		}
+		id, err := nw.AddEdge(rIndex[tx.Key()], sIndex[ty.Key()], inf)
+		if err != nil {
+			return nil, err
+		}
+		pn.middle = append(pn.middle, id)
+		pn.joined = append(pn.joined, t)
+	}
+	return pn, nil
+}
+
+// saturated runs max flow and reports whether the flow saturates all source
+// and sink arcs.
+func (pn *pairNetwork) saturated() bool {
+	if pn.wantR != pn.wantS {
+		return false
+	}
+	return pn.nw.MaxFlow() == pn.wantR
+}
+
+// witness reads the bag T(XY) off the middle-arc flows after a saturated
+// max-flow computation: T(t) = f(t[X], t[Y]) (proof of Lemma 2).
+func (pn *pairNetwork) witness(union *bag.Schema) (*bag.Bag, error) {
+	w := bag.New(union)
+	for i, id := range pn.middle {
+		if f := pn.nw.Flow(id); f > 0 {
+			if err := w.AddTuple(pn.joined[i], f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w, nil
+}
+
+// PairWitness determines whether two bags are consistent and, if so,
+// constructs a bag T with T[X] = R and T[Y] = S using the integral max-flow
+// construction of Lemma 2 / Corollary 1. It returns (nil, false, nil) when
+// the bags are inconsistent.
+func PairWitness(r, s *bag.Bag) (*bag.Bag, bool, error) {
+	ok, err := PairConsistent(r, s)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	pn, err := buildPairNetwork(r, s)
+	if err != nil {
+		return nil, false, err
+	}
+	if !pn.saturated() {
+		// Cannot happen when marginals agree (Lemma 2), so treat as an
+		// internal invariant violation rather than "inconsistent".
+		return nil, false, fmt.Errorf("core: marginals agree but network is unsaturated")
+	}
+	w, err := pn.witness(r.Schema().Union(s.Schema()))
+	if err != nil {
+		return nil, false, err
+	}
+	return w, true, nil
+}
+
+// MinimalPairWitness constructs a witness of the consistency of two bags
+// whose support cannot be shrunk: no other witness has a strictly smaller
+// support set (Section 5.3). By Theorem 5 its support size is at most
+// ‖R‖supp + ‖S‖supp. The construction is the paper's self-reducibility
+// loop: probe each middle edge, deleting it permanently whenever a
+// saturated flow still exists without it.
+func MinimalPairWitness(r, s *bag.Bag) (*bag.Bag, bool, error) {
+	ok, err := PairConsistent(r, s)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	pn, err := buildPairNetwork(r, s)
+	if err != nil {
+		return nil, false, err
+	}
+	if !pn.saturated() {
+		return nil, false, fmt.Errorf("core: marginals agree but network is unsaturated")
+	}
+	for _, id := range pn.middle {
+		cap := pn.nw.Capacity(id)
+		if err := pn.nw.SetCapacity(id, 0); err != nil {
+			return nil, false, err
+		}
+		if !pn.saturated() {
+			// The edge is used by every saturated flow; restore it.
+			if err := pn.nw.SetCapacity(id, cap); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	if !pn.saturated() {
+		return nil, false, fmt.Errorf("core: minimal witness loop lost saturation")
+	}
+	w, err := pn.witness(r.Schema().Union(s.Schema()))
+	if err != nil {
+		return nil, false, err
+	}
+	return w, true, nil
+}
+
+// The remaining Pair* functions implement the other characterizations of
+// Lemma 2; they exist so tests and the experiments harness can check the
+// equivalences on real instances rather than trusting one code path.
+
+// PairConsistentViaFlow decides consistency by testing whether N(R,S)
+// admits a saturated flow (statement 5 of Lemma 2).
+func PairConsistentViaFlow(r, s *bag.Bag) (bool, error) {
+	pn, err := buildPairNetwork(r, s)
+	if err != nil {
+		return false, err
+	}
+	return pn.saturated(), nil
+}
+
+// PairConsistentViaLP decides consistency by rational feasibility of the
+// linear program P(R,S) (statement 3 of Lemma 2).
+func PairConsistentViaLP(r, s *bag.Bag) (bool, error) {
+	p, _, err := buildPairProgram(r, s)
+	if err != nil {
+		return false, err
+	}
+	if len(p.Cols) == 0 {
+		return emptyProgramConsistent(p), nil
+	}
+	res, err := lp.SolveSparse(p.M, p.Cols, p.B, nil)
+	if err != nil {
+		return false, err
+	}
+	return res.Feasible, nil
+}
+
+// PairConsistentViaILP decides consistency by integer feasibility of
+// P(R,S) (statement 4 of Lemma 2).
+func PairConsistentViaILP(r, s *bag.Bag, opts ilp.Options) (bool, error) {
+	p, _, err := buildPairProgram(r, s)
+	if err != nil {
+		return false, err
+	}
+	if len(p.Cols) == 0 {
+		return emptyProgramConsistent(p), nil
+	}
+	sol, err := ilp.Solve(p, opts)
+	if err != nil {
+		return false, err
+	}
+	return sol.Feasible, nil
+}
+
+// emptyProgramConsistent handles the degenerate case of a program with no
+// variables: it is feasible iff every right-hand side is zero (i.e. both
+// bags are empty).
+func emptyProgramConsistent(p *ilp.Problem) bool {
+	for _, v := range p.B {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// buildPairProgram builds P(R,S) of Equation (3): one variable per tuple of
+// R'⋈S', one equality per support tuple of R and of S.
+func buildPairProgram(r, s *bag.Bag) (*ilp.Problem, []bag.Tuple, error) {
+	c, err := NewCollection2(r, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.BuildProgram()
+}
+
+// CountPairWitnesses counts the bags T witnessing the consistency of R and
+// S by enumerating the integer points of P(R,S). Used by the Section 3
+// example experiment (exactly 2^{n-1} witnesses for the R_{n-1}/S_{n-1}
+// family).
+func CountPairWitnesses(r, s *bag.Bag, opts ilp.Options) (int64, error) {
+	p, _, err := buildPairProgram(r, s)
+	if err != nil {
+		return 0, err
+	}
+	if len(p.Cols) == 0 {
+		if emptyProgramConsistent(p) {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return ilp.Count(p, opts)
+}
+
+// EnumeratePairWitnesses calls fn with every witness of the consistency of
+// R and S, in a deterministic order.
+func EnumeratePairWitnesses(r, s *bag.Bag, opts ilp.Options, fn func(*bag.Bag) error) error {
+	p, tuples, err := buildPairProgram(r, s)
+	if err != nil {
+		return err
+	}
+	union := r.Schema().Union(s.Schema())
+	if len(p.Cols) == 0 {
+		if emptyProgramConsistent(p) {
+			return fn(bag.New(union))
+		}
+		return nil
+	}
+	return ilp.Enumerate(p, opts, func(x []int64) error {
+		w := bag.New(union)
+		for j, v := range x {
+			if v > 0 {
+				if err := w.AddTuple(tuples[j], v); err != nil {
+					return err
+				}
+			}
+		}
+		return fn(w)
+	})
+}

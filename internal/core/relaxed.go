@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/lp"
+)
+
+// The relaxed consistency notion of Atserias–Kolaitis, "Consistency,
+// Acyclicity, and Positive Semirings" [AK20], which the paper's related
+// work and concluding remarks contrast with the strict notion studied
+// here. For the bag semiring, a collection is relaxed-consistent when a
+// rational-valued non-negative "distribution" T exists whose marginals are
+// PROPORTIONAL to each Ri — equivalently, when the normalized bags are
+// consistent as probability distributions (Vorob'ev's setting). Strict
+// consistency implies relaxed consistency; the converse fails (scale one
+// bag), which is precisely the gap the paper closes for bags.
+
+// RelaxedPairConsistent reports whether two non-empty bags have
+// proportional shared marginals: ‖S‖u·R[Z](t) = ‖R‖u·S[Z](t) for all t.
+// Two empty bags are relaxed-consistent; an empty and a non-empty bag are
+// not.
+func RelaxedPairConsistent(r, s *bag.Bag) (bool, error) {
+	ru, err := r.UnarySize()
+	if err != nil {
+		return false, err
+	}
+	su, err := s.UnarySize()
+	if err != nil {
+		return false, err
+	}
+	if ru == 0 || su == 0 {
+		return ru == su, nil
+	}
+	z := r.Schema().Intersect(s.Schema())
+	rz, err := r.Marginal(z)
+	if err != nil {
+		return false, err
+	}
+	sz, err := s.Marginal(z)
+	if err != nil {
+		return false, err
+	}
+	if rz.Len() != sz.Len() {
+		return false, nil
+	}
+	ok := true
+	err = rz.Each(func(t bag.Tuple, rv int64) error {
+		lhs := new(big.Int).Mul(big.NewInt(su), big.NewInt(rv))
+		rhs := new(big.Int).Mul(big.NewInt(ru), big.NewInt(sz.CountTuple(t)))
+		if lhs.Cmp(rhs) != 0 {
+			ok = false
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// RelaxedPairwiseConsistent checks RelaxedPairConsistent for every pair.
+func (c *Collection) RelaxedPairwiseConsistent() (bool, error) {
+	for i := 0; i < len(c.bags); i++ {
+		for j := i + 1; j < len(c.bags); j++ {
+			ok, err := RelaxedPairConsistent(c.bags[i], c.bags[j])
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// RelaxedGloballyConsistent decides relaxed global consistency over the
+// rationals: does a non-negative rational vector (x_t : t ∈ J) with total
+// mass 1 exist whose marginal on each Xi is Ri normalized? The constraints
+// are linear, so exact LP feasibility decides the problem in all cases —
+// unlike strict consistency, the relaxed notion is polynomial-time
+// checkable for every fixed schema (it is the probability-distribution
+// setting of Vorob'ev and [AK20]).
+func (c *Collection) RelaxedGloballyConsistent() (bool, error) {
+	if len(c.bags) == 0 {
+		return false, fmt.Errorf("core: empty collection")
+	}
+	totals := make([]int64, len(c.bags))
+	allEmpty := true
+	for i, b := range c.bags {
+		u, err := b.UnarySize()
+		if err != nil {
+			return false, err
+		}
+		totals[i] = u
+		if u != 0 {
+			allEmpty = false
+		}
+	}
+	if allEmpty {
+		return true, nil
+	}
+	for _, u := range totals {
+		if u == 0 {
+			// Mixing empty and non-empty bags: no distribution can have a
+			// zero marginal mass on one schema and mass 1 on another.
+			return false, nil
+		}
+	}
+	j, err := c.JoinAllSupports()
+	if err != nil {
+		return false, err
+	}
+	tuples := j.Tuples()
+	if len(tuples) == 0 {
+		return false, nil
+	}
+
+	// Rows: for each bag i and support tuple r of Ri, the constraint
+	// totals[i] · Σ_{t[Xi]=r} x_t = Ri(r) · (Σ_t x_t scaled to 1), i.e.
+	// with the normalization row Σ_t x_t = 1:
+	//   totals[i] · Σ_{t[Xi]=r} x_t - Ri(r) · 1 = 0.
+	// We encode Ax = b over the rationals directly.
+	rowIndex := make([]map[string]int, len(c.bags))
+	nrows := 1 // normalization row first
+	for i, rb := range c.bags {
+		rowIndex[i] = make(map[string]int, rb.Len())
+		for _, t := range rb.Tuples() {
+			rowIndex[i][t.Key()] = nrows
+			nrows++
+		}
+	}
+	a := make([][]*big.Rat, nrows)
+	b := make([]*big.Rat, nrows)
+	for i := range a {
+		a[i] = make([]*big.Rat, len(tuples))
+		for k := range a[i] {
+			a[i][k] = new(big.Rat)
+		}
+		b[i] = new(big.Rat)
+	}
+	b[0].SetInt64(1)
+	for k, t := range tuples {
+		a[0][k].SetInt64(1)
+		for i, rb := range c.bags {
+			proj, err := t.Project(rb.Schema())
+			if err != nil {
+				return false, err
+			}
+			ri, ok := rowIndex[i][proj.Key()]
+			if !ok {
+				return false, fmt.Errorf("core: join tuple escapes bag %d support", i)
+			}
+			a[ri][k].SetInt64(totals[i])
+		}
+	}
+	for i, rb := range c.bags {
+		for _, t := range rb.Tuples() {
+			ri := rowIndex[i][t.Key()]
+			b[ri].SetInt64(rb.CountTuple(t))
+		}
+	}
+	res, err := lp.SolveRat(a, b, nil)
+	if err != nil {
+		return false, err
+	}
+	return res.Feasible, nil
+}

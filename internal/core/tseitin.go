@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/hypergraph"
+)
+
+// TseitinCollection builds the collection C(H*) from Step 2 of the proof of
+// Theorem 2: for a k-uniform d-regular hypergraph H* with d ≥ 2 and edges
+// X1,...,Xm, bag Ri has support all tuples t : Xi → {0,...,d-1} whose value
+// sum is ≡ 0 (mod d) — except the last bag, which uses ≡ 1 (mod d) — and
+// every multiplicity 1.
+//
+// The construction is pairwise consistent (all shared marginals are the
+// uniform bag with multiplicity d^{k-|Z|-1}) but not globally consistent
+// (summing the congruences over a d-regular hypergraph yields 0 ≡ 1 mod d).
+// It is the paper's Tseitin-style counterexample showing cyclic schemas
+// lack the local-to-global property for bags.
+func TseitinCollection(h *hypergraph.Hypergraph) (*Collection, error) {
+	k, ok := h.Uniformity()
+	if !ok {
+		return nil, fmt.Errorf("core: Tseitin construction needs a uniform hypergraph, got %v", h)
+	}
+	d, ok := h.Regularity()
+	if !ok {
+		return nil, fmt.Errorf("core: Tseitin construction needs a regular hypergraph, got %v", h)
+	}
+	if d < 2 {
+		return nil, fmt.Errorf("core: Tseitin construction needs regularity d ≥ 2, got %d", d)
+	}
+	m := h.NumEdges()
+	bags := make([]*bag.Bag, m)
+	for i := 0; i < m; i++ {
+		s, err := bag.NewSchema(h.Edge(i)...)
+		if err != nil {
+			return nil, err
+		}
+		target := 0
+		if i == m-1 {
+			target = 1
+		}
+		b := bag.New(s)
+		vals := make([]string, k)
+		digits := make([]int, k)
+		for {
+			sum := 0
+			for _, v := range digits {
+				sum += v
+			}
+			if sum%d == target {
+				for j, v := range digits {
+					vals[j] = strconv.Itoa(v)
+				}
+				if err := b.Add(vals, 1); err != nil {
+					return nil, err
+				}
+			}
+			// Increment the mixed-radix counter.
+			p := 0
+			for p < k {
+				digits[p]++
+				if digits[p] < d {
+					break
+				}
+				digits[p] = 0
+				p++
+			}
+			if p == k {
+				break
+			}
+		}
+		bags[i] = b
+	}
+	return NewCollection(h, bags)
+}

@@ -1,0 +1,373 @@
+// Package gen generates the workloads used by the experiments and
+// benchmarks: the paper's named instance families (the Section 3
+// R_{n-1}/S_{n-1} pair with exponentially many witnesses, the Example 1
+// chain whose join-style witness is exponentially larger than its input)
+// and parameterized random instances (consistent-by-construction
+// collections, perturbations, contingency tables, graphs). All generators
+// are deterministic given their *rand.Rand.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/core"
+	"bagconsistency/internal/hypergraph"
+	"bagconsistency/internal/ilp"
+	"bagconsistency/internal/reductions"
+)
+
+// Section3Family returns the bags R_{n-1}(A,B) and S_{n-1}(B,C) of
+// Section 3 for n ≥ 2:
+//
+//	R = {(1,2):1, (2,2):1, (1,3):1, (3,3):1, ..., (1,n):1, (n,n):1}
+//	S = {(2,1):1, (2,2):1, (3,1):1, (3,3):1, ..., (n,1):1, (n,n):1}
+//
+// The pair is consistent with exactly 2^{n-1} witnessing bags, pairwise
+// incomparable under bag containment, each with support strictly inside
+// the join of the supports.
+func Section3Family(n int) (*bag.Bag, *bag.Bag, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("gen: Section3Family needs n ≥ 2, got %d", n)
+	}
+	ab := bag.MustSchema("A", "B")
+	bc := bag.MustSchema("B", "C")
+	r := bag.New(ab)
+	s := bag.New(bc)
+	for v := 2; v <= n; v++ {
+		vs := strconv.Itoa(v)
+		if err := r.Add([]string{"1", vs}, 1); err != nil {
+			return nil, nil, err
+		}
+		if err := r.Add([]string{vs, vs}, 1); err != nil {
+			return nil, nil, err
+		}
+		if err := s.Add([]string{vs, "1"}, 1); err != nil {
+			return nil, nil, err
+		}
+		if err := s.Add([]string{vs, vs}, 1); err != nil {
+			return nil, nil, err
+		}
+	}
+	return r, s, nil
+}
+
+// Example1Chain returns the collection of Example 1: bags R_1(A1A2), ...,
+// R_{n-1}(A_{n-1}A_n) over the path P_n, each with support {0,1}² and
+// every multiplicity 2^n. The inputs have binary size Θ(n²) while the
+// uniform witness of Example1UniformWitness has support 2^n.
+func Example1Chain(n int) (*core.Collection, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: Example1Chain needs n ≥ 2, got %d", n)
+	}
+	if n > 62 {
+		return nil, fmt.Errorf("gen: Example1Chain multiplicity 2^%d overflows int64", n)
+	}
+	h := hypergraph.Path(n)
+	mult := int64(1) << uint(n)
+	bags := make([]*bag.Bag, h.NumEdges())
+	for i := 0; i < h.NumEdges(); i++ {
+		s, err := bag.NewSchema(h.Edge(i)...)
+		if err != nil {
+			return nil, err
+		}
+		b := bag.New(s)
+		for _, x := range []string{"0", "1"} {
+			for _, y := range []string{"0", "1"} {
+				if err := b.Add([]string{x, y}, mult); err != nil {
+					return nil, err
+				}
+			}
+		}
+		bags[i] = b
+	}
+	return core.NewCollection(h, bags)
+}
+
+// Example1UniformWitness returns the bag J of Example 1: schema A1...An,
+// support {0,1}^n, multiplicity 4 everywhere. It witnesses the global
+// consistency of Example1Chain(n) with support size 2^n — exponentially
+// larger than the binary size of the inputs.
+func Example1UniformWitness(n int) (*bag.Bag, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: Example1UniformWitness needs n ≥ 2, got %d", n)
+	}
+	if n > 24 {
+		return nil, fmt.Errorf("gen: refusing to materialize 2^%d tuples", n)
+	}
+	h := hypergraph.Path(n)
+	s, err := bag.NewSchema(h.Vertices()...)
+	if err != nil {
+		return nil, err
+	}
+	j := bag.New(s)
+	vals := make([]string, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for i := 0; i < n; i++ {
+			vals[i] = strconv.Itoa((mask >> uint(i)) & 1)
+		}
+		if err := j.Add(vals, 4); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// RandomGlobalBag samples a bag over the full vertex set of h with
+// supportSize distinct-ish tuples (collisions merge), values drawn from a
+// domain of domainSize symbols and multiplicities in [1, maxMult].
+func RandomGlobalBag(rng *rand.Rand, h *hypergraph.Hypergraph, supportSize int, maxMult int64, domainSize int) (*bag.Bag, error) {
+	if domainSize < 1 || maxMult < 1 || supportSize < 0 {
+		return nil, fmt.Errorf("gen: bad parameters")
+	}
+	s, err := bag.NewSchema(h.Vertices()...)
+	if err != nil {
+		return nil, err
+	}
+	g := bag.New(s)
+	for i := 0; i < supportSize; i++ {
+		vals := make([]string, s.Len())
+		for j := range vals {
+			vals[j] = strconv.Itoa(rng.Intn(domainSize))
+		}
+		if err := g.Add(vals, 1+rng.Int63n(maxMult)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// RandomConsistent builds a globally consistent collection over h by
+// marginalizing a random global bag, returning both.
+func RandomConsistent(rng *rand.Rand, h *hypergraph.Hypergraph, supportSize int, maxMult int64, domainSize int) (*core.Collection, *bag.Bag, error) {
+	g, err := RandomGlobalBag(rng, h, supportSize, maxMult, domainSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := core.CollectionFromMarginals(h, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, g, nil
+}
+
+// RandomConsistentPair returns two consistent bags over schemas AB and BC
+// sized for the two-bag benchmarks, obtained as marginals of a random bag
+// over ABC.
+func RandomConsistentPair(rng *rand.Rand, supportSize int, maxMult int64, domainSize int) (*bag.Bag, *bag.Bag, error) {
+	h := hypergraph.Must([]string{"A", "B"}, []string{"B", "C"})
+	g, err := RandomGlobalBag(rng, h, supportSize, maxMult, domainSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := g.Marginal(bag.MustSchema("A", "B"))
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := g.Marginal(bag.MustSchema("B", "C"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, s, nil
+}
+
+// Perturb returns a copy of the collection with one random tuple's
+// multiplicity bumped by one — which usually (though not always) destroys
+// consistency. The original is untouched.
+func Perturb(rng *rand.Rand, c *core.Collection) (*core.Collection, error) {
+	bags := make([]*bag.Bag, c.Len())
+	for i := range bags {
+		bags[i] = c.Bag(i).Clone()
+	}
+	// Pick a non-empty bag uniformly among non-empty ones.
+	var candidates []int
+	for i, b := range bags {
+		if b.Len() > 0 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("gen: cannot perturb an all-empty collection")
+	}
+	i := candidates[rng.Intn(len(candidates))]
+	tuples := bags[i].Tuples()
+	tup := tuples[rng.Intn(len(tuples))]
+	if err := bags[i].AddTuple(tup, 1); err != nil {
+		return nil, err
+	}
+	return core.NewCollection(c.Hypergraph(), bags)
+}
+
+// RandomThreeDCT returns the margins of a uniformly random n×n×n table
+// with entries in [0, maxV]; the instance is consistent by construction
+// and its difficulty for branch-and-bound grows with n and maxV.
+func RandomThreeDCT(rng *rand.Rand, n int, maxV int64) (*reductions.ThreeDCT, error) {
+	if n < 1 || maxV < 0 {
+		return nil, fmt.Errorf("gen: bad parameters")
+	}
+	x := make([][][]int64, n)
+	for i := range x {
+		x[i] = make([][]int64, n)
+		for j := range x[i] {
+			x[i][j] = make([]int64, n)
+			for k := range x[i][j] {
+				x[i][j][k] = rng.Int63n(maxV + 1)
+			}
+		}
+	}
+	return reductions.FromTable(x)
+}
+
+// RandomGraph returns a G(n, p) undirected graph as an edge list.
+func RandomGraph(rng *rand.Rand, n int, p float64) [][2]int {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// ScaleCollection multiplies every multiplicity in the collection by f ≥ 1,
+// preserving pairwise consistency and (in)consistency of the support-level
+// obstructions; used to grow instance bit-size without changing structure.
+func ScaleCollection(c *core.Collection, f int64) (*core.Collection, error) {
+	if f < 1 {
+		return nil, fmt.Errorf("gen: scale factor must be ≥ 1")
+	}
+	bags := make([]*bag.Bag, c.Len())
+	for i := range bags {
+		nb := bag.New(c.Bag(i).Schema())
+		err := c.Bag(i).Each(func(t bag.Tuple, count int64) error {
+			return nb.AddTuple(t, count*f)
+		})
+		if err != nil {
+			return nil, err
+		}
+		bags[i] = nb
+	}
+	return core.NewCollection(c.Hypergraph(), bags)
+}
+
+// PerturbTriangleMargins applies `swaps` random "rectangle swaps" to the
+// Flat margin of a 3DCT instance: F[i1][j1]++, F[i1][j2]--, F[i2][j1]--,
+// F[i2][j2]++. A rectangle swap preserves both line-sum marginals of the
+// table, hence pairwise consistency of the induced triangle collection,
+// while usually destroying the existence of a witnessing table. Swaps that
+// would drive an entry negative are skipped.
+func PerturbTriangleMargins(rng *rand.Rand, inst *reductions.ThreeDCT, swaps int) (*reductions.ThreeDCT, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.N
+	if n < 2 {
+		return nil, fmt.Errorf("gen: rectangle swaps need n ≥ 2")
+	}
+	out := &reductions.ThreeDCT{N: n, Row: copyMatrix(inst.Row), Col: copyMatrix(inst.Col), Flat: copyMatrix(inst.Flat)}
+	for done := 0; done < swaps; {
+		i1, i2 := rng.Intn(n), rng.Intn(n)
+		j1, j2 := rng.Intn(n), rng.Intn(n)
+		if i1 == i2 || j1 == j2 {
+			continue
+		}
+		if out.Flat[i1][j2] < 1 || out.Flat[i2][j1] < 1 {
+			done++ // avoid spinning on all-zero margins
+			continue
+		}
+		out.Flat[i1][j1]++
+		out.Flat[i1][j2]--
+		out.Flat[i2][j1]--
+		out.Flat[i2][j2]++
+		done++
+	}
+	return out, nil
+}
+
+func copyMatrix(m [][]int64) [][]int64 {
+	out := make([][]int64, len(m))
+	for i, row := range m {
+		out[i] = append([]int64(nil), row...)
+	}
+	return out
+}
+
+// InfeasibleThreeDCT searches for a pairwise-consistent but globally
+// inconsistent 3DCT instance with non-empty supports: random feasible
+// margins perturbed by rectangle swaps until the exact search refutes
+// them. Such instances are the hard side of the Theorem 4 dichotomy — the
+// solver must exhaust the search space to prove infeasibility. Returns an
+// error if maxTries perturbations all remain feasible.
+func InfeasibleThreeDCT(rng *rand.Rand, n int, maxV int64, maxTries int, budget int64) (*reductions.ThreeDCT, error) {
+	for try := 0; try < maxTries; try++ {
+		inst, err := RandomThreeDCT(rng, n, maxV)
+		if err != nil {
+			return nil, err
+		}
+		pert, err := PerturbTriangleMargins(rng, inst, 1+rng.Intn(3))
+		if err != nil {
+			return nil, err
+		}
+		c, err := pert.ToCollection()
+		if err != nil {
+			return nil, err
+		}
+		pw, err := c.PairwiseConsistent()
+		if err != nil {
+			return nil, err
+		}
+		if !pw {
+			return nil, fmt.Errorf("gen: rectangle swap broke pairwise consistency (internal error)")
+		}
+		dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: budget}})
+		if err != nil {
+			return nil, err
+		}
+		if !dec.Consistent {
+			return pert, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: no infeasible instance found in %d tries", maxTries)
+}
+
+// RandomAcyclicHypergraph grows a random acyclic hypergraph with m edges by
+// the running-intersection construction: each new edge shares a random
+// subset of a random existing edge and adds fresh vertices. The result
+// satisfies the running intersection property by construction, hence is
+// acyclic (Theorem 1). Edge sizes are between 1 and maxEdgeSize.
+func RandomAcyclicHypergraph(rng *rand.Rand, m, maxEdgeSize int) (*hypergraph.Hypergraph, error) {
+	if m < 1 || maxEdgeSize < 1 {
+		return nil, fmt.Errorf("gen: bad parameters")
+	}
+	next := 0
+	fresh := func() string {
+		next++
+		return hypergraph.AttrName(next)
+	}
+	var edges [][]string
+	first := []string{fresh()}
+	for len(first) < 1+rng.Intn(maxEdgeSize) {
+		first = append(first, fresh())
+	}
+	edges = append(edges, first)
+	for len(edges) < m {
+		base := edges[rng.Intn(len(edges))]
+		size := 1 + rng.Intn(maxEdgeSize)
+		var edge []string
+		// Random subset of the base edge.
+		for _, v := range base {
+			if len(edge) < size && rng.Intn(2) == 0 {
+				edge = append(edge, v)
+			}
+		}
+		for len(edge) < size {
+			edge = append(edge, fresh())
+		}
+		edges = append(edges, edge)
+	}
+	return hypergraph.New(edges)
+}

@@ -1,0 +1,162 @@
+package hypergraph
+
+import "sort"
+
+// IsChordal reports whether the primal graph of the hypergraph is chordal,
+// i.e. every cycle of length at least four has a chord. The test runs
+// maximum cardinality search (MCS) and verifies that the resulting order is
+// a perfect elimination ordering, the classical Tarjan–Yannakakis method.
+func (h *Hypergraph) IsChordal() bool {
+	adj := h.PrimalGraph()
+	return isChordalGraph(h.vertices, adj)
+}
+
+// isChordalGraph checks chordality of an undirected graph given as an
+// adjacency map over the listed vertices.
+func isChordalGraph(vertices []string, adj map[string]map[string]bool) bool {
+	order := maximumCardinalitySearch(vertices, adj)
+	return isPerfectEliminationOrder(order, adj)
+}
+
+// maximumCardinalitySearch returns an MCS visit order: repeatedly pick the
+// unvisited vertex with the most visited neighbours (ties broken by name for
+// determinism). For chordal graphs the reverse of this order is a perfect
+// elimination ordering.
+func maximumCardinalitySearch(vertices []string, adj map[string]map[string]bool) []string {
+	weight := make(map[string]int, len(vertices))
+	visited := make(map[string]bool, len(vertices))
+	order := make([]string, 0, len(vertices))
+	sorted := make([]string, len(vertices))
+	copy(sorted, vertices)
+	sort.Strings(sorted)
+
+	for len(order) < len(vertices) {
+		best := ""
+		bestW := -1
+		for _, v := range sorted {
+			if visited[v] {
+				continue
+			}
+			if weight[v] > bestW {
+				best, bestW = v, weight[v]
+			}
+		}
+		visited[best] = true
+		order = append(order, best)
+		for u := range adj[best] {
+			if !visited[u] {
+				weight[u]++
+			}
+		}
+	}
+	return order
+}
+
+// isPerfectEliminationOrder checks that the reverse of an MCS order is a
+// perfect elimination ordering: eliminating vertices in reverse MCS order,
+// the earlier-MCS neighbours of each vertex v must form a clique "through"
+// the latest of them. The standard linear-time certificate: for each v, let
+// P(v) be the visited neighbour of v that was visited last before v; then
+// all other previously visited neighbours of v must be adjacent to P(v).
+func isPerfectEliminationOrder(order []string, adj map[string]map[string]bool) bool {
+	pos := make(map[string]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	for i, v := range order {
+		// Neighbours of v visited before v.
+		var prev []string
+		for u := range adj[v] {
+			if pos[u] < i {
+				prev = append(prev, u)
+			}
+		}
+		if len(prev) <= 1 {
+			continue
+		}
+		// The most recently visited earlier neighbour.
+		parent := prev[0]
+		for _, u := range prev[1:] {
+			if pos[u] > pos[parent] {
+				parent = u
+			}
+		}
+		for _, u := range prev {
+			if u != parent && !adj[parent][u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ChordlessCycle returns the vertices of an induced (chordless) cycle of
+// length at least four in the primal graph, in cycle order, or nil if the
+// primal graph is chordal. It is used to certify non-chordality in tests;
+// the Lemma 3 core extraction uses iterative vertex deletion instead.
+func (h *Hypergraph) ChordlessCycle() []string {
+	if h.IsChordal() {
+		return nil
+	}
+	// Shrink the vertex set while non-chordality persists; the remainder
+	// induces a chordless cycle.
+	w := h.Vertices()
+	for {
+		shrunk := false
+		for _, v := range w {
+			rest := remove(w, v)
+			if !h.Induced(rest).IsChordal() {
+				w = rest
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	// Order w along the cycle using primal adjacency of the induced graph.
+	sub := h.Induced(w)
+	adj := sub.PrimalGraph()
+	return orderCycle(w, adj)
+}
+
+// orderCycle orders the vertices of a graph that is a single cycle. Returns
+// nil if the graph is not 2-regular or not a single cycle.
+func orderCycle(w []string, adj map[string]map[string]bool) []string {
+	if len(w) < 3 {
+		return nil
+	}
+	for _, v := range w {
+		if len(adj[v]) != 2 {
+			return nil
+		}
+	}
+	start := w[0]
+	for _, v := range w {
+		if v < start {
+			start = v
+		}
+	}
+	order := []string{start}
+	prev := ""
+	cur := start
+	for len(order) <= len(w) {
+		next := ""
+		for u := range adj[cur] {
+			if u != prev {
+				next = u
+				break
+			}
+		}
+		if next == start {
+			break
+		}
+		order = append(order, next)
+		prev, cur = cur, next
+	}
+	if len(order) != len(w) {
+		return nil
+	}
+	return order
+}

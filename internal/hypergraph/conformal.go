@@ -1,0 +1,102 @@
+package hypergraph
+
+import "sort"
+
+// IsConformal reports whether every clique of the primal graph is contained
+// in some hyperedge, using Gilmore's characterization (Berge, Hypergraphs,
+// p. 31): a hypergraph is conformal iff for every three hyperedges e1, e2,
+// e3 there is a hyperedge containing (e1∩e2) ∪ (e2∩e3) ∪ (e3∩e1).
+//
+// The brute-force clique-based definition is implemented separately as
+// IsConformalBruteForce and the two are cross-checked by property tests.
+func (h *Hypergraph) IsConformal() bool {
+	edges := h.Reduce().edges
+	m := len(edges)
+	if m <= 2 {
+		return true
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			eij := intersect(edges[i], edges[j])
+			for k := j + 1; k < m; k++ {
+				need := union(eij, union(intersect(edges[j], edges[k]), intersect(edges[i], edges[k])))
+				found := false
+				for _, f := range edges {
+					if subset(need, f) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsConformalBruteForce checks conformality from the definition: every
+// maximal clique of the primal graph must be contained in a hyperedge.
+// Exponential in the worst case; intended for cross-checking on small
+// hypergraphs.
+func (h *Hypergraph) IsConformalBruteForce() bool {
+	cliques := MaximalCliques(h.vertices, h.PrimalGraph())
+	for _, c := range cliques {
+		found := false
+		for _, e := range h.edges {
+			if subset(c, e) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// MaximalCliques enumerates the maximal cliques of an undirected graph with
+// the Bron–Kerbosch algorithm (no pivoting; fine for the small graphs used
+// in verification). Each clique is returned sorted; the list is sorted for
+// determinism.
+func MaximalCliques(vertices []string, adj map[string]map[string]bool) [][]string {
+	var out [][]string
+	var bk func(r, p, x []string)
+	bk = func(r, p, x []string) {
+		if len(p) == 0 && len(x) == 0 {
+			clique := make([]string, len(r))
+			copy(clique, r)
+			sort.Strings(clique)
+			out = append(out, clique)
+			return
+		}
+		// Iterate over a copy of p since we mutate it.
+		cand := make([]string, len(p))
+		copy(cand, p)
+		for _, v := range cand {
+			var np, nx []string
+			for _, u := range p {
+				if adj[v][u] {
+					np = append(np, u)
+				}
+			}
+			for _, u := range x {
+				if adj[v][u] {
+					nx = append(nx, u)
+				}
+			}
+			bk(append(r, v), np, nx)
+			// Move v from p to x.
+			p = remove(p, v)
+			x = append(x, v)
+		}
+	}
+	vs := make([]string, len(vertices))
+	copy(vs, vertices)
+	sort.Strings(vs)
+	bk(nil, vs, nil)
+	sort.Slice(out, func(i, j int) bool { return edgeKey(out[i]) < edgeKey(out[j]) })
+	return out
+}

@@ -1,0 +1,149 @@
+package hypergraph
+
+import "fmt"
+
+// Core is the output of the Lemma 3 extraction: a vertex subset W, the
+// safe-deletion sequence transforming H into R(H[W]), the resulting reduced
+// hypergraph, and — when the core is a cycle — the cycle order of its
+// vertices.
+type Core struct {
+	// W is the surviving vertex set.
+	W []string
+	// Sequence transforms the original hypergraph into Result.
+	Sequence []Deletion
+	// Result is R(H[W]) reached by applying Sequence.
+	Result *Hypergraph
+	// CycleOrder enumerates W along the cycle for non-chordal cores
+	// (Result ≅ C_{|W|}); nil for non-conformal cores.
+	CycleOrder []string
+}
+
+// NonChordalCore implements part (1) of Lemma 3: if h is not chordal, it
+// finds W ⊆ V with |W| ≥ 4 such that R(H[W]) is isomorphic to the cycle
+// hypergraph C_{|W|}, together with a safe-deletion sequence from h to
+// R(H[W]). It returns an error if h is chordal.
+func (h *Hypergraph) NonChordalCore() (*Core, error) {
+	if h.IsChordal() {
+		return nil, fmt.Errorf("hypergraph: %v is chordal; no non-chordal core", h)
+	}
+	w := shrinkWhile(h, func(g *Hypergraph) bool { return !g.IsChordal() })
+	core, err := h.coreFromW(w)
+	if err != nil {
+		return nil, err
+	}
+	// Verify the shape: a cycle hypergraph on |W| ≥ 4 vertices.
+	cyc := orderCycle(core.Result.vertices, core.Result.PrimalGraph())
+	if len(w) < 4 || cyc == nil || !core.Result.isCycleShape() {
+		return nil, fmt.Errorf("hypergraph: extracted core %v is not a cycle C_%d", core.Result, len(w))
+	}
+	core.CycleOrder = cyc
+	return core, nil
+}
+
+// NonConformalCore implements part (2) of Lemma 3: if h is not conformal,
+// it finds W ⊆ V with |W| ≥ 3 such that R(H[W]) is isomorphic to the
+// hypergraph H_{|W|} = (W, {W \ {A} : A ∈ W}), with a safe-deletion
+// sequence from h to R(H[W]). It returns an error if h is conformal.
+func (h *Hypergraph) NonConformalCore() (*Core, error) {
+	if h.IsConformal() {
+		return nil, fmt.Errorf("hypergraph: %v is conformal; no non-conformal core", h)
+	}
+	w := shrinkWhile(h, func(g *Hypergraph) bool { return !g.IsConformal() })
+	core, err := h.coreFromW(w)
+	if err != nil {
+		return nil, err
+	}
+	if len(w) < 3 || !core.Result.isAllButOneShape() {
+		return nil, fmt.Errorf("hypergraph: extracted core %v is not H_%d", core.Result, len(w))
+	}
+	return core, nil
+}
+
+// shrinkWhile deletes vertices one at a time as long as the property holds
+// on the induced sub-hypergraph, returning the minimal vertex set on which
+// the property still holds.
+func shrinkWhile(h *Hypergraph, bad func(*Hypergraph) bool) []string {
+	w := h.Vertices()
+	for {
+		shrunk := false
+		for _, v := range w {
+			rest := remove(w, v)
+			if bad(h.Induced(rest)) {
+				w = rest
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return w
+		}
+	}
+}
+
+// coreFromW builds the safe-deletion sequence from h to R(H[W]): first the
+// vertex deletions for V \ W, then covered-edge deletions until reduced.
+func (h *Hypergraph) coreFromW(w []string) (*Core, error) {
+	inW := make(map[string]bool, len(w))
+	for _, v := range w {
+		inW[v] = true
+	}
+	var seq []Deletion
+	cur := h
+	for _, v := range h.vertices {
+		if !inW[v] {
+			next, err := cur.DeleteVertex(v)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, Deletion{Kind: VertexDeletion, Vertex: v})
+			cur = next
+		}
+	}
+	redSeq, reduced, err := cur.reductionSequence()
+	if err != nil {
+		return nil, err
+	}
+	seq = append(seq, redSeq...)
+	// Sanity: the reduced result must match R(H[W]) as an edge set.
+	if !reduced.Reduce().Equal(h.Induced(w).Reduce()) {
+		return nil, fmt.Errorf("hypergraph: deletion sequence result %v does not match R(H[W]) %v", reduced, h.Induced(w).Reduce())
+	}
+	return &Core{W: w, Sequence: seq, Result: reduced}, nil
+}
+
+// isCycleShape reports whether the hypergraph is exactly a cycle C_n for
+// n = |V| ≥ 3: n edges of size 2 forming a single cycle through all
+// vertices.
+func (h *Hypergraph) isCycleShape() bool {
+	n := len(h.vertices)
+	if n < 3 || len(h.edges) != n {
+		return false
+	}
+	if k, ok := h.Uniformity(); !ok || k != 2 {
+		return false
+	}
+	if d, ok := h.Regularity(); !ok || d != 2 {
+		return false
+	}
+	return orderCycle(h.vertices, h.PrimalGraph()) != nil
+}
+
+// isAllButOneShape reports whether the hypergraph is exactly H_n for
+// n = |V| ≥ 3: the n edges V \ {A} for each vertex A.
+func (h *Hypergraph) isAllButOneShape() bool {
+	n := len(h.vertices)
+	if n < 3 || len(h.edges) != n {
+		return false
+	}
+	want := make(map[string]bool, n)
+	for _, v := range h.vertices {
+		want[edgeKey(remove(h.vertices, v))] = true
+	}
+	for _, e := range h.edges {
+		if !want[edgeKey(e)] {
+			return false
+		}
+		delete(want, edgeKey(e))
+	}
+	return len(want) == 0
+}

@@ -1,0 +1,139 @@
+package hypergraph
+
+import "fmt"
+
+// DeletionKind distinguishes the two safe-deletion operations of the paper.
+type DeletionKind int
+
+const (
+	// VertexDeletion removes a vertex from the hypergraph and from every
+	// edge containing it (H \ u). Edges may become empty; the edge list and
+	// its indices are preserved so collections of bags stay aligned.
+	VertexDeletion DeletionKind = iota
+	// CoveredEdgeDeletion removes an edge that is contained in another edge
+	// (H \ e with e ⊆ f for some remaining f ≠ e).
+	CoveredEdgeDeletion
+)
+
+// Deletion is one safe-deletion operation. For VertexDeletion only Vertex
+// is meaningful; for CoveredEdgeDeletion, EdgeIndex is the index of the
+// deleted edge in the hypergraph the operation is applied to and CoverIndex
+// the index of a covering edge (both indices refer to the pre-deletion edge
+// list).
+type Deletion struct {
+	Kind       DeletionKind
+	Vertex     string
+	EdgeIndex  int
+	CoverIndex int
+}
+
+// String describes the deletion.
+func (d Deletion) String() string {
+	if d.Kind == VertexDeletion {
+		return fmt.Sprintf("delete vertex %s", d.Vertex)
+	}
+	return fmt.Sprintf("delete edge #%d (covered by #%d)", d.EdgeIndex, d.CoverIndex)
+}
+
+// DeleteVertex returns H \ u: u is removed from the vertex set and from
+// every edge. The edge list keeps its length and order; edges may become
+// empty. It returns an error if u is not a vertex of h.
+func (h *Hypergraph) DeleteVertex(u string) (*Hypergraph, error) {
+	if !h.HasVertex(u) {
+		return nil, fmt.Errorf("hypergraph: vertex %q not present", u)
+	}
+	vs := remove(h.vertices, u)
+	es := make([][]string, len(h.edges))
+	for i, e := range h.edges {
+		es[i] = remove(e, u)
+	}
+	return &Hypergraph{vertices: vs, edges: es}, nil
+}
+
+// DeleteCoveredEdge returns H \ e for the edge at index i, verifying that it
+// is covered by the edge at index cover (e ⊆ f, i ≠ cover). Remaining edges
+// keep their relative order; indices above i shift down by one.
+func (h *Hypergraph) DeleteCoveredEdge(i, cover int) (*Hypergraph, error) {
+	if i < 0 || i >= len(h.edges) || cover < 0 || cover >= len(h.edges) {
+		return nil, fmt.Errorf("hypergraph: edge index out of range")
+	}
+	if i == cover {
+		return nil, fmt.Errorf("hypergraph: an edge cannot cover itself")
+	}
+	if !subset(h.edges[i], h.edges[cover]) {
+		return nil, fmt.Errorf("hypergraph: edge %v not covered by %v", h.edges[i], h.edges[cover])
+	}
+	vs := make([]string, len(h.vertices))
+	copy(vs, h.vertices)
+	es := make([][]string, 0, len(h.edges)-1)
+	for j, e := range h.edges {
+		if j != i {
+			es = append(es, e)
+		}
+	}
+	return &Hypergraph{vertices: vs, edges: es}, nil
+}
+
+// Apply performs one safe-deletion operation.
+func (h *Hypergraph) Apply(d Deletion) (*Hypergraph, error) {
+	switch d.Kind {
+	case VertexDeletion:
+		return h.DeleteVertex(d.Vertex)
+	case CoveredEdgeDeletion:
+		return h.DeleteCoveredEdge(d.EdgeIndex, d.CoverIndex)
+	default:
+		return nil, fmt.Errorf("hypergraph: unknown deletion kind %d", d.Kind)
+	}
+}
+
+// ApplySequence performs the operations in order, returning every
+// intermediate hypergraph: snapshots[0] = h, snapshots[len(seq)] = result.
+// Core's Lemma 4 lifting walks these snapshots backwards.
+func (h *Hypergraph) ApplySequence(seq []Deletion) (snapshots []*Hypergraph, err error) {
+	snapshots = []*Hypergraph{h}
+	cur := h
+	for i, d := range seq {
+		cur, err = cur.Apply(d)
+		if err != nil {
+			return nil, fmt.Errorf("hypergraph: step %d (%v): %w", i, d, err)
+		}
+		snapshots = append(snapshots, cur)
+	}
+	return snapshots, nil
+}
+
+// reductionSequence returns covered-edge deletions that transform h into a
+// reduced hypergraph (no empty, duplicate, or covered edges), applied
+// greedily. Each Deletion's indices refer to the hypergraph state at the
+// time of its application.
+func (h *Hypergraph) reductionSequence() ([]Deletion, *Hypergraph, error) {
+	var seq []Deletion
+	cur := h
+	for {
+		found := false
+	scan:
+		for i := 0; i < len(cur.edges); i++ {
+			for j := 0; j < len(cur.edges); j++ {
+				if i == j {
+					continue
+				}
+				// Delete i if covered by j; for duplicate edges delete the
+				// higher index so exactly one copy survives.
+				if subset(cur.edges[i], cur.edges[j]) &&
+					(len(cur.edges[i]) < len(cur.edges[j]) || i > j) {
+					next, err := cur.DeleteCoveredEdge(i, j)
+					if err != nil {
+						return nil, nil, err
+					}
+					seq = append(seq, Deletion{Kind: CoveredEdgeDeletion, EdgeIndex: i, CoverIndex: j})
+					cur = next
+					found = true
+					break scan
+				}
+			}
+		}
+		if !found {
+			return seq, cur, nil
+		}
+	}
+}

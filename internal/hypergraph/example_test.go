@@ -1,0 +1,43 @@
+package hypergraph_test
+
+import (
+	"fmt"
+
+	"bagconsistency/internal/hypergraph"
+)
+
+func ExampleHypergraph_IsAcyclic() {
+	path := hypergraph.Must([]string{"A", "B"}, []string{"B", "C"})
+	triangle := hypergraph.Must([]string{"A", "B"}, []string{"B", "C"}, []string{"C", "A"})
+	fmt.Println(path.IsAcyclic(), triangle.IsAcyclic())
+	// Output:
+	// true false
+}
+
+func ExampleHypergraph_RunningIntersectionOrder() {
+	h := hypergraph.Must([]string{"B", "C"}, []string{"A", "B"}, []string{"C", "D"})
+	order, err := h.RunningIntersectionOrder()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(order)
+	// Output:
+	// [0 1 2]
+}
+
+func ExampleHypergraph_NonChordalCore() {
+	// A 4-cycle hiding inside a larger schema.
+	h := hypergraph.Must(
+		[]string{"A", "B"}, []string{"B", "C"}, []string{"C", "D"}, []string{"D", "A"},
+		[]string{"A", "E"},
+	)
+	core, err := h.NonChordalCore()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(core.W)
+	// Output:
+	// [A B C D]
+}

@@ -1,0 +1,77 @@
+package hypergraph
+
+import "fmt"
+
+// attr names the i-th attribute A1, A2, ... Zero padding keeps the sorted
+// vertex order equal to the numeric order for up to 999 vertices.
+func attr(i int) string { return fmt.Sprintf("A%03d", i) }
+
+// Path returns the path hypergraph P_n with vertices A1..An and edges
+// {A1,A2}, ..., {A_{n-1},A_n} (Equation 4 of the paper). n must be ≥ 2.
+// P_n is acyclic (conformal and chordal).
+func Path(n int) *Hypergraph {
+	if n < 2 {
+		panic("hypergraph: Path requires n ≥ 2")
+	}
+	edges := make([][]string, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, []string{attr(i), attr(i + 1)})
+	}
+	return Must(edges...)
+}
+
+// Cycle returns the cycle hypergraph C_n with vertices A1..An and edges
+// {A1,A2}, ..., {A_{n-1},A_n}, {A_n,A1} (Equation 5). n must be ≥ 3.
+// C_n is cyclic: C3 is chordal but not conformal; for n ≥ 4 it is conformal
+// but not chordal.
+func Cycle(n int) *Hypergraph {
+	if n < 3 {
+		panic("hypergraph: Cycle requires n ≥ 3")
+	}
+	edges := make([][]string, 0, n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, []string{attr(i), attr(i + 1)})
+	}
+	edges = append(edges, []string{attr(n), attr(1)})
+	return Must(edges...)
+}
+
+// Triangle returns C_3, the smallest cyclic hypergraph and the schema of
+// 3-dimensional contingency tables.
+func Triangle() *Hypergraph { return Cycle(3) }
+
+// AllButOne returns the hypergraph H_n with vertices A1..An and the n edges
+// V \ {A_i} (Equation 6). n must be ≥ 3. H_n is chordal but not conformal,
+// hence cyclic. H_3 = C_3.
+func AllButOne(n int) *Hypergraph {
+	if n < 3 {
+		panic("hypergraph: AllButOne requires n ≥ 3")
+	}
+	var all []string
+	for i := 1; i <= n; i++ {
+		all = append(all, attr(i))
+	}
+	edges := make([][]string, 0, n)
+	for i := 1; i <= n; i++ {
+		edges = append(edges, remove(all, attr(i)))
+	}
+	return Must(edges...)
+}
+
+// Star returns the acyclic "star" schema with a shared hub attribute H and
+// n satellite edges {H, A_i}. Used by the acyclic-side benchmarks. n must
+// be ≥ 1.
+func Star(n int) *Hypergraph {
+	if n < 1 {
+		panic("hypergraph: Star requires n ≥ 1")
+	}
+	edges := make([][]string, 0, n)
+	for i := 1; i <= n; i++ {
+		edges = append(edges, []string{"HUB", attr(i)})
+	}
+	return Must(edges...)
+}
+
+// AttrName exposes the canonical attribute naming used by the families, so
+// callers can construct bags over family schemas.
+func AttrName(i int) string { return attr(i) }

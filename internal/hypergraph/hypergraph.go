@@ -1,0 +1,379 @@
+// Package hypergraph implements the hypergraph theory underlying the
+// structural results of Atserias & Kolaitis, "Structure and Complexity of
+// Bag Consistency" (PODS 2021): acyclicity (GYO reduction), chordality
+// (maximum cardinality search), conformality (Gilmore's triple condition),
+// join trees, running-intersection orders, reductions, induced hypergraphs,
+// safe-deletion sequences, and the minimal non-chordal (Cn) and
+// non-conformal (Hn) cores of Lemma 3.
+//
+// A hypergraph is a set of vertices plus a list of hyperedges. Edges are
+// kept as a *list* (order and index stable) because collections of bags are
+// indexed by hyperedge position; intermediate hypergraphs produced by
+// safe-deletion sequences may contain duplicate or empty edges, which the
+// reduction operation removes.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hypergraph is a finite hypergraph with named vertices. The zero value is
+// not useful; construct with New or NewWithVertices.
+type Hypergraph struct {
+	vertices []string   // sorted, unique
+	edges    [][]string // each sorted, unique within the edge; may be empty or duplicated across the list
+}
+
+// New builds a hypergraph whose vertex set is the union of the given edges.
+func New(edges [][]string) (*Hypergraph, error) {
+	return NewWithVertices(nil, edges)
+}
+
+// NewWithVertices builds a hypergraph with an explicit vertex set (extended
+// by any vertices occurring in edges).
+func NewWithVertices(vertices []string, edges [][]string) (*Hypergraph, error) {
+	seen := make(map[string]bool)
+	var vs []string
+	add := func(v string) error {
+		if v == "" {
+			return fmt.Errorf("hypergraph: empty vertex name")
+		}
+		if !seen[v] {
+			seen[v] = true
+			vs = append(vs, v)
+		}
+		return nil
+	}
+	for _, v := range vertices {
+		if err := add(v); err != nil {
+			return nil, err
+		}
+	}
+	es := make([][]string, len(edges))
+	for i, e := range edges {
+		set := make(map[string]bool, len(e))
+		var cur []string
+		for _, v := range e {
+			if err := add(v); err != nil {
+				return nil, err
+			}
+			if !set[v] {
+				set[v] = true
+				cur = append(cur, v)
+			}
+		}
+		sort.Strings(cur)
+		es[i] = cur
+	}
+	sort.Strings(vs)
+	return &Hypergraph{vertices: vs, edges: es}, nil
+}
+
+// Must builds a hypergraph from edges, panicking on error; for tests and
+// literals.
+func Must(edges ...[]string) *Hypergraph {
+	h, err := New(edges)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Vertices returns the sorted vertex names (a copy).
+func (h *Hypergraph) Vertices() []string {
+	out := make([]string, len(h.vertices))
+	copy(out, h.vertices)
+	return out
+}
+
+// Edges returns a deep copy of the edge list.
+func (h *Hypergraph) Edges() [][]string {
+	out := make([][]string, len(h.edges))
+	for i, e := range h.edges {
+		cp := make([]string, len(e))
+		copy(cp, e)
+		out[i] = cp
+	}
+	return out
+}
+
+// Edge returns a copy of edge i.
+func (h *Hypergraph) Edge(i int) []string {
+	cp := make([]string, len(h.edges[i]))
+	copy(cp, h.edges[i])
+	return cp
+}
+
+// NumVertices returns the number of vertices.
+func (h *Hypergraph) NumVertices() int { return len(h.vertices) }
+
+// NumEdges returns the number of hyperedges (including duplicates/empties).
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// HasVertex reports whether v is a vertex of h.
+func (h *Hypergraph) HasVertex(v string) bool {
+	i := sort.SearchStrings(h.vertices, v)
+	return i < len(h.vertices) && h.vertices[i] == v
+}
+
+// edgeKey canonically encodes a sorted edge for set comparisons.
+func edgeKey(e []string) string { return strings.Join(e, "\x00") }
+
+// subset reports a ⊆ b for sorted slices.
+func subset(a, b []string) bool {
+	i := 0
+	for _, v := range a {
+		for i < len(b) && b[i] < v {
+			i++
+		}
+		if i >= len(b) || b[i] != v {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// intersect returns the intersection of two sorted slices.
+func intersect(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// union returns the sorted union of two sorted slices.
+func union(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// remove returns a with v removed (a sorted).
+func remove(a []string, v string) []string {
+	out := make([]string, 0, len(a))
+	for _, x := range a {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Reduce returns the reduction R(H): the same vertices, keeping only edges
+// not strictly contained in (or duplicating) another kept edge, with
+// duplicates collapsed and empty edges removed. The result's edges are
+// sorted lexicographically for determinism.
+func (h *Hypergraph) Reduce() *Hypergraph {
+	// Collapse duplicates first.
+	uniq := make(map[string][]string)
+	for _, e := range h.edges {
+		if len(e) == 0 {
+			continue
+		}
+		uniq[edgeKey(e)] = e
+	}
+	var kept [][]string
+	for k, e := range uniq {
+		covered := false
+		for k2, f := range uniq {
+			if k != k2 && subset(e, f) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			kept = append(kept, e)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return edgeKey(kept[i]) < edgeKey(kept[j]) })
+	out, err := NewWithVertices(h.vertices, kept)
+	if err != nil {
+		panic("hypergraph: reduce cannot fail: " + err.Error())
+	}
+	return out
+}
+
+// IsReduced reports whether h equals its own reduction (no empty,
+// duplicate, or covered edges).
+func (h *Hypergraph) IsReduced() bool {
+	r := h.Reduce()
+	if len(r.edges) != len(h.edges) {
+		return false
+	}
+	have := make(map[string]bool, len(h.edges))
+	for _, e := range h.edges {
+		have[edgeKey(e)] = true
+	}
+	for _, e := range r.edges {
+		if !have[edgeKey(e)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Induced returns H[W]: the hypergraph with vertex set W and edges the
+// non-empty intersections X∩W (as a set: duplicates collapsed), following
+// the paper's definition.
+func (h *Hypergraph) Induced(w []string) *Hypergraph {
+	wset := make(map[string]bool, len(w))
+	for _, v := range w {
+		wset[v] = true
+	}
+	uniq := make(map[string][]string)
+	for _, e := range h.edges {
+		var cut []string
+		for _, v := range e {
+			if wset[v] {
+				cut = append(cut, v)
+			}
+		}
+		if len(cut) > 0 {
+			uniq[edgeKey(cut)] = cut
+		}
+	}
+	var es [][]string
+	for _, e := range uniq {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return edgeKey(es[i]) < edgeKey(es[j]) })
+	var ws []string
+	for _, v := range h.vertices {
+		if wset[v] {
+			ws = append(ws, v)
+		}
+	}
+	out, err := NewWithVertices(ws, es)
+	if err != nil {
+		panic("hypergraph: induced cannot fail: " + err.Error())
+	}
+	return out
+}
+
+// Equal reports whether two hypergraphs have the same vertex set and the
+// same multiset of edges.
+func (h *Hypergraph) Equal(g *Hypergraph) bool {
+	if len(h.vertices) != len(g.vertices) || len(h.edges) != len(g.edges) {
+		return false
+	}
+	for i := range h.vertices {
+		if h.vertices[i] != g.vertices[i] {
+			return false
+		}
+	}
+	count := make(map[string]int)
+	for _, e := range h.edges {
+		count[edgeKey(e)]++
+	}
+	for _, e := range g.edges {
+		count[edgeKey(e)]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Isomorphic edge-set equality up to vertex renaming is intentionally not
+// provided; core verification uses shape checks instead (see cores.go).
+
+// String renders the hypergraph as (V = {...}, E = {{..},{..}}).
+func (h *Hypergraph) String() string {
+	var sb strings.Builder
+	sb.WriteString("(V={")
+	sb.WriteString(strings.Join(h.vertices, ","))
+	sb.WriteString("}, E={")
+	for i, e := range h.edges {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("{" + strings.Join(e, ",") + "}")
+	}
+	sb.WriteString("})")
+	return sb.String()
+}
+
+// PrimalGraph returns the adjacency structure of the primal (Gaifman)
+// graph: vertices of h, with an edge between two distinct vertices iff they
+// co-occur in some hyperedge.
+func (h *Hypergraph) PrimalGraph() map[string]map[string]bool {
+	adj := make(map[string]map[string]bool, len(h.vertices))
+	for _, v := range h.vertices {
+		adj[v] = make(map[string]bool)
+	}
+	for _, e := range h.edges {
+		for i := 0; i < len(e); i++ {
+			for j := i + 1; j < len(e); j++ {
+				adj[e[i]][e[j]] = true
+				adj[e[j]][e[i]] = true
+			}
+		}
+	}
+	return adj
+}
+
+// Uniformity returns (k, true) if every edge has exactly k vertices
+// (requires at least one edge), else (0, false).
+func (h *Hypergraph) Uniformity() (int, bool) {
+	if len(h.edges) == 0 {
+		return 0, false
+	}
+	k := len(h.edges[0])
+	for _, e := range h.edges[1:] {
+		if len(e) != k {
+			return 0, false
+		}
+	}
+	return k, true
+}
+
+// Regularity returns (d, true) if every vertex occurs in exactly d edges
+// (requires at least one vertex), else (0, false).
+func (h *Hypergraph) Regularity() (int, bool) {
+	if len(h.vertices) == 0 {
+		return 0, false
+	}
+	deg := make(map[string]int, len(h.vertices))
+	for _, e := range h.edges {
+		for _, v := range e {
+			deg[v]++
+		}
+	}
+	d := deg[h.vertices[0]]
+	for _, v := range h.vertices {
+		if deg[v] != d {
+			return 0, false
+		}
+	}
+	return d, true
+}

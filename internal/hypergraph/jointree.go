@@ -1,0 +1,219 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// JoinTree is an undirected tree over the hyperedges of a hypergraph (by
+// index) satisfying the join-tree (coherence) property: for every vertex v,
+// the hyperedges containing v form a subtree.
+type JoinTree struct {
+	h     *Hypergraph
+	adj   [][]int // adjacency lists over edge indices
+	edges [][2]int
+}
+
+// TreeEdges returns the tree's edges as pairs of hyperedge indices.
+func (t *JoinTree) TreeEdges() [][2]int {
+	out := make([][2]int, len(t.edges))
+	copy(out, t.edges)
+	return out
+}
+
+// BuildJoinTree constructs a join tree for the hypergraph, or returns an
+// error if none exists (equivalently, if the hypergraph is cyclic). The
+// construction is the classical one: a maximum-weight spanning tree of the
+// complete graph over hyperedges weighted by pairwise intersection sizes is
+// a join tree iff the hypergraph is acyclic; the join-tree property is
+// verified explicitly.
+//
+// The hypergraph must have at least one edge, and duplicate edges are
+// permitted (they join with weight equal to their full size).
+func BuildJoinTree(h *Hypergraph) (*JoinTree, error) {
+	m := len(h.edges)
+	if m == 0 {
+		return nil, fmt.Errorf("hypergraph: join tree of empty hypergraph")
+	}
+	// Prim's algorithm over edge indices; weights = |Xi ∩ Xj|. Deterministic
+	// tie-breaking by smaller index.
+	inTree := make([]bool, m)
+	bestW := make([]int, m)
+	bestTo := make([]int, m)
+	for i := range bestW {
+		bestW[i] = -1
+		bestTo[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < m; j++ {
+		bestW[j] = len(intersect(h.edges[0], h.edges[j]))
+		bestTo[j] = 0
+	}
+	adj := make([][]int, m)
+	var treeEdges [][2]int
+	for n := 1; n < m; n++ {
+		pick := -1
+		for j := 0; j < m; j++ {
+			if !inTree[j] && (pick == -1 || bestW[j] > bestW[pick]) {
+				pick = j
+			}
+		}
+		inTree[pick] = true
+		p := bestTo[pick]
+		adj[p] = append(adj[p], pick)
+		adj[pick] = append(adj[pick], p)
+		treeEdges = append(treeEdges, [2]int{p, pick})
+		for j := 0; j < m; j++ {
+			if !inTree[j] {
+				if w := len(intersect(h.edges[pick], h.edges[j])); w > bestW[j] {
+					bestW[j] = w
+					bestTo[j] = pick
+				}
+			}
+		}
+	}
+	t := &JoinTree{h: h, adj: adj, edges: treeEdges}
+	if !t.verify() {
+		return nil, fmt.Errorf("hypergraph: no join tree exists (hypergraph is cyclic)")
+	}
+	return t, nil
+}
+
+// verify checks the join-tree property: for every vertex v, the set of tree
+// nodes whose hyperedge contains v is connected in the tree.
+func (t *JoinTree) verify() bool {
+	m := len(t.h.edges)
+	for _, v := range t.h.vertices {
+		var containing []int
+		for i := 0; i < m; i++ {
+			for _, u := range t.h.edges[i] {
+				if u == v {
+					containing = append(containing, i)
+					break
+				}
+			}
+		}
+		if len(containing) <= 1 {
+			continue
+		}
+		// BFS within the subgraph induced by `containing`.
+		inSet := make(map[int]bool, len(containing))
+		for _, i := range containing {
+			inSet[i] = true
+		}
+		seen := map[int]bool{containing[0]: true}
+		queue := []int{containing[0]}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range t.adj[cur] {
+				if inSet[nb] && !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if len(seen) != len(containing) {
+			return false
+		}
+	}
+	return true
+}
+
+// RootedOrder returns a listing of hyperedge indices obtained by a BFS of
+// the join tree from the given root, together with the parent index of each
+// listed edge (parent[0] = -1). For a valid join tree this listing satisfies
+// the running intersection property with the parent as the witness j.
+func (t *JoinTree) RootedOrder(root int) (order []int, parent []int, err error) {
+	m := len(t.h.edges)
+	if root < 0 || root >= m {
+		return nil, nil, fmt.Errorf("hypergraph: root %d out of range [0,%d)", root, m)
+	}
+	seen := make([]bool, m)
+	order = append(order, root)
+	parent = append(parent, -1)
+	seen[root] = true
+	for qi := 0; qi < len(order); qi++ {
+		cur := order[qi]
+		nbs := make([]int, len(t.adj[cur]))
+		copy(nbs, t.adj[cur])
+		sort.Ints(nbs)
+		for _, nb := range nbs {
+			if !seen[nb] {
+				seen[nb] = true
+				order = append(order, nb)
+				parent = append(parent, cur)
+			}
+		}
+	}
+	if len(order) != m {
+		return nil, nil, fmt.Errorf("hypergraph: join tree is disconnected")
+	}
+	return order, parent, nil
+}
+
+// RunningIntersectionOrder returns a permutation of hyperedge indices
+// X_{σ(1)}, ..., X_{σ(m)} satisfying the running intersection property:
+// for each i ≥ 2 there is a j < i with X_{σ(i)} ∩ (X_{σ(1)} ∪ ... ∪
+// X_{σ(i-1)}) ⊆ X_{σ(j)}. It returns an error if the hypergraph is cyclic.
+func (h *Hypergraph) RunningIntersectionOrder() ([]int, error) {
+	t, err := BuildJoinTree(h)
+	if err != nil {
+		return nil, err
+	}
+	order, _, err := t.RootedOrder(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyRunningIntersection(h, order); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// HasRunningIntersectionProperty reports whether some listing of the
+// hyperedges satisfies the running intersection property (equivalent to
+// acyclicity by Theorem 1).
+func (h *Hypergraph) HasRunningIntersectionProperty() bool {
+	_, err := h.RunningIntersectionOrder()
+	return err == nil
+}
+
+// VerifyRunningIntersection checks that the given permutation of hyperedge
+// indices satisfies the running intersection property, returning a
+// descriptive error at the first violation.
+func VerifyRunningIntersection(h *Hypergraph, order []int) error {
+	if len(order) != len(h.edges) {
+		return fmt.Errorf("hypergraph: order lists %d of %d edges", len(order), len(h.edges))
+	}
+	var prefix []string
+	for i, ei := range order {
+		if i == 0 {
+			prefix = append([]string(nil), h.edges[ei]...)
+			continue
+		}
+		need := intersect(h.edges[ei], prefix)
+		ok := false
+		for j := 0; j < i; j++ {
+			if subset(need, h.edges[order[j]]) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("hypergraph: running intersection fails at position %d (edge %v)", i, h.edges[ei])
+		}
+		prefix = union(prefix, h.edges[ei])
+	}
+	return nil
+}
+
+// HasJoinTree reports whether the hypergraph has a join tree (equivalent to
+// acyclicity by Theorem 1).
+func (h *Hypergraph) HasJoinTree() bool {
+	if len(h.edges) == 0 {
+		return true
+	}
+	_, err := BuildJoinTree(h)
+	return err == nil
+}

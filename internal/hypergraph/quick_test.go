@@ -1,0 +1,119 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// vset is a quick.Generator producing small sorted unique vertex slices.
+type vset struct {
+	vs []string
+}
+
+// Generate implements quick.Generator.
+func (vset) Generate(rng *rand.Rand, size int) reflect.Value {
+	names := []string{"A", "B", "C", "D", "E", "F", "G"}
+	seen := map[string]bool{}
+	n := rng.Intn(size%6 + 1)
+	for i := 0; i < n; i++ {
+		seen[names[rng.Intn(len(names))]] = true
+	}
+	var out []string
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return reflect.ValueOf(vset{vs: out})
+}
+
+func TestQuickSetAlgebraLaws(t *testing.T) {
+	f := func(a, b, c vset) bool {
+		// Commutativity.
+		if edgeKey(union(a.vs, b.vs)) != edgeKey(union(b.vs, a.vs)) {
+			return false
+		}
+		if edgeKey(intersect(a.vs, b.vs)) != edgeKey(intersect(b.vs, a.vs)) {
+			return false
+		}
+		// Associativity of union.
+		if edgeKey(union(union(a.vs, b.vs), c.vs)) != edgeKey(union(a.vs, union(b.vs, c.vs))) {
+			return false
+		}
+		// Absorption: a ∩ (a ∪ b) = a.
+		if edgeKey(intersect(a.vs, union(a.vs, b.vs))) != edgeKey(a.vs) {
+			return false
+		}
+		// Subset coherence.
+		if !subset(intersect(a.vs, b.vs), a.vs) || !subset(a.vs, union(a.vs, b.vs)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRemoveLaws(t *testing.T) {
+	f := func(a vset) bool {
+		for _, v := range a.vs {
+			r := remove(a.vs, v)
+			if len(r) != len(a.vs)-1 {
+				return false
+			}
+			if subset([]string{v}, r) {
+				return false
+			}
+			if !subset(r, a.vs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInducedReduceInvariants(t *testing.T) {
+	// Properties: Reduce is idempotent; Induced(V) reduces to Reduce(H);
+	// every induced hypergraph of an acyclic hypergraph is acyclic
+	// (acyclicity is hereditary — needed for Corollary 2's contrapositive).
+	f := func(a, b, c vset) bool {
+		var edges [][]string
+		for _, e := range [][]string{a.vs, b.vs, c.vs} {
+			if len(e) > 0 {
+				edges = append(edges, e)
+			}
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		h, err := New(edges)
+		if err != nil {
+			return false
+		}
+		r := h.Reduce()
+		if !r.Reduce().Equal(r) {
+			return false
+		}
+		if !h.Induced(h.Vertices()).Reduce().Equal(r) {
+			return false
+		}
+		if h.IsAcyclic() {
+			vs := h.Vertices()
+			for _, v := range vs {
+				if !h.Induced(remove(vs, v)).IsAcyclic() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package krelation
+
+import (
+	"bagconsistency/internal/bag"
+)
+
+// FromBag views a bag as a K-relation over the bag semiring N. The
+// identification is exact: marginals, joins and equality commute with it
+// (property-tested), which is the paper's observation that bags are
+// precisely the Z≥0-relations.
+func FromBag(b *bag.Bag) (*KRelation[int64], error) {
+	out := New[int64](Nat{}, b.Schema())
+	err := b.Each(func(t bag.Tuple, count int64) error {
+		return out.Set(t.Values(), count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ToBag converts an N-relation back to a bag.
+func ToBag(k *KRelation[int64]) (*bag.Bag, error) {
+	out := bag.New(k.Schema())
+	err := k.Each(func(t bag.Tuple, v int64) error {
+		return out.Add(t.Values(), v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FromSupport views a bag's support as a B-relation (the Boolean-semiring
+// K-relation), the identification of relations with B-relations.
+func FromSupport(b *bag.Bag) (*KRelation[bool], error) {
+	out := New[bool](Bool{}, b.Schema())
+	err := b.Each(func(t bag.Tuple, count int64) error {
+		return out.Set(t.Values(), true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// totalN returns the semiring sum of all values of an N-relation (the
+// unary size ‖R‖u in bag terms).
+func totalN(k *KRelation[int64]) (int64, error) {
+	empty, err := bag.NewSchema()
+	if err != nil {
+		return 0, err
+	}
+	m, err := k.Marginal(empty)
+	if err != nil {
+		return 0, err
+	}
+	return m.Get(nil), nil
+}
+
+// ProportionallyConsistent implements the relaxed consistency notion of
+// Atserias–Kolaitis [AK20] for the bag semiring: two N-relations are
+// proportionally consistent when their normalized shared marginals agree,
+// i.e. ‖S‖·R[Z](t) = ‖R‖·S[Z](t) for every Z-tuple t (equivalently, the
+// induced rational probability distributions are consistent in Vorob'ev's
+// sense). Strict consistency implies it; the converse fails — scaling one
+// bag preserves proportional consistency but destroys strict consistency —
+// which is exactly the gap between [AK20] and this paper.
+func ProportionallyConsistent(r, s *KRelation[int64]) (bool, error) {
+	rt, err := totalN(r)
+	if err != nil {
+		return false, err
+	}
+	st, err := totalN(s)
+	if err != nil {
+		return false, err
+	}
+	if rt == 0 || st == 0 {
+		return rt == st, nil
+	}
+	z := r.Schema().Intersect(s.Schema())
+	rz, err := r.Marginal(z)
+	if err != nil {
+		return false, err
+	}
+	sz, err := s.Marginal(z)
+	if err != nil {
+		return false, err
+	}
+	nat := Nat{}
+	agree := true
+	err = rz.Each(func(t bag.Tuple, rv int64) error {
+		lhs, err := nat.Times(st, rv)
+		if err != nil {
+			return err
+		}
+		rhs, err := nat.Times(rt, sz.Get(t.Values()))
+		if err != nil {
+			return err
+		}
+		if lhs != rhs {
+			agree = false
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	// Tuples in sz but not rz would make the cross-product nonzero vs zero.
+	err = sz.Each(func(t bag.Tuple, sv int64) error {
+		if rz.Get(t.Values()) == 0 && sv != 0 {
+			agree = false
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return agree, nil
+}

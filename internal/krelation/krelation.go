@@ -1,0 +1,360 @@
+// Package krelation implements K-relations over commutative semirings —
+// the generalization the paper's concluding remarks point to: a K-relation
+// assigns each tuple a value from a semiring K, so that the Boolean
+// semiring recovers relations and the semiring of non-negative integers
+// (the "bag semiring") recovers bags. The paper leaves open whether its
+// results extend to other positive semirings under the strict notion of
+// consistency; this package provides the algebra needed to experiment with
+// that question, bridge functions identifying the B- and Z≥0-instances
+// with packages relational and bag, and the relaxed (normalized)
+// consistency notion of Atserias–Kolaitis [AK20] for the bag semiring.
+package krelation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"bagconsistency/internal/bag"
+)
+
+// Semiring is a commutative semiring over values of type V. Positive
+// semirings additionally satisfy: a+b = 0 implies a = b = 0, and a·b = 0
+// implies a = 0 or b = 0; all semirings provided here are positive.
+type Semiring[V any] interface {
+	// Zero is the additive identity.
+	Zero() V
+	// One is the multiplicative identity.
+	One() V
+	// Plus adds two values; it may fail (e.g. overflow for Nat).
+	Plus(a, b V) (V, error)
+	// Times multiplies two values; it may fail.
+	Times(a, b V) (V, error)
+	// Eq reports value equality.
+	Eq(a, b V) bool
+	// Name identifies the semiring in errors and output.
+	Name() string
+}
+
+// Bool is the Boolean semiring ({false,true}, ∨, ∧): K-relations over it
+// are exactly relations.
+type Bool struct{}
+
+// Zero returns false.
+func (Bool) Zero() bool { return false }
+
+// One returns true.
+func (Bool) One() bool { return true }
+
+// Plus is disjunction.
+func (Bool) Plus(a, b bool) (bool, error) { return a || b, nil }
+
+// Times is conjunction.
+func (Bool) Times(a, b bool) (bool, error) { return a && b, nil }
+
+// Eq compares booleans.
+func (Bool) Eq(a, b bool) bool { return a == b }
+
+// Name returns "B".
+func (Bool) Name() string { return "B" }
+
+// Nat is the bag semiring (Z≥0, +, ×) with overflow-checked int64 values:
+// K-relations over it are exactly bags.
+type Nat struct{}
+
+// Zero returns 0.
+func (Nat) Zero() int64 { return 0 }
+
+// One returns 1.
+func (Nat) One() int64 { return 1 }
+
+// Plus is checked addition.
+func (Nat) Plus(a, b int64) (int64, error) {
+	if a < 0 || b < 0 {
+		return 0, fmt.Errorf("krelation: negative value in N")
+	}
+	if a > math.MaxInt64-b {
+		return 0, fmt.Errorf("krelation: overflow in N")
+	}
+	return a + b, nil
+}
+
+// Times is checked multiplication.
+func (Nat) Times(a, b int64) (int64, error) {
+	if a < 0 || b < 0 {
+		return 0, fmt.Errorf("krelation: negative value in N")
+	}
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	if a > math.MaxInt64/b {
+		return 0, fmt.Errorf("krelation: overflow in N")
+	}
+	return a * b, nil
+}
+
+// Eq compares integers.
+func (Nat) Eq(a, b int64) bool { return a == b }
+
+// Name returns "N".
+func (Nat) Name() string { return "N" }
+
+// Tropical is the min-plus semiring (R∪{∞}, min, +) — a positive semiring
+// where marginals compute minimum costs over extensions.
+type Tropical struct{}
+
+// Zero returns +∞ (the identity of min).
+func (Tropical) Zero() float64 { return math.Inf(1) }
+
+// One returns 0 (the identity of +).
+func (Tropical) One() float64 { return 0 }
+
+// Plus is min.
+func (Tropical) Plus(a, b float64) (float64, error) { return math.Min(a, b), nil }
+
+// Times is numeric addition.
+func (Tropical) Times(a, b float64) (float64, error) { return a + b, nil }
+
+// Eq compares costs.
+func (Tropical) Eq(a, b float64) bool { return a == b }
+
+// Name returns "Trop".
+func (Tropical) Name() string { return "Trop" }
+
+// KRelation is a finite-support map from tuples over a schema to values of
+// a semiring K. Zero-valued tuples are implicit and never stored.
+type KRelation[V any] struct {
+	sr      Semiring[V]
+	schema  *bag.Schema
+	entries map[string]kentry[V]
+}
+
+type kentry[V any] struct {
+	vals  []string
+	value V
+}
+
+// New returns the empty K-relation over the schema.
+func New[V any](sr Semiring[V], schema *bag.Schema) *KRelation[V] {
+	return &KRelation[V]{sr: sr, schema: schema, entries: make(map[string]kentry[V])}
+}
+
+// Semiring returns the underlying semiring.
+func (k *KRelation[V]) Semiring() Semiring[V] { return k.sr }
+
+// Schema returns the schema.
+func (k *KRelation[V]) Schema() *bag.Schema { return k.schema }
+
+// Len returns the support size.
+func (k *KRelation[V]) Len() int { return len(k.entries) }
+
+// key encodes vals for the entry map, validating arity.
+func (k *KRelation[V]) key(vals []string) (string, error) {
+	if len(vals) != k.schema.Len() {
+		return "", fmt.Errorf("krelation: row has %d values for schema %v", len(vals), k.schema)
+	}
+	t, err := bag.NewTuple(k.schema, vals)
+	if err != nil {
+		return "", err
+	}
+	return t.Key(), nil
+}
+
+// Set assigns the value of a tuple; setting the semiring zero removes it
+// from the support.
+func (k *KRelation[V]) Set(vals []string, v V) error {
+	key, err := k.key(vals)
+	if err != nil {
+		return err
+	}
+	if k.sr.Eq(v, k.sr.Zero()) {
+		delete(k.entries, key)
+		return nil
+	}
+	cp := make([]string, len(vals))
+	copy(cp, vals)
+	k.entries[key] = kentry[V]{vals: cp, value: v}
+	return nil
+}
+
+// AddTo combines v into the tuple's current value with semiring addition.
+func (k *KRelation[V]) AddTo(vals []string, v V) error {
+	key, err := k.key(vals)
+	if err != nil {
+		return err
+	}
+	cur, ok := k.entries[key]
+	if !ok {
+		return k.Set(vals, v)
+	}
+	sum, err := k.sr.Plus(cur.value, v)
+	if err != nil {
+		return err
+	}
+	return k.Set(vals, sum)
+}
+
+// Get returns the tuple's value (the semiring zero when absent).
+func (k *KRelation[V]) Get(vals []string) V {
+	key, err := k.key(vals)
+	if err != nil {
+		return k.sr.Zero()
+	}
+	if e, ok := k.entries[key]; ok {
+		return e.value
+	}
+	return k.sr.Zero()
+}
+
+// Each visits the support in deterministic (sorted key) order.
+func (k *KRelation[V]) Each(fn func(t bag.Tuple, v V) error) error {
+	keys := make([]string, 0, len(k.entries))
+	for key := range k.entries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		e := k.entries[key]
+		t, err := bag.NewTuple(k.schema, e.vals)
+		if err != nil {
+			return err
+		}
+		if err := fn(t, e.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two K-relations over the same semiring have equal
+// schemas and identical value functions.
+func (k *KRelation[V]) Equal(o *KRelation[V]) bool {
+	if !k.schema.Equal(o.schema) || len(k.entries) != len(o.entries) {
+		return false
+	}
+	for key, e := range k.entries {
+		oe, ok := o.entries[key]
+		if !ok || !k.sr.Eq(e.value, oe.value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Marginal computes the K-marginal on a sub-schema: the value of a Z-tuple
+// is the semiring sum of the values of its extensions (Equation 2 of the
+// paper, generalized from Z≥0 to K).
+func (k *KRelation[V]) Marginal(sub *bag.Schema) (*KRelation[V], error) {
+	if !sub.SubsetOf(k.schema) {
+		return nil, fmt.Errorf("krelation: %v is not a sub-schema of %v", sub, k.schema)
+	}
+	out := New(k.sr, sub)
+	err := k.Each(func(t bag.Tuple, v V) error {
+		p, err := t.Project(sub)
+		if err != nil {
+			return err
+		}
+		return out.AddTo(p.Values(), v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Join computes the K-join: support is the join of supports, values
+// multiply (the K-relation analogue of the bag join).
+func Join[V any](r, s *KRelation[V]) (*KRelation[V], error) {
+	union := r.schema.Union(s.schema)
+	out := New(r.sr, union)
+	err := r.Each(func(rt bag.Tuple, rv V) error {
+		return s.Each(func(st bag.Tuple, sv V) error {
+			if !rt.JoinsWith(st) {
+				return nil
+			}
+			joined, err := bag.JoinTuples(rt, st)
+			if err != nil {
+				return err
+			}
+			prod, err := r.sr.Times(rv, sv)
+			if err != nil {
+				return err
+			}
+			return out.AddTo(joined.Values(), prod)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MarginalsAgree reports whether two K-relations have equal marginals on
+// their shared attributes — the necessary condition for strict consistency
+// over any semiring (the generalization of Lemma 2's statement (2); whether
+// it is also sufficient beyond B and Z≥0 is the paper's open problem).
+func MarginalsAgree[V any](r, s *KRelation[V]) (bool, error) {
+	z := r.schema.Intersect(s.schema)
+	rz, err := r.Marginal(z)
+	if err != nil {
+		return false, err
+	}
+	sz, err := s.Marginal(z)
+	if err != nil {
+		return false, err
+	}
+	return rz.Equal(sz), nil
+}
+
+// String renders the K-relation in tabular form.
+func (k *KRelation[V]) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(k.schema.Attrs(), " "))
+	if k.schema.Len() > 0 {
+		sb.WriteString(" ")
+	}
+	fmt.Fprintf(&sb, "[%s]\n", k.sr.Name())
+	_ = k.Each(func(t bag.Tuple, v V) error {
+		vals := t.Values()
+		if len(vals) > 0 {
+			sb.WriteString(strings.Join(vals, " "))
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, ": %v\n", v)
+		return nil
+	})
+	return sb.String()
+}
+
+// Viterbi is the probability/confidence semiring ([0,1], max, ×): a
+// positive semiring where marginals compute the most likely extension.
+type Viterbi struct{}
+
+// Zero returns 0 (impossible).
+func (Viterbi) Zero() float64 { return 0 }
+
+// One returns 1 (certain).
+func (Viterbi) One() float64 { return 1 }
+
+// Plus is max.
+func (Viterbi) Plus(a, b float64) (float64, error) {
+	if a < 0 || a > 1 || b < 0 || b > 1 {
+		return 0, fmt.Errorf("krelation: Viterbi value outside [0,1]")
+	}
+	return math.Max(a, b), nil
+}
+
+// Times is multiplication.
+func (Viterbi) Times(a, b float64) (float64, error) {
+	if a < 0 || a > 1 || b < 0 || b > 1 {
+		return 0, fmt.Errorf("krelation: Viterbi value outside [0,1]")
+	}
+	return a * b, nil
+}
+
+// Eq compares confidences.
+func (Viterbi) Eq(a, b float64) bool { return a == b }
+
+// Name returns "Vit".
+func (Viterbi) Name() string { return "Vit" }

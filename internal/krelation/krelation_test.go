@@ -1,0 +1,407 @@
+package krelation
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/core"
+)
+
+func TestSemiringLaws(t *testing.T) {
+	// Spot-check identities and commutativity on each provided semiring.
+	t.Run("bool", func(t *testing.T) {
+		sr := Bool{}
+		for _, a := range []bool{false, true} {
+			if v, _ := sr.Plus(a, sr.Zero()); v != a {
+				t.Error("zero is not additive identity")
+			}
+			if v, _ := sr.Times(a, sr.One()); v != a {
+				t.Error("one is not multiplicative identity")
+			}
+			if v, _ := sr.Times(a, sr.Zero()); v != sr.Zero() {
+				t.Error("zero does not annihilate")
+			}
+		}
+	})
+	t.Run("nat", func(t *testing.T) {
+		sr := Nat{}
+		if v, _ := sr.Plus(3, sr.Zero()); v != 3 {
+			t.Error("zero is not additive identity")
+		}
+		if v, _ := sr.Times(3, sr.One()); v != 3 {
+			t.Error("one is not multiplicative identity")
+		}
+		if _, err := sr.Plus(math.MaxInt64, 1); err == nil {
+			t.Error("expected overflow")
+		}
+		if _, err := sr.Times(math.MaxInt64, 2); err == nil {
+			t.Error("expected overflow")
+		}
+		if _, err := sr.Plus(-1, 1); err == nil {
+			t.Error("expected negativity error")
+		}
+	})
+	t.Run("tropical", func(t *testing.T) {
+		sr := Tropical{}
+		if v, _ := sr.Plus(5, sr.Zero()); v != 5 {
+			t.Error("∞ is not the identity of min")
+		}
+		if v, _ := sr.Times(5, sr.One()); v != 5 {
+			t.Error("0 is not the identity of +")
+		}
+		if v, _ := sr.Plus(3, 7); v != 3 {
+			t.Error("Plus should be min")
+		}
+		if v, _ := sr.Times(3, 7); v != 10 {
+			t.Error("Times should be +")
+		}
+	})
+}
+
+func TestSetGetZeroRemoves(t *testing.T) {
+	k := New[int64](Nat{}, bag.MustSchema("A"))
+	if err := k.Set([]string{"x"}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if k.Get([]string{"x"}) != 5 || k.Len() != 1 {
+		t.Error("set/get broken")
+	}
+	if err := k.Set([]string{"x"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if k.Len() != 0 {
+		t.Error("setting zero should remove from support")
+	}
+	if err := k.Set([]string{"too", "many"}, 1); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestAddToAccumulates(t *testing.T) {
+	k := New[int64](Nat{}, bag.MustSchema("A"))
+	if err := k.AddTo([]string{"x"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddTo([]string{"x"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if k.Get([]string{"x"}) != 5 {
+		t.Errorf("AddTo = %d, want 5", k.Get([]string{"x"}))
+	}
+}
+
+func TestNatBridgeCommutesWithBagOps(t *testing.T) {
+	// The paper's identification: bags ARE Z≥0-relations. Marginals and
+	// joins computed through the K-relation path must match package bag.
+	rng := rand.New(rand.NewSource(3))
+	abc := bag.MustSchema("A", "B", "C")
+	ab := bag.MustSchema("A", "B")
+	bc := bag.MustSchema("B", "C")
+	for trial := 0; trial < 25; trial++ {
+		g := bag.New(abc)
+		for i := 0; i < 8; i++ {
+			vals := []string{
+				strconv.Itoa(rng.Intn(3)),
+				strconv.Itoa(rng.Intn(3)),
+				strconv.Itoa(rng.Intn(3)),
+			}
+			if err := g.Add(vals, 1+rng.Int63n(9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		kg, err := FromBag(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Marginal commutes.
+		km, err := kg.Marginal(ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ToBag(km)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := g.Marginal(ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(bm) {
+			t.Fatal("K-marginal over N differs from bag marginal")
+		}
+		// Join commutes.
+		r, err := g.Marginal(ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := g.Marginal(bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kr, err := FromBag(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks, err := FromBag(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kj, err := Join(kr, ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jBack, err := ToBag(kj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := bag.Join(r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !jBack.Equal(bj) {
+			t.Fatal("K-join over N differs from bag join")
+		}
+		// Strict-consistency necessary condition matches Lemma 2 exactly
+		// for the bag semiring.
+		kOK, err := MarginalsAgree(kr, ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bOK, err := core.PairConsistent(r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kOK != bOK {
+			t.Fatal("N-relation marginal agreement differs from bag consistency")
+		}
+	}
+}
+
+func TestBoolBridgeIsSetSemantics(t *testing.T) {
+	b, err := bag.FromRows(bag.MustSchema("A", "B"),
+		[][]string{{"1", "x"}, {"1", "y"}, {"2", "x"}}, []int64{7, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := FromSupport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := k.Marginal(bag.MustSchema("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boolean marginal is projection: {1, 2}, no counting.
+	if m.Len() != 2 || !m.Get([]string{"1"}) || !m.Get([]string{"2"}) {
+		t.Errorf("boolean marginal = %v", m)
+	}
+}
+
+func TestTropicalMarginalIsMinimum(t *testing.T) {
+	// Min-plus marginal = cheapest extension: the K-relation analogue of a
+	// shortest-path relaxation.
+	k := New[float64](Tropical{}, bag.MustSchema("A", "B"))
+	if err := k.Set([]string{"x", "p"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Set([]string{"x", "q"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Set([]string{"y", "p"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := k.Marginal(bag.MustSchema("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get([]string{"x"}) != 1 || m.Get([]string{"y"}) != 2 {
+		t.Errorf("tropical marginal: x=%v y=%v", m.Get([]string{"x"}), m.Get([]string{"y"}))
+	}
+	// Tropical join adds costs.
+	k2 := New[float64](Tropical{}, bag.MustSchema("B", "C"))
+	if err := k2.Set([]string{"p", "end"}, 10); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Join(k, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Get([]string{"x", "p", "end"}) != 13 {
+		t.Errorf("tropical join cost = %v, want 13", j.Get([]string{"x", "p", "end"}))
+	}
+}
+
+func TestMarginalValidation(t *testing.T) {
+	k := New[int64](Nat{}, bag.MustSchema("A"))
+	if _, err := k.Marginal(bag.MustSchema("Z")); err == nil {
+		t.Error("expected sub-schema error")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	a := New[int64](Nat{}, bag.MustSchema("A"))
+	b := New[int64](Nat{}, bag.MustSchema("A"))
+	_ = a.Set([]string{"x"}, 2)
+	_ = b.Set([]string{"x"}, 2)
+	if !a.Equal(b) {
+		t.Error("equal K-relations reported different")
+	}
+	_ = b.Set([]string{"x"}, 3)
+	if a.Equal(b) {
+		t.Error("different values reported equal")
+	}
+	c := New[int64](Nat{}, bag.MustSchema("B"))
+	if a.Equal(c) {
+		t.Error("different schemas reported equal")
+	}
+}
+
+func TestProportionalConsistencyRelaxesStrict(t *testing.T) {
+	// R and S with proportional but unequal shared marginals: relaxed
+	// consistency holds (the [AK20] notion), strict fails (this paper's).
+	r := New[int64](Nat{}, bag.MustSchema("A", "B"))
+	s := New[int64](Nat{}, bag.MustSchema("B", "C"))
+	_ = r.Set([]string{"1", "m"}, 1)
+	_ = r.Set([]string{"2", "m"}, 1)
+	_ = s.Set([]string{"m", "x"}, 3)
+	_ = s.Set([]string{"m", "y"}, 3)
+
+	strict, err := MarginalsAgree(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict {
+		t.Fatal("marginals 2 vs 6 must not agree strictly")
+	}
+	relaxed, err := ProportionallyConsistent(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relaxed {
+		t.Fatal("normalized marginals agree; relaxed consistency must hold")
+	}
+}
+
+func TestProportionalConsistencyStillFails(t *testing.T) {
+	// Non-proportional marginals fail both notions.
+	r := New[int64](Nat{}, bag.MustSchema("A", "B"))
+	s := New[int64](Nat{}, bag.MustSchema("B", "C"))
+	_ = r.Set([]string{"1", "m"}, 1)
+	_ = r.Set([]string{"1", "n"}, 1)
+	_ = s.Set([]string{"m", "x"}, 1)
+	_ = s.Set([]string{"n", "x"}, 3)
+	relaxed, err := ProportionallyConsistent(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed {
+		t.Fatal("1:1 vs 1:3 marginals are not proportional")
+	}
+}
+
+func TestProportionalConsistencyEmptyCases(t *testing.T) {
+	r := New[int64](Nat{}, bag.MustSchema("A", "B"))
+	s := New[int64](Nat{}, bag.MustSchema("B", "C"))
+	ok, err := ProportionallyConsistent(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("two empty relations are proportionally consistent")
+	}
+	_ = s.Set([]string{"m", "x"}, 1)
+	ok, err = ProportionallyConsistent(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("empty vs non-empty must fail")
+	}
+}
+
+func TestStrictImpliesProportionalProperty(t *testing.T) {
+	// Strict consistency implies relaxed consistency on random consistent
+	// pairs (marginals of one bag).
+	rng := rand.New(rand.NewSource(13))
+	abc := bag.MustSchema("A", "B", "C")
+	for trial := 0; trial < 30; trial++ {
+		g := bag.New(abc)
+		for i := 0; i < 6; i++ {
+			vals := []string{
+				strconv.Itoa(rng.Intn(2)),
+				strconv.Itoa(rng.Intn(2)),
+				strconv.Itoa(rng.Intn(2)),
+			}
+			if err := g.Add(vals, 1+rng.Int63n(5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rb, err := g.Marginal(bag.MustSchema("A", "B"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := g.Marginal(bag.MustSchema("B", "C"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := FromBag(rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := FromBag(sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strict, err := MarginalsAgree(r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relaxed, err := ProportionallyConsistent(r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strict && !relaxed {
+			t.Fatal("strict consistency must imply proportional consistency")
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	k := New[int64](Nat{}, bag.MustSchema("A"))
+	_ = k.Set([]string{"x"}, 2)
+	got := k.String()
+	if got != "A [N]\nx : 2\n" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestViterbiSemiring(t *testing.T) {
+	sr := Viterbi{}
+	if v, _ := sr.Plus(0.3, sr.Zero()); v != 0.3 {
+		t.Error("0 is not the identity of max")
+	}
+	if v, _ := sr.Times(0.3, sr.One()); v != 0.3 {
+		t.Error("1 is not the identity of ×")
+	}
+	if _, err := sr.Plus(1.5, 0.1); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := sr.Times(-0.1, 0.1); err == nil {
+		t.Error("expected range error")
+	}
+
+	// Marginal = most likely extension.
+	k := New[float64](Viterbi{}, bag.MustSchema("A", "B"))
+	_ = k.Set([]string{"x", "p"}, 0.9)
+	_ = k.Set([]string{"x", "q"}, 0.4)
+	m, err := k.Marginal(bag.MustSchema("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get([]string{"x"}) != 0.9 {
+		t.Errorf("Viterbi marginal = %v, want 0.9", m.Get([]string{"x"}))
+	}
+}

@@ -1,0 +1,87 @@
+package krelation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickNatSemiringLaws(t *testing.T) {
+	sr := Nat{}
+	bounded := func(x uint16) int64 { return int64(x) }
+	assoc := func(a, b, c uint16) bool {
+		x, y, z := bounded(a), bounded(b), bounded(c)
+		l1, _ := sr.Plus(x, y)
+		l, _ := sr.Plus(l1, z)
+		r1, _ := sr.Plus(y, z)
+		r, _ := sr.Plus(x, r1)
+		return l == r
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("addition associativity:", err)
+	}
+	comm := func(a, b uint16) bool {
+		x, y := bounded(a), bounded(b)
+		l, _ := sr.Plus(x, y)
+		r, _ := sr.Plus(y, x)
+		lm, _ := sr.Times(x, y)
+		rm, _ := sr.Times(y, x)
+		return l == r && lm == rm
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	distr := func(a, b, c uint8) bool {
+		x, y, z := bounded(uint16(a)), bounded(uint16(b)), bounded(uint16(c))
+		s, _ := sr.Plus(y, z)
+		l, _ := sr.Times(x, s)
+		p1, _ := sr.Times(x, y)
+		p2, _ := sr.Times(x, z)
+		r, _ := sr.Plus(p1, p2)
+		return l == r
+	}
+	if err := quick.Check(distr, nil); err != nil {
+		t.Error("distributivity:", err)
+	}
+}
+
+func TestQuickTropicalSemiringLaws(t *testing.T) {
+	sr := Tropical{}
+	distr := func(a, b, c uint8) bool {
+		x, y, z := float64(a), float64(b), float64(c)
+		s, _ := sr.Plus(y, z) // min
+		l, _ := sr.Times(x, s)
+		p1, _ := sr.Times(x, y)
+		p2, _ := sr.Times(x, z)
+		r, _ := sr.Plus(p1, p2)
+		return l == r // x + min(y,z) == min(x+y, x+z)
+	}
+	if err := quick.Check(distr, nil); err != nil {
+		t.Error("tropical distributivity:", err)
+	}
+	annihilate := func(a uint8) bool {
+		v, _ := sr.Times(float64(a), sr.Zero())
+		return sr.Eq(v, sr.Zero()) // x + ∞ = ∞
+	}
+	if err := quick.Check(annihilate, nil); err != nil {
+		t.Error("tropical annihilation:", err)
+	}
+}
+
+func TestQuickBoolPositivity(t *testing.T) {
+	// Positivity: a + b = 0 ⟹ a = b = 0 and a·b ≠ 0 unless a=0 or b=0.
+	sr := Bool{}
+	f := func(a, b bool) bool {
+		sum, _ := sr.Plus(a, b)
+		if sr.Eq(sum, sr.Zero()) && (a || b) {
+			return false
+		}
+		prod, _ := sr.Times(a, b)
+		if !sr.Eq(prod, sr.Zero()) && (!a || !b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package lp implements an exact two-phase primal simplex solver over
+// rational arithmetic (math/big.Rat) for linear programs in standard
+// equality form:
+//
+//	minimize c·x  subject to  Ax = b, x ≥ 0.
+//
+// The paper uses linear programming in two places: statement (3) of
+// Lemma 2 characterizes two-bag consistency as rational feasibility of the
+// program P(R,S), and Section 3 observes that any LP algorithm can also
+// minimize a linear function of the witnessing multiplicities. Exact
+// rational pivoting (with Bland's anti-cycling rule) makes feasibility
+// answers certain rather than floating-point approximate; the solver is
+// also used as a relaxation bound inside the integer-program search of
+// package ilp.
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Result reports the outcome of a Solve call.
+type Result struct {
+	// Feasible is true when the constraints admit a solution.
+	Feasible bool
+	// Unbounded is true when the objective is unbounded below over a
+	// non-empty feasible region.
+	Unbounded bool
+	// X is an optimal (or, if Unbounded, feasible) solution of length n,
+	// nil when infeasible.
+	X []*big.Rat
+	// Value is c·X, nil when infeasible or unbounded.
+	Value *big.Rat
+}
+
+// Solve minimizes c·x over Ax = b, x ≥ 0 with exact arithmetic. A is dense
+// row-major (m rows, n columns); c may be nil for a pure feasibility check.
+func Solve(a [][]int64, b []int64, c []int64) (*Result, error) {
+	m := len(a)
+	if m == 0 {
+		return nil, fmt.Errorf("lp: no constraints")
+	}
+	n := len(a[0])
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("lp: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if len(b) != m {
+		return nil, fmt.Errorf("lp: b has %d entries, want %d", len(b), m)
+	}
+	if c != nil && len(c) != n {
+		return nil, fmt.Errorf("lp: c has %d entries, want %d", len(c), n)
+	}
+	ar := make([][]*big.Rat, m)
+	for i := range ar {
+		ar[i] = make([]*big.Rat, n)
+		for j := range ar[i] {
+			ar[i][j] = big.NewRat(a[i][j], 1)
+		}
+	}
+	br := make([]*big.Rat, m)
+	for i := range br {
+		br[i] = big.NewRat(b[i], 1)
+	}
+	var cr []*big.Rat
+	if c != nil {
+		cr = make([]*big.Rat, n)
+		for j := range cr {
+			cr[j] = big.NewRat(c[j], 1)
+		}
+	}
+	return SolveRat(ar, br, cr)
+}
+
+// SolveSparse is Solve for 0/1 constraint matrices given column-wise:
+// cols[j] lists the rows in which variable j has coefficient 1. This is the
+// natural encoding of the programs P(R1,...,Rm) of the paper, whose columns
+// have exactly one 1 per input bag.
+func SolveSparse(m int, cols [][]int, b []int64, c []int64) (*Result, error) {
+	n := len(cols)
+	a := make([][]int64, m)
+	for i := range a {
+		a[i] = make([]int64, n)
+	}
+	for j, rows := range cols {
+		for _, i := range rows {
+			if i < 0 || i >= m {
+				return nil, fmt.Errorf("lp: column %d references row %d outside [0,%d)", j, i, m)
+			}
+			a[i][j] = 1
+		}
+	}
+	return Solve(a, b, c)
+}
+
+// SolveRat is the rational-input core of the solver. a, b (and c if
+// non-nil) are not modified.
+func SolveRat(a [][]*big.Rat, b []*big.Rat, c []*big.Rat) (*Result, error) {
+	m := len(a)
+	n := len(a[0])
+
+	// Build the phase-1 tableau with one artificial variable per row.
+	// Columns: 0..n-1 real, n..n+m-1 artificial, last = rhs.
+	width := n + m + 1
+	t := make([][]*big.Rat, m+1)
+	for i := 0; i <= m; i++ {
+		t[i] = make([]*big.Rat, width)
+		for j := range t[i] {
+			t[i][j] = new(big.Rat)
+		}
+	}
+	for i := 0; i < m; i++ {
+		neg := b[i].Sign() < 0
+		for j := 0; j < n; j++ {
+			if neg {
+				t[i][j].Neg(a[i][j])
+			} else {
+				t[i][j].Set(a[i][j])
+			}
+		}
+		if neg {
+			t[i][width-1].Neg(b[i])
+		} else {
+			t[i][width-1].Set(b[i])
+		}
+		t[i][n+i].SetInt64(1)
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+	// Phase-1 objective: minimize sum of artificials. Reduced-cost row =
+	// -(sum of constraint rows over real columns), rhs = -(sum of rhs).
+	obj := t[m]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			obj[j].Sub(obj[j], t[i][j])
+		}
+		obj[width-1].Sub(obj[width-1], t[i][width-1])
+	}
+
+	pivot := func(row, col int) {
+		p := new(big.Rat).Set(t[row][col])
+		inv := new(big.Rat).Inv(p)
+		for j := 0; j < width; j++ {
+			t[row][j].Mul(t[row][j], inv)
+		}
+		for i := 0; i <= m; i++ {
+			if i == row || t[i][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(t[i][col])
+			for j := 0; j < width; j++ {
+				tmp := new(big.Rat).Mul(f, t[row][j])
+				t[i][j].Sub(t[i][j], tmp)
+			}
+		}
+		basis[row] = col
+	}
+
+	// runSimplex pivots with Bland's rule over the allowed columns until no
+	// improving column remains. Returns false if unbounded.
+	runSimplex := func(ncols int) bool {
+		for {
+			col := -1
+			for j := 0; j < ncols; j++ {
+				if obj[j].Sign() < 0 {
+					col = j
+					break
+				}
+			}
+			if col < 0 {
+				return true
+			}
+			row := -1
+			var best *big.Rat
+			for i := 0; i < m; i++ {
+				if t[i][col].Sign() > 0 {
+					ratio := new(big.Rat).Quo(t[i][width-1], t[i][col])
+					if row < 0 || ratio.Cmp(best) < 0 ||
+						(ratio.Cmp(best) == 0 && basis[i] < basis[row]) {
+						row, best = i, ratio
+					}
+				}
+			}
+			if row < 0 {
+				return false // unbounded
+			}
+			pivot(row, col)
+		}
+	}
+
+	if !runSimplex(n + m) {
+		return nil, fmt.Errorf("lp: phase-1 objective unbounded (internal error)")
+	}
+	if obj[width-1].Sign() != 0 {
+		// Optimal phase-1 value -rhs > 0: infeasible.
+		return &Result{Feasible: false}, nil
+	}
+
+	// Drive any artificial variables out of the basis (degenerate rows).
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if t[i][j].Sign() != 0 {
+				pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// The row is all zeros over real variables: redundant
+			// constraint; the artificial stays basic at value 0, harmless.
+			_ = pivoted
+		}
+	}
+
+	extract := func() []*big.Rat {
+		x := make([]*big.Rat, n)
+		for j := range x {
+			x[j] = new(big.Rat)
+		}
+		for i, bj := range basis {
+			if bj < n {
+				x[bj].Set(t[i][width-1])
+			}
+		}
+		return x
+	}
+
+	if c == nil {
+		return &Result{Feasible: true, X: extract(), Value: new(big.Rat)}, nil
+	}
+
+	// Phase 2: rebuild the objective row for c over the current basis:
+	// obj = c - c_B B^{-1} A (computed as c_j minus sum over basic rows).
+	for j := 0; j < width; j++ {
+		obj[j].SetInt64(0)
+	}
+	for j := 0; j < n; j++ {
+		obj[j].Set(c[j])
+	}
+	for i, bj := range basis {
+		if bj >= n || c[bj].Sign() == 0 {
+			continue
+		}
+		f := new(big.Rat).Set(c[bj])
+		for j := 0; j < width; j++ {
+			tmp := new(big.Rat).Mul(f, t[i][j])
+			obj[j].Sub(obj[j], tmp)
+		}
+	}
+	// Forbid artificial columns in phase 2 by restricting to real columns.
+	if !runSimplex(n) {
+		return &Result{Feasible: true, Unbounded: true, X: extract()}, nil
+	}
+	x := extract()
+	val := new(big.Rat)
+	for j := 0; j < n; j++ {
+		if c[j].Sign() != 0 && x[j].Sign() != 0 {
+			tmp := new(big.Rat).Mul(c[j], x[j])
+			val.Add(val, tmp)
+		}
+	}
+	return &Result{Feasible: true, X: x, Value: val}, nil
+}

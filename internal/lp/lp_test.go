@@ -1,0 +1,267 @@
+package lp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func ratEq(t *testing.T, got *big.Rat, num, den int64) {
+	t.Helper()
+	want := big.NewRat(num, den)
+	if got.Cmp(want) != 0 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestFeasibleSimpleSystem(t *testing.T) {
+	// x + y = 3, x - y = 1 → x = 2, y = 1.
+	res, err := Solve([][]int64{{1, 1}, {1, -1}}, []int64{3, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("system should be feasible")
+	}
+	ratEq(t, res.X[0], 2, 1)
+	ratEq(t, res.X[1], 1, 1)
+}
+
+func TestInfeasibleSystem(t *testing.T) {
+	// x + y = 1, x + y = 2 is inconsistent.
+	res, err := Solve([][]int64{{1, 1}, {1, 1}}, []int64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("system should be infeasible")
+	}
+}
+
+func TestInfeasibleByNonNegativity(t *testing.T) {
+	// x = -1 with x ≥ 0.
+	res, err := Solve([][]int64{{1}}, []int64{-1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("x = -1 should be infeasible under x ≥ 0")
+	}
+}
+
+func TestNegativeRHSHandled(t *testing.T) {
+	// -x = -5 → x = 5.
+	res, err := Solve([][]int64{{-1}}, []int64{-5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("should be feasible")
+	}
+	ratEq(t, res.X[0], 5, 1)
+}
+
+func TestMinimization(t *testing.T) {
+	// min x + 2y s.t. x + y = 4 → x = 4, y = 0, value 4.
+	res, err := Solve([][]int64{{1, 1}}, []int64{4}, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Unbounded {
+		t.Fatalf("unexpected status %+v", res)
+	}
+	ratEq(t, res.Value, 4, 1)
+	ratEq(t, res.X[0], 4, 1)
+}
+
+func TestMinimizationPrefersCheaperColumn(t *testing.T) {
+	// min 3x + y s.t. x + y = 4 → y = 4, value 4.
+	res, err := Solve([][]int64{{1, 1}}, []int64{4}, []int64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratEq(t, res.Value, 4, 1)
+	ratEq(t, res.X[1], 4, 1)
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x + -y... need equality form: min -x s.t. x - y = 0 → x = y → ∞.
+	res, err := Solve([][]int64{{1, -1}}, []int64{0}, []int64{-1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || !res.Unbounded {
+		t.Fatalf("expected unbounded, got %+v", res)
+	}
+}
+
+func TestRationalSolution(t *testing.T) {
+	// 2x = 1 → x = 1/2 exactly.
+	res, err := Solve([][]int64{{2}}, []int64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratEq(t, res.X[0], 1, 2)
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicate rows should remain feasible (degenerate basis handling).
+	res, err := Solve([][]int64{{1, 1}, {1, 1}, {2, 2}}, []int64{2, 2, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Error("redundant system should be feasible")
+	}
+}
+
+func TestZeroRHS(t *testing.T) {
+	res, err := Solve([][]int64{{1, 1}}, []int64{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("should be feasible with x = 0")
+	}
+	if res.X[0].Sign() != 0 || res.X[1].Sign() != 0 {
+		t.Errorf("expected zero solution, got %v", res.X)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Solve(nil, nil, nil); err == nil {
+		t.Error("expected error for empty system")
+	}
+	if _, err := Solve([][]int64{{1}, {1, 2}}, []int64{1, 2}, nil); err == nil {
+		t.Error("expected ragged-matrix error")
+	}
+	if _, err := Solve([][]int64{{1}}, []int64{1, 2}, nil); err == nil {
+		t.Error("expected b-length error")
+	}
+	if _, err := Solve([][]int64{{1}}, []int64{1}, []int64{1, 2}); err == nil {
+		t.Error("expected c-length error")
+	}
+}
+
+func TestSolveSparse(t *testing.T) {
+	// Two rows; columns {0}, {1}, {0,1}: x1 + x3 = 2, x2 + x3 = 2.
+	res, err := SolveSparse(2, [][]int{{0}, {1}, {0, 1}}, []int64{2, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("should be feasible")
+	}
+	// Verify the returned point satisfies the constraints.
+	sum0 := new(big.Rat).Add(res.X[0], res.X[2])
+	sum1 := new(big.Rat).Add(res.X[1], res.X[2])
+	if sum0.Cmp(big.NewRat(2, 1)) != 0 || sum1.Cmp(big.NewRat(2, 1)) != 0 {
+		t.Errorf("solution %v violates constraints", res.X)
+	}
+}
+
+func TestSolveSparseValidation(t *testing.T) {
+	if _, err := SolveSparse(2, [][]int{{5}}, []int64{1, 1}, nil); err == nil {
+		t.Error("expected row-range error")
+	}
+}
+
+func TestSolutionsAreAlwaysNonNegativeAndExact(t *testing.T) {
+	// Random small systems: whenever the solver says feasible, the returned
+	// point must satisfy Ax = b exactly with x ≥ 0.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 80; trial++ {
+		m := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(4)
+		a := make([][]int64, m)
+		for i := range a {
+			a[i] = make([]int64, n)
+			for j := range a[i] {
+				a[i][j] = int64(rng.Intn(5) - 2)
+			}
+		}
+		b := make([]int64, m)
+		for i := range b {
+			b[i] = int64(rng.Intn(7) - 3)
+		}
+		res, err := Solve(a, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			continue
+		}
+		for j := range res.X {
+			if res.X[j].Sign() < 0 {
+				t.Fatalf("negative coordinate in %v", res.X)
+			}
+		}
+		for i := 0; i < m; i++ {
+			lhs := new(big.Rat)
+			for j := 0; j < n; j++ {
+				term := new(big.Rat).Mul(big.NewRat(a[i][j], 1), res.X[j])
+				lhs.Add(lhs, term)
+			}
+			if lhs.Cmp(big.NewRat(b[i], 1)) != 0 {
+				t.Fatalf("row %d: Ax=%v, b=%d, x=%v", i, lhs, b[i], res.X)
+			}
+		}
+	}
+}
+
+func TestOptimalValueMatchesBruteForceOnAssignment(t *testing.T) {
+	// Transportation-style LP with a known integral optimum:
+	// supplies 3 and 2 to demands 4 and 1 with costs 1,5,2,1.
+	// Variables x11,x12,x21,x22. Rows: supply1, supply2, demand1, demand2.
+	a := [][]int64{
+		{1, 1, 0, 0},
+		{0, 0, 1, 1},
+		{1, 0, 1, 0},
+		{0, 1, 0, 1},
+	}
+	b := []int64{3, 2, 4, 1}
+	c := []int64{1, 5, 2, 1}
+	res, err := Solve(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Unbounded {
+		t.Fatalf("status %+v", res)
+	}
+	// Optimum ships x11=3, x21=1, x22=1: cost 3+2+1=6.
+	ratEq(t, res.Value, 6, 1)
+}
+
+func TestSolveRatWithRationalCoefficients(t *testing.T) {
+	// (1/2)x + (1/3)y = 1, x - y = 0 → x = y = 6/5.
+	a := [][]*big.Rat{
+		{big.NewRat(1, 2), big.NewRat(1, 3)},
+		{big.NewRat(1, 1), big.NewRat(-1, 1)},
+	}
+	b := []*big.Rat{big.NewRat(1, 1), big.NewRat(0, 1)}
+	res, err := SolveRat(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("should be feasible")
+	}
+	ratEq(t, res.X[0], 6, 5)
+	ratEq(t, res.X[1], 6, 5)
+}
+
+func TestSolveRatObjectiveWithRationals(t *testing.T) {
+	// min (1/4)x + y over x + y = 2: put all mass on x.
+	a := [][]*big.Rat{{big.NewRat(1, 1), big.NewRat(1, 1)}}
+	b := []*big.Rat{big.NewRat(2, 1)}
+	c := []*big.Rat{big.NewRat(1, 4), big.NewRat(1, 1)}
+	res, err := SolveRat(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Unbounded {
+		t.Fatalf("status %+v", res)
+	}
+	ratEq(t, res.Value, 1, 2)
+	ratEq(t, res.X[0], 2, 1)
+}

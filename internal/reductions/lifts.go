@@ -1,0 +1,381 @@
+package reductions
+
+import (
+	"fmt"
+	"sort"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/core"
+	"bagconsistency/internal/hypergraph"
+)
+
+// requireFamilyLayout checks that a collection's hypergraph has exactly the
+// edge list (content and order) of the given family hypergraph, so bag
+// indices can be mapped positionally by the lifts.
+func requireFamilyLayout(c *core.Collection, want *hypergraph.Hypergraph, name string) error {
+	got := c.Hypergraph().Edges()
+	wantEdges := want.Edges()
+	if len(got) != len(wantEdges) {
+		return fmt.Errorf("reductions: collection has %d edges, %s has %d", len(got), name, len(wantEdges))
+	}
+	for i := range got {
+		if len(got[i]) != len(wantEdges[i]) {
+			return fmt.Errorf("reductions: edge %d is %v, %s expects %v", i, got[i], name, wantEdges[i])
+		}
+		for j := range got[i] {
+			if got[i][j] != wantEdges[i][j] {
+				return fmt.Errorf("reductions: edge %d is %v, %s expects %v", i, got[i], name, wantEdges[i])
+			}
+		}
+	}
+	return nil
+}
+
+// LiftCycleInstance implements the polynomial reduction of Lemma 6 from
+// GCPB(C_{n-1}) to GCPB(C_n): the last bag R_{n-1}(A_{n-1}A_1) is replaced
+// by an identical copy of schema (A_{n-1}, A_n), and a diagonal bag
+// R_n(A_nA_1) with R_n(a,a) = R_{n-1}[A_1](a) is appended. The input
+// collection must be over hypergraph.Cycle(n-1) with the family's
+// attribute naming; the output is over hypergraph.Cycle(n). The input is
+// globally consistent iff the output is.
+func LiftCycleInstance(c *core.Collection) (*core.Collection, error) {
+	m := c.Len() // m = n-1 edges on the (n-1)-cycle
+	if m < 3 {
+		return nil, fmt.Errorf("reductions: cycle lift needs C_n with n ≥ 3, got %d edges", m)
+	}
+	if err := requireFamilyLayout(c, hypergraph.Cycle(m), "Cycle"); err != nil {
+		return nil, err
+	}
+	n := m + 1
+	a1 := hypergraph.AttrName(1)
+	aPrev := hypergraph.AttrName(m) // A_{n-1}
+	aNew := hypergraph.AttrName(n)  // A_n
+
+	out := hypergraph.Cycle(n)
+	bags := make([]*bag.Bag, n)
+	for i := 0; i < m-1; i++ {
+		bags[i] = c.Bag(i)
+	}
+
+	// Copy R_{n-1}(A_{n-1}, A_1) to schema (A_{n-1}, A_n): the value of A_1
+	// moves to A_n.
+	old := c.Bag(m - 1)
+	copySchema, err := bag.NewSchema(aPrev, aNew)
+	if err != nil {
+		return nil, err
+	}
+	cp := bag.New(copySchema)
+	err = old.Each(func(t bag.Tuple, count int64) error {
+		vPrev, _ := t.Value(aPrev)
+		v1, _ := t.Value(a1)
+		vals := make([]string, 2)
+		vals[copySchema.Pos(aPrev)] = vPrev
+		vals[copySchema.Pos(aNew)] = v1
+		return cp.Add(vals, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	bags[m-1] = cp
+
+	// Diagonal bag R_n(A_n, A_1) with multiplicities from R_{n-1}[A_1].
+	margin, err := old.Marginal(bag.MustSchema(a1))
+	if err != nil {
+		return nil, err
+	}
+	diagSchema, err := bag.NewSchema(aNew, a1)
+	if err != nil {
+		return nil, err
+	}
+	diag := bag.New(diagSchema)
+	err = margin.Each(func(t bag.Tuple, count int64) error {
+		v := t.Values()[0]
+		vals := make([]string, 2)
+		vals[diagSchema.Pos(aNew)] = v
+		vals[diagSchema.Pos(a1)] = v
+		return diag.Add(vals, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	bags[n-1] = diag
+	return core.NewCollection(out, bags)
+}
+
+// LiftCycleWitness maps a witness of a C_{n-1} instance to a witness of its
+// LiftCycleInstance image: each global tuple is extended with A_n carrying
+// the value of A_1 (the diagonal constraint of the added bag).
+func LiftCycleWitness(w *bag.Bag, n int) (*bag.Bag, error) {
+	a1 := hypergraph.AttrName(1)
+	aNew := hypergraph.AttrName(n)
+	if !w.Schema().Has(a1) || w.Schema().Has(aNew) {
+		return nil, fmt.Errorf("reductions: witness schema %v incompatible with cycle lift to n=%d", w.Schema(), n)
+	}
+	newSchema, err := bag.NewSchema(append(w.Schema().Attrs(), aNew)...)
+	if err != nil {
+		return nil, err
+	}
+	out := bag.New(newSchema)
+	err = w.Each(func(t bag.Tuple, count int64) error {
+		v1, _ := t.Value(a1)
+		vals := make([]string, newSchema.Len())
+		for i, a := range newSchema.Attrs() {
+			if a == aNew {
+				vals[i] = v1
+				continue
+			}
+			v, _ := t.Value(a)
+			vals[i] = v
+		}
+		return out.Add(vals, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LowerCycleWitness maps a witness of the lifted C_n instance back to one
+// of the original C_{n-1} instance by dropping A_n. Because the diagonal
+// bag pins A_n to A_1 on the witness's support, the marginal loses nothing.
+func LowerCycleWitness(w *bag.Bag, n int) (*bag.Bag, error) {
+	aNew := hypergraph.AttrName(n)
+	if !w.Schema().Has(aNew) {
+		return nil, fmt.Errorf("reductions: witness schema %v lacks %s", w.Schema(), aNew)
+	}
+	return w.Marginal(w.Schema().Minus(bag.MustSchema(aNew)))
+}
+
+// activeDomains returns, for each attribute name, the sorted set of values
+// appearing for it in any bag's support.
+func activeDomains(c *core.Collection) map[string][]string {
+	seen := make(map[string]map[string]bool)
+	for i := 0; i < c.Len(); i++ {
+		b := c.Bag(i)
+		attrs := b.Schema().Attrs()
+		_ = b.Each(func(t bag.Tuple, count int64) error {
+			for _, a := range attrs {
+				v, _ := t.Value(a)
+				if seen[a] == nil {
+					seen[a] = make(map[string]bool)
+				}
+				seen[a][v] = true
+			}
+			return nil
+		})
+	}
+	out := make(map[string][]string, len(seen))
+	for a, vs := range seen {
+		var list []string
+		for v := range vs {
+			list = append(list, v)
+		}
+		sort.Strings(list)
+		out[a] = list
+	}
+	return out
+}
+
+// maxMultiplicity returns the largest multiplicity across the collection.
+func maxMultiplicity(c *core.Collection) int64 {
+	var m int64
+	for i := 0; i < c.Len(); i++ {
+		if v := c.Bag(i).MultiplicityBound(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// LiftAllButOneInstance implements the polynomial reduction of Lemma 7 from
+// GCPB(H_{n-1}) to GCPB(H_n). With M the maximum input multiplicity and
+// D_i the active-domain size of attribute A_i, each bag R_i over
+// X_i = {A_1..A_{n-1}} \ {A_i} becomes S_i over Y_i = X_i ∪ {A_n} with
+// S_i(t,1) = R_i(t) and S_i(t,2) = M·D_i − R_i(t) for every t in the
+// product of active domains, and a final uniform bag S_n(t) = M over
+// Y_n = {A_1..A_{n-1}} is appended. The input is globally consistent iff
+// the output is.
+//
+// The product of active domains makes the lifted bags exponentially larger
+// in n; this mirrors the paper's reduction, which fixes n (the schema) and
+// is polynomial for each fixed n.
+func LiftAllButOneInstance(c *core.Collection) (*core.Collection, error) {
+	m := c.Len() // m = n-1 bags over H_{n-1}
+	if m < 3 {
+		return nil, fmt.Errorf("reductions: H_n lift needs H_k with k ≥ 3, got %d bags", m)
+	}
+	if err := requireFamilyLayout(c, hypergraph.AllButOne(m), "AllButOne"); err != nil {
+		return nil, err
+	}
+	n := m + 1
+	aNew := hypergraph.AttrName(n)
+	doms := activeDomains(c)
+	bigM := maxMultiplicity(c)
+	out := hypergraph.AllButOne(n)
+
+	bags := make([]*bag.Bag, n)
+	for i := 0; i < m; i++ {
+		// Edge i of AllButOne(m) is {A_1..A_m} \ {A_{i+1}}; D is the active
+		// domain size of the missing attribute.
+		missing := hypergraph.AttrName(i + 1)
+		d := int64(len(doms[missing]))
+		oldBag := c.Bag(i)
+		attrs := oldBag.Schema().Attrs()
+		newSchema, err := bag.NewSchema(append(append([]string{}, attrs...), aNew)...)
+		if err != nil {
+			return nil, err
+		}
+		nb := bag.New(newSchema)
+		// Enumerate the product of active domains of attrs.
+		if err := enumerateProduct(doms, attrs, func(vals map[string]string) error {
+			row := make([]string, newSchema.Len())
+			oldRow := make([]string, len(attrs))
+			for j, a := range attrs {
+				oldRow[j] = vals[a]
+			}
+			for j, a := range newSchema.Attrs() {
+				if a == aNew {
+					continue
+				}
+				row[j] = vals[a]
+			}
+			ri := oldBag.Count(oldRow)
+			row[newSchema.Pos(aNew)] = "1"
+			if err := nb.Add(row, ri); err != nil {
+				return err
+			}
+			rest := bigM*d - ri
+			if rest < 0 {
+				return fmt.Errorf("reductions: negative complement multiplicity (internal error)")
+			}
+			row2 := append([]string(nil), row...)
+			row2[newSchema.Pos(aNew)] = "2"
+			return nb.Add(row2, rest)
+		}); err != nil {
+			return nil, err
+		}
+		bags[i] = nb
+	}
+
+	// S_n over {A_1..A_{n-1}}: uniform M on the full product.
+	var allAttrs []string
+	for i := 1; i <= m; i++ {
+		allAttrs = append(allAttrs, hypergraph.AttrName(i))
+	}
+	lastSchema, err := bag.NewSchema(allAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	last := bag.New(lastSchema)
+	if err := enumerateProduct(doms, allAttrs, func(vals map[string]string) error {
+		row := make([]string, lastSchema.Len())
+		for j, a := range lastSchema.Attrs() {
+			row[j] = vals[a]
+		}
+		return last.Add(row, bigM)
+	}); err != nil {
+		return nil, err
+	}
+	bags[n-1] = last
+	return core.NewCollection(out, bags)
+}
+
+// enumerateProduct calls fn for every assignment of the listed attributes
+// to values from their active domains. If any listed attribute has an empty
+// active domain the product is empty and fn is never called.
+func enumerateProduct(doms map[string][]string, attrs []string, fn func(map[string]string) error) error {
+	assign := make(map[string]string, len(attrs))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(attrs) {
+			return fn(assign)
+		}
+		for _, v := range doms[attrs[i]] {
+			assign[attrs[i]] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// LiftAllButOneWitness maps a witness R of an H_{n-1} instance to a
+// witness S of its LiftAllButOneInstance image: S(t,1) = R(t) and
+// S(t,2) = M − R(t) over the product of active domains.
+func LiftAllButOneWitness(c *core.Collection, w *bag.Bag) (*bag.Bag, error) {
+	m := c.Len()
+	n := m + 1
+	aNew := hypergraph.AttrName(n)
+	doms := activeDomains(c)
+	bigM := maxMultiplicity(c)
+	var allAttrs []string
+	for i := 1; i <= m; i++ {
+		allAttrs = append(allAttrs, hypergraph.AttrName(i))
+	}
+	wantSchema, err := bag.NewSchema(allAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	if !w.Schema().Equal(wantSchema) {
+		return nil, fmt.Errorf("reductions: witness schema %v, want %v", w.Schema(), wantSchema)
+	}
+	newSchema, err := bag.NewSchema(append(append([]string{}, allAttrs...), aNew)...)
+	if err != nil {
+		return nil, err
+	}
+	out := bag.New(newSchema)
+	if err := enumerateProduct(doms, allAttrs, func(vals map[string]string) error {
+		oldRow := make([]string, len(allAttrs))
+		for j, a := range w.Schema().Attrs() {
+			oldRow[j] = vals[a]
+		}
+		r := w.Count(oldRow)
+		if r > bigM {
+			return fmt.Errorf("reductions: witness multiplicity %d exceeds M = %d", r, bigM)
+		}
+		row := make([]string, newSchema.Len())
+		for j, a := range newSchema.Attrs() {
+			if a != aNew {
+				row[j] = vals[a]
+			}
+		}
+		row[newSchema.Pos(aNew)] = "1"
+		if err := out.Add(row, r); err != nil {
+			return err
+		}
+		row2 := append([]string(nil), row...)
+		row2[newSchema.Pos(aNew)] = "2"
+		return out.Add(row2, bigM-r)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LowerAllButOneWitness maps a witness S of the lifted H_n instance back
+// to a witness of the original: R(t) = S(t, A_n = 1).
+func LowerAllButOneWitness(w *bag.Bag, n int) (*bag.Bag, error) {
+	aNew := hypergraph.AttrName(n)
+	if !w.Schema().Has(aNew) {
+		return nil, fmt.Errorf("reductions: witness schema %v lacks %s", w.Schema(), aNew)
+	}
+	rest := w.Schema().Minus(bag.MustSchema(aNew))
+	out := bag.New(rest)
+	err := w.Each(func(t bag.Tuple, count int64) error {
+		v, _ := t.Value(aNew)
+		if v != "1" {
+			return nil
+		}
+		proj, err := t.Project(rest)
+		if err != nil {
+			return err
+		}
+		return out.AddTuple(proj, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

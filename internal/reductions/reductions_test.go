@@ -1,0 +1,560 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/core"
+	"bagconsistency/internal/hypergraph"
+	"bagconsistency/internal/ilp"
+	"bagconsistency/internal/relational"
+)
+
+// --- HLY80: 3-colorability ↔ global consistency of relations ---
+
+func TestThreeColoringInstanceShape(t *testing.T) {
+	h, rels, err := ThreeColoringInstance(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 2 || len(rels) != 2 {
+		t.Fatalf("instance has %d edges, %d relations", h.NumEdges(), len(rels))
+	}
+	for i, r := range rels {
+		if r.Len() != 6 {
+			t.Errorf("relation %d has %d tuples, want the six distinct-color pairs", i, r.Len())
+		}
+		if r.Schema().Len() != 2 {
+			t.Errorf("relation %d is not binary", i)
+		}
+	}
+	if err := relational.CollectionOver(h, rels); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeColoringInstanceValidation(t *testing.T) {
+	if _, _, err := ThreeColoringInstance(0, nil); err == nil {
+		t.Error("expected vertex-count error")
+	}
+	if _, _, err := ThreeColoringInstance(2, nil); err == nil {
+		t.Error("expected edge-count error")
+	}
+	if _, _, err := ThreeColoringInstance(2, [][2]int{{0, 0}}); err == nil {
+		t.Error("expected self-loop error")
+	}
+	if _, _, err := ThreeColoringInstance(2, [][2]int{{0, 5}}); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestThreeColorableBruteForce(t *testing.T) {
+	triangle := [][2]int{{0, 1}, {1, 2}, {2, 0}}
+	if !ThreeColorable(3, triangle) {
+		t.Error("triangle is 3-colorable")
+	}
+	// K4 is 3-colorable? No: needs 4 colors.
+	k4 := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if ThreeColorable(4, k4) {
+		t.Error("K4 is not 3-colorable")
+	}
+}
+
+func TestHLY80ReductionCorrectness(t *testing.T) {
+	// On random small graphs: globally consistent iff 3-colorable.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(3)
+		var edges [][2]int
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			edges = append(edges, [2]int{0, 1})
+		}
+		_, rels, err := ThreeColoringInstance(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		consistent, _, err := relational.GloballyConsistent(rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colorable := ThreeColorable(n, edges)
+		if consistent != colorable {
+			t.Fatalf("trial %d: consistent=%v colorable=%v (n=%d edges=%v)", trial, consistent, colorable, n, edges)
+		}
+	}
+}
+
+func TestColoringToWitness(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}}
+	_, rels, err := ThreeColoringInstance(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ColoringToWitness(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := relational.VerifyWitness(w, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("all-colorings witness fails verification")
+	}
+	// Non-colorable graph: empty witness.
+	k4 := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	w4, err := ColoringToWitness(4, k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w4.Len() != 0 {
+		t.Error("K4 should have no proper colorings")
+	}
+}
+
+// --- 3DCT ↔ GCPB(C3) ---
+
+func randomTable(rng *rand.Rand, n int, maxV int64) [][][]int64 {
+	x := make([][][]int64, n)
+	for i := range x {
+		x[i] = make([][]int64, n)
+		for j := range x[i] {
+			x[i][j] = make([]int64, n)
+			for k := range x[i][j] {
+				x[i][j][k] = rng.Int63n(maxV + 1)
+			}
+		}
+	}
+	return x
+}
+
+func TestThreeDCTValidation(t *testing.T) {
+	bad := &ThreeDCT{N: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected n error")
+	}
+	bad2 := &ThreeDCT{N: 2, Row: zeros(2), Col: zeros(2), Flat: zeros(1)}
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected dimension error")
+	}
+	bad3 := &ThreeDCT{N: 1, Row: [][]int64{{-1}}, Col: zeros(1), Flat: zeros(1)}
+	if err := bad3.Validate(); err == nil {
+		t.Error("expected negativity error")
+	}
+}
+
+func TestThreeDCTRoundTrip(t *testing.T) {
+	// Margins of a random table must be decided consistent, and the decoded
+	// witness table must reproduce the margins.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(2)
+		table := randomTable(rng, n, 4)
+		inst, err := FromTable(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inst.CheckTable(table) {
+			t.Fatal("CheckTable rejects the source table")
+		}
+		c, err := inst.ToCollection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 5_000_000}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Consistent {
+			t.Fatal("margins of an actual table must be consistent")
+		}
+		decoded, err := inst.TableFromWitness(dec.Witness)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inst.CheckTable(decoded) {
+			t.Fatal("decoded witness table does not satisfy the margins")
+		}
+	}
+}
+
+func TestThreeDCTInfeasible(t *testing.T) {
+	// Mismatched totals: Row sums to 1, Col to 1, Flat to 2.
+	inst := &ThreeDCT{
+		N:    1,
+		Row:  [][]int64{{1}},
+		Col:  [][]int64{{1}},
+		Flat: [][]int64{{2}},
+	}
+	c, err := inst.ToCollection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.GloballyConsistent(core.GlobalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Consistent {
+		t.Error("mismatched margins must be inconsistent")
+	}
+}
+
+func TestThreeDCTPairwiseConsistentButGloballyInconsistent(t *testing.T) {
+	// The classical 2x2x2 example of margins that agree pairwise but admit
+	// no table: encode the C3 Tseitin collection's margins. Build from the
+	// Tseitin bags directly and check both properties via the 3DCT path.
+	c, err := core.TseitinCollection(hypergraph.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := c.PairwiseConsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pw {
+		t.Fatal("Tseitin margins must be pairwise consistent")
+	}
+	dec, err := c.GloballyConsistent(core.GlobalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Consistent {
+		t.Fatal("Tseitin margins must not admit a table")
+	}
+}
+
+// --- Lemma 6: GCPB(C_{n-1}) → GCPB(C_n) ---
+
+// randomCycleCollection returns marginals of a random global bag over
+// Cycle(n) (consistent), or the Tseitin collection (inconsistent).
+func randomCycleCollection(t *testing.T, rng *rand.Rand, n int, consistent bool) *core.Collection {
+	t.Helper()
+	h := hypergraph.Cycle(n)
+	if !consistent {
+		c, err := core.TseitinCollection(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	s, err := bag.NewSchema(h.Vertices()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bag.New(s)
+	for i := 0; i < 4; i++ {
+		vals := make([]string, s.Len())
+		for j := range vals {
+			vals[j] = string(rune('a' + rng.Intn(2)))
+		}
+		if err := g.Add(vals, 1+rng.Int63n(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := core.CollectionFromMarginals(h, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLiftCycleInstancePreservesConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	opts := core.GlobalOptions{ILP: ilp.Options{MaxNodes: 5_000_000}}
+	for _, consistent := range []bool{true, false} {
+		src := randomCycleCollection(t, rng, 3, consistent)
+		lifted, err := LiftCycleInstance(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lifted.Len() != 4 {
+			t.Fatalf("lifted collection has %d bags, want 4", lifted.Len())
+		}
+		srcDec, err := src.GloballyConsistent(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liftDec, err := lifted.GloballyConsistent(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srcDec.Consistent != consistent {
+			t.Fatalf("premise broken: source consistency = %v, want %v", srcDec.Consistent, consistent)
+		}
+		if liftDec.Consistent != srcDec.Consistent {
+			t.Fatalf("lift changed consistency: %v -> %v", srcDec.Consistent, liftDec.Consistent)
+		}
+	}
+}
+
+func TestLiftCycleWitnessRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	src := randomCycleCollection(t, rng, 3, true)
+	lifted, err := LiftCycleInstance(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := src.GloballyConsistent(core.GlobalOptions{})
+	if err != nil || !dec.Consistent {
+		t.Fatalf("source must be consistent (err=%v)", err)
+	}
+	up, err := LiftCycleWitness(dec.Witness, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := lifted.VerifyWitness(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("lifted witness fails on lifted instance")
+	}
+	down, err := LowerCycleWitness(up, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = src.VerifyWitness(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("lowered witness fails on source instance")
+	}
+}
+
+func TestLiftCycleChainToC6(t *testing.T) {
+	// Chain the reduction C3 → C4 → C5 → C6 on an inconsistent seed; the
+	// NP-hardness of every GCPB(C_n) rides on this chain.
+	rng := rand.New(rand.NewSource(17))
+	c := randomCycleCollection(t, rng, 3, false)
+	opts := core.GlobalOptions{ILP: ilp.Options{MaxNodes: 5_000_000}}
+	for n := 4; n <= 6; n++ {
+		var err error
+		c, err = LiftCycleInstance(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.GloballyConsistent(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Consistent {
+			t.Fatalf("inconsistency lost at C%d", n)
+		}
+	}
+}
+
+func TestLiftCycleInstanceValidation(t *testing.T) {
+	// Wrong layout: a path collection is rejected.
+	h := hypergraph.Path(3)
+	c, err := core.NewCollection(h, []*bag.Bag{
+		bag.New(bag.MustSchema(h.Edge(0)...)),
+		bag.New(bag.MustSchema(h.Edge(1)...)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LiftCycleInstance(c); err == nil {
+		t.Error("expected layout error")
+	}
+}
+
+// --- Lemma 7: GCPB(H_{n-1}) → GCPB(H_n) ---
+
+func randomAllButOneCollection(t *testing.T, rng *rand.Rand, n int, consistent bool) *core.Collection {
+	t.Helper()
+	h := hypergraph.AllButOne(n)
+	if !consistent {
+		c, err := core.TseitinCollection(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	s, err := bag.NewSchema(h.Vertices()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bag.New(s)
+	for i := 0; i < 3; i++ {
+		vals := make([]string, s.Len())
+		for j := range vals {
+			vals[j] = string(rune('a' + rng.Intn(2)))
+		}
+		if err := g.Add(vals, 1+rng.Int63n(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := core.CollectionFromMarginals(h, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLiftAllButOnePreservesConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	opts := core.GlobalOptions{ILP: ilp.Options{MaxNodes: 5_000_000}}
+	for _, consistent := range []bool{true, false} {
+		src := randomAllButOneCollection(t, rng, 3, consistent)
+		lifted, err := LiftAllButOneInstance(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lifted.Len() != 4 {
+			t.Fatalf("lifted has %d bags, want 4", lifted.Len())
+		}
+		srcDec, err := src.GloballyConsistent(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liftDec, err := lifted.GloballyConsistent(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srcDec.Consistent != consistent {
+			t.Fatalf("premise broken: source = %v, want %v", srcDec.Consistent, consistent)
+		}
+		if liftDec.Consistent != srcDec.Consistent {
+			t.Fatalf("H-lift changed consistency: %v -> %v", srcDec.Consistent, liftDec.Consistent)
+		}
+	}
+}
+
+func TestLiftAllButOneWitnessRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	src := randomAllButOneCollection(t, rng, 3, true)
+	lifted, err := LiftAllButOneInstance(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := src.GloballyConsistent(core.GlobalOptions{})
+	if err != nil || !dec.Consistent {
+		t.Fatalf("source must be consistent (err=%v)", err)
+	}
+	up, err := LiftAllButOneWitness(src, dec.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := lifted.VerifyWitness(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("lifted witness fails on lifted instance")
+	}
+	down, err := LowerAllButOneWitness(up, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = src.VerifyWitness(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("lowered witness fails on source instance")
+	}
+}
+
+func TestLiftAllButOneValidation(t *testing.T) {
+	h := hypergraph.Path(3)
+	c, err := core.NewCollection(h, []*bag.Bag{
+		bag.New(bag.MustSchema(h.Edge(0)...)),
+		bag.New(bag.MustSchema(h.Edge(1)...)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LiftAllButOneInstance(c); err == nil {
+		t.Error("expected layout error")
+	}
+}
+
+func TestHLY80OnClassicGraphs(t *testing.T) {
+	// Hand-picked graphs with known colorability: odd cycle (colorable),
+	// even cycle (colorable), K4 (not), Petersen subgraph wheel W5 (odd
+	// wheel, not 3-colorable).
+	cases := []struct {
+		name      string
+		n         int
+		edges     [][2]int
+		colorable bool
+	}{
+		{"C5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}, true},
+		{"C6", 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}, true},
+		{"K4", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, false},
+		{"W5", 6, [][2]int{
+			{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, // odd rim
+			{5, 0}, {5, 1}, {5, 2}, {5, 3}, {5, 4}, // hub
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ThreeColorable(tc.n, tc.edges); got != tc.colorable {
+				t.Fatalf("brute force says %v, want %v", got, tc.colorable)
+			}
+			_, rels, err := ThreeColoringInstance(tc.n, tc.edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			consistent, _, err := relational.GloballyConsistent(rels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if consistent != tc.colorable {
+				t.Errorf("reduction says %v, want %v", consistent, tc.colorable)
+			}
+		})
+	}
+}
+
+func TestThreeDCTZeroMarginsConsistent(t *testing.T) {
+	inst := &ThreeDCT{N: 2, Row: zeros(2), Col: zeros(2), Flat: zeros(2)}
+	c, err := inst.ToCollection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.GloballyConsistent(core.GlobalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Consistent {
+		t.Error("all-zero margins admit the all-zero table")
+	}
+}
+
+func TestTableFromWitnessRejectsBadValues(t *testing.T) {
+	inst := &ThreeDCT{N: 1, Row: [][]int64{{1}}, Col: [][]int64{{1}}, Flat: [][]int64{{1}}}
+	x, y, z := triangleAttrs()
+	s, err := bag.NewSchema(x, y, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bag.New(s)
+	vals := make([]string, 3)
+	vals[s.Pos(x)] = "not-a-number"
+	vals[s.Pos(y)] = "0"
+	vals[s.Pos(z)] = "0"
+	if err := w.Add(vals, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.TableFromWitness(w); err == nil {
+		t.Error("expected decode error")
+	}
+	w2 := bag.New(s)
+	vals[s.Pos(x)] = "7" // out of the 1x1x1 cube
+	if err := w2.Add(vals, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.TableFromWitness(w2); err == nil {
+		t.Error("expected range error")
+	}
+}

@@ -1,0 +1,202 @@
+package reductions
+
+import (
+	"fmt"
+	"strconv"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/core"
+	"bagconsistency/internal/hypergraph"
+)
+
+// ThreeDCT is an instance of the 3-dimensional contingency table problem of
+// Irving and Jerrum: given an n×n×n grid, do non-negative integers
+// X(i,j,k) exist with row sums Row(i,k) = Σ_j X(i,j,k), column sums
+// Col(j,k) = Σ_i X(i,j,k), and flat sums Flat(i,j) = Σ_k X(i,j,k)?
+//
+// Lemma 6 of the paper observes GCPB(C3) generalizes this problem: encode
+// the three margin tables as bags over the triangle schema
+// {X,Z}, {Y,Z}, {X,Y}.
+type ThreeDCT struct {
+	// N is the side length of the cube.
+	N int
+	// Row[i][k], Col[j][k] and Flat[i][j] are the three margin tables.
+	Row, Col, Flat [][]int64
+}
+
+// Validate checks dimensions and non-negativity.
+func (t *ThreeDCT) Validate() error {
+	if t.N < 1 {
+		return fmt.Errorf("reductions: 3DCT needs n ≥ 1")
+	}
+	check := func(name string, m [][]int64) error {
+		if len(m) != t.N {
+			return fmt.Errorf("reductions: %s has %d rows, want %d", name, len(m), t.N)
+		}
+		for i, row := range m {
+			if len(row) != t.N {
+				return fmt.Errorf("reductions: %s row %d has %d entries, want %d", name, i, len(row), t.N)
+			}
+			for j, v := range row {
+				if v < 0 {
+					return fmt.Errorf("reductions: %s[%d][%d] = %d is negative", name, i, j, v)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("Row", t.Row); err != nil {
+		return err
+	}
+	if err := check("Col", t.Col); err != nil {
+		return err
+	}
+	return check("Flat", t.Flat)
+}
+
+// triangleAttrs are the attribute names used by the C3 encoding; they
+// match hypergraph.Triangle()'s vertex naming so decisions and
+// counterexamples compose.
+func triangleAttrs() (x, y, z string) {
+	return hypergraph.AttrName(1), hypergraph.AttrName(2), hypergraph.AttrName(3)
+}
+
+// ToCollection encodes the instance as a collection of three bags over the
+// triangle C3, as in Lemma 6: R(XZ) = Row, C(YZ) = Col, F(XY) = Flat.
+// Tuples whose margin is 0 are omitted (zero multiplicities are implicit).
+// The edges follow hypergraph.Cycle(3)'s layout ({X,Y}, {Y,Z}, {Z,X}) so
+// the result feeds directly into LiftCycleInstance.
+func (t *ThreeDCT) ToCollection() (*core.Collection, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	x, y, z := triangleAttrs()
+	h, err := hypergraph.New([][]string{{x, y}, {y, z}, {z, x}})
+	if err != nil {
+		return nil, err
+	}
+	mkBag := func(a1, a2 string, m [][]int64) (*bag.Bag, error) {
+		s, err := bag.NewSchema(a1, a2)
+		if err != nil {
+			return nil, err
+		}
+		b := bag.New(s)
+		for i := 0; i < t.N; i++ {
+			for j := 0; j < t.N; j++ {
+				if m[i][j] == 0 {
+					continue
+				}
+				vals := make([]string, 2)
+				vals[s.Pos(a1)] = strconv.Itoa(i)
+				vals[s.Pos(a2)] = strconv.Itoa(j)
+				if err := b.Add(vals, m[i][j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return b, nil
+	}
+	fb, err := mkBag(x, y, t.Flat)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := mkBag(y, z, t.Col)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := mkBag(x, z, t.Row)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCollection(h, []*bag.Bag{fb, cb, rb})
+}
+
+// FromTable builds the (consistent by construction) instance whose margins
+// are those of the given table X[i][j][k].
+func FromTable(x [][][]int64) (*ThreeDCT, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("reductions: empty table")
+	}
+	t := &ThreeDCT{N: n, Row: zeros(n), Col: zeros(n), Flat: zeros(n)}
+	for i := 0; i < n; i++ {
+		if len(x[i]) != n {
+			return nil, fmt.Errorf("reductions: ragged table")
+		}
+		for j := 0; j < n; j++ {
+			if len(x[i][j]) != n {
+				return nil, fmt.Errorf("reductions: ragged table")
+			}
+			for k := 0; k < n; k++ {
+				v := x[i][j][k]
+				if v < 0 {
+					return nil, fmt.Errorf("reductions: negative table entry")
+				}
+				t.Row[i][k] += v
+				t.Col[j][k] += v
+				t.Flat[i][j] += v
+			}
+		}
+	}
+	return t, nil
+}
+
+// TableFromWitness decodes a witnessing bag over the triangle schema back
+// into an n×n×n table, inverting ToCollection.
+func (t *ThreeDCT) TableFromWitness(w *bag.Bag) ([][][]int64, error) {
+	x, y, z := triangleAttrs()
+	out := make([][][]int64, t.N)
+	for i := range out {
+		out[i] = zeros(t.N)
+	}
+	err := w.Each(func(tp bag.Tuple, count int64) error {
+		iv, _ := tp.Value(x)
+		jv, _ := tp.Value(y)
+		kv, _ := tp.Value(z)
+		i, err := strconv.Atoi(iv)
+		if err != nil {
+			return fmt.Errorf("reductions: bad witness value %q", iv)
+		}
+		j, err := strconv.Atoi(jv)
+		if err != nil {
+			return fmt.Errorf("reductions: bad witness value %q", jv)
+		}
+		k, err := strconv.Atoi(kv)
+		if err != nil {
+			return fmt.Errorf("reductions: bad witness value %q", kv)
+		}
+		if i < 0 || i >= t.N || j < 0 || j >= t.N || k < 0 || k >= t.N {
+			return fmt.Errorf("reductions: witness index (%d,%d,%d) outside cube", i, j, k)
+		}
+		out[i][j][k] = count
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CheckTable verifies that a table matches the instance's margins exactly.
+func (t *ThreeDCT) CheckTable(x [][][]int64) bool {
+	from, err := FromTable(x)
+	if err != nil || from.N != t.N {
+		return false
+	}
+	for i := 0; i < t.N; i++ {
+		for j := 0; j < t.N; j++ {
+			if from.Row[i][j] != t.Row[i][j] || from.Col[i][j] != t.Col[i][j] || from.Flat[i][j] != t.Flat[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func zeros(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	return m
+}

@@ -1,0 +1,189 @@
+package relational
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/hypergraph"
+)
+
+func TestSemiJoin(t *testing.T) {
+	r := mustRel(t, bag.MustSchema("A", "B"), [][]string{{"1", "2"}, {"3", "4"}})
+	s := mustRel(t, bag.MustSchema("B", "C"), [][]string{{"2", "x"}})
+	sj, err := SemiJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.Len() != 1 || !sj.Has([]string{"1", "2"}) {
+		t.Errorf("semijoin = %v", sj.Tuples())
+	}
+}
+
+func TestSemiJoinDisjointSchemas(t *testing.T) {
+	// With no shared attributes, r ⋉ s is r if s is non-empty and empty
+	// otherwise.
+	r := mustRel(t, bag.MustSchema("A"), [][]string{{"1"}})
+	s := mustRel(t, bag.MustSchema("B"), [][]string{{"x"}})
+	sj, err := SemiJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.Len() != 1 {
+		t.Error("semijoin with non-empty disjoint relation should keep everything")
+	}
+	empty := New(bag.MustSchema("B"))
+	sj2, err := SemiJoin(r, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj2.Len() != 0 {
+		t.Error("semijoin with empty relation should drop everything")
+	}
+}
+
+// randomRelations builds arbitrary (unreduced, possibly dangling) relations
+// over the edges of h.
+func randomRelations(t *testing.T, rng *rand.Rand, h *hypergraph.Hypergraph, size, domain int) []*Relation {
+	t.Helper()
+	var rs []*Relation
+	for i := 0; i < h.NumEdges(); i++ {
+		s, err := bag.NewSchema(h.Edge(i)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := New(s)
+		for k := 0; k < size; k++ {
+			vals := make([]string, s.Len())
+			for j := range vals {
+				vals[j] = strconv.Itoa(rng.Intn(domain))
+			}
+			if err := r.Add(vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+func TestFullReduceMatchesJoinProjections(t *testing.T) {
+	// The defining property of a full reducer: after reduction, each
+	// relation equals the projection of the full join of the ORIGINALS.
+	rng := rand.New(rand.NewSource(61))
+	schemas := []*hypergraph.Hypergraph{
+		hypergraph.Path(3),
+		hypergraph.Path(5),
+		hypergraph.Star(4),
+		hypergraph.Must([]string{"A", "B", "C"}, []string{"B", "C", "D"}, []string{"D", "E"}),
+	}
+	for _, h := range schemas {
+		for trial := 0; trial < 10; trial++ {
+			rs := randomRelations(t, rng, h, 6, 3)
+			reduced, err := FullReduce(h, rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := JoinAll(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range reduced {
+				want, err := full.Project(r.Schema())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !r.Equal(want) {
+					t.Fatalf("%v edge %d: reduced relation differs from join projection", h, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFullReduceOutputGloballyConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	h := hypergraph.Path(4)
+	for trial := 0; trial < 10; trial++ {
+		rs := randomRelations(t, rng, h, 5, 3)
+		reduced, err := FullReduce(h, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, _, err := GloballyConsistent(reduced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("fully reduced relations must be globally consistent")
+		}
+	}
+}
+
+func TestFullReduceIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	h := hypergraph.Path(4)
+	rs := randomRelations(t, rng, h, 6, 3)
+	once, err := FullReduce(h, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := FullReduce(h, once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range once {
+		if !once[i].Equal(twice[i]) {
+			t.Fatal("full reduction should be idempotent")
+		}
+	}
+}
+
+func TestFullReduceRejectsCyclic(t *testing.T) {
+	h := hypergraph.Triangle()
+	rs := randomRelations(t, rand.New(rand.NewSource(1)), h, 3, 2)
+	if _, err := FullReduce(h, rs); err == nil {
+		t.Error("expected error on cyclic schema")
+	}
+}
+
+func TestFullReduceValidatesCollection(t *testing.T) {
+	h := hypergraph.Path(3)
+	if _, err := FullReduce(h, nil); err == nil {
+		t.Error("expected collection validation error")
+	}
+}
+
+func TestAcyclicJoinMatchesNaiveJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	schemas := []*hypergraph.Hypergraph{
+		hypergraph.Path(4),
+		hypergraph.Star(4),
+		hypergraph.Must([]string{"A", "B", "C"}, []string{"C", "D"}, []string{"D", "E", "F"}),
+	}
+	for _, h := range schemas {
+		for trial := 0; trial < 10; trial++ {
+			rs := randomRelations(t, rng, h, 5, 3)
+			fast, err := AcyclicJoin(h, rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, err := JoinAll(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fast.Equal(naive) {
+				t.Fatalf("%v: Yannakakis join differs from naive join", h)
+			}
+		}
+	}
+}
+
+func TestAcyclicJoinRejectsCyclic(t *testing.T) {
+	h := hypergraph.Triangle()
+	rs := randomRelations(t, rand.New(rand.NewSource(2)), h, 3, 2)
+	if _, err := AcyclicJoin(h, rs); err == nil {
+		t.Error("expected error on cyclic schema")
+	}
+}

@@ -1,0 +1,200 @@
+// Package relational implements the set-semantics baseline that the paper
+// contrasts with bags (Sections 4 and 5.1): relations, projections, natural
+// joins, pairwise and global consistency, and the classical facts quoted
+// from Honeyman–Ladner–Yannakakis and Beeri–Fagin–Maier–Yannakakis:
+//
+//   - a witness of global consistency is always contained in the full join;
+//   - relations are globally consistent iff the full join projects back
+//     onto each of them, so for every *fixed* schema the problem is
+//     polynomial (the join size is polynomial when m is fixed);
+//   - over acyclic schemas, pairwise consistency implies global
+//     consistency (the local-to-global property for relations).
+//
+// Relations are represented as multiplicity-1 bags so the two semantics
+// share tuple machinery and can be compared directly in experiments.
+package relational
+
+import (
+	"fmt"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/hypergraph"
+)
+
+// Relation is a finite set of tuples over a schema.
+type Relation struct {
+	b *bag.Bag
+}
+
+// New returns an empty relation over the schema.
+func New(s *bag.Schema) *Relation {
+	return &Relation{b: bag.New(s)}
+}
+
+// FromRows builds a relation from rows of values (duplicates collapse).
+func FromRows(s *bag.Schema, rows [][]string) (*Relation, error) {
+	r := New(s)
+	for _, row := range rows {
+		if err := r.Add(row); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// FromBagSupport returns the relation underlying a bag's support.
+func FromBagSupport(b *bag.Bag) *Relation {
+	return &Relation{b: b.SupportBag()}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *bag.Schema { return r.b.Schema() }
+
+// Add inserts a tuple (idempotent).
+func (r *Relation) Add(vals []string) error {
+	if r.b.Count(vals) > 0 {
+		return nil
+	}
+	return r.b.Add(vals, 1)
+}
+
+// Has reports membership.
+func (r *Relation) Has(vals []string) bool { return r.b.Count(vals) > 0 }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return r.b.Len() }
+
+// Tuples returns the tuples in deterministic order.
+func (r *Relation) Tuples() []bag.Tuple { return r.b.Tuples() }
+
+// Bag returns a copy of the relation as a multiplicity-1 bag.
+func (r *Relation) Bag() *bag.Bag { return r.b.Clone() }
+
+// Project returns the relational projection r[sub] (set semantics: presence
+// only, no counting).
+func (r *Relation) Project(sub *bag.Schema) (*Relation, error) {
+	m, err := r.b.Marginal(sub)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{b: m.SupportBag()}, nil
+}
+
+// Equal reports set equality over equal schemas.
+func (r *Relation) Equal(s *Relation) bool { return r.b.Equal(s.b) }
+
+// Join computes the natural join r ⋈ s.
+func Join(r, s *Relation) (*Relation, error) {
+	j, err := bag.Join(r.b, s.b)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{b: j.SupportBag()}, nil
+}
+
+// JoinAll folds Join over the list (m ≥ 1).
+func JoinAll(rs []*Relation) (*Relation, error) {
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("relational: join of zero relations")
+	}
+	acc := rs[0]
+	var err error
+	for _, r := range rs[1:] {
+		acc, err = Join(acc, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// PairConsistent reports whether two relations have a common extension:
+// equivalently (and trivially, unlike for bags), whether their projections
+// on the shared attributes coincide.
+func PairConsistent(r, s *Relation) (bool, error) {
+	z := r.Schema().Intersect(s.Schema())
+	rp, err := r.Project(z)
+	if err != nil {
+		return false, err
+	}
+	sp, err := s.Project(z)
+	if err != nil {
+		return false, err
+	}
+	return rp.Equal(sp), nil
+}
+
+// PairwiseConsistent reports whether every two relations in the collection
+// are consistent.
+func PairwiseConsistent(rs []*Relation) (bool, error) {
+	for i := 0; i < len(rs); i++ {
+		for j := i + 1; j < len(rs); j++ {
+			ok, err := PairConsistent(rs[i], rs[j])
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// GloballyConsistent decides the universal relation problem by the join
+// criterion of Section 5.1: the relations are globally consistent iff
+// (R1 ⋈ ... ⋈ Rm)[Xi] = Ri for every i. For a fixed schema this runs in
+// polynomial time; the join may be exponential when the schema is part of
+// the input, which is exactly the paper's point about NP-hardness in
+// general.
+func GloballyConsistent(rs []*Relation) (bool, *Relation, error) {
+	j, err := JoinAll(rs)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, r := range rs {
+		p, err := j.Project(r.Schema())
+		if err != nil {
+			return false, nil, err
+		}
+		if !p.Equal(r) {
+			return false, nil, nil
+		}
+	}
+	return true, j, nil
+}
+
+// VerifyWitness reports whether w projects onto every relation of the
+// collection.
+func VerifyWitness(w *Relation, rs []*Relation) (bool, error) {
+	for _, r := range rs {
+		p, err := w.Project(r.Schema())
+		if err != nil {
+			return false, err
+		}
+		if !p.Equal(r) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// CollectionOver validates that the relations' schemas match the hyperedges
+// of h index by index, returning a descriptive error otherwise. It lets the
+// experiments treat (hypergraph, relations) pairs uniformly with the bag
+// collections of package core.
+func CollectionOver(h *hypergraph.Hypergraph, rs []*Relation) error {
+	if h.NumEdges() != len(rs) {
+		return fmt.Errorf("relational: %d relations for %d hyperedges", len(rs), h.NumEdges())
+	}
+	for i, r := range rs {
+		want, err := bag.NewSchema(h.Edge(i)...)
+		if err != nil {
+			return err
+		}
+		if !r.Schema().Equal(want) {
+			return fmt.Errorf("relational: relation %d has schema %v, hyperedge is %v", i, r.Schema(), want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package relational
+
+import (
+	"math/rand"
+	"testing"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/hypergraph"
+)
+
+func mustRel(t *testing.T, s *bag.Schema, rows [][]string) *Relation {
+	t.Helper()
+	r, err := FromRows(s, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAddIsIdempotent(t *testing.T) {
+	r := New(bag.MustSchema("A"))
+	if err := r.Add([]string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add([]string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	if !r.Has([]string{"x"}) || r.Has([]string{"y"}) {
+		t.Error("Has misreports membership")
+	}
+}
+
+func TestProjectIsSetSemantics(t *testing.T) {
+	ab := bag.MustSchema("A", "B")
+	r := mustRel(t, ab, [][]string{{"1", "x"}, {"1", "y"}, {"2", "x"}})
+	p, err := r.Project(bag.MustSchema("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set projection keeps {1, 2}, not multiplicities {1:2, 2:1}.
+	if p.Len() != 2 {
+		t.Errorf("projection = %v", p.Tuples())
+	}
+	if !p.Bag().IsRelation() {
+		t.Error("projection must be a relation")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ab := bag.MustSchema("A", "B")
+	bc := bag.MustSchema("B", "C")
+	r := mustRel(t, ab, [][]string{{"1", "2"}, {"2", "2"}})
+	s := mustRel(t, bc, [][]string{{"2", "1"}, {"2", "2"}})
+	j, err := Join(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 4 {
+		t.Errorf("join size = %d, want 4", j.Len())
+	}
+}
+
+func TestFromBagSupport(t *testing.T) {
+	b, err := bag.FromRows(bag.MustSchema("A"), [][]string{{"1"}}, []int64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := FromBagSupport(b)
+	if r.Len() != 1 || !r.Has([]string{"1"}) {
+		t.Error("support relation wrong")
+	}
+}
+
+func TestPairConsistencyIffEqualProjections(t *testing.T) {
+	ab := bag.MustSchema("A", "B")
+	bc := bag.MustSchema("B", "C")
+	r := mustRel(t, ab, [][]string{{"1", "2"}, {"2", "3"}})
+	sGood := mustRel(t, bc, [][]string{{"2", "9"}, {"3", "9"}})
+	sBad := mustRel(t, bc, [][]string{{"2", "9"}})
+
+	if ok, err := PairConsistent(r, sGood); err != nil || !ok {
+		t.Errorf("consistent pair reported inconsistent (err=%v)", err)
+	}
+	if ok, err := PairConsistent(r, sBad); err != nil || ok {
+		t.Errorf("inconsistent pair reported consistent (err=%v)", err)
+	}
+}
+
+func TestPaperPairwiseButNotGlobal(t *testing.T) {
+	// Section 4: R(AB)={00,11}, S(BC)={01,10}, T(AC)={00,11} are pairwise
+	// consistent but not globally consistent.
+	r := mustRel(t, bag.MustSchema("A", "B"), [][]string{{"0", "0"}, {"1", "1"}})
+	s := mustRel(t, bag.MustSchema("B", "C"), [][]string{{"0", "1"}, {"1", "0"}})
+	u := mustRel(t, bag.MustSchema("A", "C"), [][]string{{"0", "0"}, {"1", "1"}})
+
+	rs := []*Relation{r, s, u}
+	pw, err := PairwiseConsistent(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pw {
+		t.Fatal("paper example should be pairwise consistent")
+	}
+	glob, _, err := GloballyConsistent(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glob {
+		t.Fatal("paper example should NOT be globally consistent")
+	}
+}
+
+func TestGloballyConsistentReturnsJoinWitness(t *testing.T) {
+	ab := bag.MustSchema("A", "B")
+	bc := bag.MustSchema("B", "C")
+	r := mustRel(t, ab, [][]string{{"1", "2"}})
+	s := mustRel(t, bc, [][]string{{"2", "3"}})
+	ok, w, err := GloballyConsistent([]*Relation{r, s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || w == nil {
+		t.Fatal("should be globally consistent with a witness")
+	}
+	good, err := VerifyWitness(w, []*Relation{r, s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good {
+		t.Error("join witness fails verification")
+	}
+}
+
+func TestWitnessContainedInJoinProperty(t *testing.T) {
+	// Known fact (Section 4): any witness is contained in the full join; in
+	// particular our witness (the join itself) projects onto each relation.
+	rng := rand.New(rand.NewSource(31))
+	schemas := []*bag.Schema{
+		bag.MustSchema("A", "B"),
+		bag.MustSchema("B", "C"),
+		bag.MustSchema("C", "D"),
+	}
+	for trial := 0; trial < 40; trial++ {
+		// Build relations as projections of a random global relation so
+		// they are globally consistent by construction.
+		all := bag.MustSchema("A", "B", "C", "D")
+		g := New(all)
+		for i := 0; i < 6; i++ {
+			_ = g.Add([]string{
+				string(rune('a' + rng.Intn(3))),
+				string(rune('a' + rng.Intn(3))),
+				string(rune('a' + rng.Intn(3))),
+				string(rune('a' + rng.Intn(3))),
+			})
+		}
+		var rs []*Relation
+		for _, s := range schemas {
+			p, err := g.Project(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs = append(rs, p)
+		}
+		ok, w, err := GloballyConsistent(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("projections of a global relation must be globally consistent")
+		}
+		if good, _ := VerifyWitness(w, rs); !good {
+			t.Fatal("witness verification failed")
+		}
+	}
+}
+
+func TestLocalToGlobalOverAcyclicSchema(t *testing.T) {
+	// BFMY: over the acyclic path schema, pairwise consistency implies
+	// global consistency. Randomized check.
+	rng := rand.New(rand.NewSource(33))
+	p4 := hypergraph.Path(4)
+	for trial := 0; trial < 40; trial++ {
+		all := bag.MustSchema(p4.Vertices()...)
+		g := New(all)
+		for i := 0; i < 5; i++ {
+			row := make([]string, all.Len())
+			for j := range row {
+				row[j] = string(rune('a' + rng.Intn(3)))
+			}
+			_ = g.Add(row)
+		}
+		var rs []*Relation
+		for i := 0; i < p4.NumEdges(); i++ {
+			s, err := bag.NewSchema(p4.Edge(i)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proj, err := g.Project(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs = append(rs, proj)
+		}
+		if err := CollectionOver(p4, rs); err != nil {
+			t.Fatal(err)
+		}
+		pw, err := PairwiseConsistent(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pw {
+			t.Fatal("projections must be pairwise consistent")
+		}
+		glob, _, err := GloballyConsistent(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !glob {
+			t.Fatal("local-to-global must hold over acyclic schemas")
+		}
+	}
+}
+
+func TestCollectionOverValidation(t *testing.T) {
+	h := hypergraph.Path(3)
+	good := []*Relation{
+		New(bag.MustSchema(h.Edge(0)...)),
+		New(bag.MustSchema(h.Edge(1)...)),
+	}
+	if err := CollectionOver(h, good); err != nil {
+		t.Errorf("valid collection rejected: %v", err)
+	}
+	if err := CollectionOver(h, good[:1]); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	bad := []*Relation{
+		New(bag.MustSchema("X", "Y")),
+		New(bag.MustSchema(h.Edge(1)...)),
+	}
+	if err := CollectionOver(h, bad); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+}
+
+func TestJoinAllValidation(t *testing.T) {
+	if _, err := JoinAll(nil); err == nil {
+		t.Error("expected error for empty join")
+	}
+}
