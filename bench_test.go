@@ -5,6 +5,8 @@
 package bagconsistency
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -17,6 +19,7 @@ import (
 	"bagconsistency/internal/maxflow"
 	"bagconsistency/internal/reductions"
 	"bagconsistency/internal/relational"
+	"bagconsistency/pkg/bagconsist"
 )
 
 // --- E1: Lemma 2 / Corollary 1 — two-bag consistency and witnesses ---
@@ -215,7 +218,7 @@ func BenchmarkE6DichotomyCyclic(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 50_000_000}})
+				dec, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: 50_000_000})
 				if err != nil || !dec.Consistent {
 					b.Fatal("interior instance must be consistent", err)
 				}
@@ -244,7 +247,7 @@ func BenchmarkE6DichotomyCyclicBoundary(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 50_000_000}}); err != nil {
+				if _, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: 50_000_000}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -467,14 +470,14 @@ func BenchmarkAblationLPPruning(b *testing.B) {
 	}
 	b.Run("plain", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 50_000_000}}); err != nil {
+			if _, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: 50_000_000}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("lp-pruned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 50_000_000, LPPruning: true}}); err != nil {
+			if _, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: 50_000_000, LPPruning: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -560,7 +563,7 @@ func BenchmarkAblationBranchOrder(b *testing.B) {
 	}
 	b.Run("high-first", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 50_000_000}})
+			dec, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: 50_000_000})
 			if err != nil || !dec.Consistent {
 				b.Fatal("must be consistent", err)
 			}
@@ -568,7 +571,7 @@ func BenchmarkAblationBranchOrder(b *testing.B) {
 	})
 	b.Run("low-first", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 50_000_000, BranchLowFirst: true}})
+			dec, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: 50_000_000, BranchLowFirst: true})
 			if err != nil || !dec.Consistent {
 				b.Fatal("must be consistent", err)
 			}
@@ -599,11 +602,135 @@ func BenchmarkE8ChainDecision(b *testing.B) {
 		b.Run(fmt.Sprintf("C%d", n), func(b *testing.B) {
 			c := chains[n]
 			for i := 0; i < b.N; i++ {
-				dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 10_000_000}})
+				dec, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: 10_000_000})
 				if err != nil || dec.Consistent {
 					b.Fatal("lifted Tseitin must stay inconsistent", err)
 				}
 			}
 		})
+	}
+}
+
+// --- Public API (pkg/bagconsist): the surface users actually call ---
+//
+// These benchmarks measure the same workloads as E1/E6 through the
+// Checker facade, so BENCH_*.json trajectories track facade overhead
+// (report construction, witness serialization) and the batch layer's
+// scaling, not just the internal algorithms.
+
+func BenchmarkAPICheckPair(b *testing.B) {
+	ctx := context.Background()
+	checker := bagconsist.New()
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("support=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			r, s, err := gen.RandomConsistentPair(rng, n, 1<<20, n/8+2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := checker.CheckPair(ctx, r, s)
+				if err != nil || !rep.Consistent {
+					b.Fatal("inconsistent", err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAPICheckGlobalAcyclic(b *testing.B) {
+	ctx := context.Background()
+	checker := bagconsist.New()
+	for _, m := range []int{4, 16} {
+		b.Run(fmt.Sprintf("path/m=%d", m), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(6))
+			c, _, err := gen.RandomConsistent(rng, hypergraph.Path(m+1), 64, 1<<16, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := checker.CheckGlobal(ctx, c)
+				if err != nil || !rep.Consistent {
+					b.Fatal("must be consistent", err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAPICheckGlobalCyclic(b *testing.B) {
+	ctx := context.Background()
+	checker := bagconsist.New(bagconsist.WithMaxNodes(50_000_000))
+	for _, n := range []int{3, 4} {
+		b.Run(fmt.Sprintf("triangle3DCT/n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(6))
+			inst, err := gen.RandomThreeDCT(rng, n, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := inst.ToCollection()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := checker.CheckGlobal(ctx, c)
+				if err != nil || !rep.Consistent {
+					b.Fatal("interior instance must be consistent", err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAPICheckBatch(b *testing.B) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(20))
+	const batchSize = 32
+	instances := make([]*bagconsist.Collection, batchSize)
+	for i := range instances {
+		c, _, err := gen.RandomConsistent(rng, hypergraph.Star(8), 32, 1<<10, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instances[i] = c
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			checker := bagconsist.New(bagconsist.WithParallelism(workers))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reports, err := checker.CheckBatch(ctx, instances)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rep := range reports {
+					if rep.Error != "" || !rep.Consistent {
+						b.Fatal("batch item failed:", rep.Error)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAPIReportJSON(b *testing.B) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(21))
+	c, _, err := gen.RandomConsistent(rng, hypergraph.Star(8), 48, 1<<10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := bagconsist.New().CheckGlobal(ctx, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(rep); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

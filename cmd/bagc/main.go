@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,8 +23,7 @@ import (
 	"os"
 
 	"bagconsistency/internal/bagio"
-	"bagconsistency/internal/core"
-	"bagconsistency/internal/ilp"
+	"bagconsistency/pkg/bagconsist"
 )
 
 func main() {
@@ -57,17 +57,18 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := core.GlobalOptions{ILP: ilp.Options{MaxNodes: *maxNodes}}
+	ctx := context.Background()
+	checker := bagconsist.New(bagconsist.WithMaxNodes(*maxNodes))
 
 	switch cmd {
 	case "check":
-		return check(out, coll, opts)
+		return check(ctx, out, checker, coll)
 	case "witness":
-		return witness(out, coll, opts, *asJSON)
+		return witness(ctx, out, checker, coll, *asJSON)
 	case "pair":
-		return pair(out, coll, *asJSON)
+		return pair(ctx, out, checker, coll, *asJSON)
 	case "count":
-		return count(out, coll, opts)
+		return count(ctx, out, checker, coll)
 	case "verify":
 		return verify(out, bags, *witnessName)
 	case "classify":
@@ -92,7 +93,7 @@ func load(path string) ([]bagio.NamedBag, error) {
 	return bagio.ParseCollection(r)
 }
 
-func check(out io.Writer, coll *core.Collection, opts core.GlobalOptions) error {
+func check(ctx context.Context, out io.Writer, checker *bagconsist.Checker, coll *bagconsist.Collection) error {
 	i, j, err := coll.InconsistentPair()
 	if err != nil {
 		return err
@@ -103,43 +104,51 @@ func check(out io.Writer, coll *core.Collection, opts core.GlobalOptions) error 
 		return nil
 	}
 	fmt.Fprintln(out, "pairwise: consistent")
-	dec, err := coll.GloballyConsistent(opts)
+	rep, err := checker.CheckGlobal(ctx, coll)
 	if err != nil {
 		return err
 	}
-	if dec.Consistent {
-		fmt.Fprintf(out, "global:   CONSISTENT (method=%s, witness support=%d)\n", dec.Method, dec.Witness.SupportSize())
+	if rep.Consistent {
+		fmt.Fprintf(out, "global:   CONSISTENT (method=%s, witness support=%d)\n", rep.Method, rep.WitnessSupport)
 	} else {
-		fmt.Fprintf(out, "global:   INCONSISTENT (method=%s)\n", dec.Method)
+		fmt.Fprintf(out, "global:   INCONSISTENT (method=%s)\n", rep.Method)
 	}
 	return nil
 }
 
-func witness(out io.Writer, coll *core.Collection, opts core.GlobalOptions, asJSON bool) error {
-	dec, err := coll.GloballyConsistent(opts)
+func witness(ctx context.Context, out io.Writer, checker *bagconsist.Checker, coll *bagconsist.Collection, asJSON bool) error {
+	rep, err := checker.Witness(ctx, coll)
+	if errors.Is(err, bagconsist.ErrInconsistent) {
+		return errors.New("collection is not globally consistent; no witness exists")
+	}
 	if err != nil {
 		return err
 	}
-	if !dec.Consistent {
-		return errors.New("collection is not globally consistent; no witness exists")
+	w, err := rep.WitnessBag()
+	if err != nil {
+		return err
 	}
-	named := []bagio.NamedBag{{Name: "witness", Bag: dec.Witness}}
+	named := []bagio.NamedBag{{Name: "witness", Bag: w}}
 	if asJSON {
 		return bagio.EncodeJSON(out, named)
 	}
 	return bagio.WriteCollection(out, named)
 }
 
-func pair(out io.Writer, coll *core.Collection, asJSON bool) error {
+func pair(ctx context.Context, out io.Writer, checker *bagconsist.Checker, coll *bagconsist.Collection, asJSON bool) error {
 	if coll.Len() != 2 {
 		return fmt.Errorf("pair requires exactly 2 bags, file has %d", coll.Len())
 	}
-	w, ok, err := core.MinimalPairWitness(coll.Bag(0), coll.Bag(1))
+	rep, err := checker.PairWitness(ctx, coll.Bag(0), coll.Bag(1))
+	if errors.Is(err, bagconsist.ErrInconsistent) {
+		return errors.New("the two bags are not consistent")
+	}
 	if err != nil {
 		return err
 	}
-	if !ok {
-		return errors.New("the two bags are not consistent")
+	w, err := rep.WitnessBag()
+	if err != nil {
+		return err
 	}
 	named := []bagio.NamedBag{{Name: "minimal-witness", Bag: w}}
 	if asJSON {
@@ -148,11 +157,11 @@ func pair(out io.Writer, coll *core.Collection, asJSON bool) error {
 	return bagio.WriteCollection(out, named)
 }
 
-func count(out io.Writer, coll *core.Collection, opts core.GlobalOptions) error {
+func count(ctx context.Context, out io.Writer, checker *bagconsist.Checker, coll *bagconsist.Collection) error {
 	if coll.Len() != 2 {
 		return fmt.Errorf("count requires exactly 2 bags, file has %d", coll.Len())
 	}
-	n, err := core.CountPairWitnesses(coll.Bag(0), coll.Bag(1), opts.ILP)
+	n, err := checker.CountPairWitnesses(ctx, coll.Bag(0), coll.Bag(1))
 	if err != nil {
 		return err
 	}
@@ -160,7 +169,7 @@ func count(out io.Writer, coll *core.Collection, opts core.GlobalOptions) error 
 	return nil
 }
 
-func classify(out io.Writer, coll *core.Collection) error {
+func classify(out io.Writer, coll *bagconsist.Collection) error {
 	h := coll.Hypergraph()
 	fmt.Fprintf(out, "schema: %v\n", h)
 	fmt.Fprintf(out, "acyclic:   %v\n", h.IsAcyclic())

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,13 +20,16 @@ import (
 	"time"
 
 	"bagconsistency/internal/bag"
-	"bagconsistency/internal/core"
 	"bagconsistency/internal/gen"
 	"bagconsistency/internal/hypergraph"
-	"bagconsistency/internal/ilp"
 	"bagconsistency/internal/reductions"
 	"bagconsistency/internal/relational"
+	"bagconsistency/pkg/bagconsist"
 )
+
+// ctx is the harness-wide context: experiments are driven end to end, so
+// a single background context is threaded through every public-API call.
+var ctx = context.Background()
 
 func main() {
 	quick := flag.Bool("quick", false, "run smaller parameter sweeps")
@@ -92,23 +96,15 @@ func e1(out io.Writer, quick bool) error {
 				return err
 			}
 		}
-		a, err := core.PairConsistent(r, s)
-		if err != nil {
-			return err
+		votes := make([]bool, 0, 4)
+		for _, m := range []bagconsist.Method{bagconsist.Auto, bagconsist.Flow, bagconsist.LP, bagconsist.ILP} {
+			rep, err := bagconsist.New(bagconsist.WithMethod(m)).CheckPair(ctx, r, s)
+			if err != nil {
+				return err
+			}
+			votes = append(votes, rep.Consistent)
 		}
-		b, err := core.PairConsistentViaFlow(r, s)
-		if err != nil {
-			return err
-		}
-		c, err := core.PairConsistentViaLP(r, s)
-		if err != nil {
-			return err
-		}
-		d, err := core.PairConsistentViaILP(r, s, ilp.Options{})
-		if err != nil {
-			return err
-		}
-		if a == b && b == c && c == d {
+		if votes[0] == votes[1] && votes[1] == votes[2] && votes[2] == votes[3] {
 			agree++
 		}
 	}
@@ -124,20 +120,24 @@ func e1(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		t0 := time.Now()
-		ok, err := core.PairConsistent(r, s)
+		checker := bagconsist.New(bagconsist.WithWitnessMinimization(false))
+		crep, err := checker.CheckPair(ctx, r, s)
 		if err != nil {
 			return err
 		}
-		tCheck := time.Since(t0)
-		t0 = time.Now()
-		w, ok2, err := core.PairWitness(r, s)
+		ok := crep.Consistent
+		tCheck := crep.Elapsed
+		wrep, err := checker.PairWitness(ctx, r, s)
 		if err != nil {
 			return err
 		}
-		tWitness := time.Since(t0)
+		tWitness := wrep.Elapsed
 		valid := false
-		if ok2 {
+		if wrep.Consistent {
+			w, err := wrep.WitnessBag()
+			if err != nil {
+				return err
+			}
 			wr, err := w.Marginal(r.Schema())
 			if err != nil {
 				return err
@@ -168,7 +168,7 @@ func e2(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		count, err := core.CountPairWitnesses(r, s, ilp.Options{})
+		count, err := bagconsist.New().CountPairWitnesses(ctx, r, s)
 		if err != nil {
 			return err
 		}
@@ -180,7 +180,7 @@ func e2(out io.Writer, quick bool) error {
 				return err
 			}
 			var ws []*bag.Bag
-			if err := core.EnumeratePairWitnesses(r, s, ilp.Options{}, func(w *bag.Bag) error {
+			if err := bagconsist.New().EnumeratePairWitnesses(ctx, r, s, func(w *bag.Bag) error {
 				ws = append(ws, w)
 				return nil
 			}); err != nil {
@@ -227,14 +227,14 @@ func e3(out io.Writer, quick bool) error {
 			if err != nil {
 				return err
 			}
-			dec, err := c.GloballyConsistent(core.GlobalOptions{})
+			rep, err := bagconsist.New().CheckGlobal(ctx, c)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "  %-9s   %-7v   %-30s   %v\n", r.name, true, "random marginal collection", dec.Consistent)
+			fmt.Fprintf(out, "  %-9s   %-7v   %-30s   %v\n", r.name, true, "random marginal collection", rep.Consistent)
 			continue
 		}
-		c, err := core.CyclicCounterexample(r.h)
+		c, err := bagconsist.CyclicCounterexample(r.h)
 		if err != nil {
 			return err
 		}
@@ -242,11 +242,11 @@ func e3(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 10_000_000}})
+		rep, err := bagconsist.New(bagconsist.WithMaxNodes(10_000_000)).CheckGlobal(ctx, c)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  %-9s   %-7v   %-30s   %v (pairwise=%v)\n", r.name, false, "Tseitin counterexample", dec.Consistent, pw)
+		fmt.Fprintf(out, "  %-9s   %-7v   %-30s   %v (pairwise=%v)\n", r.name, false, "Tseitin counterexample", rep.Consistent, pw)
 	}
 	return nil
 }
@@ -267,7 +267,7 @@ func e4(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		min, err := c.MinimizeWitnessSupport(g, ilp.Options{})
+		min, err := bagconsist.New().MinimizeWitness(ctx, c, g)
 		if err != nil {
 			return err
 		}
@@ -322,14 +322,14 @@ func e5(out io.Writer, quick bool) error {
 		} else {
 			uniform = fmt.Sprintf("2^%d (not materialized)", n)
 		}
-		dec, err := c.GloballyConsistent(core.GlobalOptions{})
+		rep, err := bagconsist.New().CheckGlobal(ctx, c)
 		if err != nil {
 			return err
 		}
-		if !dec.Consistent {
+		if !rep.Consistent {
 			return fmt.Errorf("chain inconsistent at n=%d", n)
 		}
-		fmt.Fprintf(out, "  %5d   %13d   %23s   %23d\n", n, inputSupport, uniform, dec.Witness.SupportSize())
+		fmt.Fprintf(out, "  %5d   %13d   %23s   %23d\n", n, inputSupport, uniform, rep.WitnessSupport)
 	}
 	return nil
 }
@@ -350,12 +350,11 @@ func e6(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		t0 := time.Now()
-		dec, err := c.GloballyConsistent(core.GlobalOptions{})
+		rep, err := bagconsist.New().CheckGlobal(ctx, c)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  m=%-3d bags: consistent=%v method=%s time=%v\n", m, dec.Consistent, dec.Method, time.Since(t0).Round(time.Microsecond))
+		fmt.Fprintf(out, "  m=%-3d bags: consistent=%v method=%s time=%v\n", m, rep.Consistent, rep.Method, rep.Elapsed.Round(time.Microsecond))
 	}
 	fmt.Fprintln(out, "measured (cyclic triangle C3, random interior 3DCT margins, exact search):")
 	ns := []int{2, 3, 4, 5}
@@ -371,12 +370,11 @@ func e6(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		t0 := time.Now()
-		dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 50_000_000}})
+		rep, err := bagconsist.New(bagconsist.WithMaxNodes(50_000_000)).CheckGlobal(ctx, c)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  n=%-3d cube: consistent=%v method=%s nodes=%-8d time=%v\n", n, dec.Consistent, dec.Method, dec.Nodes, time.Since(t0).Round(time.Microsecond))
+		fmt.Fprintf(out, "  n=%-3d cube: consistent=%v method=%s nodes=%-8d time=%v\n", n, rep.Consistent, rep.Method, rep.Nodes, rep.Elapsed.Round(time.Microsecond))
 	}
 	fmt.Fprintln(out, "measured (cyclic triangle C3, boundary instances: margins perturbed by")
 	fmt.Fprintln(out, " pairwise-consistency-preserving rectangle swaps; worst of 3 trials):")
@@ -402,15 +400,13 @@ func e6(out io.Writer, quick bool) error {
 			if err != nil {
 				return err
 			}
-			t0 := time.Now()
-			dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: budget}})
-			el := time.Since(t0)
+			rep, err := bagconsist.New(bagconsist.WithMaxNodes(budget)).CheckGlobal(ctx, c)
 			if err != nil {
 				exceeded++
 				continue
 			}
-			if dec.Nodes > worstNodes {
-				worstNodes, worstTime = dec.Nodes, el
+			if rep.Nodes > worstNodes {
+				worstNodes, worstTime = rep.Nodes, rep.Elapsed
 			}
 		}
 		if exceeded > 0 {
@@ -441,17 +437,13 @@ func e7(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		t0 := time.Now()
-		w, ok, err := core.MinimalPairWitness(r, s)
+		wrep, err := bagconsist.New().PairWitness(ctx, r, s)
 		if err != nil {
-			return err
-		}
-		if !ok {
-			return fmt.Errorf("consistent pair rejected")
+			return fmt.Errorf("consistent pair rejected: %w", err)
 		}
 		fmt.Fprintf(out, "  |R'|+|S'|=%-5d ‖W‖supp=%-5d bound-holds=%-5v time=%v\n",
-			r.SupportSize()+s.SupportSize(), w.SupportSize(),
-			w.SupportSize() <= r.SupportSize()+s.SupportSize(), time.Since(t0).Round(time.Microsecond))
+			r.SupportSize()+s.SupportSize(), wrep.WitnessSupport,
+			wrep.WitnessSupport <= r.SupportSize()+s.SupportSize(), wrep.Elapsed.Round(time.Microsecond))
 	}
 	fmt.Fprintln(out, "measured (acyclic composition over stars):")
 	stars := []int{8, 16, 32, 64}
@@ -467,20 +459,20 @@ func e7(out io.Writer, quick bool) error {
 		for _, b := range c.Bags() {
 			sum += b.SupportSize()
 		}
-		t0 := time.Now()
-		w, ok, err := c.WitnessAcyclic(core.GlobalOptions{})
+		rep, err := bagconsist.New().Witness(ctx, c)
+		if err != nil {
+			return fmt.Errorf("marginal collection rejected: %w", err)
+		}
+		w, err := rep.WitnessBag()
 		if err != nil {
 			return err
-		}
-		if !ok {
-			return fmt.Errorf("marginal collection rejected")
 		}
 		valid, err := c.VerifyWitness(w)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "  m=%-3d bags: ‖W‖supp=%-5d Σ‖Ri‖supp=%-5d bound-holds=%-5v valid=%-5v time=%v\n",
-			m, w.SupportSize(), sum, w.SupportSize() <= sum, valid, time.Since(t0).Round(time.Microsecond))
+			m, rep.WitnessSupport, sum, rep.WitnessSupport <= sum, valid, rep.Elapsed.Round(time.Microsecond))
 	}
 	return nil
 }
@@ -490,10 +482,10 @@ func e8(out io.Writer, quick bool) error {
 	rng := rand.New(rand.NewSource(8))
 	fmt.Fprintln(out, "paper: GCPB(C_{n-1}) ≤p GCPB(C_n) and GCPB(H_{n-1}) ≤p GCPB(H_n); with 3DCT =")
 	fmt.Fprintln(out, "       GCPB(C3) NP-hard, every cyclic fixed schema is NP-complete.")
-	opts := core.GlobalOptions{ILP: ilp.Options{MaxNodes: 10_000_000}}
+	checker := bagconsist.New(bagconsist.WithMaxNodes(10_000_000))
 
 	for _, consistent := range []bool{true, false} {
-		var c *core.Collection
+		var c *bagconsist.Collection
 		var err error
 		if consistent {
 			inst, err2 := gen.RandomThreeDCT(rng, 2, 2)
@@ -502,12 +494,12 @@ func e8(out io.Writer, quick bool) error {
 			}
 			c, err = inst.ToCollection()
 		} else {
-			c, err = core.TseitinCollection(hypergraph.Triangle())
+			c, err = bagconsist.TseitinCollection(hypergraph.Triangle())
 		}
 		if err != nil {
 			return err
 		}
-		want, err := c.GloballyConsistent(opts)
+		want, err := checker.CheckGlobal(ctx, c)
 		if err != nil {
 			return err
 		}
@@ -521,12 +513,12 @@ func e8(out io.Writer, quick bool) error {
 			if err != nil {
 				return err
 			}
-			dec, err := c.GloballyConsistent(opts)
+			rep, err := checker.CheckGlobal(ctx, c)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "C%d=%v ", n, dec.Consistent)
-			if dec.Consistent != want.Consistent {
+			fmt.Fprintf(out, "C%d=%v ", n, rep.Consistent)
+			if rep.Consistent != want.Consistent {
 				return fmt.Errorf("cycle lift changed consistency at n=%d", n)
 			}
 		}
@@ -534,17 +526,17 @@ func e8(out io.Writer, quick bool) error {
 	}
 
 	for _, consistent := range []bool{true, false} {
-		var c *core.Collection
+		var c *bagconsist.Collection
 		var err error
 		if consistent {
 			c, _, err = gen.RandomConsistent(rng, hypergraph.AllButOne(3), 3, 2, 2)
 		} else {
-			c, err = core.TseitinCollection(hypergraph.AllButOne(3))
+			c, err = bagconsist.TseitinCollection(hypergraph.AllButOne(3))
 		}
 		if err != nil {
 			return err
 		}
-		want, err := c.GloballyConsistent(opts)
+		want, err := checker.CheckGlobal(ctx, c)
 		if err != nil {
 			return err
 		}
@@ -552,12 +544,12 @@ func e8(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		dec, err := lifted.GloballyConsistent(opts)
+		rep, err := checker.CheckGlobal(ctx, lifted)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "measured H3 -> H4 (consistent=%v): H4=%v (preserved=%v)\n", want.Consistent, dec.Consistent, dec.Consistent == want.Consistent)
-		if dec.Consistent != want.Consistent {
+		fmt.Fprintf(out, "measured H3 -> H4 (consistent=%v): H4=%v (preserved=%v)\n", want.Consistent, rep.Consistent, rep.Consistent == want.Consistent)
+		if rep.Consistent != want.Consistent {
 			return fmt.Errorf("H lift changed consistency")
 		}
 	}
@@ -655,11 +647,11 @@ func e10(out io.Writer, quick bool) error {
 		return err
 	}
 	bags[1] = three
-	mixed, err := core.NewCollection(h, bags)
+	mixed, err := bagconsist.NewCollection(h, bags)
 	if err != nil {
 		return err
 	}
-	strictDec, err := mixed.GloballyConsistent(core.GlobalOptions{})
+	strictRep, err := bagconsist.New().CheckGlobal(ctx, mixed)
 	if err != nil {
 		return err
 	}
@@ -667,10 +659,10 @@ func e10(out io.Writer, quick bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "measured (one bag scaled 3x): strict=%v relaxed=%v — the normalization gap\n", strictDec.Consistent, relaxedOK)
+	fmt.Fprintf(out, "measured (one bag scaled 3x): strict=%v relaxed=%v — the normalization gap\n", strictRep.Consistent, relaxedOK)
 
 	// Tseitin under both notions.
-	ts, err := core.TseitinCollection(hypergraph.Triangle())
+	ts, err := bagconsist.TseitinCollection(hypergraph.Triangle())
 	if err != nil {
 		return err
 	}
@@ -682,7 +674,7 @@ func e10(out io.Writer, quick bool) error {
 	if err != nil {
 		return err
 	}
-	sG, err := ts.GloballyConsistent(core.GlobalOptions{})
+	sG, err := bagconsist.New().CheckGlobal(ctx, ts)
 	if err != nil {
 		return err
 	}
@@ -748,11 +740,11 @@ func e10(out io.Writer, quick bool) error {
 		}
 		return 1
 	}
-	w, ok, err := core.MinCostPairWitness(r, s, costly)
+	w, ok, err := bagconsist.MinCostPairWitness(r, s, costly)
 	if err != nil || !ok {
 		return fmt.Errorf("min-cost witness failed: %v", err)
 	}
-	cost, err := core.WitnessCost(w, costly)
+	cost, err := bagconsist.WitnessCost(w, costly)
 	if err != nil {
 		return err
 	}

@@ -23,8 +23,8 @@ import (
 	"strings"
 
 	"bagconsistency/internal/bagio"
-	"bagconsistency/internal/core"
 	"bagconsistency/internal/hypergraph"
+	"bagconsistency/pkg/bagconsist"
 )
 
 func main() {
@@ -137,7 +137,7 @@ func report(out io.Writer, h *hypergraph.Hypergraph, counterexample, trace bool)
 	if !counterexample {
 		return nil
 	}
-	coll, err := core.CyclicCounterexample(h)
+	coll, err := bagconsist.CyclicCounterexample(h)
 	if err != nil {
 		return err
 	}

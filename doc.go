@@ -4,8 +4,15 @@
 // the NP-membership and dichotomy results for the global consistency
 // problem, and the polynomial witness constructions.
 //
+// Consumers use the public facade pkg/bagconsist — a Checker built with
+// functional options, context-aware CheckPair/CheckGlobal/Witness methods
+// returning a JSON-serializable Report, and a concurrent CheckBatch
+// service layer. See README.md for the quickstart and DESIGN.md for the
+// architecture.
+//
 // The implementation lives in the internal packages:
 //
+//	pkg/bagconsist       the public API: Checker, options, Report, batching
 //	internal/bag         multiset algebra: schemas, tuples, bags, marginals, joins
 //	internal/hypergraph  acyclicity, chordality, conformality, join trees, cores
 //	internal/maxflow     Dinic / Edmonds–Karp integral max flow
@@ -20,6 +27,7 @@
 //
 // Command-line entry points are cmd/bagc (consistency checking),
 // cmd/schemacheck (schema classification), and cmd/experiments (the full
-// paper reproduction harness). The benchmarks in bench_test.go regenerate
-// every experiment's measurement; see DESIGN.md and EXPERIMENTS.md.
+// paper reproduction harness, experiments E1–E10 of DESIGN.md). The
+// benchmarks in bench_test.go regenerate every experiment's measurement
+// and additionally exercise the public API surface.
 package bagconsistency

@@ -17,20 +17,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"bagconsistency/internal/core"
 	"bagconsistency/internal/hypergraph"
-	"bagconsistency/internal/ilp"
+	"bagconsistency/pkg/bagconsist"
 )
 
 func main() {
+	ctx := context.Background()
 	ring := hypergraph.Cycle(4)
 	fmt.Printf("measurement contexts (hyperedges of C4): %v\n", ring)
 	fmt.Printf("acyclic: %v — so Theorem 2 permits local≠global here\n\n", ring.IsAcyclic())
 
-	scenario, err := core.TseitinCollection(ring)
+	scenario, err := bagconsist.TseitinCollection(ring)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,11 +50,12 @@ func main() {
 
 	// Global consistency: is there a single "hidden variable" bag over
 	// A1..A4 whose marginals reproduce every context?
-	dec, err := scenario.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 1_000_000}})
+	checker := bagconsist.New(bagconsist.WithMaxNodes(1_000_000))
+	rep, err := checker.CheckGlobal(ctx, scenario)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("global hidden-variable bag exists: %v\n\n", dec.Consistent)
+	fmt.Printf("global hidden-variable bag exists: %v\n\n", rep.Consistent)
 
 	fmt.Println("why: summing the parities around the ring counts every observable twice,")
 	fmt.Println("so any global assignment gives total parity 0 — but the contexts demand")
@@ -67,11 +69,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cutDec, err := cut.GloballyConsistent(core.GlobalOptions{})
+	cutRep, err := checker.CheckGlobal(ctx, cut)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after removing one context (schema %v, acyclic=%v):\n",
 		cut.Hypergraph(), cut.Hypergraph().IsAcyclic())
-	fmt.Printf("global explanation exists: %v, reconstructed via the Theorem 6 join-tree composition\n", cutDec.Consistent)
+	fmt.Printf("global explanation exists: %v, reconstructed via the Theorem 6 join-tree composition\n", cutRep.Consistent)
 }

@@ -19,14 +19,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"bagconsistency/internal/core"
 	"bagconsistency/internal/gen"
-	"bagconsistency/internal/ilp"
 	"bagconsistency/internal/reductions"
+	"bagconsistency/pkg/bagconsist"
 )
 
 func main() {
@@ -50,13 +50,19 @@ func main() {
 	fmt.Println("Theorem 4: deciding whether margins admit a table over this schema is NP-complete.")
 	fmt.Println()
 
-	dec, err := coll.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 10_000_000}})
+	ctx := context.Background()
+	checker := bagconsist.New(bagconsist.WithMaxNodes(10_000_000))
+	rep, err := checker.CheckGlobal(ctx, coll)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("margins admit a table: %v (search nodes: %d)\n", dec.Consistent, dec.Nodes)
-	if dec.Consistent {
-		table, err := inst.TableFromWitness(dec.Witness)
+	fmt.Printf("margins admit a table: %v (search nodes: %d)\n", rep.Consistent, rep.Nodes)
+	if rep.Consistent {
+		w, err := rep.WitnessBag()
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := inst.TableFromWitness(w)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,13 +88,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pdec, err := pcoll.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 10_000_000}})
+	prep, err := checker.CheckGlobal(ctx, pcoll)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("phantom margins:")
 	fmt.Printf("  Row  = %v\n  Col  = %v\n  Flat = %v\n", phantom.Row, phantom.Col, phantom.Flat)
-	fmt.Printf("pairwise consistent: %v, admit a table: %v\n", pw, pdec.Consistent)
+	fmt.Printf("pairwise consistent: %v, admit a table: %v\n", pw, prep.Consistent)
 	fmt.Println("every pairwise check passes, yet no table exists — exactly the gap between")
 	fmt.Println("local and global consistency that the paper shows is inherent to cyclic schemas.")
 }

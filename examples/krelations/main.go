@@ -23,10 +23,12 @@ import (
 	"fmt"
 	"log"
 
+	"context"
+
 	"bagconsistency/internal/bag"
-	"bagconsistency/internal/core"
 	"bagconsistency/internal/hypergraph"
 	"bagconsistency/internal/krelation"
+	"bagconsistency/pkg/bagconsist"
 )
 
 func main() {
@@ -81,11 +83,11 @@ func main() {
 	//    two disagree; proportionally they tell the same story.
 	full := mustBagOf(map[[2]string]int64{{"1", "m"}: 6, {"2", "m"}: 3}, "A", "B")
 	sample := mustBagOf(map[[2]string]int64{{"m", "x"}: 2, {"m", "y"}: 1}, "B", "C")
-	strict, err := core.PairConsistent(full, sample)
+	strict, err := bagconsist.PairConsistent(full, sample)
 	if err != nil {
 		log.Fatal(err)
 	}
-	relaxed, err := core.RelaxedPairConsistent(full, sample)
+	relaxed, err := bagconsist.RelaxedPairConsistent(full, sample)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func main() {
 
 	// 3. On cyclic schemas BOTH notions lose local-to-global consistency,
 	//    witnessed by the same Tseitin collection.
-	c, err := core.TseitinCollection(hypergraph.Triangle())
+	c, err := bagconsist.TseitinCollection(hypergraph.Triangle())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sg, err := c.GloballyConsistent(core.GlobalOptions{})
+	sg, err := bagconsist.New().CheckGlobal(context.Background(), c)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,4 +1,4 @@
-// Quickstart: two-bag consistency in a dozen lines.
+// Quickstart: two-bag consistency through the public API in a dozen lines.
 //
 // Builds the exact pair R1(A,B), S1(B,C) from Section 3 of the paper,
 // checks consistency (Lemma 2: equal marginals on the shared attribute),
@@ -10,22 +10,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"bagconsistency/internal/bag"
-	"bagconsistency/internal/core"
+	"bagconsistency/pkg/bagconsist"
 )
 
 func main() {
-	ab := bag.MustSchema("A", "B")
-	bc := bag.MustSchema("B", "C")
+	ctx := context.Background()
+	ab := bagconsist.MustSchema("A", "B")
+	bc := bagconsist.MustSchema("B", "C")
 
-	r, err := bag.FromRows(ab, [][]string{{"1", "2"}, {"2", "2"}}, nil)
+	r, err := bagconsist.BagFromRows(ab, [][]string{{"1", "2"}, {"2", "2"}}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := bag.FromRows(bc, [][]string{{"2", "1"}, {"2", "2"}}, nil)
+	s, err := bagconsist.BagFromRows(bc, [][]string{{"2", "1"}, {"2", "2"}}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,14 +36,15 @@ func main() {
 	fmt.Println(s)
 
 	// Lemma 2: consistent iff R[B] = S[B].
-	ok, err := core.PairConsistent(r, s)
+	checker := bagconsist.New()
+	rep, err := checker.CheckPair(ctx, r, s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("consistent as bags: %v\n\n", ok)
+	fmt.Printf("consistent as bags: %v (method=%s)\n\n", rep.Consistent, rep.Method)
 
 	// The bag join is NOT a witness (its marginal on AB doubles R).
-	j, err := bag.Join(r, s)
+	j, err := bagconsist.Join(r, s)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,15 +57,16 @@ func main() {
 	fmt.Printf("join marginal on AB equals R? %v  (the relational intuition fails for bags)\n\n", jm.Equal(r))
 
 	// A real witness, built from an integral max flow on N(R,S).
-	w, ok, err := core.MinimalPairWitness(r, s)
+	wrep, err := checker.PairWitness(ctx, r, s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !ok {
-		log.Fatal("unexpected: bags reported inconsistent")
+	w, err := wrep.WitnessBag()
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("minimal witness T(A,B,C) with T[AB] = R and T[BC] = S:")
 	fmt.Println(w)
 	fmt.Printf("support size %d ≤ ‖R‖supp + ‖S‖supp = %d (Theorem 5)\n",
-		w.SupportSize(), r.SupportSize()+s.SupportSize())
+		wrep.WitnessSupport, r.SupportSize()+s.SupportSize())
 }

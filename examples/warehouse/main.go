@@ -18,12 +18,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"bagconsistency/internal/bag"
-	"bagconsistency/internal/core"
 	"bagconsistency/internal/hypergraph"
+	"bagconsistency/pkg/bagconsist"
 )
 
 func main() {
@@ -60,7 +61,7 @@ func main() {
 		[]string{"DAY", "PRODUCT"},
 		[]string{"DAY", "CHANNEL"},
 	)
-	coll, err := core.CollectionFromMarginals(h, txLog)
+	coll, err := bagconsist.CollectionFromMarginals(h, txLog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,18 +73,23 @@ func main() {
 
 	// Audit 1: the honest summaries reconcile, and we can exhibit a
 	// candidate log.
-	dec, err := coll.GloballyConsistent(core.GlobalOptions{})
+	checker := bagconsist.New()
+	rep, err := checker.CheckGlobal(context.Background(), coll)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("audit: summaries reconcilable = %v (method: %s)\n", dec.Consistent, dec.Method)
-	if dec.Consistent {
-		u, err := dec.Witness.UnarySize()
+	fmt.Printf("audit: summaries reconcilable = %v (method: %s)\n", rep.Consistent, rep.Method)
+	if rep.Consistent {
+		w, err := rep.WitnessBag()
+		if err != nil {
+			log.Fatal(err)
+		}
+		u, err := w.UnarySize()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("reconstructed candidate log: %d line items, %d units total\n\n",
-			dec.Witness.SupportSize(), u)
+			rep.WitnessSupport, u)
 	}
 
 	// Audit 2: corrupt byProduct (someone double-counted gadgets on Monday).
@@ -95,7 +101,7 @@ func main() {
 		log.Fatal(err)
 	}
 	bags := []*bag.Bag{coll.Bag(0), corrupted, coll.Bag(2)}
-	tampered, err := core.NewCollection(h, bags)
+	tampered, err := bagconsist.NewCollection(h, bags)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module bagconsistency
+
+go 1.24

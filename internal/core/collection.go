@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"bagconsistency/internal/bag"
@@ -143,6 +144,12 @@ func (c *Collection) Sub(indices []int) (*Collection, error) {
 // check enumerates subsets, deciding each with opts; it is exponential in k
 // and intended for verification on small collections.
 func (c *Collection) KWiseConsistent(k int, opts GlobalOptions) (bool, error) {
+	return c.KWiseConsistentContext(context.Background(), k, opts)
+}
+
+// KWiseConsistentContext is KWiseConsistent with cooperative cancellation,
+// polled on every sub-collection decision.
+func (c *Collection) KWiseConsistentContext(ctx context.Context, k int, opts GlobalOptions) (bool, error) {
 	m := len(c.bags)
 	if k < 1 {
 		return false, fmt.Errorf("core: k must be ≥ 1, got %d", k)
@@ -155,7 +162,7 @@ func (c *Collection) KWiseConsistent(k int, opts GlobalOptions) (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			dec, err := sub.GloballyConsistent(opts)
+			dec, err := sub.GloballyConsistentContext(ctx, opts)
 			if err != nil {
 				return false, err
 			}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"bagconsistency/internal/bag"
 	"bagconsistency/internal/ilp"
 )
@@ -11,8 +13,14 @@ import (
 // the collection is globally inconsistent. Exponential in general —
 // intended for small instances and verification.
 func (c *Collection) CountWitnesses(opts ilp.Options) (int64, error) {
+	return c.CountWitnessesContext(context.Background(), opts)
+}
+
+// CountWitnessesContext is CountWitnesses with cooperative cancellation of
+// the enumeration.
+func (c *Collection) CountWitnessesContext(ctx context.Context, opts ilp.Options) (int64, error) {
 	var n int64
-	err := c.EnumerateWitnesses(opts, func(*bag.Bag) error {
+	err := c.EnumerateWitnessesContext(ctx, opts, func(*bag.Bag) error {
 		n++
 		return nil
 	})
@@ -23,6 +31,13 @@ func (c *Collection) CountWitnesses(opts ilp.Options) (int64, error) {
 // global consistency, in a deterministic order. fn may return an error to
 // stop early (it is propagated).
 func (c *Collection) EnumerateWitnesses(opts ilp.Options, fn func(*bag.Bag) error) error {
+	return c.EnumerateWitnessesContext(context.Background(), opts, fn)
+}
+
+// EnumerateWitnessesContext is EnumerateWitnesses with cooperative
+// cancellation: the underlying integer search polls ctx and unwinds with
+// ctx.Err() once it is done.
+func (c *Collection) EnumerateWitnessesContext(ctx context.Context, opts ilp.Options, fn func(*bag.Bag) error) error {
 	p, tuples, err := c.BuildProgram()
 	if err != nil {
 		return err
@@ -37,7 +52,7 @@ func (c *Collection) EnumerateWitnesses(opts ilp.Options, fn func(*bag.Bag) erro
 		}
 		return nil
 	}
-	return ilp.Enumerate(p, opts, func(x []int64) error {
+	return ilp.EnumerateContext(ctx, p, opts, func(x []int64) error {
 		w := bag.New(union)
 		for j, v := range x {
 			if v > 0 {

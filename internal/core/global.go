@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"bagconsistency/internal/bag"
@@ -23,7 +24,11 @@ const (
 	MethodPairwiseRefuted Method = "pairwise-refuted"
 )
 
-// GlobalOptions configures GloballyConsistent.
+// GlobalOptions is the single configuration surface for the decision
+// procedures: it flattens the integer-search tuning knobs (formerly an
+// embedded ilp.Options) next to the structural ones so every layer — the
+// public pkg/bagconsist facade, the CLIs, and the experiments — speaks one
+// config type.
 type GlobalOptions struct {
 	// ForceILP skips the acyclic fast path even on acyclic schemas, so the
 	// two procedures can be compared (ablation).
@@ -32,8 +37,20 @@ type GlobalOptions struct {
 	// acyclic composition rather than minimal ones. The Theorem 6 support
 	// bound is only guaranteed with minimization on.
 	SkipWitnessMinimization bool
-	// ILP tunes the integer search on the cyclic path.
-	ILP ilp.Options
+	// MaxNodes bounds the integer search on the cyclic path (0 means
+	// ilp.DefaultMaxNodes).
+	MaxNodes int64
+	// LPPruning enables the exact rational relaxation bound at every
+	// integer-search node.
+	LPPruning bool
+	// BranchLowFirst tries candidate values 0..ub instead of ub..0 in the
+	// integer search (ablation).
+	BranchLowFirst bool
+}
+
+// ILP projects the options onto the integer-search tuning knobs.
+func (o GlobalOptions) ILP() ilp.Options {
+	return ilp.Options{MaxNodes: o.MaxNodes, LPPruning: o.LPPruning, BranchLowFirst: o.BranchLowFirst}
 }
 
 // Decision is the outcome of a global consistency query.
@@ -57,11 +74,21 @@ type Decision struct {
 // and otherwise solves the integer program P(R1,...,Rm) exactly — the
 // NP-complete regime of Theorem 4, with an explicit node budget.
 func (c *Collection) GloballyConsistent(opts GlobalOptions) (*Decision, error) {
+	return c.GloballyConsistentContext(context.Background(), opts)
+}
+
+// GloballyConsistentContext is GloballyConsistent with cooperative
+// cancellation: both the acyclic composition and the integer search poll
+// ctx and unwind with ctx.Err() once it is done.
+func (c *Collection) GloballyConsistentContext(ctx context.Context, opts GlobalOptions) (*Decision, error) {
 	if len(c.bags) == 0 {
 		return nil, fmt.Errorf("core: empty collection")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !opts.ForceILP && c.hg.IsAcyclic() {
-		w, ok, err := c.WitnessAcyclic(opts)
+		w, ok, err := c.WitnessAcyclicContext(ctx, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +118,7 @@ func (c *Collection) GloballyConsistent(opts GlobalOptions) (*Decision, error) {
 		}
 		return &Decision{Consistent: false, Method: MethodILP}, nil
 	}
-	sol, err := ilp.Solve(p, opts.ILP)
+	sol, err := ilp.SolveContext(ctx, p, opts.ILP())
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +147,13 @@ func (c *Collection) GloballyConsistent(opts GlobalOptions) (*Decision, error) {
 // It returns ok = false (with nil witness) when the collection is not
 // pairwise consistent, and an error if the schema is cyclic.
 func (c *Collection) WitnessAcyclic(opts GlobalOptions) (*bag.Bag, bool, error) {
+	return c.WitnessAcyclicContext(context.Background(), opts)
+}
+
+// WitnessAcyclicContext is WitnessAcyclic with cooperative cancellation,
+// polled between composition steps (each step is a polynomial max-flow
+// computation, so cancellation latency is one flow solve).
+func (c *Collection) WitnessAcyclicContext(ctx context.Context, opts GlobalOptions) (*bag.Bag, bool, error) {
 	order, err := c.hg.RunningIntersectionOrder()
 	if err != nil {
 		return nil, false, fmt.Errorf("core: WitnessAcyclic on cyclic schema: %w", err)
@@ -131,13 +165,18 @@ func (c *Collection) WitnessAcyclic(opts GlobalOptions) (*bag.Bag, bool, error) 
 	if !pw {
 		return nil, false, nil
 	}
-	witnessOf := MinimalPairWitness
+	witnessOf := MinimalPairWitnessContext
 	if opts.SkipWitnessMinimization {
-		witnessOf = PairWitness
+		witnessOf = func(_ context.Context, r, s *bag.Bag) (*bag.Bag, bool, error) {
+			return PairWitness(r, s)
+		}
 	}
 	acc := c.bags[order[0]].Clone()
 	for _, idx := range order[1:] {
-		next, ok, err := witnessOf(acc, c.bags[idx])
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		next, ok, err := witnessOf(ctx, acc, c.bags[idx])
 		if err != nil {
 			return nil, false, err
 		}

@@ -6,7 +6,6 @@ import (
 
 	"bagconsistency/internal/bag"
 	"bagconsistency/internal/hypergraph"
-	"bagconsistency/internal/ilp"
 )
 
 func TestAcyclicWitnessConstruction(t *testing.T) {
@@ -216,7 +215,7 @@ func TestILPNodeBudgetSurfaces(t *testing.T) {
 	h := hypergraph.Triangle()
 	g := randomGlobalBag(t, rng, h, 9, 50)
 	c := mustMarginalCollection(t, h, g)
-	_, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 1}})
+	_, err := c.GloballyConsistent(GlobalOptions{MaxNodes: 1})
 	if err == nil {
 		t.Skip("instance solved within one node; budget not exercised")
 	}

@@ -6,7 +6,6 @@ import (
 
 	"bagconsistency/internal/bag"
 	"bagconsistency/internal/hypergraph"
-	"bagconsistency/internal/ilp"
 )
 
 func TestExtendWithConstant(t *testing.T) {
@@ -259,7 +258,7 @@ func TestCyclicCounterexampleOnNamedFamilies(t *testing.T) {
 		if !pw {
 			t.Fatalf("%v: counterexample must be pairwise consistent", h)
 		}
-		dec, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+		dec, err := c.GloballyConsistent(GlobalOptions{MaxNodes: 2_000_000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -291,7 +290,7 @@ func TestCyclicCounterexampleOnEmbeddedCycle(t *testing.T) {
 	if !pw {
 		t.Fatal("must be pairwise consistent")
 	}
-	dec, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+	dec, err := c.GloballyConsistent(GlobalOptions{MaxNodes: 2_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +320,7 @@ func TestCyclicCounterexampleOnNonConformal(t *testing.T) {
 	if !pw {
 		t.Fatal("must be pairwise consistent")
 	}
-	dec, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+	dec, err := c.GloballyConsistent(GlobalOptions{MaxNodes: 2_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +373,7 @@ func TestTheorem2BothDirectionsOnSmallHypergraphs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dec, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+		dec, err := c.GloballyConsistent(GlobalOptions{MaxNodes: 2_000_000})
 		if err != nil {
 			t.Fatal(err)
 		}

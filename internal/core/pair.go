@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"bagconsistency/internal/bag"
@@ -153,6 +154,13 @@ func PairWitness(r, s *bag.Bag) (*bag.Bag, bool, error) {
 // loop: probe each middle edge, deleting it permanently whenever a
 // saturated flow still exists without it.
 func MinimalPairWitness(r, s *bag.Bag) (*bag.Bag, bool, error) {
+	return MinimalPairWitnessContext(context.Background(), r, s)
+}
+
+// MinimalPairWitnessContext is MinimalPairWitness with cooperative
+// cancellation, polled once per middle-edge probe (each probe is one
+// max-flow computation).
+func MinimalPairWitnessContext(ctx context.Context, r, s *bag.Bag) (*bag.Bag, bool, error) {
 	ok, err := PairConsistent(r, s)
 	if err != nil || !ok {
 		return nil, false, err
@@ -165,6 +173,9 @@ func MinimalPairWitness(r, s *bag.Bag) (*bag.Bag, bool, error) {
 		return nil, false, fmt.Errorf("core: marginals agree but network is unsaturated")
 	}
 	for _, id := range pn.middle {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		cap := pn.nw.Capacity(id)
 		if err := pn.nw.SetCapacity(id, 0); err != nil {
 			return nil, false, err
@@ -220,6 +231,12 @@ func PairConsistentViaLP(r, s *bag.Bag) (bool, error) {
 // PairConsistentViaILP decides consistency by integer feasibility of
 // P(R,S) (statement 4 of Lemma 2).
 func PairConsistentViaILP(r, s *bag.Bag, opts ilp.Options) (bool, error) {
+	return PairConsistentViaILPContext(context.Background(), r, s, opts)
+}
+
+// PairConsistentViaILPContext is PairConsistentViaILP with cooperative
+// cancellation of the integer search.
+func PairConsistentViaILPContext(ctx context.Context, r, s *bag.Bag, opts ilp.Options) (bool, error) {
 	p, _, err := buildPairProgram(r, s)
 	if err != nil {
 		return false, err
@@ -227,7 +244,7 @@ func PairConsistentViaILP(r, s *bag.Bag, opts ilp.Options) (bool, error) {
 	if len(p.Cols) == 0 {
 		return emptyProgramConsistent(p), nil
 	}
-	sol, err := ilp.Solve(p, opts)
+	sol, err := ilp.SolveContext(ctx, p, opts)
 	if err != nil {
 		return false, err
 	}
@@ -261,6 +278,12 @@ func buildPairProgram(r, s *bag.Bag) (*ilp.Problem, []bag.Tuple, error) {
 // example experiment (exactly 2^{n-1} witnesses for the R_{n-1}/S_{n-1}
 // family).
 func CountPairWitnesses(r, s *bag.Bag, opts ilp.Options) (int64, error) {
+	return CountPairWitnessesContext(context.Background(), r, s, opts)
+}
+
+// CountPairWitnessesContext is CountPairWitnesses with cooperative
+// cancellation of the enumeration.
+func CountPairWitnessesContext(ctx context.Context, r, s *bag.Bag, opts ilp.Options) (int64, error) {
 	p, _, err := buildPairProgram(r, s)
 	if err != nil {
 		return 0, err
@@ -271,12 +294,18 @@ func CountPairWitnesses(r, s *bag.Bag, opts ilp.Options) (int64, error) {
 		}
 		return 0, nil
 	}
-	return ilp.Count(p, opts)
+	return ilp.CountContext(ctx, p, opts)
 }
 
 // EnumeratePairWitnesses calls fn with every witness of the consistency of
 // R and S, in a deterministic order.
 func EnumeratePairWitnesses(r, s *bag.Bag, opts ilp.Options, fn func(*bag.Bag) error) error {
+	return EnumeratePairWitnessesContext(context.Background(), r, s, opts, fn)
+}
+
+// EnumeratePairWitnessesContext is EnumeratePairWitnesses with cooperative
+// cancellation of the enumeration.
+func EnumeratePairWitnessesContext(ctx context.Context, r, s *bag.Bag, opts ilp.Options, fn func(*bag.Bag) error) error {
 	p, tuples, err := buildPairProgram(r, s)
 	if err != nil {
 		return err
@@ -288,7 +317,7 @@ func EnumeratePairWitnesses(r, s *bag.Bag, opts ilp.Options, fn func(*bag.Bag) e
 		}
 		return nil
 	}
-	return ilp.Enumerate(p, opts, func(x []int64) error {
+	return ilp.EnumerateContext(ctx, p, opts, func(x []int64) error {
 		w := bag.New(union)
 		for j, v := range x {
 			if v > 0 {

@@ -9,7 +9,6 @@ import (
 
 	"bagconsistency/internal/core"
 	"bagconsistency/internal/gen"
-	"bagconsistency/internal/ilp"
 )
 
 func TestTheorem6OnRandomAcyclicSchemas(t *testing.T) {
@@ -74,7 +73,7 @@ func TestAcyclicAgreesWithILPOnRandomAcyclicSchemas(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		slow, err := c.GloballyConsistent(core.GlobalOptions{ForceILP: true, ILP: ilp.Options{MaxNodes: 5_000_000}})
+		slow, err := c.GloballyConsistent(core.GlobalOptions{ForceILP: true, MaxNodes: 5_000_000})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"bagconsistency/internal/hypergraph"
-	"bagconsistency/internal/ilp"
 )
 
 func TestTseitinRequiresUniformRegular(t *testing.T) {
@@ -101,7 +100,7 @@ func TestTseitinPairwiseConsistentGloballyInconsistent(t *testing.T) {
 		if !pw {
 			t.Fatalf("%v: Tseitin collection must be pairwise consistent", h)
 		}
-		dec, err := c.GloballyConsistent(GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+		dec, err := c.GloballyConsistent(GlobalOptions{MaxNodes: 2_000_000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,14 +141,14 @@ func TestTseitinKWiseHierarchy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		almost, err := c.KWiseConsistent(n-1, GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+		almost, err := c.KWiseConsistent(n-1, GlobalOptions{MaxNodes: 2_000_000})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !almost {
 			t.Fatalf("C%d Tseitin should be %d-wise consistent", n, n-1)
 		}
-		full, err := c.KWiseConsistent(n, GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+		full, err := c.KWiseConsistent(n, GlobalOptions{MaxNodes: 2_000_000})
 		if err != nil {
 			t.Fatal(err)
 		}

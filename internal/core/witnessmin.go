@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"bagconsistency/internal/bag"
@@ -18,6 +19,13 @@ import (
 // intended for the NP-side experiments on modest instances; use
 // MinimalPairWitness for the strongly polynomial m = 2 case.
 func (c *Collection) MinimizeWitnessSupport(w *bag.Bag, opts ilp.Options) (*bag.Bag, error) {
+	return c.MinimizeWitnessSupportContext(context.Background(), w, opts)
+}
+
+// MinimizeWitnessSupportContext is MinimizeWitnessSupport with cooperative
+// cancellation: ctx is polled before every feasibility probe and inside
+// each probe's integer search.
+func (c *Collection) MinimizeWitnessSupportContext(ctx context.Context, w *bag.Bag, opts ilp.Options) (*bag.Bag, error) {
 	ok, err := c.VerifyWitness(w)
 	if err != nil {
 		return nil, err
@@ -51,7 +59,7 @@ func (c *Collection) MinimizeWitnessSupport(w *bag.Bag, opts ilp.Options) (*bag.
 		if len(rp.Cols) == 0 {
 			return emptyProgramConsistent(rp), nil, nil
 		}
-		sol, err := ilp.Solve(rp, opts)
+		sol, err := ilp.SolveContext(ctx, rp, opts)
 		if err != nil {
 			return false, nil, err
 		}
@@ -60,6 +68,9 @@ func (c *Collection) MinimizeWitnessSupport(w *bag.Bag, opts ilp.Options) (*bag.
 	for j := range tuples {
 		if !active[j] {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		active[j] = false
 		ok, _, err := feasible()

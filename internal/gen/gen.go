@@ -15,7 +15,6 @@ import (
 	"bagconsistency/internal/bag"
 	"bagconsistency/internal/core"
 	"bagconsistency/internal/hypergraph"
-	"bagconsistency/internal/ilp"
 	"bagconsistency/internal/reductions"
 )
 
@@ -323,7 +322,7 @@ func InfeasibleThreeDCT(rng *rand.Rand, n int, maxV int64, maxTries int, budget 
 		if !pw {
 			return nil, fmt.Errorf("gen: rectangle swap broke pairwise consistency (internal error)")
 		}
-		dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: budget}})
+		dec, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: budget})
 		if err != nil {
 			return nil, err
 		}

@@ -220,7 +220,7 @@ func TestRandomThreeDCTFeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 5_000_000}})
+	dec, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: 5_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestInfeasibleThreeDCT(t *testing.T) {
 	if !pw {
 		t.Fatal("instance must be pairwise consistent")
 	}
-	dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 2_000_000}})
+	dec, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: 2_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}

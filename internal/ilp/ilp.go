@@ -13,6 +13,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -116,9 +117,17 @@ type searcher struct {
 	p        *Problem
 	rowCols  [][]int // rows -> columns touching them
 	opts     Options
+	ctx      context.Context
 	nodes    int64
+	ticks    int64 // branch attempts, including ones that fail propagation
 	maxNodes int64
 }
+
+// ctxCheckMask controls how often the search polls its context: every
+// (ctxCheckMask+1) nodes. Nodes are cheap, so polling each one would be
+// measurable; 1024 keeps cancellation latency well under a millisecond on
+// any hardware that can run the search at all.
+const ctxCheckMask = 1<<10 - 1
 
 // state is one node's residuals and column activity. Columns are "active"
 // while unassigned; assigning a column subtracts its value from residuals
@@ -142,7 +151,14 @@ func (s *state) clone() *state {
 
 // Solve searches for one feasible integer solution.
 func Solve(p *Problem, opts Options) (*Solution, error) {
-	sr, st, err := newSearch(p, opts)
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the search polls ctx
+// periodically and unwinds with ctx.Err() once it is done or past its
+// deadline.
+func SolveContext(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
+	sr, st, err := newSearch(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -162,8 +178,13 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 
 // Count enumerates every feasible solution, returning their number.
 func Count(p *Problem, opts Options) (int64, error) {
+	return CountContext(context.Background(), p, opts)
+}
+
+// CountContext is Count with cooperative cancellation.
+func CountContext(ctx context.Context, p *Problem, opts Options) (int64, error) {
 	var n int64
-	err := Enumerate(p, opts, func(x []int64) error {
+	err := EnumerateContext(ctx, p, opts, func(x []int64) error {
 		n++
 		return nil
 	})
@@ -173,7 +194,12 @@ func Count(p *Problem, opts Options) (int64, error) {
 // Enumerate calls fn for every feasible solution, in a deterministic order.
 // fn may return an error to stop early (it is propagated).
 func Enumerate(p *Problem, opts Options, fn func(x []int64) error) error {
-	sr, st, err := newSearch(p, opts)
+	return EnumerateContext(context.Background(), p, opts, fn)
+}
+
+// EnumerateContext is Enumerate with cooperative cancellation.
+func EnumerateContext(ctx context.Context, p *Problem, opts Options, fn func(x []int64) error) error {
+	sr, st, err := newSearch(ctx, p, opts)
 	if err != nil {
 		return err
 	}
@@ -183,9 +209,12 @@ func Enumerate(p *Problem, opts Options, fn func(x []int64) error) error {
 // errStop is a sentinel used by Solve to stop after the first solution.
 var errStop = errors.New("ilp: stop")
 
-func newSearch(p *Problem, opts Options) (*searcher, *state, error) {
+func newSearch(ctx context.Context, p *Problem, opts Options) (*searcher, *state, error) {
 	if err := p.validate(); err != nil {
 		return nil, nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rowCols := make([][]int, p.M)
 	for j, rows := range p.Cols {
@@ -210,7 +239,7 @@ func newSearch(p *Problem, opts Options) (*searcher, *state, error) {
 	for i, cols := range rowCols {
 		st.nActive[i] = len(cols)
 	}
-	return &searcher{p: p, rowCols: rowCols, opts: opts, maxNodes: maxNodes}, st, nil
+	return &searcher{p: p, rowCols: rowCols, opts: opts, ctx: ctx, maxNodes: maxNodes}, st, nil
 }
 
 // assign fixes column j to value v in-place; returns false on immediate
@@ -290,6 +319,11 @@ func (sr *searcher) dfs(st *state, fn func(x []int64) error) error {
 	if sr.nodes > sr.maxNodes {
 		return ErrNodeLimit
 	}
+	if sr.nodes&ctxCheckMask == 0 {
+		if err := sr.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if !sr.propagate(st) {
 		return nil
 	}
@@ -343,7 +377,17 @@ func (sr *searcher) dfs(st *state, fn func(x []int64) error) error {
 			ub = st.residual[r]
 		}
 	}
+	// Branch attempts that die in assign never reach dfs's node-counter
+	// poll, and a single value sweep can be 2^16 iterations on
+	// large-multiplicity rows — so poll the context here as well, keyed
+	// on a separate tick counter, to keep cancellation latency bounded.
 	try := func(v int64) error {
+		sr.ticks++
+		if sr.ticks&ctxCheckMask == 0 {
+			if err := sr.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		child := st.clone()
 		if !sr.assign(child, branch, v) {
 			return nil

@@ -7,7 +7,6 @@ import (
 	"bagconsistency/internal/bag"
 	"bagconsistency/internal/core"
 	"bagconsistency/internal/hypergraph"
-	"bagconsistency/internal/ilp"
 	"bagconsistency/internal/relational"
 )
 
@@ -169,7 +168,7 @@ func TestThreeDCTRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dec, err := c.GloballyConsistent(core.GlobalOptions{ILP: ilp.Options{MaxNodes: 5_000_000}})
+		dec, err := c.GloballyConsistent(core.GlobalOptions{MaxNodes: 5_000_000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,7 +267,7 @@ func randomCycleCollection(t *testing.T, rng *rand.Rand, n int, consistent bool)
 
 func TestLiftCycleInstancePreservesConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	opts := core.GlobalOptions{ILP: ilp.Options{MaxNodes: 5_000_000}}
+	opts := core.GlobalOptions{MaxNodes: 5_000_000}
 	for _, consistent := range []bool{true, false} {
 		src := randomCycleCollection(t, rng, 3, consistent)
 		lifted, err := LiftCycleInstance(src)
@@ -335,7 +334,7 @@ func TestLiftCycleChainToC6(t *testing.T) {
 	// NP-hardness of every GCPB(C_n) rides on this chain.
 	rng := rand.New(rand.NewSource(17))
 	c := randomCycleCollection(t, rng, 3, false)
-	opts := core.GlobalOptions{ILP: ilp.Options{MaxNodes: 5_000_000}}
+	opts := core.GlobalOptions{MaxNodes: 5_000_000}
 	for n := 4; n <= 6; n++ {
 		var err error
 		c, err = LiftCycleInstance(c)
@@ -402,7 +401,7 @@ func randomAllButOneCollection(t *testing.T, rng *rand.Rand, n int, consistent b
 
 func TestLiftAllButOnePreservesConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))
-	opts := core.GlobalOptions{ILP: ilp.Options{MaxNodes: 5_000_000}}
+	opts := core.GlobalOptions{MaxNodes: 5_000_000}
 	for _, consistent := range []bool{true, false} {
 		src := randomAllButOneCollection(t, rng, 3, consistent)
 		lifted, err := LiftAllButOneInstance(src)

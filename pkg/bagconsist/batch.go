@@ -1,0 +1,69 @@
+package bagconsist
+
+import (
+	"context"
+	"sync"
+)
+
+// CheckBatch runs CheckGlobal over every instance through a bounded
+// worker pool (size WithParallelism) and returns one Report per instance,
+// index-aligned with the input.
+//
+// Per-instance failures do not abort the batch: the failing slot's Report
+// carries the message in Report.Error (with Method "error"), which is
+// what a serving layer wants — one bad request must not poison the
+// others. The only error CheckBatch itself returns is ctx.Err() when the
+// whole batch is cancelled; instances that never ran get Reports marked
+// with the context error.
+func (c *Checker) CheckBatch(ctx context.Context, instances []*Collection) ([]*Report, error) {
+	reports := make([]*Report, len(instances))
+	if len(instances) == 0 {
+		return reports, ctx.Err()
+	}
+	workers := c.cfg.parallelism
+	if workers < 1 {
+		// A zero-value Checker never went through New's defaults; without
+		// this clamp zero workers would deadlock the feed loop below.
+		workers = 1
+	}
+	if workers > len(instances) {
+		workers = len(instances)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep, err := c.CheckGlobal(ctx, instances[i])
+				if err != nil {
+					rep = &Report{Method: "error", Bags: instances[i].Len(), Error: err.Error()}
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+
+feed:
+	for i := range instances {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i, rep := range reports {
+			if rep == nil {
+				reports[i] = &Report{Method: "error", Bags: instances[i].Len(), Error: err.Error()}
+			}
+		}
+		return reports, err
+	}
+	return reports, nil
+}

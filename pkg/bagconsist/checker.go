@@ -1,0 +1,200 @@
+package bagconsist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"bagconsistency/internal/core"
+)
+
+// ErrInconsistent is returned by Witness when the instance has no witness
+// because it is not globally consistent.
+var ErrInconsistent = errors.New("bagconsist: collection is not globally consistent")
+
+// Checker is the engine facade. It is immutable after New and safe for
+// concurrent use from any number of goroutines; a service constructs one
+// Checker per configuration and shares it.
+type Checker struct {
+	cfg config
+}
+
+// New builds a Checker from functional options.
+func New(opts ...Option) *Checker {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Checker{cfg: cfg}
+}
+
+// CheckPair decides whether two bags are consistent (Lemma 2). The
+// configured Method selects among the four equivalent tests; Auto runs
+// the strongly polynomial marginal test.
+func (c *Checker) CheckPair(ctx context.Context, r, s *Bag) (*Report, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Bags: 2}
+	var ok bool
+	var err error
+	switch c.cfg.method {
+	case Auto:
+		rep.Method = "marginal"
+		ok, err = core.PairConsistent(r, s)
+	case Flow:
+		rep.Method = Flow.String()
+		ok, err = core.PairConsistentViaFlow(r, s)
+		if err == nil && ok {
+			if v, uerr := r.UnarySize(); uerr == nil {
+				rep.FlowValue = v // saturation target = routed flow
+			}
+		}
+	case LP:
+		rep.Method = LP.String()
+		ok, err = core.PairConsistentViaLP(r, s)
+	case ILP:
+		rep.Method = ILP.String()
+		ok, err = core.PairConsistentViaILPContext(ctx, r, s, c.cfg.global().ILP())
+	default:
+		return nil, fmt.Errorf("bagconsist: unknown method %v", c.cfg.method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Consistent = ok
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// PairWitness decides consistency of two bags and, when consistent,
+// constructs a witnessing bag T with T[X] = R and T[Y] = S via integral
+// max flow — minimal-support (Theorem 5) unless witness minimization is
+// disabled. It returns ErrInconsistent (with the refuting Report) when no
+// witness exists.
+func (c *Checker) PairWitness(ctx context.Context, r, s *Bag) (*Report, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var w *Bag
+	var ok bool
+	var err error
+	if c.cfg.minimizeWitness {
+		w, ok, err = core.MinimalPairWitnessContext(ctx, r, s)
+	} else {
+		w, ok, err = core.PairWitness(r, s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Consistent: ok, Method: Flow.String(), Bags: 2, Elapsed: time.Since(start)}
+	if !ok {
+		return rep, ErrInconsistent
+	}
+	rep.Witness = newWitness(w)
+	rep.WitnessSupport = w.SupportSize()
+	return rep, nil
+}
+
+// CheckGlobal decides whether the collection is globally consistent (the
+// GCPB(H) problem) and includes the constructed witness when it is. With
+// Auto it runs the Theorem 4 dichotomy: the polynomial join-tree
+// composition on acyclic schemas, pairwise refutation then the exact
+// integer search on cyclic ones. With ILP the integer search is forced
+// even on acyclic schemas. Flow and LP apply only to two-bag collections.
+func (c *Checker) CheckGlobal(ctx context.Context, coll *Collection) (*Report, error) {
+	start := time.Now()
+	if c.cfg.method == Flow || c.cfg.method == LP {
+		if coll.Len() != 2 {
+			return nil, fmt.Errorf("bagconsist: method %v decides pair consistency only, collection has %d bags", c.cfg.method, coll.Len())
+		}
+		return c.CheckPair(ctx, coll.Bag(0), coll.Bag(1))
+	}
+	dec, err := coll.GloballyConsistentContext(ctx, c.cfg.global())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Consistent: dec.Consistent,
+		Method:     string(dec.Method),
+		Bags:       coll.Len(),
+		Nodes:      dec.Nodes,
+		Elapsed:    time.Since(start),
+	}
+	if dec.Witness != nil {
+		rep.Witness = newWitness(dec.Witness)
+		rep.WitnessSupport = dec.Witness.SupportSize()
+	}
+	return rep, nil
+}
+
+// Witness constructs a witness of global consistency. It is CheckGlobal
+// that insists on a witness: when the collection is inconsistent it
+// returns the refuting Report together with ErrInconsistent.
+func (c *Checker) Witness(ctx context.Context, coll *Collection) (*Report, error) {
+	rep, err := c.CheckGlobal(ctx, coll)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Consistent {
+		return rep, ErrInconsistent
+	}
+	if rep.Witness == nil {
+		// The Flow/LP pair-delegation path decides without constructing a
+		// witness; build one now so Witness always keeps its contract.
+		wrep, err := c.PairWitness(ctx, coll.Bag(0), coll.Bag(1))
+		if err != nil {
+			return nil, err
+		}
+		rep.Witness = wrep.Witness
+		rep.WitnessSupport = wrep.WitnessSupport
+	}
+	return rep, nil
+}
+
+// VerifyWitness reports whether w marginalizes onto every bag of the
+// collection.
+func (c *Checker) VerifyWitness(coll *Collection, w *Bag) (bool, error) {
+	return coll.VerifyWitness(w)
+}
+
+// MinimizeWitness shrinks a witness of global consistency to one of
+// minimal support (Theorem 3(3) bound) by per-tuple integer feasibility
+// probes.
+func (c *Checker) MinimizeWitness(ctx context.Context, coll *Collection, w *Bag) (*Bag, error) {
+	return coll.MinimizeWitnessSupportContext(ctx, w, c.cfg.global().ILP())
+}
+
+// CountPairWitnesses counts the bags witnessing the consistency of two
+// bags by complete enumeration of the integer points of P(R,S).
+func (c *Checker) CountPairWitnesses(ctx context.Context, r, s *Bag) (int64, error) {
+	return core.CountPairWitnessesContext(ctx, r, s, c.cfg.global().ILP())
+}
+
+// EnumeratePairWitnesses calls fn with every witness of the consistency
+// of two bags, in a deterministic order; fn may return an error to stop.
+func (c *Checker) EnumeratePairWitnesses(ctx context.Context, r, s *Bag, fn func(*Bag) error) error {
+	return core.EnumeratePairWitnessesContext(ctx, r, s, c.cfg.global().ILP(), fn)
+}
+
+// CountWitnesses counts the witnesses of the collection's global
+// consistency; 0 iff globally inconsistent.
+func (c *Checker) CountWitnesses(ctx context.Context, coll *Collection) (int64, error) {
+	return coll.CountWitnessesContext(ctx, c.cfg.global().ILP())
+}
+
+// EnumerateWitnesses calls fn with every witness of the collection's
+// global consistency, in a deterministic order.
+func (c *Checker) EnumerateWitnesses(ctx context.Context, coll *Collection, fn func(*Bag) error) error {
+	return coll.EnumerateWitnessesContext(ctx, c.cfg.global().ILP(), fn)
+}
+
+// KWiseConsistent reports whether every sub-collection of at most k bags
+// is globally consistent (Section 4's k-wise hierarchy). Exponential in
+// k; intended for verification on small collections.
+func (c *Checker) KWiseConsistent(ctx context.Context, coll *Collection, k int) (bool, error) {
+	return coll.KWiseConsistentContext(ctx, k, c.cfg.global())
+}

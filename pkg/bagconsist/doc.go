@@ -1,0 +1,35 @@
+// Package bagconsist is the public API of the bag-consistency engine: a
+// single entry point for deciding pairwise and global consistency of bags
+// (multiset relations), constructing witnesses, and serving batches of
+// instances concurrently.
+//
+// The package wraps the internal reproduction of Atserias & Kolaitis,
+// "Structure and Complexity of Bag Consistency" (PODS 2021). Consumers
+// construct a Checker once with functional options and reuse it from any
+// number of goroutines:
+//
+//	checker := bagconsist.New(
+//		bagconsist.WithMaxNodes(10_000_000),
+//		bagconsist.WithParallelism(8),
+//	)
+//	report, err := checker.CheckGlobal(ctx, coll)
+//
+// Every query takes a context.Context; long-running paths (the
+// branch-and-bound integer search on cyclic schemas, witness enumeration
+// and minimization, the acyclic join-tree composition) poll it
+// cooperatively and unwind with ctx.Err() when it is cancelled or past its
+// deadline. Every query returns a Report — a JSON-serializable record of
+// the decision, the method that ran, the witness (when one exists),
+// search-node statistics, and wall time — so results can be logged,
+// cached, or shipped over the wire verbatim.
+//
+// CheckBatch runs many instances through a bounded worker pool sized by
+// WithParallelism, yielding one Report per instance; per-instance failures
+// are captured in Report.Error rather than aborting the batch, which is
+// the behavior a serving layer wants.
+//
+// The data types (Bag, Schema, Collection, Hypergraph) are aliases of the
+// internal implementation types, so values produced by the internal
+// generators and IO packages flow through this API unchanged. See
+// DESIGN.md for the package layering.
+package bagconsist

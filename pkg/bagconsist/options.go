@@ -1,0 +1,121 @@
+package bagconsist
+
+import (
+	"fmt"
+	"runtime"
+
+	"bagconsistency/internal/core"
+)
+
+// Method selects the decision procedure a Checker runs.
+type Method int
+
+const (
+	// Auto picks per instance: the marginal test for pairs, the
+	// polynomial join-tree composition on acyclic schemas, and the exact
+	// integer search on cyclic ones. This is the default and the right
+	// choice outside ablations.
+	Auto Method = iota
+	// Flow decides pair consistency by saturated max flow on N(R,S)
+	// (statement 5 of Lemma 2). Pair checks only.
+	Flow
+	// LP decides pair consistency by rational feasibility of P(R,S)
+	// (statement 3 of Lemma 2). Pair checks only.
+	LP
+	// ILP decides by integer feasibility of P(R1,...,Rm) — for global
+	// checks this forces the NP procedure even on acyclic schemas
+	// (ablation against the fast path).
+	ILP
+)
+
+// String returns the method name as it appears in Report.Method.
+func (m Method) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Flow:
+		return "max-flow"
+	case LP:
+		return "lp-relaxation"
+	case ILP:
+		return "integer-program"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// config is the collapsed configuration surface: one flat struct behind
+// the functional options, projected onto core.GlobalOptions at call time.
+type config struct {
+	method          Method
+	maxNodes        int64
+	lpPruning       bool
+	branchLowFirst  bool
+	minimizeWitness bool
+	parallelism     int
+}
+
+func defaultConfig() config {
+	return config{
+		method:          Auto,
+		minimizeWitness: true,
+		parallelism:     runtime.GOMAXPROCS(0),
+	}
+}
+
+// global projects the config onto the internal options type.
+func (c config) global() core.GlobalOptions {
+	return core.GlobalOptions{
+		ForceILP:                c.method == ILP,
+		SkipWitnessMinimization: !c.minimizeWitness,
+		MaxNodes:                c.maxNodes,
+		LPPruning:               c.lpPruning,
+		BranchLowFirst:          c.branchLowFirst,
+	}
+}
+
+// Option configures a Checker.
+type Option func(*config)
+
+// WithMethod selects the decision procedure (default Auto).
+func WithMethod(m Method) Option {
+	return func(c *config) { c.method = m }
+}
+
+// WithMaxNodes bounds the integer search's node budget on cyclic schemas
+// (0 means the engine default). When the budget is exhausted the query
+// fails with an error wrapping ErrNodeLimit instead of hanging.
+func WithMaxNodes(n int64) Option {
+	return func(c *config) { c.maxNodes = n }
+}
+
+// WithLPPruning toggles the exact rational relaxation bound at every
+// integer-search node: far fewer nodes, far more work per node.
+func WithLPPruning(on bool) Option {
+	return func(c *config) { c.lpPruning = on }
+}
+
+// WithWitnessMinimization toggles minimal pairwise witnesses inside the
+// acyclic composition (default on; the Theorem 6 support bound is only
+// guaranteed with minimization).
+func WithWitnessMinimization(on bool) Option {
+	return func(c *config) { c.minimizeWitness = on }
+}
+
+// WithBranchLowFirst flips the integer search's value order to 0..ub
+// (ablation; the default high-first order reaches feasible corners of
+// margin systems quickly).
+func WithBranchLowFirst(on bool) Option {
+	return func(c *config) { c.branchLowFirst = on }
+}
+
+// WithParallelism sets the CheckBatch worker-pool size (default
+// GOMAXPROCS; values < 1 are clamped to 1).
+func WithParallelism(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.parallelism = n
+	}
+}

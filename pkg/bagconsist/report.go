@@ -1,0 +1,97 @@
+package bagconsist
+
+import (
+	"time"
+
+	"bagconsistency/internal/bag"
+)
+
+// Report is the unified, JSON-serializable result of every Checker query.
+// Encoding is deterministic for a fixed result: witness rows are emitted
+// in the bag's sorted tuple order.
+type Report struct {
+	// Consistent is the decision.
+	Consistent bool `json:"consistent"`
+	// Method names the procedure that produced the decision: one of
+	// "marginal", "max-flow", "lp-relaxation", "integer-program",
+	// "acyclic-jointree", "pairwise-refuted".
+	Method string `json:"method"`
+	// Bags is the number of bags in the checked instance.
+	Bags int `json:"bags"`
+	// Nodes counts integer-search nodes (0 when no search ran).
+	Nodes int64 `json:"search_nodes,omitempty"`
+	// FlowValue is the saturated flow value for max-flow pair checks
+	// (the total multiplicity routed through N(R,S)).
+	FlowValue int64 `json:"flow_value,omitempty"`
+	// WitnessSupport is the support size of the witness, when one was
+	// constructed.
+	WitnessSupport int `json:"witness_support,omitempty"`
+	// Witness is the witnessing bag, when one was constructed.
+	Witness *Witness `json:"witness,omitempty"`
+	// Elapsed is the wall time of the query (nanoseconds in JSON).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Error records a per-instance failure inside CheckBatch; single
+	// queries return Go errors instead and never set it.
+	Error string `json:"error,omitempty"`
+}
+
+// Witness is the wire form of a witnessing bag: its schema and its
+// support rows with multiplicities, in sorted tuple order.
+type Witness struct {
+	Attrs []string     `json:"attrs"`
+	Rows  []WitnessRow `json:"rows"`
+
+	b *bag.Bag
+}
+
+// WitnessRow is one support tuple of a witness.
+type WitnessRow struct {
+	Values []string `json:"values"`
+	Count  int64    `json:"count"`
+}
+
+// newWitness captures a bag into its wire form. The bag's Each iterates
+// in sorted key order, so the encoding is deterministic.
+func newWitness(b *bag.Bag) *Witness {
+	if b == nil {
+		return nil
+	}
+	w := &Witness{Attrs: b.Schema().Attrs(), b: b}
+	_ = b.Each(func(t bag.Tuple, count int64) error {
+		w.Rows = append(w.Rows, WitnessRow{Values: t.Values(), Count: count})
+		return nil
+	})
+	return w
+}
+
+// Bag returns the witness as a Bag for further algebra (marginals,
+// verification). Witnesses decoded from JSON are rebuilt on first use.
+func (w *Witness) Bag() (*Bag, error) {
+	if w == nil {
+		return nil, nil
+	}
+	if w.b != nil {
+		return w.b, nil
+	}
+	s, err := bag.NewSchema(w.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	b := bag.New(s)
+	for _, r := range w.Rows {
+		if err := b.Add(r.Values, r.Count); err != nil {
+			return nil, err
+		}
+	}
+	w.b = b
+	return b, nil
+}
+
+// WitnessBag is Report.Witness.Bag() with nil-safety: it returns nil when
+// the report carries no witness.
+func (r *Report) WitnessBag() (*Bag, error) {
+	if r == nil || r.Witness == nil {
+		return nil, nil
+	}
+	return r.Witness.Bag()
+}

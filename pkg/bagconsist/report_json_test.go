@@ -1,0 +1,114 @@
+package bagconsist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bagconsistency/internal/gen"
+	"bagconsistency/pkg/bagconsist"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport produces a fully deterministic Report: the Section 3 pair
+// at n=3 through the acyclic composition, with the (nondeterministic)
+// wall time pinned.
+func goldenReport(t *testing.T) *bagconsist.Report {
+	t.Helper()
+	r, s, err := gen.Section3Family(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := bagconsist.NewCollection2(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bagconsist.New().CheckGlobal(context.Background(), coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Elapsed = 1234 * time.Microsecond // pinned: wall time is not deterministic
+	return rep
+}
+
+// TestReportJSONGolden locks the wire format of Report: any change to the
+// JSON encoding must be deliberate (regenerate with go test -update).
+func TestReportJSONGolden(t *testing.T) {
+	rep := goldenReport(t)
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Report JSON drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestReportJSONRoundTrip proves a Report survives the wire: decoding the
+// JSON and rebuilding the witness bag yields a bag that still witnesses
+// the original collection.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := goldenReport(t)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bagconsist.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Consistent != rep.Consistent || back.Method != rep.Method ||
+		back.WitnessSupport != rep.WitnessSupport || back.Elapsed != rep.Elapsed {
+		t.Fatalf("round trip changed fields: %+v vs %+v", back, rep)
+	}
+	w, err := back.WitnessBag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s, err := gen.Section3Family(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := bagconsist.NewCollection2(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := coll.VerifyWitness(w)
+	if err != nil || !ok {
+		t.Fatalf("decoded witness fails verification: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestBatchReportJSONError locks the error-slot encoding used by the
+// batch layer.
+func TestBatchReportJSONError(t *testing.T) {
+	rep := &bagconsist.Report{Method: "error", Bags: 3, Error: "ilp: node budget exceeded"}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"consistent":false,"method":"error","bags":3,"elapsed_ns":0,"error":"ilp: node budget exceeded"}`
+	if string(data) != want {
+		t.Fatalf("got %s\nwant %s", data, want)
+	}
+}
