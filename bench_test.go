@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"bagconsistency/internal/bag"
+	"bagconsistency/internal/canon"
 	"bagconsistency/internal/core"
 	"bagconsistency/internal/gen"
 	"bagconsistency/internal/hypergraph"
@@ -710,6 +711,81 @@ func BenchmarkAPICheckBatch(b *testing.B) {
 					if rep.Error != "" || !rep.Consistent {
 						b.Fatal("batch item failed:", rep.Error)
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAPICheckGlobalCached measures the cache-hit path: the warm
+// number is the full canonical-fingerprint lookup plus witness
+// translation, the floor a repeat query costs regardless of how hard the
+// instance is. Compare against BenchmarkAPICheckGlobalAcyclic/Cyclic for
+// the uncached cost of the same workloads (cmd/bench sweeps the
+// cross-product and records it in BENCH_pr2.json).
+func BenchmarkAPICheckGlobalCached(b *testing.B) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(6))
+	c, _, err := gen.RandomConsistent(rng, hypergraph.Star(8), 48, 1<<10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	checker := bagconsist.New(bagconsist.WithCache(64))
+	if _, err := checker.CheckGlobal(ctx, c); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := checker.CheckGlobal(ctx, c)
+		if err != nil || !rep.CacheHit {
+			b.Fatal("expected a cache hit", err)
+		}
+	}
+}
+
+// BenchmarkAPICheckBatchCached is BenchmarkAPICheckBatch with a shared
+// cache and a duplicate-heavy batch: the serving configuration the cache
+// subsystem exists for.
+func BenchmarkAPICheckBatchCached(b *testing.B) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(20))
+	const batchSize = 32
+	c, _, err := gen.RandomConsistent(rng, hypergraph.Star(8), 32, 1<<10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	instances := make([]*bagconsist.Collection, batchSize)
+	for i := range instances {
+		instances[i] = c
+	}
+	checker := bagconsist.New(bagconsist.WithParallelism(8), bagconsist.WithCache(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := checker.CheckBatch(ctx, instances)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rep := range reports {
+			if rep.Error != "" || !rep.Consistent {
+				b.Fatal("batch item failed:", rep.Error)
+			}
+		}
+	}
+}
+
+// BenchmarkCanonFingerprint isolates the canonicalization cost — the
+// per-query overhead a cache-enabled Checker pays win or lose.
+func BenchmarkCanonFingerprint(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	for _, m := range []int{2, 8} {
+		c, _, err := gen.RandomConsistent(rng, hypergraph.Star(m), 48, 1<<10, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("star/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := canon.Bags(c.Bags()); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -1,0 +1,506 @@
+// Command bench is the reproducible benchmark harness: it sweeps the
+// generator families of internal/gen — acyclic vs cyclic schemas, pair
+// instances, varying multiplicities — across the Flow/LP/ILP/Auto decision
+// methods with and without the result cache, measures everything through
+// the shared internal/harness loop (the same one cmd/experiments reports
+// timings with), and writes the sweep as JSON so the repo's performance
+// trajectory (BENCH_pr2.json and successors) is regenerable with one
+// command.
+//
+// Every generator is seeded, so two runs on the same machine measure the
+// same instances; the JSON orders entries deterministically.
+//
+// Usage:
+//
+//	bench [-quick] [-out BENCH_pr2.json] [-family pair|acyclic|cyclic|cache|batch]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"bagconsistency/internal/gen"
+	"bagconsistency/internal/harness"
+	"bagconsistency/internal/hypergraph"
+	"bagconsistency/pkg/bagconsist"
+)
+
+var ctx = context.Background()
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter measurement floors and smaller sweeps")
+	out := flag.String("out", "BENCH_pr2.json", "output JSON path (- for stdout)")
+	family := flag.String("family", "", "run a single family (pair, acyclic, cyclic, cache, batch)")
+	flag.Parse()
+	if err := run(os.Stderr, *out, *quick, *family); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// Entry is one measured configuration.
+type Entry struct {
+	Name   string `json:"name"`
+	Family string `json:"family"`
+	Method string `json:"method"`
+	// Cache is the cache mode: "off" (no cache configured), "cold"
+	// (cache configured, instance not yet cached — fingerprint plus full
+	// compute), or "warm" (every measured query hits).
+	Cache string `json:"cache"`
+	// Params names the instance knobs, e.g. "support=256" or "n=3".
+	Params      string  `json:"params"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// HitRate is the cache hit rate over the measurement, when a cache
+	// was configured.
+	HitRate float64 `json:"hit_rate,omitempty"`
+}
+
+// Speedup records the headline cached-repeat acceleration: the ratio of
+// the uncached ns/op to the cache-hit ns/op for the same instance.
+type Speedup struct {
+	Family   string  `json:"family"`
+	Params   string  `json:"params"`
+	Variant  string  `json:"variant"` // identical | permuted | renamed
+	ColdNs   float64 `json:"cold_ns_per_op"`
+	WarmNs   float64 `json:"warm_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+	CacheHit bool    `json:"cache_hit"`
+}
+
+// Output is the BENCH_*.json document.
+type Output struct {
+	Bench      string    `json:"bench"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Quick      bool      `json:"quick"`
+	Entries    []Entry   `json:"entries"`
+	Speedups   []Speedup `json:"cache_speedups"`
+}
+
+func run(log io.Writer, outPath string, quick bool, family string) error {
+	opts := harness.Options{}
+	if quick {
+		opts = harness.Quick
+	}
+	doc := &Output{
+		Bench:      "BENCH_pr2",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	type step struct {
+		name string
+		fn   func(io.Writer, *Output, harness.Options, bool) error
+	}
+	steps := []step{
+		{"pair", benchPair},
+		{"acyclic", benchAcyclic},
+		{"cyclic", benchCyclic},
+		{"cache", benchCacheSpeedup},
+		{"batch", benchBatch},
+	}
+	for _, s := range steps {
+		if family != "" && family != s.name {
+			continue
+		}
+		fmt.Fprintf(log, "== %s ==\n", s.name)
+		if err := s.fn(log, doc, opts, quick); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(log, "wrote %s (%d entries, %d speedups)\n", outPath, len(doc.Entries), len(doc.Speedups))
+	return nil
+}
+
+func record(log io.Writer, doc *Output, e Entry, res harness.Result) {
+	e.Iterations = res.Iterations
+	e.NsPerOp = res.NsPerOp
+	e.AllocsPerOp = res.AllocsPerOp
+	e.BytesPerOp = res.BytesPerOp
+	doc.Entries = append(doc.Entries, e)
+	fmt.Fprintf(log, "  %-44s %12.0f ns/op %10.0f allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+}
+
+// benchPair sweeps two-bag consistency across the four Lemma 2 decision
+// methods and cache modes.
+func benchPair(log io.Writer, doc *Output, opts harness.Options, quick bool) error {
+	supports := []int{64, 256, 1024}
+	if quick {
+		supports = []int{64, 256}
+	}
+	methods := []struct {
+		name string
+		m    bagconsist.Method
+		max  int // largest support the method is benched at
+	}{
+		{"auto", bagconsist.Auto, 1 << 30},
+		{"max-flow", bagconsist.Flow, 1 << 30},
+		{"lp-relaxation", bagconsist.LP, 256},
+		{"integer-program", bagconsist.ILP, 64},
+	}
+	for _, n := range supports {
+		rng := rand.New(rand.NewSource(1))
+		r, s, err := gen.RandomConsistentPair(rng, n, 1<<20, n/8+2)
+		if err != nil {
+			return err
+		}
+		for _, m := range methods {
+			if n > m.max {
+				continue
+			}
+			for _, cached := range []bool{false, true} {
+				var copts []bagconsist.Option
+				mode := "off"
+				if cached {
+					copts = append(copts, bagconsist.WithCache(64))
+					mode = "warm"
+				}
+				checker := bagconsist.New(append(copts, bagconsist.WithMethod(m.m))...)
+				fn := func() error {
+					rep, err := checker.CheckPair(ctx, r, s)
+					if err != nil {
+						return err
+					}
+					if !rep.Consistent {
+						return fmt.Errorf("pair inconsistent")
+					}
+					return nil
+				}
+				res, err := harness.Measure(fn, opts)
+				if err != nil {
+					return err
+				}
+				record(log, doc, Entry{
+					Name:   fmt.Sprintf("pair/%s/cache=%s/support=%d", m.name, mode, n),
+					Family: "pair", Method: m.name, Cache: mode,
+					Params: fmt.Sprintf("support=%d", n),
+				}, res)
+			}
+		}
+	}
+	return nil
+}
+
+// benchAcyclic sweeps global consistency on acyclic schemas (the
+// polynomial side of the Theorem 4 dichotomy) across shape, size, and
+// multiplicity scale.
+func benchAcyclic(log io.Writer, doc *Output, opts harness.Options, quick bool) error {
+	shapes := []struct {
+		name string
+		hg   func(int) *hypergraph.Hypergraph
+		ms   []int
+	}{
+		{"path", func(m int) *hypergraph.Hypergraph { return hypergraph.Path(m + 1) }, []int{4, 16}},
+		{"star", hypergraph.Star, []int{8, 32}},
+	}
+	mults := []int64{1 << 4, 1 << 16}
+	if quick {
+		mults = []int64{1 << 10}
+	}
+	for _, shape := range shapes {
+		for _, m := range shape.ms {
+			for _, mult := range mults {
+				rng := rand.New(rand.NewSource(6))
+				c, _, err := gen.RandomConsistent(rng, shape.hg(m), 64, mult, 4)
+				if err != nil {
+					return err
+				}
+				for _, mode := range []string{"off", "warm"} {
+					var copts []bagconsist.Option
+					if mode == "warm" {
+						copts = append(copts, bagconsist.WithCache(64))
+					}
+					checker := bagconsist.New(copts...)
+					fn := func() error {
+						rep, err := checker.CheckGlobal(ctx, c)
+						if err != nil {
+							return err
+						}
+						if !rep.Consistent {
+							return fmt.Errorf("acyclic instance inconsistent")
+						}
+						return nil
+					}
+					res, err := harness.Measure(fn, opts)
+					if err != nil {
+						return err
+					}
+					record(log, doc, Entry{
+						Name:   fmt.Sprintf("acyclic/%s/cache=%s/m=%d,mult=%d", shape.name, mode, m, mult),
+						Family: "acyclic", Method: "auto", Cache: mode,
+						Params: fmt.Sprintf("shape=%s,m=%d,mult=%d", shape.name, m, mult),
+					}, res)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// benchCyclic sweeps the NP side: 3DCT triangle instances through the
+// exact integer search, with and without LP pruning, cached and not.
+func benchCyclic(log io.Writer, doc *Output, opts harness.Options, quick bool) error {
+	ns := []int{2, 3, 4}
+	if quick {
+		ns = []int{2, 3}
+	}
+	for _, n := range ns {
+		rng := rand.New(rand.NewSource(6))
+		inst, err := gen.RandomThreeDCT(rng, n, 3)
+		if err != nil {
+			return err
+		}
+		c, err := inst.ToCollection()
+		if err != nil {
+			return err
+		}
+		for _, cfg := range []struct {
+			method string
+			copts  []bagconsist.Option
+		}{
+			{"integer-program", []bagconsist.Option{bagconsist.WithMaxNodes(50_000_000)}},
+			{"integer-program+lp", []bagconsist.Option{bagconsist.WithMaxNodes(50_000_000), bagconsist.WithLPPruning(true)}},
+		} {
+			for _, mode := range []string{"off", "warm"} {
+				copts := cfg.copts
+				if mode == "warm" {
+					copts = append(append([]bagconsist.Option{}, copts...), bagconsist.WithCache(64))
+				}
+				checker := bagconsist.New(copts...)
+				fn := func() error {
+					rep, err := checker.CheckGlobal(ctx, c)
+					if err != nil {
+						return err
+					}
+					if !rep.Consistent {
+						return fmt.Errorf("interior 3DCT instance inconsistent")
+					}
+					return nil
+				}
+				res, err := harness.Measure(fn, opts)
+				if err != nil {
+					return err
+				}
+				record(log, doc, Entry{
+					Name:   fmt.Sprintf("cyclic/3dct/%s/cache=%s/n=%d", cfg.method, mode, n),
+					Family: "cyclic", Method: cfg.method, Cache: mode,
+					Params: fmt.Sprintf("n=%d", n),
+				}, res)
+			}
+		}
+	}
+	return nil
+}
+
+// benchCacheSpeedup is the acceptance measurement: cold (uncached)
+// CheckGlobal vs a warm cache hit on the same instance, plus the
+// tuple-permuted and value-renamed variants that exercise the canonical
+// fingerprint. The cyclic instance is where the cache pays for itself —
+// a hit skips an NP-hard search.
+func benchCacheSpeedup(log io.Writer, doc *Output, opts harness.Options, quick bool) error {
+	type workload struct {
+		family string
+		params string
+		coll   *bagconsist.Collection
+	}
+	var loads []workload
+
+	// n=5 interior margins: a few thousand branch-and-bound nodes, so the
+	// cold search dominates the fingerprint cost by orders of magnitude.
+	rng := rand.New(rand.NewSource(9))
+	inst, err := gen.RandomThreeDCT(rng, 5, 3)
+	if err != nil {
+		return err
+	}
+	cyc, err := inst.ToCollection()
+	if err != nil {
+		return err
+	}
+	loads = append(loads, workload{"cyclic-3dct", "n=5", cyc})
+
+	acy, _, err := gen.RandomConsistent(rng, hypergraph.Path(9), 64, 1<<16, 4)
+	if err != nil {
+		return err
+	}
+	loads = append(loads, workload{"acyclic-path", "m=8", acy})
+
+	for _, w := range loads {
+		uncached := bagconsist.New(bagconsist.WithMaxNodes(50_000_000))
+		cold, err := harness.Measure(func() error {
+			_, err := uncached.CheckGlobal(ctx, w.coll)
+			return err
+		}, opts)
+		if err != nil {
+			return err
+		}
+
+		for _, variant := range []string{"identical", "permuted", "renamed"} {
+			probe, err := variantOf(rng, w.coll, variant)
+			if err != nil {
+				return err
+			}
+			checker := bagconsist.New(bagconsist.WithCache(64), bagconsist.WithMaxNodes(50_000_000))
+			if _, err := checker.CheckGlobal(ctx, w.coll); err != nil { // populate
+				return err
+			}
+			hit := true
+			warm, err := harness.Measure(func() error {
+				rep, err := checker.CheckGlobal(ctx, probe)
+				if err != nil {
+					return err
+				}
+				if !rep.CacheHit {
+					hit = false
+				}
+				return nil
+			}, opts)
+			if err != nil {
+				return err
+			}
+			sp := Speedup{
+				Family: w.family, Params: w.params, Variant: variant,
+				ColdNs: cold.NsPerOp, WarmNs: warm.NsPerOp,
+				Speedup:  cold.NsPerOp / warm.NsPerOp,
+				CacheHit: hit,
+			}
+			doc.Speedups = append(doc.Speedups, sp)
+			fmt.Fprintf(log, "  %-44s %10.1fx (cold %.0f ns -> warm %.0f ns, hit=%v)\n",
+				w.family+"/"+variant, sp.Speedup, sp.ColdNs, sp.WarmNs, hit)
+		}
+	}
+	return nil
+}
+
+// variantOf returns the instance itself, a tuple-permuted rebuild, or a
+// per-attribute value-renamed copy.
+func variantOf(rng *rand.Rand, c *bagconsist.Collection, variant string) (*bagconsist.Collection, error) {
+	switch variant {
+	case "identical":
+		return c, nil
+	case "permuted":
+		bags := make([]*bagconsist.Bag, c.Len())
+		for i, b := range c.Bags() {
+			tuples := b.Tuples()
+			rng.Shuffle(len(tuples), func(a, z int) { tuples[a], tuples[z] = tuples[z], tuples[a] })
+			nb := bagconsist.NewBag(b.Schema())
+			for _, tup := range tuples {
+				if err := nb.AddTuple(tup, b.CountTuple(tup)); err != nil {
+					return nil, err
+				}
+			}
+			bags[i] = nb
+		}
+		return bagconsist.NewCollection(c.Hypergraph(), bags)
+	case "renamed":
+		rename := make(map[string]map[string]string)
+		bags := make([]*bagconsist.Bag, c.Len())
+		for i, b := range c.Bags() {
+			attrs := b.Schema().Attrs()
+			nb := bagconsist.NewBag(b.Schema())
+			err := b.Each(func(tup bagconsist.Tuple, count int64) error {
+				vals := tup.Values()
+				for j := range vals {
+					a := attrs[j]
+					if rename[a] == nil {
+						rename[a] = make(map[string]string)
+					}
+					n, ok := rename[a][vals[j]]
+					if !ok {
+						n = fmt.Sprintf("%s_r%d", a, len(rename[a]))
+						rename[a][vals[j]] = n
+					}
+					vals[j] = n
+				}
+				return nb.Add(vals, count)
+			})
+			if err != nil {
+				return nil, err
+			}
+			bags[i] = nb
+		}
+		return bagconsist.NewCollection(c.Hypergraph(), bags)
+	}
+	return nil, fmt.Errorf("unknown variant %q", variant)
+}
+
+// benchBatch measures the serving path: batches with heavy duplication
+// through the worker pool, with and without a shared cache (the cached
+// run coalesces duplicates in flight and hits on repeats).
+func benchBatch(log io.Writer, doc *Output, opts harness.Options, quick bool) error {
+	rng := rand.New(rand.NewSource(20))
+	const distinct = 4
+	batchSize := 32
+	if quick {
+		batchSize = 16
+	}
+	var pool []*bagconsist.Collection
+	for i := 0; i < distinct; i++ {
+		c, _, err := gen.RandomConsistent(rng, hypergraph.Star(8), 32, 1<<10, 4)
+		if err != nil {
+			return err
+		}
+		pool = append(pool, c)
+	}
+	instances := make([]*bagconsist.Collection, batchSize)
+	for i := range instances {
+		instances[i] = pool[i%distinct]
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for _, mode := range []string{"off", "warm"} {
+			copts := []bagconsist.Option{bagconsist.WithParallelism(workers)}
+			var sc *bagconsist.Cache
+			if mode == "warm" {
+				sc = bagconsist.NewCache(64)
+				copts = append(copts, bagconsist.WithSharedCache(sc))
+			}
+			checker := bagconsist.New(copts...)
+			fn := func() error {
+				reports, err := checker.CheckBatch(ctx, instances)
+				if err != nil {
+					return err
+				}
+				for _, rep := range reports {
+					if rep.Error != "" {
+						return fmt.Errorf("batch slot failed: %s", rep.Error)
+					}
+				}
+				return nil
+			}
+			res, err := harness.Measure(fn, opts)
+			if err != nil {
+				return err
+			}
+			e := Entry{
+				Name:   fmt.Sprintf("batch/size=%d/cache=%s/workers=%d", batchSize, mode, workers),
+				Family: "batch", Method: "auto", Cache: mode,
+				Params: fmt.Sprintf("size=%d,distinct=%d,workers=%d", batchSize, distinct, workers),
+			}
+			if sc != nil {
+				e.HitRate = sc.Stats().HitRate()
+			}
+			record(log, doc, e, res)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuickSweepWritesJSON runs the whole harness in quick mode and
+// validates the output document: entries for every family, a cache-hit
+// speedup block, and the acceptance threshold — a warm cache hit on an
+// identical (and tuple-permuted) cyclic instance at least 10x faster than
+// the cold run.
+func TestQuickSweepWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var log bytes.Buffer
+	if err := run(&log, out, true, ""); err != nil {
+		t.Fatalf("run: %v\nlog:\n%s", err, log.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Output
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	families := make(map[string]int)
+	for _, e := range doc.Entries {
+		families[e.Family]++
+		if e.NsPerOp <= 0 || e.Iterations <= 0 {
+			t.Errorf("entry %s has empty measurement: %+v", e.Name, e)
+		}
+	}
+	for _, f := range []string{"pair", "acyclic", "cyclic", "batch"} {
+		if families[f] == 0 {
+			t.Errorf("no entries for family %q", f)
+		}
+	}
+	if len(doc.Speedups) == 0 {
+		t.Fatal("no cache speedups measured")
+	}
+	for _, sp := range doc.Speedups {
+		if !sp.CacheHit {
+			t.Errorf("%s/%s: warm run did not hit the cache", sp.Family, sp.Variant)
+		}
+		// Wall-clock ratios are meaningless under the race detector (its
+		// overhead hits the allocation-heavy warm path much harder than
+		// the search-bound cold path), so the numeric bar is release-only.
+		if raceEnabled {
+			continue
+		}
+		if sp.Family == "cyclic-3dct" && (sp.Variant == "identical" || sp.Variant == "permuted") && sp.Speedup < 10 {
+			t.Errorf("%s/%s: speedup %.1fx below the 10x acceptance bar", sp.Family, sp.Variant, sp.Speedup)
+		}
+	}
+}
+
+func TestSingleFamily(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_family.json")
+	var log bytes.Buffer
+	if err := run(&log, out, true, "batch"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Output
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.Entries {
+		if e.Family != "batch" {
+			t.Errorf("unexpected family %q in filtered run", e.Family)
+		}
+	}
+	if len(doc.Entries) == 0 {
+		t.Fatal("filtered run produced no entries")
+	}
+}

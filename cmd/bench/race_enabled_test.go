@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; its
+// overhead is nonuniform across workloads, so wall-clock ratio assertions
+// are skipped under -race.
+const raceEnabled = true

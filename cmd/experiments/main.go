@@ -21,6 +21,7 @@ import (
 
 	"bagconsistency/internal/bag"
 	"bagconsistency/internal/gen"
+	"bagconsistency/internal/harness"
 	"bagconsistency/internal/hypergraph"
 	"bagconsistency/internal/reductions"
 	"bagconsistency/internal/relational"
@@ -30,6 +31,21 @@ import (
 // ctx is the harness-wide context: experiments are driven end to end, so
 // a single background context is threaded through every public-API call.
 var ctx = context.Background()
+
+// hopts selects the shared-harness measurement floor. All timings printed
+// by the experiments go through internal/harness — the same loop
+// cmd/bench records BENCH_*.json with — so the two tools' numbers agree.
+// Every measured block first makes one authoritative call to print the
+// decision fields; that call doubles as the warmup, so the harness's own
+// warmup is skipped (it would re-run multi-second exact searches).
+func hopts(quick bool) harness.Options {
+	o := harness.Options{}
+	if quick {
+		o = harness.Quick
+	}
+	o.SkipWarmup = true
+	return o
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run smaller parameter sweeps")
@@ -126,12 +142,26 @@ func e1(out io.Writer, quick bool) error {
 			return err
 		}
 		ok := crep.Consistent
-		tCheck := crep.Elapsed
+		checkRes, err := harness.Measure(func() error {
+			_, err := checker.CheckPair(ctx, r, s)
+			return err
+		}, hopts(quick))
+		if err != nil {
+			return err
+		}
+		tCheck := checkRes.Duration()
 		wrep, err := checker.PairWitness(ctx, r, s)
 		if err != nil {
 			return err
 		}
-		tWitness := wrep.Elapsed
+		witnessRes, err := harness.Measure(func() error {
+			_, err := checker.PairWitness(ctx, r, s)
+			return err
+		}, hopts(quick))
+		if err != nil {
+			return err
+		}
+		tWitness := witnessRes.Duration()
 		valid := false
 		if wrep.Consistent {
 			w, err := wrep.WitnessBag()
@@ -350,11 +380,19 @@ func e6(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		rep, err := bagconsist.New().CheckGlobal(ctx, c)
+		checker := bagconsist.New()
+		rep, err := checker.CheckGlobal(ctx, c)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  m=%-3d bags: consistent=%v method=%s time=%v\n", m, rep.Consistent, rep.Method, rep.Elapsed.Round(time.Microsecond))
+		res, err := harness.Measure(func() error {
+			_, err := checker.CheckGlobal(ctx, c)
+			return err
+		}, hopts(quick))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  m=%-3d bags: consistent=%v method=%s time=%v\n", m, rep.Consistent, rep.Method, res.Duration().Round(time.Microsecond))
 	}
 	fmt.Fprintln(out, "measured (cyclic triangle C3, random interior 3DCT margins, exact search):")
 	ns := []int{2, 3, 4, 5}
@@ -370,11 +408,19 @@ func e6(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		rep, err := bagconsist.New(bagconsist.WithMaxNodes(50_000_000)).CheckGlobal(ctx, c)
+		checker := bagconsist.New(bagconsist.WithMaxNodes(50_000_000))
+		rep, err := checker.CheckGlobal(ctx, c)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  n=%-3d cube: consistent=%v method=%s nodes=%-8d time=%v\n", n, rep.Consistent, rep.Method, rep.Nodes, rep.Elapsed.Round(time.Microsecond))
+		res, err := harness.Measure(func() error {
+			_, err := checker.CheckGlobal(ctx, c)
+			return err
+		}, hopts(quick))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  n=%-3d cube: consistent=%v method=%s nodes=%-8d time=%v\n", n, rep.Consistent, rep.Method, rep.Nodes, res.Duration().Round(time.Microsecond))
 	}
 	fmt.Fprintln(out, "measured (cyclic triangle C3, boundary instances: margins perturbed by")
 	fmt.Fprintln(out, " pairwise-consistency-preserving rectangle swaps; worst of 3 trials):")
@@ -400,13 +446,20 @@ func e6(out io.Writer, quick bool) error {
 			if err != nil {
 				return err
 			}
-			rep, err := bagconsist.New(bagconsist.WithMaxNodes(budget)).CheckGlobal(ctx, c)
+			// One-shot measurement: boundary searches are too expensive to
+			// loop, but harness.Once keeps the timing code path shared.
+			var rep *bagconsist.Report
+			res, err := harness.Once(func() error {
+				r, err := bagconsist.New(bagconsist.WithMaxNodes(budget)).CheckGlobal(ctx, c)
+				rep = r
+				return err
+			})
 			if err != nil {
 				exceeded++
 				continue
 			}
 			if rep.Nodes > worstNodes {
-				worstNodes, worstTime = rep.Nodes, rep.Elapsed
+				worstNodes, worstTime = rep.Nodes, res.Duration()
 			}
 		}
 		if exceeded > 0 {
@@ -437,13 +490,21 @@ func e7(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		wrep, err := bagconsist.New().PairWitness(ctx, r, s)
+		checker := bagconsist.New()
+		wrep, err := checker.PairWitness(ctx, r, s)
 		if err != nil {
 			return fmt.Errorf("consistent pair rejected: %w", err)
 		}
+		res, err := harness.Measure(func() error {
+			_, err := checker.PairWitness(ctx, r, s)
+			return err
+		}, hopts(quick))
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "  |R'|+|S'|=%-5d ‖W‖supp=%-5d bound-holds=%-5v time=%v\n",
 			r.SupportSize()+s.SupportSize(), wrep.WitnessSupport,
-			wrep.WitnessSupport <= r.SupportSize()+s.SupportSize(), wrep.Elapsed.Round(time.Microsecond))
+			wrep.WitnessSupport <= r.SupportSize()+s.SupportSize(), res.Duration().Round(time.Microsecond))
 	}
 	fmt.Fprintln(out, "measured (acyclic composition over stars):")
 	stars := []int{8, 16, 32, 64}
@@ -459,7 +520,8 @@ func e7(out io.Writer, quick bool) error {
 		for _, b := range c.Bags() {
 			sum += b.SupportSize()
 		}
-		rep, err := bagconsist.New().Witness(ctx, c)
+		checker := bagconsist.New()
+		rep, err := checker.Witness(ctx, c)
 		if err != nil {
 			return fmt.Errorf("marginal collection rejected: %w", err)
 		}
@@ -471,8 +533,15 @@ func e7(out io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
+		res, err := harness.Measure(func() error {
+			_, err := checker.Witness(ctx, c)
+			return err
+		}, hopts(quick))
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "  m=%-3d bags: ‖W‖supp=%-5d Σ‖Ri‖supp=%-5d bound-holds=%-5v valid=%-5v time=%v\n",
-			m, rep.WitnessSupport, sum, rep.WitnessSupport <= sum, valid, rep.Elapsed.Round(time.Microsecond))
+			m, rep.WitnessSupport, sum, rep.WitnessSupport <= sum, valid, res.Duration().Round(time.Microsecond))
 	}
 	return nil
 }
@@ -610,13 +679,19 @@ func e9(out io.Writer, quick bool) error {
 			}
 			rels = append(rels, relational.FromBagSupport(m))
 		}
-		t0 := time.Now()
 		consistent, _, err := relational.GloballyConsistent(rels)
 		if err != nil {
 			return err
 		}
+		res, err := harness.Measure(func() error {
+			_, _, err := relational.GloballyConsistent(rels)
+			return err
+		}, hopts(quick))
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "  |Ri| ≈ %-4d consistent=%v time=%v (polynomial: full join + projections)\n",
-			rels[0].Len(), consistent, time.Since(t0).Round(time.Microsecond))
+			rels[0].Len(), consistent, res.Duration().Round(time.Microsecond))
 	}
 	return nil
 }

@@ -12,7 +12,7 @@
 //
 // The implementation lives in the internal packages:
 //
-//	pkg/bagconsist       the public API: Checker, options, Report, batching
+//	pkg/bagconsist       the public API: Checker, options, Report, batching, caching
 //	internal/bag         multiset algebra: schemas, tuples, bags, marginals, joins
 //	internal/hypergraph  acyclicity, chordality, conformality, join trees, cores
 //	internal/maxflow     Dinic / Edmonds–Karp integral max flow
@@ -20,14 +20,20 @@
 //	internal/ilp         integer feasibility for the programs P(R1..Rm)
 //	internal/core        the paper's results: consistency tests, witnesses,
 //	                     the dichotomy decision procedure, Tseitin counterexamples
+//	internal/canon       order- and renaming-invariant instance fingerprints
+//	internal/cache       sharded LRU result cache with singleflight coalescing
+//	internal/harness     the shared timing loop behind cmd/bench and cmd/experiments
 //	internal/relational  the set-semantics baseline
 //	internal/reductions  HLY80 3-coloring, 3DCT, and the Lemma 6/7 lifts
 //	internal/gen         instance families and random workloads
 //	internal/bagio       text/JSON formats for the CLI tools
 //
 // Command-line entry points are cmd/bagc (consistency checking),
-// cmd/schemacheck (schema classification), and cmd/experiments (the full
-// paper reproduction harness, experiments E1–E10 of DESIGN.md). The
-// benchmarks in bench_test.go regenerate every experiment's measurement
-// and additionally exercise the public API surface.
+// cmd/schemacheck (schema classification), cmd/experiments (the full
+// paper reproduction harness, experiments E1–E10 of DESIGN.md), and
+// cmd/bench (the reproducible performance sweep behind BENCH_pr2.json).
+// The benchmarks in bench_test.go regenerate every experiment's
+// measurement and additionally exercise the public API surface.
+// docs/PAPER_MAP.md maps each of the paper's results to the code
+// reproducing it.
 package bagconsistency

@@ -1,0 +1,212 @@
+// Package cache provides the result cache behind the public Checker: a
+// sharded, mutex-striped LRU keyed by canonical fingerprints, plus a
+// context-aware singleflight group that coalesces concurrent identical
+// queries so a batch of duplicate instances computes each answer once.
+//
+// The cache stores opaque values (the public layer stores decoded,
+// canonical-index-encoded results); it never inspects them. All methods
+// are safe for concurrent use. Striping keeps the hot path to one
+// per-shard mutex acquisition, so throughput scales with cores until the
+// shards themselves contend.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the stripe count. A fixed power of two keeps the shard
+// selection branch-free; 16 stripes is past the point where GOMAXPROCS on
+// typical serving hardware contends on any single one.
+const numShards = 16
+
+// Cache is a sharded LRU mapping string keys to opaque values.
+type Cache struct {
+	shards    [numShards]shard
+	perShard  int
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// New returns a cache holding at most capacity entries (rounded up to a
+// multiple of the shard count; capacity < 1 is clamped to 1 per shard).
+func New(capacity int) *Cache {
+	per := (capacity + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].items = make(map[string]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+// Capacity returns the total number of entries the cache can hold.
+func (c *Cache) Capacity() int { return c.perShard * numShards }
+
+func (c *Cache) shard(key string) *shard {
+	return &c.shards[fnv32(key)&(numShards-1)]
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	var val any
+	if ok {
+		s.order.MoveToFront(el)
+		val = el.Value.(*lruEntry).val
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Recheck is Get for a double-check that follows an already-counted
+// miss (the singleflight leader re-probing after it wins key
+// leadership): a present value counts as a hit, an absent one counts
+// nothing — the caller's original Get already recorded this query's
+// miss.
+func (c *Cache) Recheck(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	var val any
+	if ok {
+		s.order.MoveToFront(el)
+		val = el.Value.(*lruEntry).val
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Add inserts (or replaces) the value under key as most recently used,
+// evicting the shard's least recently used entry when full.
+func (c *Cache) Add(key string, val any) {
+	s := c.shard(key)
+	var evicted bool
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		s.order.MoveToFront(el)
+	} else {
+		if s.order.Len() >= c.perShard {
+			oldest := s.order.Back()
+			if oldest != nil {
+				s.order.Remove(oldest)
+				delete(s.items, oldest.Value.(*lruEntry).key)
+				evicted = true
+			}
+		}
+		s.items[key] = s.order.PushFront(&lruEntry{key: key, val: val})
+	}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Purge drops every entry. Stats counters are preserved (they describe
+// lifetime traffic, not contents).
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.items = make(map[string]*list.Element)
+		s.order.Init()
+		s.mu.Unlock()
+	}
+}
+
+// RecordCoalesced counts a query that missed the LRU but was then served
+// by coalescing onto a concurrent identical computation — a cache win
+// that the Get counters alone would report as a plain miss. Each
+// coalesced event corresponds to exactly one already-counted miss, which
+// is how HitRate folds them back in.
+func (c *Cache) RecordCoalesced() { c.coalesced.Add(1) }
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	// Hits and Misses count Get outcomes over the cache's lifetime.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Coalesced counts queries served by singleflight coalescing after an
+	// LRU miss (each one is also counted in Misses).
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries dropped to make room.
+	Evictions uint64 `json:"evictions"`
+	// Entries and Capacity describe current occupancy.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// HitRate returns the fraction of queries served without recomputation:
+// (Hits + Coalesced) / (Hits + Misses). Every coalesced query is also one
+// of the counted misses, so the denominator already covers it. 0 with no
+// traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.Capacity(),
+	}
+}
+
+// fnv32 is FNV-1a over the key bytes, used only to pick a stripe.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

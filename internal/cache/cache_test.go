@@ -1,0 +1,281 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetAddBasic(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("got %v %v, want 1 true", v, ok)
+	}
+	c.Add("a", 2)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatal("replace did not take")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %v", got)
+	}
+}
+
+func TestRecheckDoesNotCountMisses(t *testing.T) {
+	c := New(16)
+	if _, ok := c.Recheck("k"); ok {
+		t.Fatal("recheck hit on empty cache")
+	}
+	c.Add("k", 1)
+	if v, ok := c.Recheck("k"); !ok || v.(int) != 1 {
+		t.Fatal("recheck missed a present entry")
+	}
+	st := c.Stats()
+	if st.Misses != 0 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 hit and no misses", st)
+	}
+}
+
+func TestRecordCoalesced(t *testing.T) {
+	c := New(16)
+	// Two queries: one plain miss (the leader), one miss resolved by
+	// coalescing. Served-without-recompute rate is 1/2.
+	c.Get("k")
+	c.Get("k")
+	c.RecordCoalesced()
+	st := c.Stats()
+	if st.Coalesced != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// capacity 16 -> 1 entry per shard; keys landing on the same shard
+	// evict each other in LRU order.
+	c := New(1)
+	if c.Capacity() != numShards {
+		t.Fatalf("capacity = %d, want %d", c.Capacity(), numShards)
+	}
+	// Find three keys on the same shard.
+	var keys []string
+	want := fnv32("k0") & (numShards - 1)
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if fnv32(k)&(numShards-1) == want {
+			keys = append(keys, k)
+		}
+	}
+	c.Add(keys[0], 0)
+	c.Add(keys[1], 1) // evicts keys[0]
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if v, ok := c.Get(keys[1]); !ok || v.(int) != 1 {
+		t.Fatal("newest entry lost")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestLRUOrderOnGet(t *testing.T) {
+	// Two slots on one shard: touching the older key should make the
+	// middle key the eviction victim.
+	c := New(2 * numShards)
+	var keys []string
+	want := fnv32("k0") & (numShards - 1)
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if fnv32(k)&(numShards-1) == want {
+			keys = append(keys, k)
+		}
+	}
+	c.Add(keys[0], 0)
+	c.Add(keys[1], 1)
+	c.Get(keys[0]) // refresh
+	c.Add(keys[2], 2)
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU victim should have been the un-touched middle key")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("refreshed key evicted")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(64)
+	for i := 0; i < 32; i++ {
+		c.Add(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() != 32 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%64)
+				if i%3 == 0 {
+					c.Add(k, i)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > c.Capacity() {
+		t.Fatalf("len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	var g Group
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	shareds := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), "k", func() (any, error) {
+				calls.Add(1)
+				<-gate
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], shareds[i] = v, shared
+		}(i)
+	}
+	// Let every goroutine reach Do before releasing the leader.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	sharedCount := 0
+	for i := range results {
+		if results[i].(int) != 42 {
+			t.Fatalf("waiter %d got %v", i, results[i])
+		}
+		if shareds[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != waiters-1 {
+		t.Fatalf("%d shared results, want %d", sharedCount, waiters-1)
+	}
+}
+
+func TestSingleflightLeaderErrorNotBroadcast(t *testing.T) {
+	var g Group
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	boom := errors.New("boom")
+
+	var followerVal any
+	var followerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	leaderIn := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		// Give the leader time to register, then join as follower.
+		<-leaderIn
+		followerVal, _, followerErr = g.Do(context.Background(), "k", func() (any, error) {
+			calls.Add(1)
+			return 7, nil
+		})
+	}()
+
+	go func() {
+		// Release the leader once the follower has had time to block on it.
+		time.Sleep(50 * time.Millisecond)
+		close(gate)
+	}()
+	_, _, err := g.Do(context.Background(), "k", func() (any, error) {
+		calls.Add(1)
+		close(leaderIn)
+		<-gate
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("leader err = %v", err)
+	}
+	wg.Wait()
+	if followerErr != nil {
+		t.Fatalf("follower err = %v (leader failure must not be broadcast)", followerErr)
+	}
+	if followerVal.(int) != 7 {
+		t.Fatalf("follower val = %v", followerVal)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("fn ran %d times, want 2 (failed leader + retrying follower)", calls.Load())
+	}
+}
+
+func TestSingleflightWaiterCancellation(t *testing.T) {
+	var g Group
+	gate := make(chan struct{})
+	defer close(gate)
+	go g.Do(context.Background(), "k", func() (any, error) {
+		<-gate
+		return 1, nil
+	})
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := g.Do(ctx, "k", func() (any, error) { return 2, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestSingleflightDistinctKeysRunConcurrently(t *testing.T) {
+	var g Group
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), fmt.Sprintf("k%d", i), func() (any, error) {
+				return i, nil
+			})
+			if err != nil || shared || v.(int) != i {
+				t.Errorf("key k%d: v=%v shared=%v err=%v", i, v, shared, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,66 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// Group coalesces concurrent calls with the same key: the first caller
+// (the leader) runs fn, every concurrent caller with the same key blocks
+// until the leader finishes and receives the leader's value with
+// shared=true. This is the in-flight deduplication used by CheckBatch —
+// a batch carrying the same instance fifty times runs the NP-hard search
+// once.
+//
+// Unlike x/sync/singleflight, waiting is context-aware (a cancelled waiter
+// unblocks with its own ctx.Err() while the leader keeps computing), and a
+// leader error is not broadcast: followers of a failed leader retry,
+// electing a new leader among themselves, so one caller's cancellation or
+// node-budget exhaustion cannot poison unrelated callers that would have
+// succeeded.
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do executes fn under key with coalescing. shared reports whether the
+// returned value came from another caller's execution.
+func (g *Group) Do(ctx context.Context, key string, fn func() (any, error)) (v any, shared bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.calls == nil {
+			g.calls = make(map[string]*call)
+		}
+		if c, ok := g.calls[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err == nil {
+					return c.val, true, nil
+				}
+				// The leader failed; loop and contend to become the new
+				// leader (the failed call was already deregistered).
+				continue
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		g.calls[key] = c
+		g.mu.Unlock()
+
+		c.val, c.err = fn()
+
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.val, false, c.err
+	}
+}

@@ -1,0 +1,330 @@
+// Package canon computes canonical fingerprints of bags and collections
+// of bags, invariant under the two symmetries that preserve every
+// consistency question of the paper:
+//
+//   - tuple order: bags are multisets, so the order tuples were inserted
+//     in (or enumerated in) cannot matter;
+//   - consistent value renaming: the decision procedures only ever compare
+//     values for equality within an attribute, so applying a bijection to
+//     the values of any attribute — consistently across all bags
+//     containing that attribute — preserves consistency, witnesses (up to
+//     the same renaming), and every size norm.
+//
+// Attribute names are NOT renamed: they index the schema hypergraph, and
+// two collections over differently named hyperedges are different
+// instances.
+//
+// The fingerprint is the SHA-256 of a canonical encoding: values are
+// interned per attribute into dense indices by a color-refinement pass
+// (Weisfeiler–Leman style, with value colors refined by the multiset of
+// hashes of the tuples they occur in), and the instance is then emitted as
+// sorted tuples of canonical indices with multiplicities. Equality of
+// fingerprints therefore implies the instances are isomorphic under
+// per-attribute value bijections (up to SHA-256 collisions), which makes
+// the fingerprint a sound cache key: isomorphic instances have the same
+// consistency decision, and a cached witness can be translated through the
+// Canonical value tables of the two instances.
+//
+// Completeness of the invariance is best-effort where canonical labeling
+// is inherently hard: when color refinement leaves two values of an
+// attribute indistinguishable, the tie is broken by the original value
+// strings. Ties between automorphic values are harmless (any order yields
+// the same encoding); ties between refinement-equivalent but
+// non-automorphic values (CFI-style constructions) can make two isomorphic
+// instances fingerprint differently — a cache miss, never a wrong hit.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"bagconsistency/internal/bag"
+)
+
+// Fingerprint is a 256-bit canonical instance digest.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint in hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// IsZero reports whether the fingerprint is the zero value (no instance
+// hashes to it: every encoding is non-empty).
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// Canonical is the result of canonicalizing an instance: its fingerprint
+// plus the per-attribute value tables needed to translate tuples between
+// the instance's concrete values and canonical indices. Two instances with
+// equal fingerprints are isomorphic via the bijection that maps, for every
+// attribute, the value at index i of one table to the value at index i of
+// the other.
+type Canonical struct {
+	// FP is the instance fingerprint.
+	FP Fingerprint
+	// Values maps each attribute to its values in canonical index order.
+	Values map[string][]string
+	// Index is the inverse of Values: attribute -> value -> canonical index.
+	Index map[string]map[string]int
+}
+
+// valueRef identifies a value occurrence site: attribute a, value v.
+type valueRef struct {
+	attr string
+	val  string
+}
+
+// Bags canonicalizes an ordered list of bags (bag i of one instance
+// corresponds to bag i of another; collections are indexed by hyperedge
+// position, so bag order is significant and not canonicalized away).
+func Bags(bags []*bag.Bag) (*Canonical, error) {
+	if len(bags) == 0 {
+		return nil, fmt.Errorf("canon: empty instance")
+	}
+
+	// Gather the value universe per attribute and, per bag, the tuple
+	// matrix in schema-attribute order.
+	type tupleRow struct {
+		refs  []valueRef
+		count int64
+	}
+	type bagRows struct {
+		attrs []string
+		rows  []tupleRow
+	}
+	instance := make([]bagRows, len(bags))
+	valueSet := make(map[valueRef]bool)
+	for i, b := range bags {
+		if b == nil {
+			return nil, fmt.Errorf("canon: nil bag at index %d", i)
+		}
+		attrs := b.Schema().Attrs()
+		br := bagRows{attrs: attrs}
+		err := b.Each(func(t bag.Tuple, count int64) error {
+			vals := t.Values()
+			row := tupleRow{refs: make([]valueRef, len(vals)), count: count}
+			for j, v := range vals {
+				ref := valueRef{attr: attrs[j], val: v}
+				row.refs[j] = ref
+				valueSet[ref] = true
+			}
+			br.rows = append(br.rows, row)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		instance[i] = br
+	}
+
+	// Color refinement. Colors are uint64 hashes; the initial color of a
+	// value depends only on its attribute name, and each round folds in
+	// the multiset of hashes of the tuples the value occurs in (a tuple
+	// hash covers the bag index, the multiplicity, and the current colors
+	// of all its values). Everything a color depends on is
+	// renaming-invariant, so the stable partition is too.
+	color := make(map[valueRef]uint64, len(valueSet))
+	for ref := range valueSet {
+		color[ref] = hashStrings("attr", ref.attr)
+	}
+	distinct := countDistinct(color)
+	// The partition refines monotonically (old color is folded into the
+	// new one), so it stabilizes after at most |values| strict
+	// refinements.
+	for round := 0; round <= len(color); round++ {
+		occ := make(map[valueRef][]uint64, len(color))
+		for i := range instance {
+			for _, row := range instance[i].rows {
+				h := newHasher()
+				h.writeUint(uint64(i))
+				h.writeUint(uint64(row.count))
+				for _, ref := range row.refs {
+					h.writeUint(color[ref])
+				}
+				th := h.sum()
+				for _, ref := range row.refs {
+					occ[ref] = append(occ[ref], th)
+				}
+			}
+		}
+		next := make(map[valueRef]uint64, len(color))
+		for ref, old := range color {
+			hs := occ[ref]
+			sort.Slice(hs, func(a, b int) bool { return hs[a] < hs[b] })
+			h := newHasher()
+			h.writeUint(old)
+			for _, v := range hs {
+				h.writeUint(v)
+			}
+			next[ref] = h.sum()
+		}
+		color = next
+		if d := countDistinct(color); d == distinct {
+			break
+		} else {
+			distinct = d
+		}
+	}
+
+	// Canonical interning: within each attribute, order values by final
+	// color, breaking residual ties by the original value string (see the
+	// package comment for why this is sound).
+	perAttr := make(map[string][]string)
+	for ref := range valueSet {
+		perAttr[ref.attr] = append(perAttr[ref.attr], ref.val)
+	}
+	can := &Canonical{
+		Values: make(map[string][]string, len(perAttr)),
+		Index:  make(map[string]map[string]int, len(perAttr)),
+	}
+	for attr, vals := range perAttr {
+		sort.Slice(vals, func(a, b int) bool {
+			ca := color[valueRef{attr: attr, val: vals[a]}]
+			cb := color[valueRef{attr: attr, val: vals[b]}]
+			if ca != cb {
+				return ca < cb
+			}
+			return vals[a] < vals[b]
+		})
+		idx := make(map[string]int, len(vals))
+		for i, v := range vals {
+			idx[v] = i
+		}
+		can.Values[attr] = vals
+		can.Index[attr] = idx
+	}
+
+	// Emit the canonical encoding: per bag, its attribute names, then its
+	// tuples as canonical index vectors with multiplicities, sorted by
+	// index vector. The encoding is a faithful description of the
+	// instance up to per-attribute renaming.
+	enc := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		enc.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeU64(uint64(len(s)))
+		enc.Write([]byte(s))
+	}
+	writeU64(uint64(len(instance)))
+	for _, br := range instance {
+		writeU64(uint64(len(br.attrs)))
+		for _, a := range br.attrs {
+			writeStr(a)
+		}
+		rows := make([][]uint64, len(br.rows))
+		for r, row := range br.rows {
+			vec := make([]uint64, 0, len(row.refs)+1)
+			for _, ref := range row.refs {
+				vec = append(vec, uint64(can.Index[ref.attr][ref.val]))
+			}
+			vec = append(vec, uint64(row.count))
+			rows[r] = vec
+		}
+		sort.Slice(rows, func(a, b int) bool { return lessUint64s(rows[a], rows[b]) })
+		writeU64(uint64(len(rows)))
+		for _, vec := range rows {
+			for _, v := range vec {
+				writeU64(v)
+			}
+		}
+	}
+	copy(can.FP[:], enc.Sum(nil))
+	return can, nil
+}
+
+// Pair canonicalizes a two-bag instance (r, s). Bag order is significant,
+// matching CheckPair(r, s).
+func Pair(r, s *bag.Bag) (*Canonical, error) {
+	return Bags([]*bag.Bag{r, s})
+}
+
+// One canonicalizes a single bag.
+func One(b *bag.Bag) (*Canonical, error) {
+	return Bags([]*bag.Bag{b})
+}
+
+// Translate maps a tuple's values for the given sorted attribute list from
+// this canonicalization's index space into concrete values. It inverts
+// Indices on a Canonical computed from the *same* fingerprint class, which
+// is how a cached witness is re-expressed in a new instance's values.
+func (c *Canonical) Translate(attrs []string, indices []int) ([]string, error) {
+	if len(attrs) != len(indices) {
+		return nil, fmt.Errorf("canon: %d attrs but %d indices", len(attrs), len(indices))
+	}
+	vals := make([]string, len(indices))
+	for i, attr := range attrs {
+		table := c.Values[attr]
+		if indices[i] < 0 || indices[i] >= len(table) {
+			return nil, fmt.Errorf("canon: index %d out of range for attribute %q (%d values)", indices[i], attr, len(table))
+		}
+		vals[i] = table[indices[i]]
+	}
+	return vals, nil
+}
+
+// Indices maps a tuple's concrete values for the given sorted attribute
+// list into canonical index space.
+func (c *Canonical) Indices(attrs []string, vals []string) ([]int, error) {
+	if len(attrs) != len(vals) {
+		return nil, fmt.Errorf("canon: %d attrs but %d values", len(attrs), len(vals))
+	}
+	out := make([]int, len(vals))
+	for i, attr := range attrs {
+		idx, ok := c.Index[attr][vals[i]]
+		if !ok {
+			return nil, fmt.Errorf("canon: value %q not in the instance's %q column", vals[i], attr)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+func countDistinct(m map[valueRef]uint64) int {
+	seen := make(map[uint64]bool, len(m))
+	for _, v := range m {
+		seen[v] = true
+	}
+	return len(seen)
+}
+
+func lessUint64s(a, b []uint64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// hasher is FNV-1a over uint64 words: cheap, deterministic across runs and
+// platforms, and good enough for refinement colors (the final fingerprint
+// uses SHA-256, so refinement collisions cost discrimination, not
+// soundness).
+type hasher struct{ h uint64 }
+
+func newHasher() *hasher { return &hasher{h: 14695981039346656037} }
+
+func (x *hasher) writeUint(v uint64) {
+	for i := 0; i < 8; i++ {
+		x.h ^= v & 0xff
+		x.h *= 1099511628211
+		v >>= 8
+	}
+}
+
+func (x *hasher) sum() uint64 { return x.h }
+
+func hashStrings(parts ...string) uint64 {
+	h := newHasher()
+	for _, p := range parts {
+		h.writeUint(uint64(len(p)))
+		for i := 0; i < len(p); i++ {
+			h.writeUint(uint64(p[i]))
+		}
+	}
+	return h.sum()
+}

@@ -1,0 +1,114 @@
+package canon
+
+import (
+	"math/rand"
+	"testing"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/gen"
+	"bagconsistency/internal/hypergraph"
+)
+
+// TestQuickInvarianceUnderSymmetries is the property test of the
+// fingerprint contract: for random collections over random acyclic
+// schemas, tuple-order permutation and consistent per-attribute value
+// renaming preserve the fingerprint, while bumping one multiplicity
+// changes it.
+func TestQuickInvarianceUnderSymmetries(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		h, err := gen.RandomAcyclicHypergraph(rng, 2+rng.Intn(4), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _, err := gen.RandomConsistent(rng, h, 4+rng.Intn(24), 1<<uint(2+rng.Intn(10)), 2+rng.Intn(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := fingerprint(t, c.Bags()...)
+
+		permuted := make([]*bag.Bag, c.Len())
+		for i, b := range c.Bags() {
+			permuted[i] = rebuildPermuted(t, rng, b)
+		}
+		if got := fingerprint(t, permuted...); got.FP != base.FP {
+			t.Fatalf("trial %d: tuple permutation changed the fingerprint", trial)
+		}
+
+		renamed := renameValues(t, rng, c.Bags())
+		if got := fingerprint(t, renamed...); got.FP != base.FP {
+			t.Fatalf("trial %d: consistent renaming changed the fingerprint", trial)
+		}
+
+		// Renaming composed with permutation, still invariant.
+		for i, b := range renamed {
+			renamed[i] = rebuildPermuted(t, rng, b)
+		}
+		if got := fingerprint(t, renamed...); got.FP != base.FP {
+			t.Fatalf("trial %d: renaming+permutation changed the fingerprint", trial)
+		}
+
+		// A multiplicity bump is a different instance.
+		perturbed, err := gen.Perturb(rng, c)
+		if err != nil {
+			// All-empty collections cannot be perturbed; skip those.
+			continue
+		}
+		if got := fingerprint(t, perturbed.Bags()...); got.FP == base.FP {
+			t.Fatalf("trial %d: multiplicity bump did not change the fingerprint", trial)
+		}
+	}
+}
+
+// TestQuickCyclicFamilies runs the same invariance check on the cyclic
+// (3DCT triangle) instances the cache will actually see on the NP side.
+func TestQuickCyclicFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		inst, err := gen.RandomThreeDCT(rng, 2+rng.Intn(3), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := inst.ToCollection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := fingerprint(t, c.Bags()...)
+		renamed := renameValues(t, rng, c.Bags())
+		if got := fingerprint(t, renamed...); got.FP != base.FP {
+			t.Fatalf("trial %d: renaming a 3DCT instance changed the fingerprint", trial)
+		}
+	}
+}
+
+// TestQuickDistinctInstancesRarelyCollide fingerprints a batch of random
+// instances over a fixed schema and checks all fingerprints are distinct
+// (these instances are non-isomorphic with overwhelming probability).
+func TestQuickDistinctInstancesRarelyCollide(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	h := hypergraph.Triangle()
+	seen := make(map[Fingerprint]int)
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		c, _, err := gen.RandomConsistent(rng, h, 12, 1<<12, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := fingerprint(t, c.Bags()...).FP
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("instances %d and %d collided", prev, trial)
+		}
+		seen[fp] = trial
+	}
+}

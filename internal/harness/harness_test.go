@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMeasureBasic(t *testing.T) {
+	calls := 0
+	res, err := Measure(func() error {
+		calls++
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	}, Options{MinTime: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 1 || calls != res.Iterations+1 { // +1 warmup
+		t.Fatalf("iterations=%d calls=%d", res.Iterations, calls)
+	}
+	if res.NsPerOp < float64(50*time.Microsecond) {
+		t.Fatalf("ns/op = %v, implausibly fast for a 100µs sleep", res.NsPerOp)
+	}
+	if res.Elapsed < 5*time.Millisecond {
+		t.Fatalf("stopped before MinTime: %v", res.Elapsed)
+	}
+}
+
+func TestMeasureError(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := Measure(func() error { return boom }, Options{}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Error after warmup, inside the timed loop.
+	n := 0
+	_, err := Measure(func() error {
+		n++
+		if n > 3 {
+			return boom
+		}
+		return nil
+	}, Options{MinTime: time.Second})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMeasureAllocs(t *testing.T) {
+	var sink []byte
+	res, err := Measure(func() error {
+		sink = make([]byte, 4096)
+		return nil
+	}, Options{MinTime: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+	if res.AllocsPerOp < 0.5 {
+		t.Fatalf("allocs/op = %v, want about 1", res.AllocsPerOp)
+	}
+	if res.BytesPerOp < 2048 {
+		t.Fatalf("bytes/op = %v, want about 4096", res.BytesPerOp)
+	}
+}
+
+func TestOnce(t *testing.T) {
+	calls := 0
+	res, err := Once(func() error { calls++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || res.Iterations != 1 {
+		t.Fatalf("calls=%d iterations=%d, want 1/1", calls, res.Iterations)
+	}
+}
+
+func TestMaxIterationsCap(t *testing.T) {
+	res, err := Measure(func() error { return nil }, Options{MinTime: time.Minute, MaxIterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 50 {
+		t.Fatalf("iterations = %d, want exactly the cap", res.Iterations)
+	}
+}

@@ -1,0 +1,192 @@
+package bagconsist
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/cache"
+	"bagconsistency/internal/canon"
+)
+
+// Cache is a shared result cache for Checkers: a sharded LRU keyed by
+// canonical instance fingerprints plus the options that shaped the
+// result, with singleflight coalescing of concurrent identical queries.
+//
+// Because keys are canonical fingerprints (internal/canon), a hit does not
+// require byte-identical input: any instance equal to a cached one up to
+// tuple order and consistent per-attribute value renaming hits, and its
+// witness is translated into the new instance's own values. One Cache may
+// back any number of Checkers — and should, since the fingerprint keys
+// embed each Checker's options, so differently configured Checkers never
+// cross-contaminate.
+type Cache struct {
+	lru    *cache.Cache
+	flight cache.Group
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness; see
+// Cache.Stats.
+type CacheStats = cache.Stats
+
+// NewCache returns a cache holding at most size results (size < 1 is
+// clamped up to the minimum striped capacity).
+func NewCache(size int) *Cache {
+	return &Cache{lru: cache.New(size)}
+}
+
+// Stats returns hit/miss/eviction counters and current occupancy.
+func (c *Cache) Stats() CacheStats { return c.lru.Stats() }
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// Purge drops every cached result, keeping lifetime counters.
+func (c *Cache) Purge() { c.lru.Purge() }
+
+// cachedRow is one witness support tuple in canonical index space.
+type cachedRow struct {
+	indices []int
+	count   int64
+}
+
+// cachedResult is a Report in renaming-independent form: scalar fields
+// verbatim, the witness as canonical index vectors to be re-expressed in
+// each hitting instance's values.
+type cachedResult struct {
+	consistent     bool
+	method         string
+	bags           int
+	nodes          int64
+	flowValue      int64
+	witnessSupport int
+	witnessAttrs   []string // nil when the result carries no witness
+	witnessRows    []cachedRow
+}
+
+// encodeCached converts a freshly computed Report into canonical form
+// using the canonicalization of the instance that produced it.
+func encodeCached(rep *Report, can *canon.Canonical) (*cachedResult, error) {
+	cr := &cachedResult{
+		consistent:     rep.Consistent,
+		method:         rep.Method,
+		bags:           rep.Bags,
+		nodes:          rep.Nodes,
+		flowValue:      rep.FlowValue,
+		witnessSupport: rep.WitnessSupport,
+	}
+	if rep.Witness != nil {
+		cr.witnessAttrs = rep.Witness.Attrs
+		cr.witnessRows = make([]cachedRow, 0, len(rep.Witness.Rows))
+		for _, row := range rep.Witness.Rows {
+			idx, err := can.Indices(cr.witnessAttrs, row.Values)
+			if err != nil {
+				return nil, err
+			}
+			cr.witnessRows = append(cr.witnessRows, cachedRow{indices: idx, count: row.Count})
+		}
+	}
+	return cr, nil
+}
+
+// report materializes the cached result for an instance with the given
+// canonicalization, translating the witness into that instance's values.
+func (cr *cachedResult) report(can *canon.Canonical, elapsed time.Duration) (*Report, error) {
+	rep := &Report{
+		Consistent:     cr.consistent,
+		Method:         cr.method,
+		Bags:           cr.bags,
+		Nodes:          cr.nodes,
+		FlowValue:      cr.flowValue,
+		WitnessSupport: cr.witnessSupport,
+		CacheHit:       true,
+		Elapsed:        elapsed,
+	}
+	if cr.witnessAttrs != nil {
+		s, err := bag.NewSchema(cr.witnessAttrs...)
+		if err != nil {
+			return nil, err
+		}
+		w := bag.New(s)
+		for _, row := range cr.witnessRows {
+			vals, err := can.Translate(cr.witnessAttrs, row.indices)
+			if err != nil {
+				return nil, err
+			}
+			if err := w.Add(vals, row.count); err != nil {
+				return nil, err
+			}
+		}
+		rep.Witness = newWitness(w)
+	}
+	return rep, nil
+}
+
+// optionsKey is the per-Checker component of every cache key: two
+// Checkers share results only when every knob that can change a Report
+// agrees. Parallelism is excluded — it shapes batch scheduling, never a
+// result.
+func (c config) optionsKey() string {
+	return fmt.Sprintf("m%d|n%d|lp%t|bl%t|wm%t", c.method, c.maxNodes, c.lpPruning, c.branchLowFirst, c.minimizeWitness)
+}
+
+// cachedCheck is the shared lookup/compute/coalesce path behind CheckPair
+// and CheckGlobal. kind namespaces the query ("pair" vs "global" over the
+// same bags answer different questions); bags is the instance;
+// compute runs the underlying uncached query.
+func (c *Checker) cachedCheck(ctx context.Context, kind string, bags []*bag.Bag, compute func() (*Report, error)) (*Report, error) {
+	start := time.Now()
+	// Cached and uncached paths must agree on cancellation: a hit must
+	// not mask an already-dead context.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	can, err := canon.Bags(bags)
+	if err != nil {
+		// Canonicalization failing (nil bag, empty instance) means the
+		// underlying query will produce the authoritative error.
+		return compute()
+	}
+	key := kind + "|" + c.cfg.optionsKey() + "|" + can.FP.String()
+	if v, ok := c.cfg.cache.lru.Get(key); ok {
+		return v.(*cachedResult).report(can, time.Since(start))
+	}
+
+	// Miss: compute once per key across concurrent callers. The leader
+	// returns its direct Report (no translation round trip); followers
+	// translate the canonical result into their own instance's values.
+	var direct *Report
+	v, shared, err := c.cfg.cache.flight.Do(ctx, key, func() (any, error) {
+		// Re-check the LRU now that this caller holds key leadership: a
+		// previous leader may have stored the result between this
+		// caller's Get miss and its Do registration. Without this
+		// re-check that window would elect a second leader and recompute.
+		if v, ok := c.cfg.cache.lru.Recheck(key); ok {
+			return v, nil
+		}
+		rep, cerr := compute()
+		if cerr != nil {
+			return nil, cerr
+		}
+		cr, cerr := encodeCached(rep, can)
+		if cerr != nil {
+			return nil, cerr
+		}
+		c.cfg.cache.lru.Add(key, cr)
+		direct = rep
+		return cr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		// Served by another caller's in-flight computation: a cache win
+		// that never touched the LRU's hit counter.
+		c.cfg.cache.lru.RecordCoalesced()
+	}
+	if !shared && direct != nil {
+		return direct, nil
+	}
+	return v.(*cachedResult).report(can, time.Since(start))
+}

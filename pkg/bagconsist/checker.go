@@ -31,8 +31,19 @@ func New(opts ...Option) *Checker {
 
 // CheckPair decides whether two bags are consistent (Lemma 2). The
 // configured Method selects among the four equivalent tests; Auto runs
-// the strongly polynomial marginal test.
+// the strongly polynomial marginal test. With a cache configured, repeat
+// instances (up to tuple order and consistent value renaming) are served
+// from it with Report.CacheHit set.
 func (c *Checker) CheckPair(ctx context.Context, r, s *Bag) (*Report, error) {
+	if c.cfg.cache != nil {
+		return c.cachedCheck(ctx, "pair", []*Bag{r, s}, func() (*Report, error) {
+			return c.checkPairUncached(ctx, r, s)
+		})
+	}
+	return c.checkPairUncached(ctx, r, s)
+}
+
+func (c *Checker) checkPairUncached(ctx context.Context, r, s *Bag) (*Report, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -105,13 +116,33 @@ func (c *Checker) PairWitness(ctx context.Context, r, s *Bag) (*Report, error) {
 // composition on acyclic schemas, pairwise refutation then the exact
 // integer search on cyclic ones. With ILP the integer search is forced
 // even on acyclic schemas. Flow and LP apply only to two-bag collections.
+//
+// With a cache configured (WithCache / WithSharedCache), instances are
+// keyed by their canonical fingerprint: a repeat of a cached instance —
+// identical, tuple-permuted, or consistently value-renamed — returns the
+// cached Report with CacheHit set and the witness expressed in the new
+// instance's values, skipping even the NP-hard search. Concurrent
+// identical misses coalesce onto one computation.
 func (c *Checker) CheckGlobal(ctx context.Context, coll *Collection) (*Report, error) {
+	if c.cfg.cache != nil {
+		return c.cachedCheck(ctx, "global", coll.Bags(), func() (*Report, error) {
+			return c.checkGlobalUncached(ctx, coll)
+		})
+	}
+	return c.checkGlobalUncached(ctx, coll)
+}
+
+func (c *Checker) checkGlobalUncached(ctx context.Context, coll *Collection) (*Report, error) {
 	start := time.Now()
 	if c.cfg.method == Flow || c.cfg.method == LP {
 		if coll.Len() != 2 {
 			return nil, fmt.Errorf("bagconsist: method %v decides pair consistency only, collection has %d bags", c.cfg.method, coll.Len())
 		}
-		return c.CheckPair(ctx, coll.Bag(0), coll.Bag(1))
+		// Straight to the uncached pair path: when a cache is configured
+		// this call is already under the "global" key, and going through
+		// the public CheckPair would fingerprint the instance a second
+		// time and store a duplicate entry under the "pair" key.
+		return c.checkPairUncached(ctx, coll.Bag(0), coll.Bag(1))
 	}
 	dec, err := coll.GloballyConsistentContext(ctx, c.cfg.global())
 	if err != nil {

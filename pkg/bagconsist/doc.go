@@ -28,6 +28,14 @@
 // are captured in Report.Error rather than aborting the batch, which is
 // the behavior a serving layer wants.
 //
+// A result cache (WithCache, or WithSharedCache across Checkers) keys
+// CheckPair/CheckGlobal results by canonical instance fingerprint:
+// repeats of a checked instance — identical, tuple-permuted, or
+// consistently value-renamed — are served from the cache with
+// Report.CacheHit set and witnesses translated into the new instance's
+// values, and concurrent identical queries coalesce onto a single
+// computation. See Example (WithCache) and DESIGN.md for the economics.
+//
 // The data types (Bag, Schema, Collection, Hypergraph) are aliases of the
 // internal implementation types, so values produced by the internal
 // generators and IO packages flow through this API unchanged. See

@@ -53,6 +53,7 @@ type config struct {
 	branchLowFirst  bool
 	minimizeWitness bool
 	parallelism     int
+	cache           *Cache
 }
 
 func defaultConfig() config {
@@ -118,4 +119,21 @@ func WithParallelism(n int) Option {
 		}
 		c.parallelism = n
 	}
+}
+
+// WithCache gives the Checker a private result cache holding up to size
+// results. CheckPair and CheckGlobal then serve repeat instances —
+// identical, tuple-permuted, or consistently value-renamed — from the
+// cache (Report.CacheHit reports it), and concurrent identical queries
+// coalesce so each distinct instance computes once. The default is no
+// cache.
+func WithCache(size int) Option {
+	return func(c *config) { c.cache = NewCache(size) }
+}
+
+// WithSharedCache injects an existing cache, so several Checkers (or a
+// Checker and its metrics scraper) share one result set and one stats
+// surface. A nil cache disables caching.
+func WithSharedCache(sc *Cache) Option {
+	return func(c *config) { c.cache = sc }
 }

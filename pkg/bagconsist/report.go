@@ -28,6 +28,11 @@ type Report struct {
 	WitnessSupport int `json:"witness_support,omitempty"`
 	// Witness is the witnessing bag, when one was constructed.
 	Witness *Witness `json:"witness,omitempty"`
+	// CacheHit reports that the result was served from the Checker's
+	// cache (or coalesced onto a concurrent identical query) rather than
+	// recomputed; Nodes and Method then describe the original
+	// computation, and Elapsed the lookup.
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// Elapsed is the wall time of the query (nanoseconds in JSON).
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Error records a per-instance failure inside CheckBatch; single
