@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"bagconsistency/internal/bagio"
+	"bagconsistency/internal/buildinfo"
 	"bagconsistency/pkg/bagconsist"
 )
 
@@ -36,6 +37,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
 		return errors.New("usage: bagc <check|witness|pair|count|verify|classify> [flags] <file>")
+	}
+	if args[0] == "-version" || args[0] == "--version" {
+		fmt.Fprintln(out, "bagc", buildinfo.String())
+		return nil
 	}
 	cmd, rest := args[0], args[1:]
 

@@ -231,3 +231,13 @@ func TestVerifyErrors(t *testing.T) {
 		t.Error("expected nothing-to-verify error")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "bagc ") {
+		t.Fatalf("version output %q", buf.String())
+	}
+}

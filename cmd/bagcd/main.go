@@ -1,0 +1,169 @@
+// Command bagcd is the bag-consistency network daemon: it serves the
+// Atserias–Kolaitis decision procedures over HTTP with a bounded admission
+// queue, load shedding, a process-wide shared result cache, Prometheus
+// metrics, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	bagcd [-addr :8080] [-parallelism N] [-queue-depth N] [-cache-size N]
+//	      [-max-nodes N] [-default-timeout 0] [-max-timeout 60s]
+//	      [-drain-timeout 30s] [-max-batch-lines N] [-version]
+//
+// Endpoints (see docs/SERVING.md for wire formats):
+//
+//	POST /v1/check        global consistency of one collection
+//	POST /v1/check/pair   pair consistency of a two-bag collection
+//	POST /v1/batch        NDJSON streaming batch
+//	GET  /healthz         liveness, queue and cache occupancy
+//	GET  /metrics         Prometheus text exposition
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bagconsistency/internal/buildinfo"
+	"bagconsistency/internal/metrics"
+	"bagconsistency/internal/service"
+	"bagconsistency/pkg/bagconsist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bagcd:", err)
+		os.Exit(1)
+	}
+}
+
+// options collects the daemon's flags.
+type options struct {
+	addr           string
+	parallelism    int
+	queueDepth     int
+	cacheSize      int
+	maxNodes       int64
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	drainTimeout   time.Duration
+	maxBatchLines  int
+}
+
+func parseFlags(args []string, out io.Writer) (*options, bool, error) {
+	fs := flag.NewFlagSet("bagcd", flag.ContinueOnError)
+	opt := &options{}
+	fs.StringVar(&opt.addr, "addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	fs.IntVar(&opt.parallelism, "parallelism", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&opt.queueDepth, "queue-depth", service.DefaultQueueDepth, "admission queue bound; beyond it requests shed with 503")
+	fs.IntVar(&opt.cacheSize, "cache-size", 4096, "shared result cache entries (0 disables caching)")
+	fs.Int64Var(&opt.maxNodes, "max-nodes", 10_000_000, "node budget for the integer search on cyclic schemas")
+	fs.DurationVar(&opt.defaultTimeout, "default-timeout", 0, "compute budget for requests that set none (0 = unlimited)")
+	fs.DurationVar(&opt.maxTimeout, "max-timeout", 60*time.Second, "cap on per-request compute budgets (0 = uncapped)")
+	fs.DurationVar(&opt.drainTimeout, "drain-timeout", 30*time.Second, "how long to let in-flight requests finish on shutdown")
+	fs.IntVar(&opt.maxBatchLines, "max-batch-lines", service.DefaultMaxBatchLines, "NDJSON lines accepted per /v1/batch request")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return nil, false, err
+	}
+	if *version {
+		fmt.Fprintln(out, "bagcd", buildinfo.String())
+		return nil, true, nil
+	}
+	return opt, false, nil
+}
+
+// buildServer assembles the full serving stack — shared cache, checker,
+// admission service, metrics, HTTP handler — exactly as main runs it; the
+// smoke tests boot the same stack.
+func buildServer(opt *options) (*service.Service, http.Handler, error) {
+	reg := metrics.NewRegistry()
+	checkerOpts := []bagconsist.Option{bagconsist.WithMaxNodes(opt.maxNodes)}
+	if opt.parallelism > 0 {
+		checkerOpts = append(checkerOpts, bagconsist.WithParallelism(opt.parallelism))
+	}
+	var cache *bagconsist.Cache
+	if opt.cacheSize > 0 {
+		cache = bagconsist.NewCache(opt.cacheSize)
+		checkerOpts = append(checkerOpts, bagconsist.WithSharedCache(cache))
+	}
+	svc, err := service.New(service.Config{
+		Checker:        bagconsist.New(checkerOpts...),
+		QueueDepth:     opt.queueDepth,
+		DefaultTimeout: opt.defaultTimeout,
+		MaxTimeout:     opt.maxTimeout,
+		Metrics:        reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	handler, err := service.NewHandler(service.ServerConfig{
+		Service:       svc,
+		Metrics:       reg,
+		Cache:         cache,
+		MaxBatchLines: opt.maxBatchLines,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return svc, handler, nil
+}
+
+func run(args []string, out io.Writer) error {
+	opt, done, err := parseFlags(args, out)
+	if err != nil || done {
+		return err
+	}
+	logger := log.New(out, "bagcd: ", log.LstdFlags)
+
+	svc, handler, err := buildServer(opt)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address is part of the contract: with port 0 it is the
+	// only way callers (and the smoke test) learn where to connect.
+	logger.Printf("listening on %s (%s)", ln.Addr(), buildinfo.String())
+
+	srv := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %v, draining (timeout %v)", sig, opt.drainTimeout)
+	case err := <-serveErr:
+		return err
+	}
+
+	// Drain order: stop the admission queue first so queued work finishes,
+	// then shut the HTTP server down, which itself waits for in-flight
+	// handlers (each holding a result already computed or a rejection).
+	ctx, cancel := context.WithTimeout(context.Background(), opt.drainTimeout)
+	defer cancel()
+	drainErr := svc.Drain(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained, exiting")
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"runtime"
 
+	"bagconsistency/internal/buildinfo"
 	"bagconsistency/internal/gen"
 	"bagconsistency/internal/harness"
 	"bagconsistency/internal/hypergraph"
@@ -37,7 +38,12 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter measurement floors and smaller sweeps")
 	out := flag.String("out", "BENCH_pr2.json", "output JSON path (- for stdout)")
 	family := flag.String("family", "", "run a single family (pair, acyclic, cyclic, cache, batch)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("bench", buildinfo.String())
+		return
+	}
 	if err := run(os.Stderr, *out, *quick, *family); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)

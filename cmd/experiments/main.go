@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bagconsistency/internal/bag"
+	"bagconsistency/internal/buildinfo"
 	"bagconsistency/internal/gen"
 	"bagconsistency/internal/harness"
 	"bagconsistency/internal/hypergraph"
@@ -50,7 +51,12 @@ func hopts(quick bool) harness.Options {
 func main() {
 	quick := flag.Bool("quick", false, "run smaller parameter sweeps")
 	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("experiments", buildinfo.String())
+		return
+	}
 	if err := run(os.Stdout, *quick, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

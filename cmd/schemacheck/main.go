@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"bagconsistency/internal/bagio"
+	"bagconsistency/internal/buildinfo"
 	"bagconsistency/internal/hypergraph"
 	"bagconsistency/pkg/bagconsist"
 )
@@ -39,8 +40,13 @@ func run(args []string, out io.Writer) error {
 	file := fs.String("f", "", "read the schema from this file instead of the arguments")
 	counterexample := fs.Bool("counterexample", false, "for cyclic schemas, print the Tseitin counterexample collection")
 	trace := fs.Bool("trace", false, "print the GYO (Graham) reduction trace")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, "schemacheck", buildinfo.String())
+		return nil
 	}
 	var tokens []string
 	if *file != "" {

@@ -114,3 +114,13 @@ func TestTraceFlag(t *testing.T) {
 		t.Errorf("triangle should stall:\n%s", out.String())
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "schemacheck ") {
+		t.Fatalf("version output %q", buf.String())
+	}
+}

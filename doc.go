@@ -7,12 +7,15 @@
 // Consumers use the public facade pkg/bagconsist — a Checker built with
 // functional options, context-aware CheckPair/CheckGlobal/Witness methods
 // returning a JSON-serializable Report, and a concurrent CheckBatch
-// service layer. See README.md for the quickstart and DESIGN.md for the
-// architecture.
+// service layer. Remote consumers talk to the cmd/bagcd HTTP daemon
+// through pkg/bagclient, which returns the same Report values. See
+// README.md for the quickstart, DESIGN.md for the architecture, and
+// docs/SERVING.md for the network API.
 //
 // The implementation lives in the internal packages:
 //
 //	pkg/bagconsist       the public API: Checker, options, Report, batching, caching
+//	pkg/bagclient        typed HTTP client for the bagcd daemon (503 retries, contexts)
 //	internal/bag         multiset algebra: schemas, tuples, bags, marginals, joins
 //	internal/hypergraph  acyclicity, chordality, conformality, join trees, cores
 //	internal/maxflow     Dinic / Edmonds–Karp integral max flow
@@ -22,6 +25,11 @@
 //	                     the dichotomy decision procedure, Tseitin counterexamples
 //	internal/canon       order- and renaming-invariant instance fingerprints
 //	internal/cache       sharded LRU result cache with singleflight coalescing
+//	internal/service     the serving core: admission queue, load shedding,
+//	                     deadline propagation, graceful drain, HTTP handlers
+//	internal/metrics     dependency-free counters/gauges/histograms with
+//	                     Prometheus text exposition
+//	internal/buildinfo   version/commit stamping behind every -version flag
 //	internal/harness     the shared timing loop behind cmd/bench and cmd/experiments
 //	internal/relational  the set-semantics baseline
 //	internal/reductions  HLY80 3-coloring, 3DCT, and the Lemma 6/7 lifts
@@ -30,8 +38,9 @@
 //
 // Command-line entry points are cmd/bagc (consistency checking),
 // cmd/schemacheck (schema classification), cmd/experiments (the full
-// paper reproduction harness, experiments E1–E10 of DESIGN.md), and
-// cmd/bench (the reproducible performance sweep behind BENCH_pr2.json).
+// paper reproduction harness, experiments E1–E10 of DESIGN.md),
+// cmd/bench (the reproducible performance sweep behind BENCH_pr2.json),
+// and cmd/bagcd (the HTTP serving daemon of docs/SERVING.md).
 // The benchmarks in bench_test.go regenerate every experiment's
 // measurement and additionally exercise the public API surface.
 // docs/PAPER_MAP.md maps each of the paper's results to the code

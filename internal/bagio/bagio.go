@@ -17,10 +17,17 @@
 // (sorted) attribute order; an optional ": <count>" suffix sets the
 // multiplicity. Values may not contain whitespace, '#' or be the bare
 // token ":".
+//
+// JSON wire formats (the bagcd server formats): a bare array of JSONBag
+// objects, or a JSONCollection object {"name": ..., "bags": [...]} when
+// the instance is named. DecodeAny sniffs the leading byte and accepts
+// either JSON shape or the text format, so every server endpoint and tool
+// reads all three.
 package bagio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -156,43 +163,49 @@ func ToCollection(bags []NamedBag) (*core.Collection, error) {
 	return core.NewCollection(h, bs)
 }
 
-// jsonBag is the JSON wire form of one bag.
-type jsonBag struct {
+// JSONBag is the JSON wire form of one bag. It is the unit of the server
+// wire format: request bodies are arrays of JSONBag or a JSONCollection
+// wrapping one.
+type JSONBag struct {
 	Name   string      `json:"name,omitempty"`
 	Schema []string    `json:"schema"`
-	Tuples []jsonTuple `json:"tuples"`
+	Tuples []JSONTuple `json:"tuples"`
 }
 
-type jsonTuple struct {
+// JSONTuple is one support tuple of a JSONBag: values in the schema's
+// canonical attribute order plus a non-negative multiplicity.
+type JSONTuple struct {
 	Values []string `json:"values"`
 	Count  int64    `json:"count"`
 }
 
-// EncodeJSON writes the bags as a JSON array.
-func EncodeJSON(w io.Writer, bags []NamedBag) error {
-	arr := make([]jsonBag, 0, len(bags))
+// JSONCollection is the named-collection wire object: the request form the
+// daemon accepts when clients want to name the instance. Decoding accepts
+// either this object or a bare JSONBag array.
+type JSONCollection struct {
+	Name string    `json:"name,omitempty"`
+	Bags []JSONBag `json:"bags"`
+}
+
+// ToJSONBags converts named bags to their wire form.
+func ToJSONBags(bags []NamedBag) ([]JSONBag, error) {
+	arr := make([]JSONBag, 0, len(bags))
 	for _, nb := range bags {
-		jb := jsonBag{Name: nb.Name, Schema: nb.Bag.Schema().Attrs()}
+		jb := JSONBag{Name: nb.Name, Schema: nb.Bag.Schema().Attrs()}
 		err := nb.Bag.Each(func(t bag.Tuple, count int64) error {
-			jb.Tuples = append(jb.Tuples, jsonTuple{Values: t.Values(), Count: count})
+			jb.Tuples = append(jb.Tuples, JSONTuple{Values: t.Values(), Count: count})
 			return nil
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		arr = append(arr, jb)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(arr)
+	return arr, nil
 }
 
-// DecodeJSON reads bags from the JSON array form.
-func DecodeJSON(r io.Reader) ([]NamedBag, error) {
-	var arr []jsonBag
-	if err := json.NewDecoder(r).Decode(&arr); err != nil {
-		return nil, fmt.Errorf("bagio: %w", err)
-	}
+// FromJSONBags validates the wire form back into named bags.
+func FromJSONBags(arr []JSONBag) ([]NamedBag, error) {
 	out := make([]NamedBag, 0, len(arr))
 	for _, jb := range arr {
 		s, err := bag.NewSchema(jb.Schema...)
@@ -208,4 +221,78 @@ func DecodeJSON(r io.Reader) ([]NamedBag, error) {
 		out = append(out, NamedBag{Name: jb.Name, Bag: b})
 	}
 	return out, nil
+}
+
+// EncodeJSON writes the bags as a JSON array.
+func EncodeJSON(w io.Writer, bags []NamedBag) error {
+	arr, err := ToJSONBags(bags)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
+}
+
+// DecodeJSON reads bags from the JSON array form.
+func DecodeJSON(r io.Reader) ([]NamedBag, error) {
+	var arr []JSONBag
+	if err := json.NewDecoder(r).Decode(&arr); err != nil {
+		return nil, fmt.Errorf("bagio: %w", err)
+	}
+	return FromJSONBags(arr)
+}
+
+// EncodeJSONCollection writes bags as a named-collection object.
+func EncodeJSONCollection(w io.Writer, name string, bags []NamedBag) error {
+	arr, err := ToJSONBags(bags)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(JSONCollection{Name: name, Bags: arr})
+}
+
+// DecodeJSONCollection reads either wire shape — a named-collection object
+// or a bare bag array — returning the collection name ("" for the array
+// form).
+func DecodeJSONCollection(r io.Reader) (string, []NamedBag, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return "", nil, err
+	}
+	return decodeJSONCollection(data)
+}
+
+func decodeJSONCollection(data []byte) (string, []NamedBag, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var jc JSONCollection
+		if err := json.Unmarshal(trimmed, &jc); err != nil {
+			return "", nil, fmt.Errorf("bagio: %w", err)
+		}
+		bags, err := FromJSONBags(jc.Bags)
+		return jc.Name, bags, err
+	}
+	bags, err := DecodeJSON(bytes.NewReader(data))
+	return "", bags, err
+}
+
+// DecodeAny reads a collection in whichever format the bytes are in: the
+// JSON array form, the named-collection JSON object, or the line-oriented
+// text format. The JSON forms are recognized by a leading '[' or '{'; the
+// text format has neither (bags start with the "bag" keyword). This is the
+// daemon's request decoding, so one endpoint serves both kinds of client.
+func DecodeAny(r io.Reader) (string, []NamedBag, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return "", nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && (trimmed[0] == '[' || trimmed[0] == '{') {
+		return decodeJSONCollection(trimmed)
+	}
+	bags, err := ParseCollection(bytes.NewReader(data))
+	return "", bags, err
 }

@@ -148,3 +148,93 @@ func TestParseEmptySchemaBag(t *testing.T) {
 		t.Error("schema should be empty")
 	}
 }
+
+func TestJSONCollectionRoundTrip(t *testing.T) {
+	bags, err := ParseCollection(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSONCollection(&buf, "retail", bags); err != nil {
+		t.Fatal(err)
+	}
+	name, back, err := DecodeJSONCollection(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "retail" {
+		t.Errorf("name = %q, want retail", name)
+	}
+	for i := range bags {
+		if back[i].Name != bags[i].Name || !back[i].Bag.Equal(bags[i].Bag) {
+			t.Errorf("bag %d changed in named-collection round trip", i)
+		}
+	}
+	// The same decoder must accept the bare-array form with an empty name.
+	buf.Reset()
+	if err := EncodeJSON(&buf, bags); err != nil {
+		t.Fatal(err)
+	}
+	name, back, err = DecodeJSONCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" || len(back) != len(bags) {
+		t.Errorf("array form: name=%q bags=%d", name, len(back))
+	}
+}
+
+func TestDecodeAnyAllFormats(t *testing.T) {
+	want, err := ParseCollection(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonArr, jsonObj bytes.Buffer
+	if err := EncodeJSON(&jsonArr, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeJSONCollection(&jsonObj, "retail", want); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]struct {
+		input    string
+		wantName string
+	}{
+		"text":              {sample, ""},
+		"json array":        {jsonArr.String(), ""},
+		"json object":       {jsonObj.String(), "retail"},
+		"json with leading": {"\n\t " + jsonArr.String(), ""},
+	}
+	for label, tc := range cases {
+		name, got, err := DecodeAny(strings.NewReader(tc.input))
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if name != tc.wantName {
+			t.Errorf("%s: name = %q, want %q", label, name, tc.wantName)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d bags, want %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Name != want[i].Name || !got[i].Bag.Equal(want[i].Bag) {
+				t.Errorf("%s: bag %d differs", label, i)
+			}
+		}
+	}
+}
+
+func TestDecodeAnyErrors(t *testing.T) {
+	cases := map[string]string{
+		"broken json array":  `[{"schema":`,
+		"broken json object": `{"bags": [{"schema":`,
+		"negative count":     `[{"schema":["A"],"tuples":[{"values":["x"],"count":-1}]}]`,
+		"arity mismatch":     `[{"schema":["A"],"tuples":[{"values":["x","y"],"count":1}]}]`,
+		"bad text":           "schema before bag\n",
+	}
+	for label, input := range cases {
+		if _, _, err := DecodeAny(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+}

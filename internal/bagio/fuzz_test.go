@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"unicode/utf8"
 )
 
 // FuzzParseCollection checks that arbitrary input never panics the parser
@@ -15,6 +16,20 @@ func FuzzParseCollection(f *testing.F) {
 	f.Add("schema A\n")
 	f.Add("bag x\nschema A B\n1 2\n1 2 : 9\n# comment\n")
 	f.Add(": : :")
+	// ": <count>" multiplicity edge cases: zero counts, counts at and past
+	// the int64 boundary, a colon with no count, a count with no colon, a
+	// value that is itself almost a colon, and repeated tuples whose
+	// multiplicities must accumulate.
+	f.Add("bag x\nschema A\nv : 0\n")
+	f.Add("bag x\nschema A\nv : 9223372036854775807\n")
+	f.Add("bag x\nschema A\nv : 9223372036854775808\n")
+	f.Add("bag x\nschema A\nv :\n")
+	f.Add("bag x\nschema A\nv 3\n")
+	f.Add("bag x\nschema A B\n:: 2 : 4\n")
+	f.Add("bag x\nschema A\nv : 2\nv : 3\n")
+	f.Add("bag x\nschema A\nv : 1 : 2\n")
+	f.Add("bag x\nschema A\nv : +3\n")
+	f.Add("bag x\nschema A\nv : 03\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		bags, err := ParseCollection(strings.NewReader(input))
 		if err != nil {
@@ -53,6 +68,48 @@ func FuzzDecodeJSON(f *testing.F) {
 		var buf bytes.Buffer
 		if err := EncodeJSON(&buf, bags); err != nil {
 			t.Fatalf("encode of decoded input failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeAny checks the format-sniffing decoder never panics and that
+// whatever it accepts re-encodes as JSON and decodes back unchanged. The
+// faithfulness property is scoped to valid UTF-8: the text format is
+// byte-oriented, but JSON strings are UTF-8 by contract, so encoding
+// replaces invalid bytes with U+FFFD (the corpus keeps a seed pinning
+// that boundary); such inputs must still encode and re-decode cleanly.
+func FuzzDecodeAny(f *testing.F) {
+	f.Add(sample)
+	f.Add(`[{"name":"r","schema":["A"],"tuples":[{"values":["x"],"count":2}]}]`)
+	f.Add(`{"name":"pair","bags":[{"schema":["A"],"tuples":[]}]}`)
+	f.Add(`{"bags":null}`)
+	f.Add("  \n\t[\n]")
+	f.Add(`[{"schema":["A"],"tuples":[{"values":["x"],"count":0}]}]`)
+	f.Add(`[{"schema":["A"],"tuples":[{"values":[":"],"count":1}]}]`)
+	f.Add(`[{"schema":["A"],"tuples":[{"values":["a b"],"count":1}]}]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		name, bags, err := DecodeAny(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeJSONCollection(&buf, name, bags); err != nil {
+			t.Fatalf("encode of decoded input failed: %v", err)
+		}
+		backName, back, err := DecodeJSONCollection(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of own output failed: %v", err)
+		}
+		if !utf8.ValidString(input) {
+			return
+		}
+		if backName != name || len(back) != len(bags) {
+			t.Fatalf("round trip changed name %q->%q or count %d->%d", name, backName, len(bags), len(back))
+		}
+		for i := range bags {
+			if back[i].Name != bags[i].Name || !back[i].Bag.Equal(bags[i].Bag) {
+				t.Fatalf("bag %d changed in round trip", i)
+			}
 		}
 	})
 }

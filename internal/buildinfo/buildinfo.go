@@ -1,0 +1,53 @@
+// Package buildinfo stamps the binaries with a version and commit so a
+// deployed fleet can report exactly what it is running. The variables are
+// set at link time:
+//
+//	go build -ldflags "\
+//	  -X bagconsistency/internal/buildinfo.Version=v1.2.3 \
+//	  -X bagconsistency/internal/buildinfo.Commit=$(git rev-parse --short HEAD)" ./...
+//
+// When the linker did not stamp them, String falls back to the module
+// version and VCS revision recorded by the Go toolchain in the binary's
+// embedded build info, so plain `go build` / `go run` binaries still
+// identify themselves.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+var (
+	// Version is the human-facing release version ("dev" when unstamped).
+	Version = "dev"
+	// Commit is the VCS revision the binary was built from.
+	Commit = ""
+)
+
+// String renders a one-line identification, e.g.
+//
+//	dev (commit 92fb27e, go1.24.0)
+func String() string {
+	version, commit := Version, Commit
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if version == "dev" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		if commit == "" {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					commit = s.Value
+					break
+				}
+			}
+		}
+	}
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	if commit == "" {
+		return fmt.Sprintf("%s (%s)", version, runtime.Version())
+	}
+	return fmt.Sprintf("%s (commit %s, %s)", version, commit, runtime.Version())
+}

@@ -1,0 +1,28 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringStamped(t *testing.T) {
+	oldV, oldC := Version, Commit
+	defer func() { Version, Commit = oldV, oldC }()
+
+	Version, Commit = "v9.9.9", "abcdef1234567890"
+	s := String()
+	if !strings.HasPrefix(s, "v9.9.9 (commit abcdef123456,") {
+		t.Fatalf("stamped String() = %q, want v9.9.9 with 12-char commit", s)
+	}
+}
+
+func TestStringUnstampedNeverEmpty(t *testing.T) {
+	oldV, oldC := Version, Commit
+	defer func() { Version, Commit = oldV, oldC }()
+
+	Version, Commit = "dev", ""
+	s := String()
+	if s == "" || !strings.Contains(s, "go1") {
+		t.Fatalf("unstamped String() = %q, want nonempty with Go version", s)
+	}
+}

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", `code="200"`, "requests")
+	b := r.Counter("reqs_total", `code="200"`, "requests")
+	if a != b {
+		t.Fatal("same (family, labels) returned two counters")
+	}
+	a.Inc()
+	b.Add(2)
+	if a.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", a.Value())
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "", "queue depth")
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %v, want 3", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// 0.01 is on the bucket boundary: le="0.01" is cumulative and inclusive.
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestExpositionDeterministicAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", `x="2"`, "").Inc()
+	r.Counter("b_total", `x="1"`, "").Add(7)
+	r.Gauge("a_gauge", "", "a help line").Set(1.5)
+	r.GaugeFunc("c_live", "", "", func() float64 { return 42 })
+
+	var first, second strings.Builder
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("two scrapes of an unchanged registry differ")
+	}
+	out := first.String()
+	wantOrder := []string{
+		"# HELP a_gauge a help line",
+		"# TYPE a_gauge gauge",
+		"a_gauge 1.5",
+		"# TYPE b_total counter",
+		`b_total{x="1"} 7`,
+		`b_total{x="2"} 1`,
+		"# TYPE c_live gauge",
+		"c_live 42",
+	}
+	pos := -1
+	for _, line := range wantOrder {
+		i := strings.Index(out, line)
+		if i < 0 {
+			t.Fatalf("exposition missing %q in:\n%s", line, out)
+		}
+		if i < pos {
+			t.Fatalf("line %q out of order in:\n%s", line, out)
+		}
+		pos = i
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", "", DefaultLatencyBuckets)
+	c := r.Counter("n", "", "")
+	g := r.Gauge("g", "", "")
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 1000 {
+				h.Observe(float64(i) * 1e-6)
+				c.Inc()
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || g.Value() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d gauge=%v", c.Value(), h.Count(), g.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter family as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "", "")
+}
+
+// TestScrapeRacesRegistration pins the exposition locking: scrapes must
+// hold the registry lock while iterating series maps, or a first-seen
+// label set registering concurrently (the daemon's first 4xx response)
+// is a fatal concurrent map iteration and write.
+func TestScrapeRacesRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("live_total", "", "", func() float64 { return 1 })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := range 500 {
+			r.Counter("reqs_total", fmt.Sprintf(`code="%d"`, i), "").Inc()
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestCounterFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("hits_total", "", "cache hits", func() float64 { return 7 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE hits_total counter") || !strings.Contains(out, "hits_total 7") {
+		t.Fatalf("CounterFunc exposition wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,369 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"bagconsistency/internal/bagio"
+	"bagconsistency/internal/buildinfo"
+	"bagconsistency/internal/metrics"
+	"bagconsistency/pkg/bagconsist"
+)
+
+// ServerConfig parameterizes NewHandler.
+type ServerConfig struct {
+	// Service runs the queries. Required.
+	Service *Service
+	// Metrics backs GET /metrics and the HTTP-layer counters; it should
+	// be the same registry the Service was built with. Required.
+	Metrics *metrics.Registry
+	// Cache, when non-nil, surfaces shared-cache statistics in /healthz.
+	// It should be the cache behind the Service's Checker.
+	Cache *bagconsist.Cache
+	// MaxBodyBytes bounds request bodies; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// RetryAfter is the hint attached to 503 shed responses; 0 means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+	// MaxBatchLines bounds the number of NDJSON lines per /v1/batch
+	// request; 0 means DefaultMaxBatchLines.
+	MaxBatchLines int
+}
+
+const (
+	// DefaultMaxBodyBytes bounds request bodies (16 MiB matches the text
+	// parser's own line buffer ceiling).
+	DefaultMaxBodyBytes = 16 << 20
+	// DefaultRetryAfter is the shed-response retry hint.
+	DefaultRetryAfter = 1 * time.Second
+	// DefaultMaxBatchLines bounds NDJSON batch size per request.
+	DefaultMaxBatchLines = 10_000
+)
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// BatchLine is one NDJSON line of a /v1/batch response: the input line's
+// index and name, and either its Report or a per-line error. Lines stream
+// in input order. A line with Index -1 is a stream-level failure
+// (truncation, body read error) rather than any input line's result.
+type BatchLine struct {
+	Index  int                `json:"index"`
+	Name   string             `json:"name,omitempty"`
+	Report *bagconsist.Report `json:"report,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}
+
+// HealthStatus is the GET /healthz body.
+type HealthStatus struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Inflight      int     `json:"inflight"`
+	// Cache is present when the daemon runs a shared result cache.
+	Cache *bagconsist.CacheStats `json:"cache,omitempty"`
+}
+
+type server struct {
+	svc           *Service
+	reg           *metrics.Registry
+	cache         *bagconsist.Cache
+	maxBody       int64
+	retryAfter    time.Duration
+	maxBatchLines int
+	started       time.Time
+
+	httpRequests func(path, code string) *metrics.Counter
+}
+
+// NewHandler builds the daemon's HTTP API over a Service:
+//
+//	POST /v1/check       decide global consistency of one collection
+//	POST /v1/check/pair  decide pair consistency of a two-bag collection
+//	POST /v1/batch       NDJSON stream: one collection per line in, one
+//	                     BatchLine per line out, in input order
+//	GET  /healthz        liveness + queue/cache occupancy
+//	GET  /metrics        Prometheus text exposition
+//
+// Check bodies are any bagio format (JSON array, named-collection JSON
+// object, or the line-oriented text format); batch lines are the JSON
+// forms only. A full admission queue sheds with 503 + Retry-After.
+func NewHandler(cfg ServerConfig) (http.Handler, error) {
+	if cfg.Service == nil || cfg.Metrics == nil {
+		return nil, errors.New("service: ServerConfig.Service and Metrics are required")
+	}
+	s := &server{
+		svc:           cfg.Service,
+		reg:           cfg.Metrics,
+		cache:         cfg.Cache,
+		maxBody:       cfg.MaxBodyBytes,
+		retryAfter:    cfg.RetryAfter,
+		maxBatchLines: cfg.MaxBatchLines,
+		started:       time.Now(),
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	if s.retryAfter <= 0 {
+		s.retryAfter = DefaultRetryAfter
+	}
+	if s.maxBatchLines <= 0 {
+		s.maxBatchLines = DefaultMaxBatchLines
+	}
+	s.httpRequests = func(path, code string) *metrics.Counter {
+		return s.reg.Counter("bagcd_http_requests_total",
+			fmt.Sprintf(`path=%q,code=%s`, path, strconv.Quote(code)),
+			"HTTP requests by path and status code.")
+	}
+	if s.cache != nil {
+		s.reg.CounterFunc("bagcd_cache_hits_total", "", "Shared result cache hits.",
+			func() float64 { return float64(s.cache.Stats().Hits) })
+		s.reg.CounterFunc("bagcd_cache_misses_total", "", "Shared result cache misses.",
+			func() float64 { return float64(s.cache.Stats().Misses) })
+		s.reg.CounterFunc("bagcd_cache_coalesced_total", "", "Queries coalesced onto an in-flight identical computation.",
+			func() float64 { return float64(s.cache.Stats().Coalesced) })
+		s.reg.CounterFunc("bagcd_cache_evictions_total", "", "Shared result cache evictions.",
+			func() float64 { return float64(s.cache.Stats().Evictions) })
+		s.reg.GaugeFunc("bagcd_cache_entries", "", "Shared result cache occupancy.",
+			func() float64 { return float64(s.cache.Stats().Entries) })
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/check", s.instrument("/v1/check", func(w http.ResponseWriter, r *http.Request) int {
+		return s.handleCheck(w, r, Global)
+	}))
+	mux.HandleFunc("POST /v1/check/pair", s.instrument("/v1/check/pair", func(w http.ResponseWriter, r *http.Request) int {
+		return s.handleCheck(w, r, Pair)
+	}))
+	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	return mux, nil
+}
+
+// instrument adapts a status-returning handler and counts it.
+func (s *server) instrument(path string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		code := h(w, r)
+		s.httpRequests(path, strconv.Itoa(code)).Inc()
+	}
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+	return code
+}
+
+func (s *server) writeError(w http.ResponseWriter, code int, err error) int {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
+	}
+	return s.writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// requestTimeout reads the optional per-request deadline (?timeout_ms=N).
+func requestTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout_ms")
+	if raw == "" {
+		return 0, nil
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("bad timeout_ms %q", raw)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// buildRequest turns decoded bags into a service Request of the kind.
+func buildRequest(kind Kind, bags []bagio.NamedBag, timeout time.Duration) (Request, error) {
+	if kind == Pair {
+		if len(bags) != 2 {
+			return Request{}, fmt.Errorf("pair check needs exactly 2 bags, got %d", len(bags))
+		}
+		return Request{Kind: Pair, R: bags[0].Bag, S: bags[1].Bag, Timeout: timeout}, nil
+	}
+	coll, err := bagio.ToCollection(bags)
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{Kind: Global, Collection: coll, Timeout: timeout}, nil
+}
+
+// errStatus maps a service/engine error to a response code. Everything the
+// client caused (bad instance, bad timeout, its own cancellation) stays in
+// 4xx; only shedding and drain are 503.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention); never sent
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *server) handleCheck(w http.ResponseWriter, r *http.Request, kind Kind) int {
+	timeout, err := requestTimeout(r)
+	if err != nil {
+		return s.writeError(w, http.StatusBadRequest, err)
+	}
+	_, bags, err := bagio.DecodeAny(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		return s.writeError(w, http.StatusBadRequest, err)
+	}
+	req, err := buildRequest(kind, bags, timeout)
+	if err != nil {
+		return s.writeError(w, http.StatusBadRequest, err)
+	}
+	rep, err := s.svc.Do(r.Context(), req)
+	if err != nil {
+		return s.writeError(w, errStatus(err), err)
+	}
+	return s.writeJSON(w, http.StatusOK, rep)
+}
+
+// handleBatch streams NDJSON: each request line is one collection in
+// either JSON wire form; each response line is a BatchLine, emitted in
+// input order as results complete. Admission is per line: a shed line
+// carries the overload error in its BatchLine and the stream continues,
+// because by the time a line is admitted the 200 header is already on the
+// wire. Batch clients treat per-line errors exactly like CheckBatch's
+// Report.Error slots.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	timeout, err := requestTimeout(r)
+	if err != nil {
+		return s.writeError(w, http.StatusBadRequest, err)
+	}
+	if s.svc.Draining() {
+		return s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// Bounded pipelining that preserves input order: each line gets a
+	// 1-slot result channel pushed into a FIFO; the writer drains the
+	// FIFO in order while up to pipelineDepth lines compute.
+	pipelineDepth := s.svc.Checker().Parallelism() * 2
+	pending := make(chan chan []byte, pipelineDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for rc := range pending {
+			w.Write(<-rc)
+			w.Write([]byte("\n"))
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}()
+
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.maxBody))
+	sc.Buffer(make([]byte, 0, 64*1024), int(s.maxBody))
+	idx := 0
+	truncated := false
+	for sc.Scan() {
+		if idx >= s.maxBatchLines {
+			truncated = true
+			break
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		lineCopy := append([]byte(nil), line...)
+		i := idx
+		idx++
+		rc := make(chan []byte, 1)
+		pending <- rc
+		go func() {
+			rc <- s.batchLine(r, i, lineCopy, timeout)
+		}()
+	}
+	// Truncation and read failures become a final, visible error line —
+	// a silently short response would read as "everything was checked".
+	// Index -1 marks it as a stream-level failure, unmistakable for any
+	// per-line slot.
+	var tailErr string
+	if truncated {
+		tailErr = fmt.Sprintf("batch truncated at %d lines", s.maxBatchLines)
+	} else if err := sc.Err(); err != nil {
+		tailErr = err.Error()
+	}
+	if tailErr != "" {
+		rc := make(chan []byte, 1)
+		data, _ := json.Marshal(BatchLine{Index: -1, Error: tailErr})
+		rc <- data
+		pending <- rc
+	}
+	close(pending)
+	<-writerDone
+	return http.StatusOK
+}
+
+// batchLine processes one NDJSON input line into its response line.
+func (s *server) batchLine(r *http.Request, idx int, line []byte, timeout time.Duration) []byte {
+	out := BatchLine{Index: idx}
+	name, bags, err := bagio.DecodeAny(bytes.NewReader(line))
+	if err == nil {
+		out.Name = name
+		var req Request
+		kind := Global
+		if req, err = buildRequest(kind, bags, timeout); err == nil {
+			out.Report, err = s.svc.Do(r.Context(), req)
+		}
+	}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	data, merr := json.Marshal(out)
+	if merr != nil {
+		data, _ = json.Marshal(BatchLine{Index: idx, Error: merr.Error()})
+	}
+	return data
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	hs := HealthStatus{
+		Status:        "ok",
+		Version:       buildinfo.String(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		QueueDepth:    s.svc.QueueDepth(),
+		QueueCapacity: s.svc.QueueCapacity(),
+		Inflight:      s.svc.Inflight(),
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		hs.Cache = &st
+	}
+	code := http.StatusOK
+	if s.svc.Draining() {
+		// Load balancers read this as "stop routing here" while in-flight
+		// requests finish.
+		hs.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	return s.writeJSON(w, code, hs)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WritePrometheus(w)
+	return http.StatusOK
+}

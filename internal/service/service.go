@@ -1,0 +1,308 @@
+// Package service is the request-serving core of the bagcd daemon: a
+// bounded admission queue in front of the bagconsist Checker, a worker
+// pool sized by the Checker's WithParallelism, load shedding when the
+// queue is full, per-request deadline propagation into Checker contexts,
+// and graceful drain for zero-drop restarts.
+//
+// The layering is deliberate: the Checker is a pure decision engine with
+// no notion of traffic, and this package owns everything traffic-shaped —
+// admission, queuing, shedding, timeouts, instrumentation — so transports
+// (the HTTP server here, anything else later) stay thin adapters.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bagconsistency/internal/metrics"
+	"bagconsistency/pkg/bagconsist"
+)
+
+// ErrOverloaded is returned when the admission queue is full: the request
+// was shed without queuing. Transports map it to 503 + Retry-After;
+// clients back off and retry.
+var ErrOverloaded = errors.New("service: overloaded, admission queue full")
+
+// ErrDraining is returned once Drain has begun: the service finishes
+// admitted work but accepts nothing new.
+var ErrDraining = errors.New("service: draining, not accepting requests")
+
+// Kind selects the Checker query a Request runs.
+type Kind int
+
+const (
+	// Global decides global consistency of the whole collection
+	// (Checker.CheckGlobal) — witness included when consistent.
+	Global Kind = iota
+	// Pair decides consistency of a two-bag collection via the
+	// configured pair method (Checker.CheckPair).
+	Pair
+)
+
+// String names the kind as it appears in metric labels.
+func (k Kind) String() string {
+	switch k {
+	case Global:
+		return "global"
+	case Pair:
+		return "pair"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Request is the unit of admission: one consistency query.
+type Request struct {
+	// Kind selects the query; Global needs Collection, Pair needs R and S.
+	Kind       Kind
+	Collection *bagconsist.Collection
+	R, S       *bagconsist.Bag
+	// Timeout, when positive, bounds this request's compute regardless of
+	// the caller's context: the worker derives a child context with this
+	// deadline, so a slow integer search cannot hold a worker hostage.
+	Timeout time.Duration
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Checker runs the queries. Required. The worker pool is sized by
+	// Checker.Parallelism().
+	Checker *bagconsist.Checker
+	// QueueDepth bounds the admission queue (requests admitted but not
+	// yet started). 0 means DefaultQueueDepth; shedding starts beyond it.
+	QueueDepth int
+	// DefaultTimeout applies to requests that set no Timeout; 0 disables.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps per-request Timeouts so a client cannot pin a
+	// worker arbitrarily long; 0 disables the cap.
+	MaxTimeout time.Duration
+	// Metrics receives request/latency/queue instrumentation; nil runs
+	// unobserved.
+	Metrics *metrics.Registry
+}
+
+// DefaultQueueDepth bounds the admission queue when Config leaves it 0.
+const DefaultQueueDepth = 256
+
+// Service runs consistency queries through a bounded queue and a fixed
+// worker pool. Create with New, stop with Drain.
+type Service struct {
+	checker        *bagconsist.Checker
+	queue          chan *task
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+
+	mu       sync.RWMutex // guards draining flips vs. enqueues
+	draining bool
+
+	inflight atomic.Int64
+	workers  sync.WaitGroup
+
+	// Instrumentation (non-nil even without a registry, to keep the hot
+	// path branch-light; the no-registry case wires them to throwaways).
+	admitted  *metrics.Counter
+	shed      *metrics.Counter
+	rejected  *metrics.Counter // draining-time rejections
+	outcomes  map[string]*metrics.Counter
+	latencies map[Kind]*metrics.Histogram
+}
+
+type task struct {
+	ctx  context.Context
+	req  Request
+	done chan result
+}
+
+type result struct {
+	rep *bagconsist.Report
+	err error
+}
+
+// New starts the worker pool and returns the serving core.
+func New(cfg Config) (*Service, error) {
+	if cfg.Checker == nil {
+		return nil, errors.New("service: Config.Checker is required")
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Service{
+		checker:        cfg.Checker,
+		queue:          make(chan *task, depth),
+		defaultTimeout: cfg.DefaultTimeout,
+		maxTimeout:     cfg.MaxTimeout,
+		admitted:       reg.Counter("bagcd_requests_admitted_total", "", "Requests admitted to the queue."),
+		shed:           reg.Counter("bagcd_requests_shed_total", "", "Requests shed because the admission queue was full."),
+		rejected:       reg.Counter("bagcd_requests_rejected_draining_total", "", "Requests rejected because the service was draining."),
+		outcomes:       make(map[string]*metrics.Counter),
+		latencies:      make(map[Kind]*metrics.Histogram),
+	}
+	for _, kind := range []Kind{Global, Pair} {
+		for _, outcome := range []string{"ok", "error", "cancelled"} {
+			labels := fmt.Sprintf(`kind=%q,outcome=%q`, kind, outcome)
+			s.outcomes[kind.String()+"/"+outcome] = reg.Counter("bagcd_requests_total", labels,
+				"Completed requests by kind and outcome.")
+		}
+		s.latencies[kind] = reg.Histogram("bagcd_request_seconds", fmt.Sprintf(`kind=%q`, kind),
+			"Request compute latency by kind.", metrics.DefaultLatencyBuckets)
+	}
+	reg.GaugeFunc("bagcd_queue_depth", "", "Requests admitted and waiting for a worker.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("bagcd_queue_capacity", "", "Admission queue bound.",
+		func() float64 { return float64(depth) })
+	reg.GaugeFunc("bagcd_inflight", "", "Requests currently computing.",
+		func() float64 { return float64(s.inflight.Load()) })
+
+	workers := cfg.Checker.Parallelism()
+	s.workers.Add(workers)
+	for range workers {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Checker returns the engine this service runs queries through.
+func (s *Service) Checker() *bagconsist.Checker { return s.checker }
+
+// QueueDepth returns the number of admitted requests waiting for a worker.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// QueueCapacity returns the admission bound.
+func (s *Service) QueueCapacity() int { return cap(s.queue) }
+
+// Inflight returns the number of requests currently computing.
+func (s *Service) Inflight() int { return int(s.inflight.Load()) }
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Do admits the request, waits for its result, and returns the Report.
+// It sheds with ErrOverloaded when the queue is full (never blocking on
+// admission), rejects with ErrDraining during drain, and returns the
+// context's error if the caller gives up while queued — the worker then
+// discards the stale task without computing.
+func (s *Service) Do(ctx context.Context, req Request) (*bagconsist.Report, error) {
+	t := &task{ctx: ctx, req: req, done: make(chan result, 1)}
+
+	// Enqueue under the read lock so Drain's write lock linearizes
+	// against every in-flight admission: after Drain flips the flag, no
+	// later Do can touch the (about to be closed) queue.
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		s.rejected.Inc()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- t:
+		s.mu.RUnlock()
+		s.admitted.Inc()
+	default:
+		s.mu.RUnlock()
+		s.shed.Inc()
+		return nil, ErrOverloaded
+	}
+
+	select {
+	case res := <-t.done:
+		return res.rep, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for t := range s.queue {
+		s.run(t)
+	}
+}
+
+func (s *Service) run(t *task) {
+	// The caller may have abandoned the task while it sat queued; skip
+	// dead work before it costs anything.
+	if err := t.ctx.Err(); err != nil {
+		t.done <- result{nil, err}
+		return
+	}
+	ctx := t.ctx
+	timeout := t.req.Timeout
+	if timeout <= 0 {
+		timeout = s.defaultTimeout
+	}
+	if s.maxTimeout > 0 && (timeout <= 0 || timeout > s.maxTimeout) {
+		timeout = s.maxTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	s.inflight.Add(1)
+	start := time.Now()
+	var rep *bagconsist.Report
+	var err error
+	switch t.req.Kind {
+	case Pair:
+		rep, err = s.checker.CheckPair(ctx, t.req.R, t.req.S)
+	default:
+		rep, err = s.checker.CheckGlobal(ctx, t.req.Collection)
+	}
+	elapsed := time.Since(start)
+	s.inflight.Add(-1)
+
+	s.latencies[t.req.Kind].Observe(elapsed.Seconds())
+	outcome := "ok"
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = "cancelled"
+	case err != nil:
+		outcome = "error"
+	}
+	if c, ok := s.outcomes[t.req.Kind.String()+"/"+outcome]; ok {
+		c.Inc()
+	}
+	t.done <- result{rep, err}
+}
+
+// Drain stops admission (subsequent Do calls fail with ErrDraining),
+// lets the workers finish every queued and in-flight request, and returns
+// when the pool has fully stopped or ctx expires. Idempotent: later calls
+// just wait. This is the SIGTERM path — in-flight work completes, nothing
+// new starts, the process exits clean.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		// Safe to close: every enqueue holds the read lock and re-checks
+		// the flag, so no send can race this close.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain incomplete: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,361 @@
+// Package bagclient is the typed Go client for the bagcd daemon: it
+// speaks the bagio JSON wire format, plumbs contexts through every call,
+// retries load-shed (503) responses with the server's Retry-After hint,
+// and returns the same bagconsist.Report values the embedded API does —
+// so code can move between in-process checking and remote checking by
+// swapping a Checker for a Client.
+//
+//	cli, _ := bagclient.New("http://localhost:8080")
+//	rep, err := cli.Check(ctx, []bagclient.NamedBag{
+//		{Name: "orders", Bag: orders},
+//		{Name: "totals", Bag: totals},
+//	})
+package bagclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"bagconsistency/internal/bagio"
+	"bagconsistency/internal/service"
+	"bagconsistency/pkg/bagconsist"
+)
+
+// NamedBag pairs a bag with the name it carries on the wire.
+type NamedBag struct {
+	Name string
+	Bag  *bagconsist.Bag
+}
+
+// BatchResult is one line of a batch response: the input collection's
+// index and name, and either its Report or the per-line error message.
+type BatchResult struct {
+	Index  int
+	Name   string
+	Report *bagconsist.Report
+	Err    string
+}
+
+// Health mirrors the daemon's GET /healthz body.
+type Health = service.HealthStatus
+
+// StatusError is a non-2xx daemon response after retries are exhausted.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("bagclient: server returned %d: %s", e.Code, e.Message)
+}
+
+// IsOverloaded reports whether err is a load-shed (503) response that
+// survived every retry.
+func IsOverloaded(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusServiceUnavailable
+}
+
+// Client talks to one bagcd base URL. It is immutable after New and safe
+// for concurrent use.
+type Client struct {
+	base       *url.URL
+	hc         *http.Client
+	maxRetries int
+	backoff    time.Duration
+	maxWait    time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient swaps the underlying http.Client (custom transports,
+// TLS, proxies). The default is a plain &http.Client{} — no client-side
+// timeout, deadlines come from contexts.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithMaxRetries bounds retries of load-shed responses (default 3;
+// 0 disables retrying).
+func WithMaxRetries(n int) Option {
+	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithRetryBackoff sets the base wait used when a 503 carries no
+// Retry-After hint; attempt k waits base<<k (default 100ms).
+func WithRetryBackoff(d time.Duration) Option {
+	return func(c *Client) { c.backoff = d }
+}
+
+// WithMaxRetryWait caps any single retry wait, hinted or not
+// (default 5s).
+func WithMaxRetryWait(d time.Duration) Option {
+	return func(c *Client) { c.maxWait = d }
+}
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://10.0.0.7:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("bagclient: bad base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("bagclient: base URL %q needs scheme and host", baseURL)
+	}
+	c := &Client{
+		base:       u,
+		hc:         &http.Client{},
+		maxRetries: 3,
+		backoff:    100 * time.Millisecond,
+		maxWait:    5 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// BaseURL returns the daemon base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base.String() }
+
+// RequestOption tunes one call.
+type RequestOption func(*url.Values)
+
+// WithTimeout asks the server to bound this request's compute, independent
+// of the client context's own deadline.
+func WithTimeout(d time.Duration) RequestOption {
+	return func(v *url.Values) { v.Set("timeout_ms", strconv.FormatInt(d.Milliseconds(), 10)) }
+}
+
+func (c *Client) endpoint(path string, opts []RequestOption) string {
+	u := *c.base
+	u.Path = strings.TrimRight(u.Path, "/") + path
+	v := u.Query()
+	for _, o := range opts {
+		o(&v)
+	}
+	u.RawQuery = v.Encode()
+	return u.String()
+}
+
+func encodeBags(bags []NamedBag) ([]byte, error) {
+	named := make([]bagio.NamedBag, len(bags))
+	for i, nb := range bags {
+		if nb.Bag == nil {
+			return nil, fmt.Errorf("bagclient: bag %d (%q) is nil", i, nb.Name)
+		}
+		named[i] = bagio.NamedBag{Name: nb.Name, Bag: nb.Bag}
+	}
+	var buf bytes.Buffer
+	if err := bagio.EncodeJSON(&buf, named); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// do POSTs body and retries 503s; on success the caller owns resp.Body.
+func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= c.maxRetries {
+			return resp, nil
+		}
+		wait := c.retryWait(resp, attempt)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// retryWait derives the wait before retrying a shed request: the server's
+// Retry-After when present, exponential backoff otherwise, capped either
+// way.
+func (c *Client) retryWait(resp *http.Response, attempt int) time.Duration {
+	wait := c.backoff << attempt
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	if wait > c.maxWait {
+		wait = c.maxWait
+	}
+	return wait
+}
+
+// decodeError turns a non-2xx response into a StatusError carrying the
+// server's JSON error envelope (or raw body when it isn't one).
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(data))
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	return &StatusError{Code: resp.StatusCode, Message: msg}
+}
+
+func (c *Client) postReport(ctx context.Context, path string, bags []NamedBag, opts []RequestOption) (*bagconsist.Report, error) {
+	body, err := encodeBags(bags)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, c.endpoint(path, opts), body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var rep bagconsist.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bagclient: bad report body: %w", err)
+	}
+	return &rep, nil
+}
+
+// Check decides global consistency of the collection formed by the bags
+// (one hyperedge per bag schema) — POST /v1/check.
+func (c *Client) Check(ctx context.Context, bags []NamedBag, opts ...RequestOption) (*bagconsist.Report, error) {
+	return c.postReport(ctx, "/v1/check", bags, opts)
+}
+
+// CheckPair decides consistency of exactly two bags — POST /v1/check/pair.
+func (c *Client) CheckPair(ctx context.Context, r, s NamedBag, opts ...RequestOption) (*bagconsist.Report, error) {
+	return c.postReport(ctx, "/v1/check/pair", []NamedBag{r, s}, opts)
+}
+
+// CheckBatch streams the collections through POST /v1/batch and returns
+// one BatchResult per collection, index-aligned with the input. Per-line
+// failures (bad instance, shed under pressure) land in the slot's Err —
+// mirroring bagconsist.CheckBatch's Report.Error semantics — and never
+// abort the rest of the batch.
+func (c *Client) CheckBatch(ctx context.Context, collections [][]NamedBag, opts ...RequestOption) ([]BatchResult, error) {
+	var body bytes.Buffer
+	for i, coll := range collections {
+		named := make([]bagio.NamedBag, len(coll))
+		for j, nb := range coll {
+			if nb.Bag == nil {
+				return nil, fmt.Errorf("bagclient: collection %d bag %d is nil", i, j)
+			}
+			named[j] = bagio.NamedBag{Name: nb.Name, Bag: nb.Bag}
+		}
+		arr, err := bagio.ToJSONBags(named)
+		if err != nil {
+			return nil, err
+		}
+		line, err := json.Marshal(arr)
+		if err != nil {
+			return nil, err
+		}
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	resp, err := c.do(ctx, http.MethodPost, c.endpoint("/v1/batch", opts), body.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+
+	results := make([]BatchResult, len(collections))
+	for i := range results {
+		results[i] = BatchResult{Index: i, Err: "missing from response"}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line service.BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return results, fmt.Errorf("bagclient: bad batch line: %w", err)
+		}
+		if line.Index < 0 || line.Index >= len(results) {
+			// Index -1 is the server's stream-level failure line
+			// (truncation, body read error); any other out-of-range index
+			// is a malformed stream. Both abort rather than being
+			// misattributed to one slot.
+			return results, fmt.Errorf("bagclient: batch stream error: %s", line.Error)
+		}
+		results[line.Index] = BatchResult{Index: line.Index, Name: line.Name, Report: line.Report, Err: line.Error}
+	}
+	if err := sc.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// Health fetches GET /healthz. A draining daemon answers 503 but still
+// returns its status body, so Health reports it rather than failing.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/healthz", nil), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, decodeError(resp)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("bagclient: bad healthz body: %w", err)
+	}
+	return &h, nil
+}
+
+// Metrics fetches the raw Prometheus exposition from GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/metrics", nil), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -204,4 +205,79 @@ func TestCheckBatchZeroValueChecker(t *testing.T) {
 			t.Fatalf("slot %d: %+v want consistent=%v", i, rep, want[i])
 		}
 	}
+}
+
+// TestCheckBatchCancelMidFeedNoLeak is the serving-layer contract test:
+// cancellation strikes while the feed loop is still handing out jobs (far
+// more instances than workers, each slow), and afterwards (a) CheckBatch's
+// worker goroutines are all gone — no leak for a daemon to accumulate
+// across requests — and (b) every slot that never ran carries the context
+// error verbatim in Report.Error, so callers can tell "cancelled before
+// start" from a per-instance engine failure.
+func TestCheckBatchCancelMidFeedNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// 2 workers, 32 slow instances: at cancellation the feed loop has
+	// dispatched at most a handful, so most slots never run.
+	slow := slowCollection(t)
+	instances := make([]*bagconsist.Collection, 32)
+	for i := range instances {
+		instances[i] = slow
+	}
+	checker := bagconsist.New(
+		bagconsist.WithParallelism(2),
+		bagconsist.WithMaxNodes(2_000_000_000),
+		bagconsist.WithBranchLowFirst(true),
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var reports []*bagconsist.Report
+	var err error
+	go func() {
+		defer close(done)
+		reports, err = checker.CheckBatch(ctx, instances)
+	}()
+	// Give the pool time to start computing mid-feed, then cancel.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("CheckBatch did not return after mid-feed cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	neverRan := 0
+	for i, rep := range reports {
+		if rep == nil {
+			t.Fatalf("slot %d: nil report", i)
+		}
+		if rep.Error == "" {
+			t.Fatalf("slot %d: cancelled batch left an empty Error", i)
+		}
+		if rep.Error == context.Canceled.Error() {
+			neverRan++
+			if rep.Bags != instances[i].Len() {
+				t.Fatalf("slot %d: never-ran report lost Bags=%d", i, rep.Bags)
+			}
+		}
+	}
+	if neverRan == 0 {
+		t.Fatal("every slot started before cancellation; test did not exercise the mid-feed path")
+	}
+
+	// The pool must fully unwind: poll briefly (worker exit is ordered
+	// after CheckBatch's return only through wg.Wait, but the runtime
+	// needs a beat to retire stacks under the race detector).
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak after cancelled CheckBatch: before=%d after=%d", before, runtime.NumGoroutine())
 }

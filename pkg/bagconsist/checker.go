@@ -29,6 +29,25 @@ func New(opts ...Option) *Checker {
 	return &Checker{cfg: cfg}
 }
 
+// Parallelism returns the configured worker-pool width (WithParallelism).
+// Serving layers size their own pools by it so one knob governs both
+// CheckBatch and request-level concurrency.
+func (c *Checker) Parallelism() int {
+	if c.cfg.parallelism < 1 {
+		return 1
+	}
+	return c.cfg.parallelism
+}
+
+// CacheStats returns the Checker's cache statistics, and false when no
+// cache is configured — the serving layer's observability hook.
+func (c *Checker) CacheStats() (CacheStats, bool) {
+	if c.cfg.cache == nil {
+		return CacheStats{}, false
+	}
+	return c.cfg.cache.Stats(), true
+}
+
 // CheckPair decides whether two bags are consistent (Lemma 2). The
 // configured Method selects among the four equivalent tests; Auto runs
 // the strongly polynomial marginal test. With a cache configured, repeat
