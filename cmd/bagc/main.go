@@ -9,9 +9,14 @@
 //	bagc count [-max-nodes N] <file>       count witnesses for a 2-bag file
 //	bagc verify -witness <name> <file>     check that the named bag witnesses the others
 //	bagc classify <file>                   classify the schema hypergraph of the file
+//	bagc store inspect <dir>               summarize a persistent result store
+//	bagc store verify <dir>                integrity-scan every record (exit 1 if corrupt)
+//	bagc store compact <dir>               rewrite the store keeping only live records
 //
 // Files use the bagio text format ("bag <name>" / "schema <attrs>" /
 // tuple lines); see internal/bagio. The file "-" reads standard input.
+// Store directories are the -data-dir of a bagcd daemon (stopped: the
+// store is single-owner); see docs/STORAGE.md.
 package main
 
 import (
@@ -36,13 +41,16 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return errors.New("usage: bagc <check|witness|pair|count|verify|classify> [flags] <file>")
+		return errors.New("usage: bagc <check|witness|pair|count|verify|classify|store> [flags] <file|dir>")
 	}
 	if args[0] == "-version" || args[0] == "--version" {
 		fmt.Fprintln(out, "bagc", buildinfo.String())
 		return nil
 	}
 	cmd, rest := args[0], args[1:]
+	if cmd == "store" {
+		return runStore(rest, out)
+	}
 
 	fs := flag.NewFlagSet("bagc "+cmd, flag.ContinueOnError)
 	maxNodes := fs.Int64("max-nodes", 10_000_000, "node budget for the integer search on cyclic schemas")

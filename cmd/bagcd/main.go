@@ -3,9 +3,15 @@
 // queue, load shedding, a process-wide shared result cache, Prometheus
 // metrics, and graceful drain on SIGINT/SIGTERM.
 //
+// With -data-dir the shared cache becomes two-tier: results are written
+// through to a persistent content-addressed store (see docs/STORAGE.md),
+// so a restarted daemon serves previously computed fingerprints from
+// disk with zero engine recomputation.
+//
 // Usage:
 //
 //	bagcd [-addr :8080] [-parallelism N] [-queue-depth N] [-cache-size N]
+//	      [-data-dir DIR] [-store-segment-bytes N] [-store-sync]
 //	      [-max-nodes N] [-default-timeout 0] [-max-timeout 60s]
 //	      [-drain-timeout 30s] [-max-batch-lines N] [-version]
 //
@@ -51,11 +57,15 @@ type options struct {
 	parallelism    int
 	queueDepth     int
 	cacheSize      int
+	dataDir        string
+	storeSegBytes  int64
+	storeSync      bool
 	maxNodes       int64
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	drainTimeout   time.Duration
 	maxBatchLines  int
+	storeLogf      func(format string, args ...any) // recovery warnings; tests capture it
 }
 
 func parseFlags(args []string, out io.Writer) (*options, bool, error) {
@@ -64,7 +74,10 @@ func parseFlags(args []string, out io.Writer) (*options, bool, error) {
 	fs.StringVar(&opt.addr, "addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	fs.IntVar(&opt.parallelism, "parallelism", 0, "worker pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&opt.queueDepth, "queue-depth", service.DefaultQueueDepth, "admission queue bound; beyond it requests shed with 503")
-	fs.IntVar(&opt.cacheSize, "cache-size", 4096, "shared result cache entries (0 disables caching)")
+	fs.IntVar(&opt.cacheSize, "cache-size", 4096, "shared result cache entries (must be at least 1)")
+	fs.StringVar(&opt.dataDir, "data-dir", "", "directory for the persistent result store (empty = RAM cache only)")
+	fs.Int64Var(&opt.storeSegBytes, "store-segment-bytes", 0, "store segment rotation threshold (0 = 64 MiB default)")
+	fs.BoolVar(&opt.storeSync, "store-sync", false, "fsync the store after every stored result")
 	fs.Int64Var(&opt.maxNodes, "max-nodes", 10_000_000, "node budget for the integer search on cyclic schemas")
 	fs.DurationVar(&opt.defaultTimeout, "default-timeout", 0, "compute budget for requests that set none (0 = unlimited)")
 	fs.DurationVar(&opt.maxTimeout, "max-timeout", 60*time.Second, "cap on per-request compute budgets (0 = uncapped)")
@@ -74,26 +87,82 @@ func parseFlags(args []string, out io.Writer) (*options, bool, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, false, err
 	}
+	// -version must exit before any validation or data-dir access: a
+	// version probe on a broken config (or a locked store) still answers.
 	if *version {
 		fmt.Fprintln(out, "bagcd", buildinfo.String())
 		return nil, true, nil
 	}
+	if err := opt.validate(); err != nil {
+		return nil, false, err
+	}
 	return opt, false, nil
 }
 
-// buildServer assembles the full serving stack — shared cache, checker,
-// admission service, metrics, HTTP handler — exactly as main runs it; the
-// smoke tests boot the same stack.
-func buildServer(opt *options) (*service.Service, http.Handler, error) {
+// validate rejects configurations that would otherwise surface as a
+// late panic or a silently useless daemon, with a one-line error and a
+// nonzero exit.
+func (o *options) validate() error {
+	if o.cacheSize < 1 {
+		return fmt.Errorf("-cache-size must be at least 1, got %d (the daemon always serves through the result cache)", o.cacheSize)
+	}
+	if o.parallelism < 0 {
+		return fmt.Errorf("-parallelism must be >= 0, got %d", o.parallelism)
+	}
+	if o.queueDepth < 1 {
+		return fmt.Errorf("-queue-depth must be at least 1, got %d", o.queueDepth)
+	}
+	if o.maxNodes < 0 {
+		return fmt.Errorf("-max-nodes must be >= 0, got %d", o.maxNodes)
+	}
+	if o.maxBatchLines < 1 {
+		return fmt.Errorf("-max-batch-lines must be at least 1, got %d", o.maxBatchLines)
+	}
+	if o.storeSegBytes < 0 {
+		return fmt.Errorf("-store-segment-bytes must be >= 0, got %d", o.storeSegBytes)
+	}
+	if o.defaultTimeout < 0 || o.maxTimeout < 0 || o.drainTimeout < 0 {
+		return fmt.Errorf("timeouts must be >= 0")
+	}
+	return nil
+}
+
+// buildServer assembles the full serving stack — shared two-tier cache,
+// persistent store, checker, admission service, metrics, HTTP handler —
+// exactly as main runs it; the smoke tests boot the same stack. The
+// returned store is non-nil when -data-dir was given; the caller closes
+// it after drain.
+func buildServer(opt *options) (*service.Service, http.Handler, *bagconsist.Store, error) {
 	reg := metrics.NewRegistry()
 	checkerOpts := []bagconsist.Option{bagconsist.WithMaxNodes(opt.maxNodes)}
 	if opt.parallelism > 0 {
 		checkerOpts = append(checkerOpts, bagconsist.WithParallelism(opt.parallelism))
 	}
-	var cache *bagconsist.Cache
-	if opt.cacheSize > 0 {
-		cache = bagconsist.NewCache(opt.cacheSize)
-		checkerOpts = append(checkerOpts, bagconsist.WithSharedCache(cache))
+	cache := bagconsist.NewCache(opt.cacheSize)
+	checkerOpts = append(checkerOpts, bagconsist.WithSharedCache(cache))
+	var st *bagconsist.Store
+	if opt.dataDir != "" {
+		// Opened here, not via WithPersistence, so an unusable directory
+		// is a clear startup error, not a per-request one.
+		popts := []bagconsist.PersistOption{
+			bagconsist.WithSegmentBytes(opt.storeSegBytes),
+			bagconsist.WithSyncOnPut(opt.storeSync),
+		}
+		if opt.storeLogf != nil {
+			popts = append(popts, bagconsist.WithStoreLog(opt.storeLogf))
+		}
+		var err error
+		st, err = bagconsist.OpenStore(opt.dataDir, popts...)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("data dir %q: %w", opt.dataDir, err)
+		}
+		checkerOpts = append(checkerOpts, bagconsist.WithStore(st))
+	}
+	fail := func(err error) (*service.Service, http.Handler, *bagconsist.Store, error) {
+		if st != nil {
+			st.Close()
+		}
+		return nil, nil, nil, err
 	}
 	svc, err := service.New(service.Config{
 		Checker:        bagconsist.New(checkerOpts...),
@@ -103,7 +172,7 @@ func buildServer(opt *options) (*service.Service, http.Handler, error) {
 		Metrics:        reg,
 	})
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	handler, err := service.NewHandler(service.ServerConfig{
 		Service:       svc,
@@ -112,9 +181,9 @@ func buildServer(opt *options) (*service.Service, http.Handler, error) {
 		MaxBatchLines: opt.maxBatchLines,
 	})
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
-	return svc, handler, nil
+	return svc, handler, st, nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -123,10 +192,23 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	logger := log.New(out, "bagcd: ", log.LstdFlags)
+	if opt.storeLogf == nil {
+		opt.storeLogf = logger.Printf
+	}
 
-	svc, handler, err := buildServer(opt)
+	svc, handler, st, err := buildServer(opt)
 	if err != nil {
 		return err
+	}
+	if st != nil {
+		defer func() {
+			if cerr := st.Close(); cerr != nil {
+				logger.Printf("closing store: %v", cerr)
+			}
+		}()
+		s := st.Stats()
+		logger.Printf("persistent store %s: %d records in %d segments (%d bytes)",
+			opt.dataDir, s.Records, s.Segments, s.DiskBytes)
 	}
 	ln, err := net.Listen("tcp", opt.addr)
 	if err != nil {

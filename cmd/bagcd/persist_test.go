@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"bagconsistency/internal/gen"
+	"bagconsistency/internal/hypergraph"
+	"bagconsistency/internal/store"
+	"bagconsistency/pkg/bagclient"
+)
+
+// persistOptions returns a daemon config over a data dir, mirroring
+// production flags.
+func persistOptions(dataDir string) *options {
+	return &options{
+		addr:        "127.0.0.1:0",
+		queueDepth:  1024,
+		cacheSize:   4096,
+		dataDir:     dataDir,
+		maxNodes:    10_000_000,
+		maxTimeout:  time.Minute,
+		parallelism: 4,
+	}
+}
+
+// persistInstances generates n distinct named global instances.
+func persistInstances(t *testing.T, n int) [][]bagclient.NamedBag {
+	t.Helper()
+	var out [][]bagclient.NamedBag
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		coll, _, err := gen.RandomConsistent(rng, hypergraph.Star(4), 10, 32, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, clientBags(t, coll))
+	}
+	return out
+}
+
+// TestPersistenceSmoke is the CI persistence smoke: boot the daemon
+// stack on a data dir, drive mixed requests, shut it down cleanly, boot
+// a fresh stack (empty RAM tier) on the same dir, and assert warm-start:
+// every repeated request is a cache hit served from disk, the disk-hit
+// rate is positive, and the store verifies clean.
+func TestPersistenceSmoke(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "bagstore")
+	instances := persistInstances(t, 8)
+	ctx := context.Background()
+
+	cli, drain := bootDaemon(t, persistOptions(dataDir))
+	for i, inst := range instances {
+		rep, err := cli.Check(ctx, inst)
+		if err != nil || !rep.Consistent {
+			t.Fatalf("cold request %d: rep=%+v err=%v", i, rep, err)
+		}
+		if rep.CacheHit {
+			t.Fatalf("cold request %d unexpectedly hit", i)
+		}
+	}
+	h, err := cli.Health(ctx)
+	if err != nil || h.Store == nil || h.Store.Puts != uint64(len(instances)) {
+		t.Fatalf("healthz store stats after cold run: %+v err=%v", h, err)
+	}
+	drain()
+
+	// Restart: fresh stack, fresh RAM cache, same directory.
+	cli2, drain2 := bootDaemon(t, persistOptions(dataDir))
+	defer drain2()
+	for i, inst := range instances {
+		rep, err := cli2.Check(ctx, inst)
+		if err != nil || !rep.Consistent {
+			t.Fatalf("warm request %d: rep=%+v err=%v", i, rep, err)
+		}
+		if !rep.CacheHit {
+			t.Fatalf("warm request %d recomputed instead of hitting disk", i)
+		}
+	}
+	h2, err := cli2.Health(ctx)
+	if err != nil || h2.Store == nil {
+		t.Fatalf("healthz after warm run: %+v err=%v", h2, err)
+	}
+	if h2.Store.Hits != uint64(len(instances)) || h2.Store.Puts != 0 {
+		t.Fatalf("warm start must serve all %d repeats from disk with zero writes: %+v",
+			len(instances), h2.Store)
+	}
+	scrape, err := cli2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []string{
+		`bagcd_store_hits_total [1-9]`,
+		`bagcd_store_records [1-9]`,
+		`bagcd_cache_bytes [1-9]`,
+	} {
+		if !regexp.MustCompile(pattern).MatchString(scrape) {
+			t.Errorf("metric pattern %q missing from scrape:\n%s", pattern, scrape)
+		}
+	}
+	drain2()
+
+	v, err := store.Verify(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Clean() || v.Live != len(instances) {
+		t.Fatalf("store verify after smoke: %+v", v)
+	}
+}
+
+// TestFlagValidation covers the startup contract: bad flags are a clear
+// one-line error before the daemon touches anything, and -version exits
+// before even looking at the data dir.
+func TestFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-cache-size", "0"},
+		{"-cache-size", "-5"},
+		{"-queue-depth", "0"},
+		{"-max-batch-lines", "0"},
+		{"-max-nodes", "-1"},
+		{"-store-segment-bytes", "-1"},
+		{"-drain-timeout", "-1s"},
+	}
+	for _, args := range bad {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("run(%v) accepted an invalid configuration", args)
+		}
+	}
+
+	// An unusable data dir (a file in the way) must fail fast at startup.
+	tmp := t.TempDir()
+	blocker := filepath.Join(tmp, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-addr", "127.0.0.1:0", "-data-dir", filepath.Join(blocker, "sub")}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "data dir") {
+		t.Fatalf("unwritable -data-dir: err=%v, want startup error mentioning the data dir", err)
+	}
+
+	// -version exits successfully without touching the (unusable) data
+	// dir or tripping validation.
+	var out strings.Builder
+	if err := run([]string{"-version", "-cache-size", "0", "-data-dir", filepath.Join(blocker, "sub")}, &out); err != nil {
+		t.Fatalf("-version: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "bagcd ") {
+		t.Fatalf("-version output: %q", out.String())
+	}
+}
+
+// TestBagcdCrashRecoverySIGKILL is the hard crash drill: the real binary
+// serving on a data dir is SIGKILLed mid-write-stream, then restarted on
+// the same directory. Recovery must succeed, and every instance whose
+// response was delivered before the kill must be served from disk with
+// zero engine recomputation (cache_hit set, store hits counted).
+func TestBagcdCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary exec test")
+	}
+	bin := filepath.Join(t.TempDir(), "bagcd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Skipf("cannot build bagcd binary here: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(t.TempDir(), "bagstore")
+	instances := persistInstances(t, 24)
+
+	addr := startDaemonProcess(t, bin, "-addr", "127.0.0.1:0", "-data-dir", dataDir, "-parallelism", "4", "-queue-depth", "1024")
+	cli, err := bagclient.New("http://" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer distinct instances concurrently and SIGKILL once roughly
+	// half have been answered — the signal lands while writes are in
+	// flight.
+	var mu sync.Mutex
+	completed := make(map[int]bool)
+	killed := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for i := range instances {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := cli.Check(ctx, instances[i])
+			if err != nil || !rep.Consistent {
+				return // the kill raced this request; only successes matter
+			}
+			mu.Lock()
+			completed[i] = true
+			n := len(completed)
+			mu.Unlock()
+			if n >= len(instances)/2 {
+				once.Do(func() { close(killed) })
+			}
+		}(i)
+	}
+	select {
+	case <-killed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never answered half the instances")
+	}
+	proc := daemonProc(t)
+	if err := proc.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	_, _ = proc.Wait()
+	mu.Lock()
+	succeeded := make([]int, 0, len(completed))
+	for i := range completed {
+		succeeded = append(succeeded, i)
+	}
+	mu.Unlock()
+	if len(succeeded) == 0 {
+		t.Fatal("no requests completed before the kill")
+	}
+
+	// Restart on the same directory: recovery must open the (possibly
+	// torn) log and serve every previously answered instance from disk.
+	addr2 := startDaemonProcess(t, bin, "-addr", "127.0.0.1:0", "-data-dir", dataDir, "-parallelism", "4", "-queue-depth", "1024")
+	cli2, err := bagclient.New("http://" + addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range succeeded {
+		rep, err := cli2.Check(ctx, instances[i])
+		if err != nil || !rep.Consistent {
+			t.Fatalf("instance %d after crash restart: rep=%+v err=%v", i, rep, err)
+		}
+		if !rep.CacheHit {
+			t.Errorf("instance %d was recomputed after the crash; want disk hit", i)
+		}
+	}
+	h, err := cli2.Health(ctx)
+	if err != nil || h.Store == nil {
+		t.Fatalf("healthz after crash restart: %+v err=%v", h, err)
+	}
+	if h.Store.Hits < uint64(len(succeeded)) {
+		t.Errorf("store hits %d < %d completed-then-replayed instances", h.Store.Hits, len(succeeded))
+	}
+	if h.Store.Puts != 0 {
+		t.Errorf("store puts %d after replay; want 0 (zero engine recomputation)", h.Store.Puts)
+	}
+}
+
+// daemon process bookkeeping for startDaemonProcess/daemonProc.
+var (
+	daemonMu   sync.Mutex
+	lastDaemon *os.Process
+)
+
+// startDaemonProcess execs the built binary, waits for its listen line,
+// and returns the resolved address. The process is registered for
+// daemonProc and killed at test cleanup.
+func startDaemonProcess(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+	daemonMu.Lock()
+	lastDaemon = cmd.Process
+	daemonMu.Unlock()
+
+	sc := bufio.NewScanner(stdout)
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	lineCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case lineCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-lineCh:
+		return addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never logged its listen address")
+		return ""
+	}
+}
+
+func daemonProc(t *testing.T) *os.Process {
+	t.Helper()
+	daemonMu.Lock()
+	defer daemonMu.Unlock()
+	if lastDaemon == nil {
+		t.Fatal("no daemon process started")
+	}
+	return lastDaemon
+}

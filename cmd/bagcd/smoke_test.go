@@ -51,11 +51,19 @@ func bootStack(t *testing.T, svc *service.Service, handler http.Handler) (*bagcl
 // bootDaemon runs the exact main() serving stack on a random port.
 func bootDaemon(t *testing.T, opt *options) (*bagclient.Client, func()) {
 	t.Helper()
-	svc, handler, err := buildServer(opt)
+	svc, handler, st, err := buildServer(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return bootStack(t, svc, handler)
+	cli, drain := bootStack(t, svc, handler)
+	return cli, func() {
+		drain()
+		if st != nil {
+			if err := st.Close(); err != nil {
+				t.Errorf("closing store: %v", err)
+			}
+		}
+	}
 }
 
 // clientBags converts a generated collection into client named bags.

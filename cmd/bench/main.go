@@ -12,7 +12,12 @@
 //
 // Usage:
 //
-//	bench [-quick] [-out BENCH_pr2.json] [-family pair|acyclic|cyclic|cache|batch]
+//	bench [-quick] [-out BENCH_pr2.json] [-family pair|acyclic|cyclic|cache|batch|restart]
+//
+// The restart family measures the persistence layer's headline number:
+// cold compute vs a warm start from disk after a simulated process
+// restart (fresh RAM tier, same data dir); `bench -family restart -out
+// BENCH_pr4.json` regenerates the committed BENCH_pr4.json.
 package main
 
 import (
@@ -23,7 +28,9 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 
 	"bagconsistency/internal/buildinfo"
 	"bagconsistency/internal/gen"
@@ -37,7 +44,7 @@ var ctx = context.Background()
 func main() {
 	quick := flag.Bool("quick", false, "shorter measurement floors and smaller sweeps")
 	out := flag.String("out", "BENCH_pr2.json", "output JSON path (- for stdout)")
-	family := flag.String("family", "", "run a single family (pair, acyclic, cyclic, cache, batch)")
+	family := flag.String("family", "", "run a single family (pair, acyclic, cyclic, cache, batch, restart)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -71,15 +78,21 @@ type Entry struct {
 }
 
 // Speedup records the headline cached-repeat acceleration: the ratio of
-// the uncached ns/op to the cache-hit ns/op for the same instance.
+// the uncached ns/op to the cache-hit ns/op for the same instance. For
+// the restart family, "warm" means a warm start from disk: a fresh
+// process-equivalent (empty RAM tier) serving from the persistent store.
 type Speedup struct {
 	Family   string  `json:"family"`
 	Params   string  `json:"params"`
-	Variant  string  `json:"variant"` // identical | permuted | renamed
+	Variant  string  `json:"variant"` // identical | permuted | renamed | restart
 	ColdNs   float64 `json:"cold_ns_per_op"`
 	WarmNs   float64 `json:"warm_ns_per_op"`
 	Speedup  float64 `json:"speedup"`
 	CacheHit bool    `json:"cache_hit"`
+	// DiskHits counts persistent-store hits during the warm measurement
+	// (restart family only): nonzero proves the results came from disk,
+	// not recomputation.
+	DiskHits uint64 `json:"disk_hits,omitempty"`
 }
 
 // Output is the BENCH_*.json document.
@@ -97,8 +110,12 @@ func run(log io.Writer, outPath string, quick bool, family string) error {
 	if quick {
 		opts = harness.Quick
 	}
+	benchName := "bench"
+	if outPath != "-" {
+		benchName = strings.TrimSuffix(filepath.Base(outPath), ".json")
+	}
 	doc := &Output{
-		Bench:      "BENCH_pr2",
+		Bench:      benchName,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,
@@ -113,6 +130,7 @@ func run(log io.Writer, outPath string, quick bool, family string) error {
 		{"cyclic", benchCyclic},
 		{"cache", benchCacheSpeedup},
 		{"batch", benchBatch},
+		{"restart", benchRestart},
 	}
 	for _, s := range steps {
 		if family != "" && family != s.name {
@@ -508,5 +526,134 @@ func benchBatch(log io.Writer, doc *Output, opts harness.Options, quick bool) er
 			record(log, doc, e, res)
 		}
 	}
+	return nil
+}
+
+// benchRestart measures the persistence acceptance number: a sweep of
+// distinct instances computed cold (no cache at all) vs the same sweep
+// served by a warm start — a fresh RAM tier, as after a process restart,
+// over a data dir populated before the measurement. The warm sweep
+// purges the RAM tier before every pass, so every measured query is a
+// genuine disk hit (fingerprint + read + checksum + decode + promote),
+// not a promoted RAM hit; the reported speedup is therefore the
+// conservative one.
+func benchRestart(log io.Writer, doc *Output, opts harness.Options, quick bool) error {
+	dir, err := os.MkdirTemp("", "bagstore-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// The sweep mixes the NP side (3DCT integer searches, where a disk
+	// hit saves the most) with the polynomial side (acyclic joins, where
+	// the disk tier must still not be slower than recomputing by much —
+	// the speedup shows where the break-even sits).
+	rng := rand.New(rand.NewSource(33))
+	var sweep []*bagconsist.Collection
+	cyclicN := []int{3, 4}
+	if !quick {
+		cyclicN = []int{3, 4, 5}
+	}
+	for _, n := range cyclicN {
+		inst, err := gen.RandomThreeDCT(rng, n, 3)
+		if err != nil {
+			return err
+		}
+		c, err := inst.ToCollection()
+		if err != nil {
+			return err
+		}
+		sweep = append(sweep, c)
+	}
+	for _, m := range []int{6, 10} {
+		c, _, err := gen.RandomConsistent(rng, hypergraph.Path(m+1), 48, 1<<12, 4)
+		if err != nil {
+			return err
+		}
+		sweep = append(sweep, c)
+	}
+	params := fmt.Sprintf("instances=%d,cyclic=%d,acyclic=2", len(sweep), len(cyclicN))
+
+	// Cold: no cache anywhere; every pass recomputes the whole sweep.
+	coldChecker := bagconsist.New(bagconsist.WithMaxNodes(50_000_000))
+	cold, err := harness.Measure(func() error {
+		for _, c := range sweep {
+			if _, err := coldChecker.CheckGlobal(ctx, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, opts)
+	if err != nil {
+		return err
+	}
+	record(log, doc, Entry{
+		Name:   "restart/sweep/cache=off",
+		Family: "restart", Method: "auto", Cache: "off", Params: params,
+	}, cold)
+
+	// Populate the store (unmeasured), then close it — the "shutdown".
+	writer := bagconsist.New(bagconsist.WithPersistence(dir), bagconsist.WithMaxNodes(50_000_000))
+	for _, c := range sweep {
+		if _, err := writer.CheckGlobal(ctx, c); err != nil {
+			return err
+		}
+	}
+	if err := writer.Close(); err != nil {
+		return err
+	}
+
+	// "Restart": reopen the store under a brand-new empty RAM tier.
+	st, err := bagconsist.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	ram := bagconsist.NewCache(1024)
+	warmChecker := bagconsist.New(
+		bagconsist.WithSharedCache(ram),
+		bagconsist.WithStore(st),
+		bagconsist.WithMaxNodes(50_000_000),
+	)
+	hitsBefore := st.Stats().Hits
+	allHits := true
+	warm, err := harness.Measure(func() error {
+		// Empty the RAM tier so each pass measures disk serving, exactly
+		// like the first requests after a restart.
+		ram.Purge()
+		for _, c := range sweep {
+			rep, err := warmChecker.CheckGlobal(ctx, c)
+			if err != nil {
+				return err
+			}
+			if !rep.CacheHit {
+				allHits = false
+			}
+		}
+		return nil
+	}, opts)
+	if err != nil {
+		return err
+	}
+	stats := st.Stats()
+	if stats.Puts != 0 {
+		return fmt.Errorf("restart sweep recomputed %d results (store writes during warm phase)", stats.Puts)
+	}
+	e := Entry{
+		Name:   "restart/sweep/cache=warm-restart",
+		Family: "restart", Method: "auto", Cache: "warm", Params: params,
+	}
+	record(log, doc, e, warm)
+
+	sp := Speedup{
+		Family: "restart", Params: params, Variant: "restart",
+		ColdNs: cold.NsPerOp, WarmNs: warm.NsPerOp,
+		Speedup:  cold.NsPerOp / warm.NsPerOp,
+		CacheHit: allHits,
+		DiskHits: stats.Hits - hitsBefore,
+	}
+	doc.Speedups = append(doc.Speedups, sp)
+	fmt.Fprintf(log, "  %-44s %10.1fx (cold %.0f ns -> warm %.0f ns, disk hits=%d, all hits=%v)\n",
+		"restart/sweep", sp.Speedup, sp.ColdNs, sp.WarmNs, sp.DiskHits, allHits)
 	return nil
 }

@@ -37,7 +37,7 @@ func TestQuickSweepWritesJSON(t *testing.T) {
 			t.Errorf("entry %s has empty measurement: %+v", e.Name, e)
 		}
 	}
-	for _, f := range []string{"pair", "acyclic", "cyclic", "batch"} {
+	for _, f := range []string{"pair", "acyclic", "cyclic", "batch", "restart"} {
 		if families[f] == 0 {
 			t.Errorf("no entries for family %q", f)
 		}
@@ -45,9 +45,16 @@ func TestQuickSweepWritesJSON(t *testing.T) {
 	if len(doc.Speedups) == 0 {
 		t.Fatal("no cache speedups measured")
 	}
+	var sawRestart bool
 	for _, sp := range doc.Speedups {
 		if !sp.CacheHit {
 			t.Errorf("%s/%s: warm run did not hit the cache", sp.Family, sp.Variant)
+		}
+		if sp.Variant == "restart" {
+			sawRestart = true
+			if sp.DiskHits == 0 {
+				t.Errorf("restart sweep recorded no disk hits — warm phase did not serve from the store")
+			}
 		}
 		// Wall-clock ratios are meaningless under the race detector (its
 		// overhead hits the allocation-heavy warm path much harder than
@@ -58,6 +65,12 @@ func TestQuickSweepWritesJSON(t *testing.T) {
 		if sp.Family == "cyclic-3dct" && (sp.Variant == "identical" || sp.Variant == "permuted") && sp.Speedup < 10 {
 			t.Errorf("%s/%s: speedup %.1fx below the 10x acceptance bar", sp.Family, sp.Variant, sp.Speedup)
 		}
+		if sp.Variant == "restart" && sp.Speedup < 5 {
+			t.Errorf("restart: warm-start speedup %.1fx below the 5x acceptance bar", sp.Speedup)
+		}
+	}
+	if !sawRestart {
+		t.Error("no restart speedup measured")
 	}
 }
 

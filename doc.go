@@ -25,6 +25,10 @@
 //	                     the dichotomy decision procedure, Tseitin counterexamples
 //	internal/canon       order- and renaming-invariant instance fingerprints
 //	internal/cache       sharded LRU result cache with singleflight coalescing
+//	internal/store       persistent content-addressed result store: append-only
+//	                     checksummed segment log with crash recovery and
+//	                     compaction (docs/STORAGE.md) — the disk tier under
+//	                     the cache, attached via WithPersistence / -data-dir
 //	internal/service     the serving core: admission queue, load shedding,
 //	                     deadline propagation, graceful drain, HTTP handlers
 //	internal/metrics     dependency-free counters/gauges/histograms with
@@ -36,11 +40,13 @@
 //	internal/gen         instance families and random workloads
 //	internal/bagio       text/JSON formats for the CLI tools
 //
-// Command-line entry points are cmd/bagc (consistency checking),
+// Command-line entry points are cmd/bagc (consistency checking plus the
+// `bagc store` inspect/verify/compact maintenance subcommands),
 // cmd/schemacheck (schema classification), cmd/experiments (the full
 // paper reproduction harness, experiments E1–E10 of DESIGN.md),
-// cmd/bench (the reproducible performance sweep behind BENCH_pr2.json),
-// and cmd/bagcd (the HTTP serving daemon of docs/SERVING.md).
+// cmd/bench (the reproducible performance sweeps behind BENCH_pr2.json
+// and the cold-vs-warm-restart BENCH_pr4.json), and cmd/bagcd (the HTTP
+// serving daemon of docs/SERVING.md, persistent with -data-dir).
 // The benchmarks in bench_test.go regenerate every experiment's
 // measurement and additionally exercise the public API surface.
 // docs/PAPER_MAP.md maps each of the paper's results to the code

@@ -29,6 +29,27 @@ type Cache struct {
 	misses    atomic.Uint64
 	coalesced atomic.Uint64
 	evictions atomic.Uint64
+	bytes     atomic.Int64
+}
+
+// Sizer lets cached values report their approximate in-memory footprint
+// for the cache's byte accounting. Values that do not implement it are
+// accounted at a fixed nominal size.
+type Sizer interface {
+	ApproxBytes() int
+}
+
+// entryOverhead approximates the fixed per-entry cost: the list element,
+// the map bucket share, and the lruEntry header.
+const entryOverhead = 96
+
+// approxSize estimates one entry's footprint.
+func approxSize(key string, val any) int64 {
+	n := entryOverhead + len(key)
+	if s, ok := val.(Sizer); ok {
+		n += s.ApproxBytes()
+	}
+	return int64(n)
 }
 
 type shard struct {
@@ -38,8 +59,9 @@ type shard struct {
 }
 
 type lruEntry struct {
-	key string
-	val any
+	key  string
+	val  any
+	size int64
 }
 
 // New returns a cache holding at most capacity entries (rounded up to a
@@ -108,24 +130,33 @@ func (c *Cache) Recheck(key string) (any, bool) {
 // Add inserts (or replaces) the value under key as most recently used,
 // evicting the shard's least recently used entry when full.
 func (c *Cache) Add(key string, val any) {
+	size := approxSize(key, val)
 	s := c.shard(key)
 	var evicted bool
+	var delta int64
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
-		el.Value.(*lruEntry).val = val
+		e := el.Value.(*lruEntry)
+		delta = size - e.size
+		e.val = val
+		e.size = size
 		s.order.MoveToFront(el)
 	} else {
+		delta = size
 		if s.order.Len() >= c.perShard {
 			oldest := s.order.Back()
 			if oldest != nil {
 				s.order.Remove(oldest)
-				delete(s.items, oldest.Value.(*lruEntry).key)
+				old := oldest.Value.(*lruEntry)
+				delete(s.items, old.key)
+				delta -= old.size
 				evicted = true
 			}
 		}
-		s.items[key] = s.order.PushFront(&lruEntry{key: key, val: val})
+		s.items[key] = s.order.PushFront(&lruEntry{key: key, val: val, size: size})
 	}
 	s.mu.Unlock()
+	c.bytes.Add(delta)
 	if evicted {
 		c.evictions.Add(1)
 	}
@@ -146,14 +177,24 @@ func (c *Cache) Len() int {
 // Purge drops every entry. Stats counters are preserved (they describe
 // lifetime traffic, not contents).
 func (c *Cache) Purge() {
+	var dropped int64
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
+		for _, el := range s.items {
+			dropped += el.Value.(*lruEntry).size
+		}
 		s.items = make(map[string]*list.Element)
 		s.order.Init()
 		s.mu.Unlock()
 	}
+	c.bytes.Add(-dropped)
 }
+
+// Bytes returns the approximate total footprint of the cached entries:
+// per-entry overhead plus key length plus each value's Sizer estimate.
+// Operators size -cache-size against it.
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }
 
 // RecordCoalesced counts a query that missed the LRU but was then served
 // by coalescing onto a concurrent identical computation — a cache win
@@ -172,9 +213,12 @@ type Stats struct {
 	Coalesced uint64 `json:"coalesced"`
 	// Evictions counts entries dropped to make room.
 	Evictions uint64 `json:"evictions"`
-	// Entries and Capacity describe current occupancy.
-	Entries  int `json:"entries"`
-	Capacity int `json:"capacity"`
+	// Entries and Capacity describe current occupancy in entry counts;
+	// Bytes is the approximate footprint of the current entries (see
+	// Cache.Bytes).
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+	Bytes    int64 `json:"bytes"`
 }
 
 // HitRate returns the fraction of queries served without recomputation:
@@ -198,6 +242,7 @@ func (c *Cache) Stats() Stats {
 		Evictions: c.evictions.Load(),
 		Entries:   c.Len(),
 		Capacity:  c.Capacity(),
+		Bytes:     c.Bytes(),
 	}
 }
 

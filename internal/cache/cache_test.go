@@ -279,3 +279,60 @@ func TestSingleflightDistinctKeysRunConcurrently(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// sizedVal implements Sizer for the byte-accounting tests.
+type sizedVal struct{ n int }
+
+func (v sizedVal) ApproxBytes() int { return v.n }
+
+func TestByteAccounting(t *testing.T) {
+	c := New(16) // one entry per shard
+	if c.Bytes() != 0 {
+		t.Fatalf("empty cache reports %d bytes", c.Bytes())
+	}
+	c.Add("k1", sizedVal{n: 1000})
+	want := int64(entryOverhead + 2 + 1000)
+	if got := c.Bytes(); got != want {
+		t.Fatalf("after one add: %d bytes, want %d", got, want)
+	}
+	// Replacing a key accounts the delta, not a second copy.
+	c.Add("k1", sizedVal{n: 500})
+	want = int64(entryOverhead + 2 + 500)
+	if got := c.Bytes(); got != want {
+		t.Fatalf("after replace: %d bytes, want %d", got, want)
+	}
+	// Values without a Sizer get the fixed overhead only.
+	c.Add("k2", 42)
+	want += int64(entryOverhead + 2)
+	if got := c.Bytes(); got != want {
+		t.Fatalf("after unsized add: %d bytes, want %d", got, want)
+	}
+	if st := c.Stats(); st.Bytes != c.Bytes() {
+		t.Fatalf("Stats.Bytes %d != Bytes() %d", st.Bytes, c.Bytes())
+	}
+	c.Purge()
+	if c.Bytes() != 0 {
+		t.Fatalf("after purge: %d bytes, want 0", c.Bytes())
+	}
+}
+
+func TestByteAccountingOnEviction(t *testing.T) {
+	c := New(1) // capacity rounds to one entry per shard
+	// Two keys in the same shard: the second add evicts the first.
+	var keys []string
+	for i := 0; len(keys) < 2; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shard(k) == &c.shards[0] {
+			keys = append(keys, k)
+		}
+	}
+	c.Add(keys[0], sizedVal{n: 100})
+	c.Add(keys[1], sizedVal{n: 200})
+	want := int64(entryOverhead + len(keys[1]) + 200)
+	if got := c.Bytes(); got != want {
+		t.Fatalf("after eviction: %d bytes, want %d (evicted entry still accounted?)", got, want)
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions: %+v", st)
+	}
+}

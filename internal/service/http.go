@@ -73,6 +73,9 @@ type HealthStatus struct {
 	Inflight      int     `json:"inflight"`
 	// Cache is present when the daemon runs a shared result cache.
 	Cache *bagconsist.CacheStats `json:"cache,omitempty"`
+	// Store is present when the cache is backed by a persistent store
+	// (-data-dir): the disk tier's occupancy and traffic.
+	Store *bagconsist.StoreStats `json:"store,omitempty"`
 }
 
 type server struct {
@@ -135,8 +138,47 @@ func NewHandler(cfg ServerConfig) (http.Handler, error) {
 			func() float64 { return float64(s.cache.Stats().Coalesced) })
 		s.reg.CounterFunc("bagcd_cache_evictions_total", "", "Shared result cache evictions.",
 			func() float64 { return float64(s.cache.Stats().Evictions) })
-		s.reg.GaugeFunc("bagcd_cache_entries", "", "Shared result cache occupancy.",
+		s.reg.GaugeFunc("bagcd_cache_entries", "", "Shared result cache occupancy (entries).",
 			func() float64 { return float64(s.cache.Stats().Entries) })
+		s.reg.GaugeFunc("bagcd_cache_capacity", "", "Shared result cache capacity (entries).",
+			func() float64 { return float64(s.cache.Stats().Capacity) })
+		s.reg.GaugeFunc("bagcd_cache_bytes", "", "Approximate RAM footprint of the cached results.",
+			func() float64 { return float64(s.cache.Stats().Bytes) })
+	}
+	if s.cache != nil && s.cache.Persistent() {
+		storeStat := func(pick func(bagconsist.StoreStats) float64) func() float64 {
+			return func() float64 {
+				st, ok := s.cache.StoreStats()
+				if !ok {
+					return 0
+				}
+				return pick(st)
+			}
+		}
+		s.reg.GaugeFunc("bagcd_store_records", "", "Live records in the persistent result store.",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.Records) }))
+		s.reg.GaugeFunc("bagcd_store_segments", "", "Segment files in the persistent result store.",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.Segments) }))
+		s.reg.GaugeFunc("bagcd_store_disk_bytes", "", "Total on-disk size of the store's segment log.",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.DiskBytes) }))
+		s.reg.GaugeFunc("bagcd_store_live_bytes", "", "On-disk bytes occupied by live records.",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.LiveBytes) }))
+		s.reg.CounterFunc("bagcd_store_hits_total", "", "Disk-tier hits (results served without recomputation after a RAM miss).",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.Hits) }))
+		s.reg.CounterFunc("bagcd_store_misses_total", "", "Disk-tier misses (results that had to be computed).",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.Misses) }))
+		s.reg.CounterFunc("bagcd_store_puts_total", "", "Results written through to the persistent store.",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.Puts) }))
+		s.reg.CounterFunc("bagcd_store_put_errors_total", "", "Write-through failures (durability lost for one result, query unaffected).",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.PutErrors) }))
+		s.reg.CounterFunc("bagcd_store_corrupt_skipped_total", "", "Corrupt records skipped at open or dropped at read.",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.CorruptSkipped) }))
+		s.reg.CounterFunc("bagcd_store_torn_truncations_total", "", "Torn tails repaired by truncation at open.",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.TornTruncations) }))
+		s.reg.CounterFunc("bagcd_store_rotations_total", "", "Segment rotations.",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.Rotations) }))
+		s.reg.CounterFunc("bagcd_store_compactions_total", "", "Log compactions.",
+			storeStat(func(st bagconsist.StoreStats) float64 { return float64(st.Compactions) }))
 	}
 
 	mux := http.NewServeMux()
@@ -351,6 +393,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	if s.cache != nil {
 		st := s.cache.Stats()
 		hs.Cache = &st
+		if ss, ok := s.cache.StoreStats(); ok {
+			hs.Store = &ss
+		}
 	}
 	code := http.StatusOK
 	if s.svc.Draining() {

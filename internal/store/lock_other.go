@@ -1,0 +1,25 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// acquireDirLock on platforms without flock degrades to creating the
+// LOCK file without mutual exclusion: single-process ownership is then a
+// deployment responsibility, exactly like most embedded stores document.
+func acquireDirLock(path string, exclusive bool) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: lock: %w", err)
+	}
+	return f, nil
+}
+
+func releaseDirLock(f *os.File) {
+	if f != nil {
+		_ = f.Close()
+	}
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireDirLock takes an advisory flock on the store's LOCK file:
+// exclusive for a serving store, shared for read-only scans. flock locks
+// die with the process, so a SIGKILLed daemon never leaves a stale lock
+// behind — the property the crash-recovery path depends on.
+func acquireDirLock(path string, exclusive bool) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: lock: %w", err)
+	}
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	if err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: directory is locked by another process (%s): %w", path, err)
+	}
+	return f, nil
+}
+
+func releaseDirLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	_ = f.Close()
+}

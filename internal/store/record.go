@@ -1,0 +1,127 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// On-disk record layout. Every record is a fixed 52-byte header followed
+// by an opaque payload:
+//
+//	off  0  magic      uint16 (0xB5A6, big-endian)
+//	off  2  version    uint8  (recordVersion)
+//	off  3  kind       uint8  (query namespace; the store never interprets it)
+//	off  4  fp         [32]byte canonical instance fingerprint
+//	off 36  optsHash   uint64 (hash of the options that shaped the result)
+//	off 44  payloadLen uint32
+//	off 48  crc32      uint32 (IEEE, over header bytes [0,48) + payload)
+//	off 52  payload    payloadLen bytes
+//
+// The CRC covers the whole header (with the CRC field excluded by
+// position, not zeroing) and the payload, so a flipped bit anywhere in a
+// record fails the checksum. The magic makes torn-write boundaries and
+// resync points recognizable; the version byte lets a future layout
+// coexist in one log.
+const (
+	recordMagic   uint16 = 0xB5A6
+	recordVersion uint8  = 1
+	headerSize           = 52
+
+	// MaxPayload bounds a single record's payload. It exists so a corrupt
+	// length field cannot ask the reader to allocate gigabytes before the
+	// CRC gets a chance to reject the record.
+	MaxPayload = 16 << 20
+)
+
+// Key identifies a stored result: the canonical instance fingerprint, the
+// query kind namespace, and a hash of the options that shaped the result.
+// Key is comparable and is used directly as the index map key.
+type Key struct {
+	// FP is the canonical fingerprint (SHA-256) of the instance.
+	FP [32]byte
+	// Kind namespaces queries over the same instance (e.g. pair vs
+	// global consistency ask different questions).
+	Kind uint8
+	// OptsHash folds in every result-shaping option, so differently
+	// configured checkers never share records.
+	OptsHash uint64
+}
+
+// Record is one decoded log record.
+type Record struct {
+	Key     Key
+	Payload []byte
+}
+
+// Errors readRecord distinguishes. ErrTorn means the input ended inside a
+// record — the signature of a crash mid-append; ErrCorrupt means the bytes
+// are structurally wrong (bad magic, bad version, oversized length, CRC
+// mismatch) — the signature of bit-rot or a foreign file.
+var (
+	ErrTorn    = errors.New("store: torn record (truncated mid-write)")
+	ErrCorrupt = errors.New("store: corrupt record")
+)
+
+// appendRecord serializes a record onto buf and returns the extended
+// slice.
+func appendRecord(buf []byte, k Key, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], recordMagic)
+	hdr[2] = recordVersion
+	hdr[3] = k.Kind
+	copy(hdr[4:36], k.FP[:])
+	binary.BigEndian.PutUint64(hdr[36:44], k.OptsHash)
+	binary.BigEndian.PutUint32(hdr[44:48], uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[:48])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.BigEndian.PutUint32(hdr[48:52], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// recordSize is the on-disk size of a record with the given payload
+// length.
+func recordSize(payloadLen int) int64 { return int64(headerSize + payloadLen) }
+
+// readRecord decodes one record from r. io.EOF is returned only at a
+// clean record boundary (zero bytes read); an EOF anywhere inside a
+// record is ErrTorn. Structural violations are ErrCorrupt (wrapped with
+// detail). The returned payload is freshly allocated.
+func readRecord(r io.Reader) (Record, error) {
+	var hdr [headerSize]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err == io.EOF && n == 0 {
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %d byte header fragment", ErrTorn, n)
+	}
+	if m := binary.BigEndian.Uint16(hdr[0:2]); m != recordMagic {
+		return Record{}, fmt.Errorf("%w: bad magic %#04x", ErrCorrupt, m)
+	}
+	if v := hdr[2]; v != recordVersion {
+		return Record{}, fmt.Errorf("%w: unknown record version %d", ErrCorrupt, v)
+	}
+	payloadLen := binary.BigEndian.Uint32(hdr[44:48])
+	if payloadLen > MaxPayload {
+		return Record{}, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrCorrupt, payloadLen, MaxPayload)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, fmt.Errorf("%w: payload truncated", ErrTorn)
+	}
+	want := binary.BigEndian.Uint32(hdr[48:52])
+	crc := crc32.ChecksumIEEE(hdr[:48])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != want {
+		return Record{}, fmt.Errorf("%w: crc mismatch (stored %#08x, computed %#08x)", ErrCorrupt, want, crc)
+	}
+	rec := Record{Payload: payload}
+	rec.Key.Kind = hdr[3]
+	copy(rec.Key.FP[:], hdr[4:36])
+	rec.Key.OptsHash = binary.BigEndian.Uint64(hdr[36:44])
+	return rec, nil
+}

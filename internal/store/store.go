@@ -1,0 +1,545 @@
+// Package store is a persistent, content-addressed result store: an
+// append-only segment log keyed by canonical instance fingerprints, with
+// an in-memory index rebuilt on open, CRC-checksummed records,
+// tail-truncation tolerance for torn writes, segment rotation, and
+// compaction that drops superseded and corrupt records.
+//
+// The store never interprets payloads — the public bagconsist layer
+// serializes its canonical results into them — and it has no dependencies
+// beyond the standard library, so it inherits the module's hermetic
+// build. Durability model: every Put appends one checksummed record to
+// the active segment; a crash can tear at most the record being appended,
+// and Open repairs that by truncating the torn tail. Records are
+// immutable once written; a re-Put of an existing key appends a
+// superseding record (last-writer-wins in the index), and Compact
+// rewrites the log with only the live records.
+//
+// Concurrency: one process owns a store directory at a time (enforced
+// with an advisory file lock where the platform supports it). Within the
+// process all methods are safe for concurrent use; Get takes a shared
+// lock and reads with ReadAt, so lookups proceed in parallel with each
+// other and block only during appends, rotation, and compaction.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultSegmentBytes is the rotation threshold for the active segment.
+const DefaultSegmentBytes = 64 << 20
+
+// Options configures Open.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size;
+	// 0 means DefaultSegmentBytes. Records never split across segments,
+	// so a segment can exceed the threshold by up to one record.
+	SegmentBytes int64
+	// SyncOnPut fsyncs the active segment after every append. Off by
+	// default: the cache-of-a-deterministic-computation workload can
+	// always recompute a lost tail, so the OS page cache's flush policy
+	// is the right trade.
+	SyncOnPut bool
+	// Logf, when non-nil, receives one line per recovery action (torn
+	// tail truncated, corrupt record skipped).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return DefaultSegmentBytes
+	}
+	return o.SegmentBytes
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// loc points at one record on disk.
+type loc struct {
+	segID uint64
+	off   int64
+	size  int64 // full record size (header + payload)
+}
+
+// segment is one log file.
+type segment struct {
+	id   uint64
+	path string
+	f    *os.File
+	size int64 // valid bytes (== append offset for the active segment)
+}
+
+// Store is an open segment-log store.
+type Store struct {
+	mu   sync.RWMutex
+	dir  string
+	opts Options
+	lock *os.File
+
+	segs   map[uint64]*segment
+	order  []uint64 // ascending segment ids
+	active *segment
+	index  map[Key]loc
+
+	liveBytes int64
+	diskBytes int64
+	closed    bool
+
+	gets, hits, misses         atomic.Uint64
+	puts, putErrors            atomic.Uint64
+	bytesRead, bytesWritten    atomic.Uint64
+	readCorrupt                atomic.Uint64
+	superseded                 uint64 // mutated under mu
+	corruptSkipped, tornTruncs uint64 // set during open/compact under mu
+	rotations, compactions     uint64 // mutated under mu
+}
+
+// Stats is a point-in-time snapshot of store state and lifetime traffic.
+type Stats struct {
+	// Segments and Records describe the current log: segment file count
+	// and live (latest-per-key) record count.
+	Segments int `json:"segments"`
+	Records  int `json:"records"`
+	// DiskBytes is the total size of all segment files; LiveBytes the
+	// portion occupied by live records. The gap is reclaimable by
+	// Compact.
+	DiskBytes int64 `json:"disk_bytes"`
+	LiveBytes int64 `json:"live_bytes"`
+	// Gets = Hits + Misses over the store's lifetime (this process).
+	Gets   uint64 `json:"gets"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Puts counts appended records; PutErrors appends that failed at the
+	// filesystem.
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"put_errors"`
+	// BytesRead and BytesWritten count record bytes moved for Get/Put.
+	BytesRead    uint64 `json:"bytes_read"`
+	BytesWritten uint64 `json:"bytes_written"`
+	// Superseded counts index entries replaced by a newer Put.
+	Superseded uint64 `json:"superseded"`
+	// CorruptSkipped counts records dropped for failing validation — at
+	// Open, during Compact, or (bit-rot) at Get time.
+	CorruptSkipped uint64 `json:"corrupt_skipped"`
+	// TornTruncations counts torn tails repaired at Open.
+	TornTruncations uint64 `json:"torn_truncations"`
+	// Rotations and Compactions count segment lifecycle events.
+	Rotations   uint64 `json:"rotations"`
+	Compactions uint64 `json:"compactions"`
+}
+
+func segmentName(id uint64) string { return fmt.Sprintf("seg-%016d.log", id) }
+
+func parseSegmentName(name string) (uint64, bool) {
+	var id uint64
+	if _, err := fmt.Sscanf(name, "seg-%016d.log", &id); err != nil {
+		return 0, false
+	}
+	if segmentName(id) != name {
+		return 0, false
+	}
+	return id, true
+}
+
+// Open opens (creating if needed) the store in dir, rebuilding the
+// in-memory index by scanning every segment. A torn tail on the last
+// segment — the signature of a crash mid-append — is truncated away;
+// corrupt records in sealed segments are skipped and counted. The
+// directory is locked against other processes where the platform
+// supports advisory locks.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := acquireDirLock(filepath.Join(dir, "LOCK"), true)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		lock:  lock,
+		segs:  make(map[uint64]*segment),
+		index: make(map[Key]loc),
+	}
+	if err := s.load(); err != nil {
+		releaseDirLock(lock)
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) load() error {
+	ids, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		seg, err := createSegment(s.dir, 1)
+		if err != nil {
+			return err
+		}
+		s.addSegment(seg)
+		s.active = seg
+		return nil
+	}
+	for i, id := range ids {
+		last := i == len(ids)-1
+		seg, err := openSegment(s.dir, id)
+		if err != nil {
+			return err
+		}
+		res := scanFile(seg.f, seg.size, !last, func(rec Record, off, size int64) {
+			s.indexRecord(rec.Key, loc{segID: id, off: off, size: size})
+		})
+		s.corruptSkipped += uint64(res.corrupt)
+		if res.corrupt > 0 {
+			s.opts.logf("store: segment %s: skipped %d corrupt record(s)", seg.path, res.corrupt)
+		}
+		if last && res.goodBytes < seg.size {
+			// Torn tail from a crash mid-append (or trailing garbage):
+			// truncate so future appends start at a clean boundary.
+			if err := seg.f.Truncate(res.goodBytes); err != nil {
+				return fmt.Errorf("store: repairing torn tail of %s: %w", seg.path, err)
+			}
+			s.opts.logf("store: segment %s: truncated torn tail (%d -> %d bytes)",
+				seg.path, seg.size, res.goodBytes)
+			seg.size = res.goodBytes
+			s.tornTruncs++
+		}
+		s.addSegment(seg)
+	}
+	s.active = s.segs[s.order[len(s.order)-1]]
+	return nil
+}
+
+// indexRecord applies last-writer-wins indexing during a scan or put.
+func (s *Store) indexRecord(k Key, l loc) {
+	if old, ok := s.index[k]; ok {
+		s.superseded++
+		s.liveBytes -= old.size
+	}
+	s.index[k] = l
+	s.liveBytes += l.size
+}
+
+func (s *Store) addSegment(seg *segment) {
+	s.segs[seg.id] = seg
+	s.order = append(s.order, seg.id)
+	s.diskBytes += seg.size
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parseSegmentName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+func createSegment(dir string, id uint64) (*segment, error) {
+	path := filepath.Join(dir, segmentName(id))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &segment{id: id, path: path, f: f}, nil
+}
+
+func openSegment(dir string, id uint64) (*segment, error) {
+	path := filepath.Join(dir, segmentName(id))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &segment{id: id, path: path, f: f, size: fi.Size()}, nil
+}
+
+// Get returns the payload stored under k, or false on a miss. The record
+// is re-verified against its checksum on every read; a record that rotted
+// on disk counts as a miss (and is dropped from the index) rather than
+// returning corrupt bytes.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.gets.Add(1)
+	s.mu.RLock()
+	l, ok := s.index[k]
+	var buf []byte
+	var readErr error
+	if ok {
+		seg := s.segs[l.segID]
+		buf = make([]byte, l.size)
+		_, readErr = seg.f.ReadAt(buf, l.off)
+	}
+	s.mu.RUnlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	if readErr != nil {
+		// An IO error proves nothing about the bytes on disk (it may be
+		// transient — flaky network filesystem, EINTR): report a miss but
+		// keep the index entry, so the record is retried later and never
+		// physically dropped by a compaction on the strength of one
+		// failed read.
+		s.opts.logf("store: read error (seg %d off %d), treating as miss: %v", l.segID, l.off, readErr)
+		s.misses.Add(1)
+		return nil, false
+	}
+	rec, decErr := readRecord(bytes.NewReader(buf))
+	if decErr == nil && rec.Key == k {
+		s.hits.Add(1)
+		s.bytesRead.Add(uint64(l.size))
+		return rec.Payload, true
+	}
+	if decErr == nil {
+		decErr = fmt.Errorf("%w: record key does not match index", ErrCorrupt)
+	}
+	// The bytes were read but no longer decode (bit-rot, external
+	// tampering): that is proven corruption — drop the entry so
+	// subsequent gets miss fast and compaction leaves the garbage
+	// behind, and report a miss so the caller recomputes.
+	s.readCorrupt.Add(1)
+	s.opts.logf("store: dropping corrupt record (seg %d off %d): %v", l.segID, l.off, decErr)
+	s.mu.Lock()
+	if cur, ok := s.index[k]; ok && cur == l {
+		delete(s.index, k)
+		s.liveBytes -= l.size
+	}
+	s.mu.Unlock()
+	s.misses.Add(1)
+	return nil, false
+}
+
+// Put appends a record for k, superseding any previous record with the
+// same key. The append is atomic with respect to crash recovery: a torn
+// write is truncated away on the next Open.
+func (s *Store) Put(k Key, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("store: payload %d bytes exceeds limit %d", len(payload), MaxPayload)
+	}
+	buf := appendRecord(nil, k, payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if s.active.size > 0 && s.active.size+int64(len(buf)) > s.opts.segmentBytes() {
+		if err := s.rotateLocked(); err != nil {
+			s.putErrors.Add(1)
+			return err
+		}
+	}
+	if _, err := s.active.f.WriteAt(buf, s.active.size); err != nil {
+		// The tail may now hold a partial record; size is not advanced, so
+		// the next append overwrites it, and a crash before that is
+		// repaired by Open's torn-tail truncation.
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if s.opts.SyncOnPut {
+		if err := s.active.f.Sync(); err != nil {
+			s.putErrors.Add(1)
+			return fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	s.indexRecord(k, loc{segID: s.active.id, off: s.active.size, size: int64(len(buf))})
+	s.active.size += int64(len(buf))
+	s.diskBytes += int64(len(buf))
+	s.puts.Add(1)
+	s.bytesWritten.Add(uint64(len(buf)))
+	return nil
+}
+
+// rotateLocked seals the active segment and starts a new one. Caller
+// holds mu.
+func (s *Store) rotateLocked() error {
+	if err := s.active.f.Sync(); err != nil {
+		return fmt.Errorf("store: sealing %s: %w", s.active.path, err)
+	}
+	seg, err := createSegment(s.dir, s.active.id+1)
+	if err != nil {
+		return err
+	}
+	s.addSegment(seg)
+	s.active = seg
+	s.rotations++
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	return s.active.f.Sync()
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Stats returns a snapshot of store occupancy and traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Segments:        len(s.order),
+		Records:         len(s.index),
+		DiskBytes:       s.diskBytes,
+		LiveBytes:       s.liveBytes,
+		Gets:            s.gets.Load(),
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Puts:            s.puts.Load(),
+		PutErrors:       s.putErrors.Load(),
+		BytesRead:       s.bytesRead.Load(),
+		BytesWritten:    s.bytesWritten.Load(),
+		Superseded:      s.superseded,
+		CorruptSkipped:  s.corruptSkipped + s.readCorrupt.Load(),
+		TornTruncations: s.tornTruncs,
+		Rotations:       s.rotations,
+		Compactions:     s.compactions,
+	}
+}
+
+// Close syncs and closes every segment and releases the directory lock.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.active.f.Sync()
+	s.closeFiles()
+	releaseDirLock(s.lock)
+	s.lock = nil
+	if err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) closeFiles() {
+	for _, seg := range s.segs {
+		if seg.f != nil {
+			seg.f.Close()
+			seg.f = nil
+		}
+	}
+}
+
+// scanResult summarizes one segment scan.
+type scanResult struct {
+	records   int   // structurally valid records seen
+	corrupt   int   // corrupt records (or corrupt byte runs) skipped
+	torn      bool  // the scan ended inside a record
+	goodBytes int64 // bytes of the valid prefix (before the first invalid byte)
+}
+
+// scanFile walks the records of one segment file of the given size,
+// calling fn for each valid record with its offset and on-disk size.
+//
+// With resync true (sealed segments), a corrupt record is skipped by
+// scanning forward for the next plausible record boundary (magic bytes +
+// valid checksum), so one flipped bit costs one record, not the rest of
+// the segment. With resync false (the active segment), scanning stops at
+// the first invalid byte: anything after a torn append is garbage by
+// construction, and goodBytes tells the caller where to truncate.
+func scanFile(f io.ReaderAt, size int64, resync bool, fn func(rec Record, off, size int64)) scanResult {
+	var res scanResult
+	off := int64(0)
+	prefixValid := true
+	for off < size {
+		rec, err := readRecord(sectionFrom(f, off, size))
+		if err == nil {
+			n := recordSize(len(rec.Payload))
+			fn(rec, off, n)
+			res.records++
+			off += n
+			if prefixValid {
+				res.goodBytes = off
+			}
+			continue
+		}
+		if err == io.EOF {
+			break
+		}
+		prefixValid = false
+		if !resync {
+			res.torn = errors.Is(err, ErrTorn)
+			res.corrupt++
+			return res
+		}
+		res.corrupt++
+		next := findMagic(f, off+1, size)
+		if next < 0 {
+			res.torn = errors.Is(err, ErrTorn)
+			break
+		}
+		off = next
+	}
+	return res
+}
+
+// sectionFrom returns a reader over f's bytes [off, size).
+func sectionFrom(f io.ReaderAt, off, size int64) io.Reader {
+	return io.NewSectionReader(f, off, size-off)
+}
+
+// findMagic returns the offset of the next candidate record boundary
+// (magic bytes) at or after from, or -1.
+func findMagic(f io.ReaderAt, from, size int64) int64 {
+	const chunk = 64 << 10
+	buf := make([]byte, chunk+1) // +1 overlap so a boundary-straddling magic is seen
+	for off := from; off < size; off += chunk {
+		n, _ := f.ReadAt(buf, off)
+		if n < 2 {
+			return -1
+		}
+		for i := 0; i+1 < n; i++ {
+			if buf[i] == byte(recordMagic>>8) && buf[i+1] == byte(recordMagic&0xff) {
+				return off + int64(i)
+			}
+		}
+		if n < len(buf) {
+			return -1
+		}
+	}
+	return -1
+}

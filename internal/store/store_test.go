@@ -1,0 +1,339 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testKey(i int) Key {
+	k := Key{Kind: uint8(i%2 + 1), OptsHash: uint64(i) * 7919}
+	k.FP = sha256.Sum256([]byte(fmt.Sprintf("instance-%d", i)))
+	return k
+}
+
+func testPayload(i int) []byte {
+	return bytes.Repeat([]byte{byte(i)}, 16+i%32)
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, ok := s.Get(testKey(i))
+		if !ok || !bytes.Equal(got, testPayload(i)) {
+			t.Fatalf("record %d: ok=%v payload=%x", i, ok, got)
+		}
+	}
+	if _, ok := s.Get(testKey(n + 1)); ok {
+		t.Fatal("got a record that was never put")
+	}
+	st := s.Stats()
+	if st.Records != n || st.Puts != n || st.Hits != n || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the index is rebuilt from the log.
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("after reopen: %d records, want %d", s2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := s2.Get(testKey(i))
+		if !ok || !bytes.Equal(got, testPayload(i)) {
+			t.Fatalf("after reopen, record %d: ok=%v", i, ok)
+		}
+	}
+}
+
+func TestSupersede(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	k := testKey(1)
+	for rev := 0; rev < 5; rev++ {
+		if err := s.Put(k, []byte{byte(rev)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, []byte{4}) {
+		t.Fatalf("latest revision not served: ok=%v got=%x", ok, got)
+	}
+	if st := s.Stats(); st.Records != 1 || st.Superseded != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	s.Close()
+
+	// Last-writer-wins must survive the scan-rebuilt index too.
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	got, ok = s2.Get(k)
+	if !ok || !bytes.Equal(got, []byte{4}) {
+		t.Fatalf("after reopen: ok=%v got=%x", ok, got)
+	}
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 256})
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments < 3 || st.Rotations < 2 {
+		t.Fatalf("no rotation under a 256-byte threshold: %+v", st)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := s.Get(testKey(i)); !ok {
+			t.Fatalf("record %d unreadable across segments", i)
+		}
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, Options{SegmentBytes: 256})
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("after reopen: %d records, want %d", s2.Len(), n)
+	}
+}
+
+// TestTornTailRecovery is the crash-safety acceptance path: a store whose
+// last record was torn by a crash opens successfully, serves every intact
+// record, repairs the tail, and compaction + verification round-trip it
+// clean.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Tear the tail: append a record prefix that ends mid-payload.
+	torn := appendRecord(nil, testKey(n), bytes.Repeat([]byte{0xEE}, 100))
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-37]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// A read-only verify sees the tear without repairing it.
+	v, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.TornTail || v.Records != n {
+		t.Fatalf("verify on torn store: %+v", v)
+	}
+
+	// Open repairs by truncation and serves everything intact.
+	var warned bool
+	s2 := mustOpen(t, dir, Options{Logf: func(string, ...any) { warned = true }})
+	if st := s2.Stats(); st.TornTruncations != 1 || st.Records != n {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	if !warned {
+		t.Fatal("torn-tail repair was silent")
+	}
+	for i := 0; i < n; i++ {
+		got, ok := s2.Get(testKey(i))
+		if !ok || !bytes.Equal(got, testPayload(i)) {
+			t.Fatalf("record %d lost in recovery", i)
+		}
+	}
+	if _, ok := s2.Get(testKey(n)); ok {
+		t.Fatal("the torn record must not be served")
+	}
+	if _, err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	v, err = Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Clean() || v.Live != n || v.Superseded != 0 {
+		t.Fatalf("verify after compact: %+v", v)
+	}
+}
+
+// TestCorruptRecordResync flips bytes inside a sealed segment and checks
+// that only the damaged record is lost: scanning resynchronizes on the
+// next record boundary.
+func TestCorruptRecordResync(t *testing.T) {
+	dir := t.TempDir()
+	// Small segments so record 0 lands in a sealed (non-last) segment.
+	s := mustOpen(t, dir, Options{SegmentBytes: 200})
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Segments < 2 {
+		t.Fatal("test needs at least one sealed segment")
+	}
+	s.Close()
+
+	// Corrupt one byte in the middle of the first segment's first record
+	// payload.
+	segs, _ := listSegments(dir)
+	first := filepath.Join(dir, segmentName(segs[0]))
+	f, err := os.OpenFile(first, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, headerSize+4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var warnings int
+	s2 := mustOpen(t, dir, Options{SegmentBytes: 200, Logf: func(string, ...any) { warnings++ }})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.CorruptSkipped == 0 {
+		t.Fatalf("corruption not counted: %+v", st)
+	}
+	if warnings == 0 {
+		t.Fatal("corruption skipped silently")
+	}
+	// Exactly one record lost; every other record still served.
+	lost := 0
+	for i := 0; i < n; i++ {
+		if _, ok := s2.Get(testKey(i)); !ok {
+			lost++
+		}
+	}
+	if lost != 1 {
+		t.Fatalf("%d records lost to a single flipped byte, want 1", lost)
+	}
+}
+
+func TestCompactDropsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 300})
+	const n = 10
+	for rev := 0; rev < 4; rev++ {
+		for i := 0; i < n; i++ {
+			if err := s.Put(testKey(i), append(testPayload(i), byte(rev))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := s.Stats()
+	res, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveRecords != n || res.DroppedSuperseded != 3*n {
+		t.Fatalf("compact result: %+v", res)
+	}
+	if res.BytesAfter >= before.DiskBytes {
+		t.Fatalf("compaction reclaimed nothing: before=%d after=%d", before.DiskBytes, res.BytesAfter)
+	}
+	// Store still serves the latest revision of everything, and keeps
+	// accepting writes after the swap.
+	for i := 0; i < n; i++ {
+		got, ok := s.Get(testKey(i))
+		if !ok || got[len(got)-1] != 3 {
+			t.Fatalf("record %d after compact: ok=%v got=%x", i, ok, got)
+		}
+	}
+	if err := s.Put(testKey(n+1), testPayload(7)); err != nil {
+		t.Fatalf("put after compact: %v", err)
+	}
+	s.Close()
+
+	v, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Clean() || v.Superseded != 0 || v.Live != n+1 {
+		t.Fatalf("verify after compact: %+v", v)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 4096})
+	defer s.Close()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := w*perWorker + i
+				if err := s.Put(testKey(id), testPayload(id)); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(testKey(id)); !ok || !bytes.Equal(got, testPayload(id)) {
+					t.Errorf("read-own-write failed for %d", id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*perWorker {
+		t.Fatalf("len %d, want %d", s.Len(), workers*perWorker)
+	}
+}
+
+func TestDirLockExcludesSecondOpener(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open of a locked directory succeeded")
+	}
+}
+
+func TestPayloadTooLarge(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	if err := s.Put(testKey(0), make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}

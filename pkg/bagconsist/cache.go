@@ -3,6 +3,7 @@ package bagconsist
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"bagconsistency/internal/bag"
@@ -21,9 +22,18 @@ import (
 // back any number of Checkers — and should, since the fingerprint keys
 // embed each Checker's options, so differently configured Checkers never
 // cross-contaminate.
+//
+// A Cache may additionally be backed by a persistent Store (WithStore /
+// WithPersistence), making it a two-tier cache: a RAM miss consults the
+// disk tier, a disk hit is promoted into RAM, and freshly computed
+// results are written through to disk — so the memo table survives
+// restarts. Attach the store before the Cache starts serving; the
+// attachment itself is atomic, but queries racing the attachment may
+// miss the disk tier.
 type Cache struct {
 	lru    *cache.Cache
 	flight cache.Group
+	disk   atomic.Pointer[Store]
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness; see
@@ -42,8 +52,65 @@ func (c *Cache) Stats() CacheStats { return c.lru.Stats() }
 // Len returns the number of cached results.
 func (c *Cache) Len() int { return c.lru.Len() }
 
-// Purge drops every cached result, keeping lifetime counters.
+// Purge drops every cached result from the RAM tier, keeping lifetime
+// counters. The disk tier, if any, is untouched: purged results are
+// re-served from disk on their next query.
 func (c *Cache) Purge() { c.lru.Purge() }
+
+// attachStore wires the disk tier under the LRU.
+func (c *Cache) attachStore(s *Store) { c.disk.Store(s) }
+
+// Persistent reports whether a disk tier is attached.
+func (c *Cache) Persistent() bool { return c.disk.Load() != nil }
+
+// StoreStats returns the disk tier's statistics, and false when the
+// cache has no persistent store attached.
+func (c *Cache) StoreStats() (StoreStats, bool) {
+	s := c.disk.Load()
+	if s == nil {
+		return StoreStats{}, false
+	}
+	return s.Stats(), true
+}
+
+// Close closes the attached persistent store, if any. The RAM tier needs
+// no teardown.
+func (c *Cache) Close() error {
+	if s := c.disk.Swap(nil); s != nil {
+		return s.Close()
+	}
+	return nil
+}
+
+// diskGet consults the disk tier for (kind, options, fingerprint) and
+// decodes the stored canonical result. A payload that fails to decode
+// (a foreign or future record) is treated as a miss.
+func (c *Cache) diskGet(kind, optsKey string, fp canon.Fingerprint) (*cachedResult, bool) {
+	s := c.disk.Load()
+	if s == nil {
+		return nil, false
+	}
+	payload, ok := s.st.Get(storeKey(kind, optsKey, fp))
+	if !ok {
+		return nil, false
+	}
+	cr, err := decodePayload(payload)
+	if err != nil {
+		return nil, false
+	}
+	return cr, true
+}
+
+// diskPut writes a freshly computed canonical result through to the disk
+// tier. Write-through is best-effort: an IO failure costs durability of
+// one result (counted in StoreStats.PutErrors), never the query.
+func (c *Cache) diskPut(kind, optsKey string, fp canon.Fingerprint, cr *cachedResult) {
+	s := c.disk.Load()
+	if s == nil {
+		return
+	}
+	_ = s.st.Put(storeKey(kind, optsKey, fp), encodePayload(cr))
+}
 
 // cachedRow is one witness support tuple in canonical index space.
 type cachedRow struct {
@@ -148,22 +215,36 @@ func (c *Checker) cachedCheck(ctx context.Context, kind string, bags []*bag.Bag,
 		// underlying query will produce the authoritative error.
 		return compute()
 	}
-	key := kind + "|" + c.cfg.optionsKey() + "|" + can.FP.String()
+	optsKey := c.cfg.optionsKey()
+	key := kind + "|" + optsKey + "|" + can.FP.String()
 	if v, ok := c.cfg.cache.lru.Get(key); ok {
 		return v.(*cachedResult).report(can, time.Since(start))
 	}
 
-	// Miss: compute once per key across concurrent callers. The leader
-	// returns its direct Report (no translation round trip); followers
-	// translate the canonical result into their own instance's values.
+	// RAM miss: singleflight everything slower than the LRU — the disk
+	// probe as much as the computation. After a restart, N concurrent
+	// requests for one fingerprint then cost one disk read and one
+	// payload decode, not N (the warm-start stampede this tier exists
+	// for). The leader returns its direct Report when it computed (no
+	// translation round trip); followers translate the canonical result
+	// into their own instance's values.
 	var direct *Report
 	v, shared, err := c.cfg.cache.flight.Do(ctx, key, func() (any, error) {
 		// Re-check the LRU now that this caller holds key leadership: a
 		// previous leader may have stored the result between this
 		// caller's Get miss and its Do registration. Without this
 		// re-check that window would elect a second leader and recompute.
+		// (The disk tier needs no re-check: every leader that stored to
+		// disk stored to the LRU in the same step.)
 		if v, ok := c.cfg.cache.lru.Recheck(key); ok {
 			return v, nil
+		}
+		// A restart-surviving result may be on disk. A disk hit is
+		// promoted into the LRU so the fingerprint's next query is a RAM
+		// hit.
+		if cr, ok := c.cfg.cache.diskGet(kind, optsKey, can.FP); ok {
+			c.cfg.cache.lru.Add(key, cr)
+			return cr, nil
 		}
 		rep, cerr := compute()
 		if cerr != nil {
@@ -174,6 +255,7 @@ func (c *Checker) cachedCheck(ctx context.Context, kind string, bags []*bag.Bag,
 			return nil, cerr
 		}
 		c.cfg.cache.lru.Add(key, cr)
+		c.cfg.cache.diskPut(kind, optsKey, can.FP, cr)
 		direct = rep
 		return cr, nil
 	})

@@ -54,6 +54,17 @@ type config struct {
 	minimizeWitness bool
 	parallelism     int
 	cache           *Cache
+
+	// Persistence wiring, resolved by New after all options applied (so
+	// option order cannot matter): persistDir is opened into store when
+	// WithPersistence was used; ownsStore marks a store the Checker
+	// opened itself and must close in Close; initErr records a failed
+	// open, surfaced by every query.
+	persistDir  string
+	persistOpts []PersistOption
+	store       *Store
+	ownsStore   bool
+	initErr     error
 }
 
 func defaultConfig() config {
@@ -136,4 +147,39 @@ func WithCache(size int) Option {
 // surface. A nil cache disables caching.
 func WithSharedCache(sc *Cache) Option {
 	return func(c *config) { c.cache = sc }
+}
+
+// DefaultCacheSize is the RAM-tier capacity WithPersistence and
+// WithStore provision when no cache was configured explicitly.
+const DefaultCacheSize = 4096
+
+// WithPersistence backs the Checker's cache with a persistent result
+// store in dir, making it a two-tier cache: RAM hits stay RAM-fast, RAM
+// misses consult the disk tier (promoting hits), and computed results
+// are written through — so the memo table survives restarts, and a warm
+// start serves previously computed fingerprints with zero engine
+// recomputation. A cache is created (DefaultCacheSize) if none was
+// configured.
+//
+// The store is opened inside New; an open failure (unwritable dir,
+// directory locked by another process) is reported by every subsequent
+// query. Servers that want the error at startup should OpenStore
+// themselves and use WithStore. The Checker owns the store and releases
+// it in Close.
+func WithPersistence(dir string, opts ...PersistOption) Option {
+	return func(c *config) {
+		c.persistDir = dir
+		c.persistOpts = opts
+	}
+}
+
+// WithStore backs the Checker's cache with an already opened persistent
+// store (see OpenStore); the caller keeps ownership and closes it after
+// the Checker is done. A cache is created (DefaultCacheSize) if none was
+// configured. A nil store disables persistence.
+func WithStore(s *Store) Option {
+	return func(c *config) {
+		c.store = s
+		c.persistDir = ""
+	}
 }

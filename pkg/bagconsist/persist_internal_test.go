@@ -1,0 +1,97 @@
+package bagconsist
+
+import (
+	"reflect"
+	"testing"
+)
+
+func codecCases() []*cachedResult {
+	return []*cachedResult{
+		{consistent: false, method: "pairwise-refuted", bags: 3},
+		{consistent: true, method: "marginal", bags: 2, flowValue: 17},
+		{
+			consistent: true, method: "integer-program", bags: 3,
+			nodes: 12345, witnessSupport: 2,
+			witnessAttrs: []string{"A", "B", "C"},
+			witnessRows: []cachedRow{
+				{indices: []int{0, 1, 2}, count: 3},
+				{indices: []int{2, 0, 1}, count: 1},
+			},
+		},
+		{
+			// A present-but-empty witness (consistent empty instance class)
+			// must round-trip distinct from "no witness".
+			consistent: true, method: "acyclic-jointree", bags: 4,
+			witnessAttrs: []string{"X"},
+			witnessRows:  nil,
+		},
+	}
+}
+
+func TestPayloadCodecRoundTrip(t *testing.T) {
+	for i, cr := range codecCases() {
+		enc := encodePayload(cr)
+		dec, err := decodePayload(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		// Normalize the nil-vs-empty rows distinction the codec does not
+		// (and need not) preserve.
+		if len(dec.witnessRows) == 0 {
+			dec.witnessRows = nil
+		}
+		want := *cr
+		if len(want.witnessRows) == 0 {
+			want.witnessRows = nil
+		}
+		if !reflect.DeepEqual(*dec, want) {
+			t.Fatalf("case %d: round trip\n got %+v\nwant %+v", i, *dec, want)
+		}
+	}
+}
+
+// TestPayloadDecodeRejectsGarbage drives the decoder through truncations
+// and mutations of valid payloads: it must return errors, never panic,
+// and never over-allocate (the length() bound).
+func TestPayloadDecodeRejectsGarbage(t *testing.T) {
+	for i, cr := range codecCases() {
+		enc := encodePayload(cr)
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := decodePayload(enc[:cut]); err == nil {
+				t.Fatalf("case %d: truncation at %d accepted", i, cut)
+			}
+		}
+		grown := append(append([]byte(nil), enc...), 0x00)
+		if _, err := decodePayload(grown); err == nil {
+			t.Fatalf("case %d: trailing byte accepted", i)
+		}
+	}
+	if _, err := decodePayload(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	// A huge claimed collection length must be rejected by the remaining-
+	// bytes bound before any allocation.
+	bad := []byte{payloadVersion, payloadFlagWitness | payloadFlagConsistent,
+		2, 0, 0, 0, 1, 'm', 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
+	if _, err := decodePayload(bad); err == nil {
+		t.Fatal("absurd attr count accepted")
+	}
+}
+
+func TestStoreKeyDistinguishesKindAndOptions(t *testing.T) {
+	var c1, c2 config
+	c1 = defaultConfig()
+	c2 = defaultConfig()
+	c2.maxNodes = 99
+	var fp [32]byte
+	fp[0] = 7
+	kPair := storeKey("pair", c1.optionsKey(), fp)
+	kGlobal := storeKey("global", c1.optionsKey(), fp)
+	kOpts := storeKey("global", c2.optionsKey(), fp)
+	if kPair == kGlobal {
+		t.Fatal("pair and global share a store key")
+	}
+	if kGlobal == kOpts {
+		t.Fatal("different options share a store key")
+	}
+}
