@@ -33,6 +33,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +66,7 @@ type options struct {
 	maxTimeout     time.Duration
 	drainTimeout   time.Duration
 	maxBatchLines  int
+	pprofAddr      string
 	storeLogf      func(format string, args ...any) // recovery warnings; tests capture it
 }
 
@@ -83,6 +85,7 @@ func parseFlags(args []string, out io.Writer) (*options, bool, error) {
 	fs.DurationVar(&opt.maxTimeout, "max-timeout", 60*time.Second, "cap on per-request compute budgets (0 = uncapped)")
 	fs.DurationVar(&opt.drainTimeout, "drain-timeout", 30*time.Second, "how long to let in-flight requests finish on shutdown")
 	fs.IntVar(&opt.maxBatchLines, "max-batch-lines", service.DefaultMaxBatchLines, "NDJSON lines accepted per /v1/batch request")
+	fs.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = off)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, false, err
@@ -210,6 +213,29 @@ func run(args []string, out io.Writer) error {
 		logger.Printf("persistent store %s: %d records in %d segments (%d bytes)",
 			opt.dataDir, s.Records, s.Segments, s.DiskBytes)
 	}
+	// Optional profiling endpoint, on its own listener so the debug
+	// surface never shares a port (or handler namespace) with production
+	// traffic. Off by default; bind it to localhost.
+	if opt.pprofAddr != "" {
+		pln, err := net.Listen("tcp", opt.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener %q: %w", opt.pprofAddr, err)
+		}
+		defer pln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Printf("pprof listening on %s", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", opt.addr)
 	if err != nil {
 		return err

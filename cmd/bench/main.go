@@ -12,12 +12,28 @@
 //
 // Usage:
 //
-//	bench [-quick] [-out BENCH_pr2.json] [-family pair|acyclic|cyclic|cache|batch|restart]
+//	bench [-quick] [-out BENCH_pr2.json] [-family pair,acyclic,...]
+//	      [-prev OLD.json] [-compare BASELINE.json]
+//
+// -family takes a comma-separated subset of
+// pair|acyclic|cyclic|cache|batch|restart (empty = all).
 //
 // The restart family measures the persistence layer's headline number:
 // cold compute vs a warm start from disk after a simulated process
 // restart (fresh RAM tier, same data dir); `bench -family restart -out
 // BENCH_pr4.json` regenerates the committed BENCH_pr4.json.
+//
+// -prev embeds engine-speedup entries into the output: every uncached
+// entry present in both runs gains a Speedup record (variant "engine")
+// with the previous engine's ns/op as cold and this run's as warm —
+// how BENCH_pr5.json carries its before/after against the pre-columnar
+// engine measured on the same machine and instances.
+//
+// -compare is the CI regression gate: after the sweep it compares this
+// run's uncached pair/acyclic/cyclic entries against the committed
+// baseline JSON and exits nonzero if any regresses by more than 25% in
+// ns/op. Run baseline and candidate on the same machine class — the
+// gate compares wall-clock numbers.
 package main
 
 import (
@@ -30,6 +46,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 
 	"bagconsistency/internal/buildinfo"
@@ -44,7 +61,10 @@ var ctx = context.Background()
 func main() {
 	quick := flag.Bool("quick", false, "shorter measurement floors and smaller sweeps")
 	out := flag.String("out", "BENCH_pr2.json", "output JSON path (- for stdout)")
-	family := flag.String("family", "", "run a single family (pair, acyclic, cyclic, cache, batch, restart)")
+	family := flag.String("family", "", "comma-separated families to run (pair, acyclic, cyclic, cache, batch, restart; empty = all)")
+	prev := flag.String("prev", "", "previous-engine BENCH json; embeds engine-speedup entries for matching uncached benchmarks")
+	compare := flag.String("compare", "", "baseline BENCH json; exit nonzero on >25% ns/op regression in uncached engine families")
+	normalize := flag.Bool("normalize", false, "with -compare: divide ratios by their median first, gating relative regressions only (for runners of a different speed class than the baseline machine)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -54,6 +74,18 @@ func main() {
 	if err := run(os.Stderr, *out, *quick, *family); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+	if *prev != "" {
+		if err := embedEngineSpeedups(os.Stderr, *out, *prev); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: -prev:", err)
+			os.Exit(1)
+		}
+	}
+	if *compare != "" {
+		if err := compareBaseline(os.Stderr, *out, *compare, *normalize); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: -compare:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -132,8 +164,17 @@ func run(log io.Writer, outPath string, quick bool, family string) error {
 		{"batch", benchBatch},
 		{"restart", benchRestart},
 	}
+	want := map[string]bool{}
+	if family != "" {
+		for _, f := range strings.Split(family, ",") {
+			f = strings.TrimSpace(f)
+			if f != "" {
+				want[f] = true
+			}
+		}
+	}
 	for _, s := range steps {
-		if family != "" && family != s.name {
+		if len(want) > 0 && !want[s.name] {
 			continue
 		}
 		fmt.Fprintf(log, "== %s ==\n", s.name)
@@ -154,6 +195,153 @@ func run(log io.Writer, outPath string, quick bool, family string) error {
 		return err
 	}
 	fmt.Fprintf(log, "wrote %s (%d entries, %d speedups)\n", outPath, len(doc.Entries), len(doc.Speedups))
+	return nil
+}
+
+// loadOutput reads a BENCH_*.json document.
+func loadOutput(path string) (*Output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Output
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// uncachedEntries indexes a document's cache=off entries by name.
+func uncachedEntries(doc *Output) map[string]Entry {
+	m := make(map[string]Entry)
+	for _, e := range doc.Entries {
+		if e.Cache == "off" {
+			m[e.Name] = e
+		}
+	}
+	return m
+}
+
+// embedEngineSpeedups rewrites outPath with one Speedup (variant
+// "engine") per uncached entry present in both this run and the
+// previous-engine document: cold = previous engine, warm = this one.
+func embedEngineSpeedups(log io.Writer, outPath, prevPath string) error {
+	if outPath == "-" {
+		return fmt.Errorf("-prev needs a file output")
+	}
+	doc, err := loadOutput(outPath)
+	if err != nil {
+		return err
+	}
+	prev, err := loadOutput(prevPath)
+	if err != nil {
+		return err
+	}
+	old := uncachedEntries(prev)
+	added := 0
+	for _, e := range doc.Entries {
+		if e.Cache != "off" {
+			continue
+		}
+		pe, ok := old[e.Name]
+		if !ok || pe.NsPerOp <= 0 || e.NsPerOp <= 0 {
+			continue
+		}
+		sp := Speedup{
+			Family: e.Family, Params: e.Name, Variant: "engine",
+			ColdNs: pe.NsPerOp, WarmNs: e.NsPerOp,
+			Speedup: pe.NsPerOp / e.NsPerOp,
+		}
+		doc.Speedups = append(doc.Speedups, sp)
+		added++
+		fmt.Fprintf(log, "  engine %-50s %6.1fx (%.0f ns -> %.0f ns, allocs %.0f -> %.0f)\n",
+			e.Name, sp.Speedup, pe.NsPerOp, e.NsPerOp, pe.AllocsPerOp, e.AllocsPerOp)
+	}
+	if added == 0 {
+		return fmt.Errorf("no matching uncached entries between %s and %s", outPath, prevPath)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}
+
+// engineFamilies are the uncached compute families the regression gate
+// watches: the ones a data-plane change moves. Cache/batch/restart
+// measure the serving tiers and have their own bars in the tests.
+var engineFamilies = map[string]bool{"pair": true, "acyclic": true, "cyclic": true}
+
+// maxRegression is the -compare failure threshold.
+const maxRegression = 1.25
+
+// compareBaseline fails (with a listing) when any uncached engine-family
+// entry regressed more than 25% in ns/op against the baseline document.
+// With normalize, every ratio is first divided by the median ratio, so a
+// uniformly faster or slower machine cancels out and only *relative*
+// regressions (one benchmark moving against the rest) trip the gate —
+// the mode CI uses, since hosted runners are not the baseline machine.
+func compareBaseline(log io.Writer, outPath, basePath string, normalize bool) error {
+	if outPath == "-" {
+		return fmt.Errorf("-compare needs a file output")
+	}
+	doc, err := loadOutput(outPath)
+	if err != nil {
+		return err
+	}
+	base, err := loadOutput(basePath)
+	if err != nil {
+		return err
+	}
+	baseline := uncachedEntries(base)
+	type pair struct {
+		name  string
+		ratio float64
+		base  float64
+		now   float64
+	}
+	var pairs []pair
+	for _, e := range doc.Entries {
+		if e.Cache != "off" || !engineFamilies[e.Family] {
+			continue
+		}
+		be, ok := baseline[e.Name]
+		if !ok || be.NsPerOp <= 0 || e.NsPerOp <= 0 {
+			continue
+		}
+		pairs = append(pairs, pair{name: e.Name, ratio: e.NsPerOp / be.NsPerOp, base: be.NsPerOp, now: e.NsPerOp})
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("no comparable uncached engine entries between %s and %s", outPath, basePath)
+	}
+	scale := 1.0
+	if normalize {
+		ratios := make([]float64, len(pairs))
+		for i, p := range pairs {
+			ratios[i] = p.ratio
+		}
+		sort.Float64s(ratios)
+		scale = ratios[len(ratios)/2]
+		if len(ratios)%2 == 0 {
+			scale = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+		}
+		fmt.Fprintf(log, "compare: normalizing by median machine-speed ratio %.2fx\n", scale)
+	}
+	var regressed []string
+	for _, p := range pairs {
+		ratio := p.ratio / scale
+		status := "ok"
+		if ratio > maxRegression {
+			status = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s: %.0f ns -> %.0f ns (%.2fx)", p.name, p.base, p.now, ratio))
+		}
+		fmt.Fprintf(log, "  compare %-50s %6.2fx %s\n", p.name, ratio, status)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d of %d engine benchmarks regressed >%d%%:\n  %s",
+			len(regressed), len(pairs), int(maxRegression*100-100), strings.Join(regressed, "\n  "))
+	}
+	fmt.Fprintf(log, "compare: %d engine benchmarks within %d%% of baseline\n", len(pairs), int(maxRegression*100-100))
 	return nil
 }
 

@@ -5,24 +5,57 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"bagconsistency/internal/table"
 )
 
 // Bag is a finite multiset of tuples over a schema: a function from
 // Tup(X) to non-negative integers with finite support. The zero multiplicity
 // is implicit — only tuples with positive multiplicity are stored.
+//
+// Internally a bag is interned and columnar: every attribute has a
+// dictionary (table.Dict) mapping its value strings to dense uint32 ids,
+// and the support is a flat row buffer of ids with parallel int64
+// multiplicities. Values are interned once at ingest; every engine
+// operation downstream (marginals, equality, joins, the pair network)
+// runs on integer ids — no per-tuple key strings exist anywhere.
+//
+// Derived bags (marginals, joins, witnesses) share their parents'
+// dictionaries, so deriving never re-interns. Dictionaries are safe for
+// concurrent readers (see table.Dict); bags themselves follow the usual
+// rule: concurrent reads are safe, mutation needs external sync. To keep
+// the read half of that contract, reads never touch bag state: the row
+// index is maintained eagerly by mutations (and built in bulk when a
+// derived bag is assembled), deletions swap-remove in place, and the
+// deterministic display order is computed per call, never cached.
 type Bag struct {
-	schema  *Schema
-	entries map[string]*entry
-}
-
-type entry struct {
-	vals  []string
-	count int64
+	schema *Schema
+	cols   []*table.Dict
+	rows   table.Rows
+	index  *table.Index
 }
 
 // New returns an empty bag over the schema.
 func New(s *Schema) *Bag {
-	return &Bag{schema: s, entries: make(map[string]*entry)}
+	cols := make([]*table.Dict, s.Len())
+	for i := range cols {
+		cols[i] = table.NewDict()
+	}
+	return &Bag{schema: s, cols: cols, rows: table.Rows{W: s.Len()}, index: table.NewIndex(0)}
+}
+
+// newDerived returns an empty bag over s that adopts existing column
+// dictionaries (one per attribute of s, in canonical order). The caller
+// fills rows directly and must finish with finishRows.
+func newDerived(s *Schema, cols []*table.Dict) *Bag {
+	return &Bag{schema: s, cols: cols, rows: table.Rows{W: s.Len()}}
+}
+
+// finishRows bulk-builds the row index after direct row construction, so
+// the finished bag serves lookups without ever mutating on a read path.
+func (b *Bag) finishRows() {
+	b.index = table.NewIndex(b.rows.N())
+	b.index.Rebuild(&b.rows)
 }
 
 // FromRows builds a bag over s from parallel slices of value rows and
@@ -48,6 +81,38 @@ func FromRows(s *Schema, rows [][]string, counts []int64) (*Bag, error) {
 // Schema returns the schema the bag is defined over.
 func (b *Bag) Schema() *Schema { return b.schema }
 
+// removeRow deletes row pos by swapping the last row into its place:
+// O(1) row movement plus two localized index fixups (backward-shift
+// deletion), so tuple-by-tuple clearing of an n-row bag stays O(n)
+// total. Every stored row is support at all times.
+func (b *Bag) removeRow(pos int) {
+	last := b.rows.N() - 1
+	w := b.rows.W
+	b.index.Delete(&b.rows, pos)
+	if pos != last {
+		b.index.Delete(&b.rows, last)
+		copy(b.rows.IDs[pos*w:(pos+1)*w], b.rows.IDs[last*w:(last+1)*w])
+		b.rows.Counts[pos] = b.rows.Counts[last]
+	}
+	b.rows.IDs = b.rows.IDs[:last*w]
+	b.rows.Counts = b.rows.Counts[:last]
+	if pos != last {
+		b.index.Insert(&b.rows, pos)
+	}
+}
+
+// findRow returns the position of the row with the given ids, or -1.
+func (b *Bag) findRow(row []uint32) int {
+	return b.index.Find(&b.rows, row)
+}
+
+// internRow interns vals into the bag's dictionaries, filling row.
+func (b *Bag) internRow(vals []string, row []uint32) {
+	for i, v := range vals {
+		row[i] = b.cols[i].Intern(v)
+	}
+}
+
 // Add increases the multiplicity of the tuple with the given values (in
 // canonical attribute order) by mult. mult must be non-negative; adding 0 is
 // a no-op.
@@ -61,18 +126,19 @@ func (b *Bag) Add(vals []string, mult int64) error {
 	if mult == 0 {
 		return nil
 	}
-	key := encodeKey(vals)
-	if e, ok := b.entries[key]; ok {
-		c, err := checkedAdd(e.count, mult)
+	row := table.GetUint32s(len(vals))
+	defer table.PutUint32s(row)
+	b.internRow(vals, row)
+	if pos := b.findRow(row); pos >= 0 {
+		c, err := checkedAdd(b.rows.Counts[pos], mult)
 		if err != nil {
 			return err
 		}
-		e.count = c
+		b.rows.Counts[pos] = c
 		return nil
 	}
-	cp := make([]string, len(vals))
-	copy(cp, vals)
-	b.entries[key] = &entry{vals: cp, count: mult}
+	pos := b.rows.Append(row, mult)
+	b.index.Insert(&b.rows, pos)
 	return nil
 }
 
@@ -94,22 +160,49 @@ func (b *Bag) Set(vals []string, mult int64) error {
 	if len(vals) != b.schema.Len() {
 		return fmt.Errorf("bag: row has %d values for schema %v", len(vals), b.schema)
 	}
-	key := encodeKey(vals)
+	row := table.GetUint32s(len(vals))
+	defer table.PutUint32s(row)
 	if mult == 0 {
-		delete(b.entries, key)
+		// Delete without interning: a value never seen cannot be present.
+		for i, v := range vals {
+			id, ok := b.cols[i].Lookup(v)
+			if !ok {
+				return nil
+			}
+			row[i] = id
+		}
+		if pos := b.findRow(row); pos >= 0 {
+			b.removeRow(pos)
+		}
 		return nil
 	}
-	cp := make([]string, len(vals))
-	copy(cp, vals)
-	b.entries[key] = &entry{vals: cp, count: mult}
+	b.internRow(vals, row)
+	if pos := b.findRow(row); pos >= 0 {
+		b.rows.Counts[pos] = mult
+	} else {
+		pos = b.rows.Append(row, mult)
+		b.index.Insert(&b.rows, pos)
+	}
 	return nil
 }
 
 // Count returns the multiplicity of the tuple with the given values
 // (0 if the tuple is not in the support).
 func (b *Bag) Count(vals []string) int64 {
-	if e, ok := b.entries[encodeKey(vals)]; ok {
-		return e.count
+	if len(vals) != b.schema.Len() {
+		return 0
+	}
+	row := table.GetUint32s(len(vals))
+	defer table.PutUint32s(row)
+	for i, v := range vals {
+		id, ok := b.cols[i].Lookup(v)
+		if !ok {
+			return 0
+		}
+		row[i] = id
+	}
+	if pos := b.findRow(row); pos >= 0 {
+		return b.rows.Counts[pos]
 	}
 	return 0
 }
@@ -118,25 +211,57 @@ func (b *Bag) Count(vals []string) int64 {
 func (b *Bag) CountTuple(t Tuple) int64 { return b.Count(t.vals) }
 
 // Len returns the support size |R'| (number of distinct tuples).
-func (b *Bag) Len() int { return len(b.entries) }
+func (b *Bag) Len() int { return b.rows.N() }
 
-// sortedKeys returns the entry keys in ascending order; every deterministic
-// iteration goes through here.
-func (b *Bag) sortedKeys() []string {
-	keys := make([]string, 0, len(b.entries))
-	for k := range b.entries {
-		keys = append(keys, k)
+// resolveRow materializes row pos as value strings into vals.
+func (b *Bag) resolveRow(pos int, vals []string) {
+	w := b.rows.W
+	for j := 0; j < w; j++ {
+		vals[j] = b.cols[j].Value(b.rows.IDs[pos*w+j])
 	}
-	sort.Strings(keys)
-	return keys
 }
 
-// Each calls fn once per support tuple in deterministic (sorted key) order,
-// stopping early and returning fn's error if it is non-nil.
+// orderedRows computes the deterministic iteration order: ascending by
+// the length-prefixed key encoding of the resolved values, exactly the
+// order the original string-keyed representation iterated in, so every
+// textual rendering and golden file is byte-stable across the engine
+// swap. This is a display-path concern only; the decision procedures
+// never sort by strings. The order is computed fresh per call (never
+// cached on the bag) so read paths stay mutation-free and any number of
+// goroutines can enumerate one bag concurrently.
+func (b *Bag) orderedRows() []int32 {
+	n := b.rows.N()
+	order := make([]int32, n)
+	keys := make([]string, n)
+	vals := make([]string, b.rows.W)
+	for i := 0; i < n; i++ {
+		order[i] = int32(i)
+		b.resolveRow(i, vals)
+		keys[i] = encodeKey(vals)
+	}
+	sort.Sort(&orderByKey{order: order, keys: keys})
+	return order
+}
+
+type orderByKey struct {
+	order []int32
+	keys  []string
+}
+
+func (o *orderByKey) Len() int           { return len(o.order) }
+func (o *orderByKey) Less(i, j int) bool { return o.keys[i] < o.keys[j] }
+func (o *orderByKey) Swap(i, j int) {
+	o.order[i], o.order[j] = o.order[j], o.order[i]
+	o.keys[i], o.keys[j] = o.keys[j], o.keys[i]
+}
+
+// Each calls fn once per support tuple in deterministic order, stopping
+// early and returning fn's error if it is non-nil.
 func (b *Bag) Each(fn func(t Tuple, count int64) error) error {
-	for _, k := range b.sortedKeys() {
-		e := b.entries[k]
-		if err := fn(Tuple{schema: b.schema, vals: e.vals}, e.count); err != nil {
+	for _, pos := range b.orderedRows() {
+		vals := make([]string, b.rows.W)
+		b.resolveRow(int(pos), vals)
+		if err := fn(Tuple{schema: b.schema, vals: vals}, b.rows.Counts[pos]); err != nil {
 			return err
 		}
 	}
@@ -145,33 +270,89 @@ func (b *Bag) Each(fn func(t Tuple, count int64) error) error {
 
 // Tuples returns the support tuples in deterministic order.
 func (b *Bag) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(b.entries))
-	for _, k := range b.sortedKeys() {
-		out = append(out, Tuple{schema: b.schema, vals: b.entries[k].vals})
+	order := b.orderedRows()
+	out := make([]Tuple, 0, len(order))
+	for _, pos := range order {
+		vals := make([]string, b.rows.W)
+		b.resolveRow(int(pos), vals)
+		out = append(out, Tuple{schema: b.schema, vals: vals})
 	}
 	return out
 }
 
-// Clone returns a deep copy of the bag.
+// Clone returns a deep copy of the bag. The copy has its own
+// dictionaries, so the original and the clone can be mutated
+// independently (including from different goroutines).
 func (b *Bag) Clone() *Bag {
-	c := New(b.schema)
-	for k, e := range b.entries {
-		cp := make([]string, len(e.vals))
-		copy(cp, e.vals)
-		c.entries[k] = &entry{vals: cp, count: e.count}
+	cols := make([]*table.Dict, len(b.cols))
+	for i, d := range b.cols {
+		cols[i] = d.Clone()
 	}
-	return c
+	return &Bag{schema: b.schema, cols: cols, rows: b.rows.Clone(), index: b.index.Clone()}
+}
+
+// columnRemaps builds per-column translation tables from c's id space
+// into b's. A nil entry means the column shares one dictionary and the
+// identity applies; absent values map to table.MissingID. The buffers are
+// pooled — callers must putRemaps when done.
+func columnRemaps(c, b *Bag) [][]uint32 {
+	maps := make([][]uint32, len(c.cols))
+	for j := range c.cols {
+		if c.cols[j] == b.cols[j] {
+			continue // identity
+		}
+		maps[j] = table.RemapInto(c.cols[j], b.cols[j], table.GetUint32s(0))
+	}
+	return maps
+}
+
+func putRemaps(maps [][]uint32) {
+	for _, m := range maps {
+		if m != nil {
+			table.PutUint32s(m)
+		}
+	}
+}
+
+// remapRow translates row pos of c into b's id space using maps; reports
+// false when a value is unknown to b.
+func remapRow(c *Bag, pos int, maps [][]uint32, out []uint32) bool {
+	w := c.rows.W
+	for j := 0; j < w; j++ {
+		id := c.rows.IDs[pos*w+j]
+		if m := maps[j]; m != nil {
+			id = m[id]
+			if id == table.MissingID {
+				return false
+			}
+		}
+		out[j] = id
+	}
+	return true
 }
 
 // Equal reports whether two bags have equal schemas and identical
 // multiplicity functions.
 func (b *Bag) Equal(c *Bag) bool {
-	if !b.schema.Equal(c.schema) || len(b.entries) != len(c.entries) {
+	if !b.schema.Equal(c.schema) {
 		return false
 	}
-	for k, e := range b.entries {
-		o, ok := c.entries[k]
-		if !ok || o.count != e.count {
+	if b.rows.N() != c.rows.N() {
+		return false
+	}
+	if b == c {
+		return true
+	}
+	maps := columnRemaps(c, b)
+	defer putRemaps(maps)
+	row := table.GetUint32s(b.rows.W)
+	defer table.PutUint32s(row)
+	for i := 0; i < c.rows.N(); i++ {
+		if !remapRow(c, i, maps, row) {
+			return false
+		}
+		pos := b.index.Find(&b.rows, row)
+		if pos < 0 || b.rows.Counts[pos] != c.rows.Counts[i] {
 			return false
 		}
 	}
@@ -184,9 +365,16 @@ func (b *Bag) ContainedIn(c *Bag) bool {
 	if !b.schema.Equal(c.schema) {
 		return false
 	}
-	for k, e := range b.entries {
-		o, ok := c.entries[k]
-		if !ok || o.count < e.count {
+	maps := columnRemaps(b, c)
+	defer putRemaps(maps)
+	row := table.GetUint32s(c.rows.W)
+	defer table.PutUint32s(row)
+	for i := 0; i < b.rows.N(); i++ {
+		if !remapRow(b, i, maps, row) {
+			return false
+		}
+		pos := c.index.Find(&c.rows, row)
+		if pos < 0 || c.rows.Counts[pos] < b.rows.Counts[i] {
 			return false
 		}
 	}
@@ -196,41 +384,101 @@ func (b *Bag) ContainedIn(c *Bag) bool {
 // Marginal computes the bag R[Z] of Equation (2): the multiplicity of a
 // Z-tuple t is the sum of R(r) over support tuples r with r[Z] = t.
 // sub must be a subset of the bag's schema.
+//
+// The computation is a sort-based group-by over interned ids: project the
+// kept columns, radix-sort the projected rows, fold equal runs by summing
+// multiplicities. The result shares this bag's column dictionaries, so no
+// value is ever re-interned and no key strings are built.
 func (b *Bag) Marginal(sub *Schema) (*Bag, error) {
 	pos, err := b.schema.positions(sub)
 	if err != nil {
 		return nil, err
 	}
-	out := New(sub)
-	for _, e := range b.entries {
-		vals := make([]string, len(pos))
-		for i, p := range pos {
-			vals[i] = e.vals[p]
-		}
-		if err := out.Add(vals, e.count); err != nil {
-			return nil, err
-		}
+	cols := make([]*table.Dict, len(pos))
+	for i, p := range pos {
+		cols[i] = b.cols[p]
 	}
+	out := newDerived(sub, cols)
+	n := b.rows.N()
+	if n == 0 {
+		out.finishRows()
+		return out, nil
+	}
+	w2 := len(pos)
+	if w2 == 0 {
+		// Empty sub-schema: the single empty tuple carries the total
+		// multiplicity.
+		var total int64
+		for _, c := range b.rows.Counts {
+			t, err := checkedAdd(total, c)
+			if err != nil {
+				return nil, err
+			}
+			total = t
+		}
+		out.rows.Append(nil, total)
+		out.finishRows()
+		return out, nil
+	}
+	proj := table.GetRows(w2)
+	defer table.PutRows(proj)
+	w := b.rows.W
+	for i := 0; i < n; i++ {
+		base := i * w
+		for _, p := range pos {
+			proj.IDs = append(proj.IDs, b.rows.IDs[base+p])
+		}
+		proj.Counts = append(proj.Counts, b.rows.Counts[i])
+	}
+	// At most n distinct groups: presize the output to two exact
+	// allocations instead of a growth series.
+	out.rows.IDs = make([]uint32, 0, n*w2)
+	out.rows.Counts = make([]int64, 0, n)
+	perm := table.GetInt32s(n)
+	defer table.PutInt32s(perm)
+	table.SortPerm(proj, perm)
+	var foldErr error
+	table.Runs(proj, perm, func(start, end int) {
+		if foldErr != nil {
+			return
+		}
+		total := int64(0)
+		for k := start; k < end; k++ {
+			t, err := checkedAdd(total, proj.Counts[perm[k]])
+			if err != nil {
+				foldErr = err
+				return
+			}
+			total = t
+		}
+		out.rows.Append(proj.Row(int(perm[start])), total)
+	})
+	if foldErr != nil {
+		return nil, foldErr
+	}
+	out.finishRows()
 	return out, nil
 }
 
 // SupportBag returns the relation underlying the bag: same support, every
 // multiplicity clamped to 1. The paper writes this R'.
 func (b *Bag) SupportBag() *Bag {
-	out := New(b.schema)
-	for k, e := range b.entries {
-		cp := make([]string, len(e.vals))
-		copy(cp, e.vals)
-		out.entries[k] = &entry{vals: cp, count: 1}
+	out := newDerived(b.schema, b.cols)
+	out.rows.W = b.rows.W
+	out.rows.IDs = append([]uint32(nil), b.rows.IDs...)
+	out.rows.Counts = make([]int64, b.rows.N())
+	for i := range out.rows.Counts {
+		out.rows.Counts[i] = 1
 	}
+	out.index = b.index.Clone() // identical row layout, identical index
 	return out
 }
 
 // IsRelation reports whether every multiplicity is exactly 1, i.e. the bag
 // is a set.
 func (b *Bag) IsRelation() bool {
-	for _, e := range b.entries {
-		if e.count != 1 {
+	for _, c := range b.rows.Counts {
+		if c != 1 {
 			return false
 		}
 	}
@@ -239,87 +487,201 @@ func (b *Bag) IsRelation() bool {
 
 // Join computes the bag join R ⋈b S: support R' ⋈ S' with multiplicity
 // (R ⋈b S)(t) = R(t[X]) × S(t[Y]).
+//
+// The implementation is a sort-merge join on interned ids: both sides'
+// shared-attribute projections are translated into one id space (a
+// per-distinct-value remap, built outside the loop), radix-sorted, and
+// merged; matching groups emit their cross products directly into the
+// output row buffer. Output rows are necessarily distinct — a union tuple
+// determines its R- and S-projections — so no deduplication pass runs.
 func Join(r, s *Bag) (*Bag, error) {
-	union := r.schema.Union(s.schema)
-	shared := r.schema.Intersect(s.schema)
-
-	// Hash join: group s's entries by their shared-attribute projection.
-	sharedPosS, err := s.schema.positions(shared)
-	if err != nil {
-		return nil, err
-	}
-	groups := make(map[string][]*entry, len(s.entries))
-	for _, e := range s.entries {
-		proj := make([]string, len(sharedPosS))
-		for i, p := range sharedPosS {
-			proj[i] = e.vals[p]
-		}
-		key := encodeKey(proj)
-		groups[key] = append(groups[key], e)
-	}
-
-	sharedPosR, err := r.schema.positions(shared)
-	if err != nil {
-		return nil, err
-	}
-	// Positions of each union attribute in r and s (prefer r's copy).
-	type src struct {
-		fromR bool
-		pos   int
-	}
-	srcs := make([]src, union.Len())
-	for i, a := range union.attrs {
-		if p := r.schema.Pos(a); p >= 0 {
-			srcs[i] = src{fromR: true, pos: p}
-		} else {
-			srcs[i] = src{fromR: false, pos: s.schema.Pos(a)}
-		}
-	}
-
-	out := New(union)
-	for _, re := range r.entries {
-		proj := make([]string, len(sharedPosR))
-		for i, p := range sharedPosR {
-			proj[i] = re.vals[p]
-		}
-		for _, se := range groups[encodeKey(proj)] {
-			vals := make([]string, union.Len())
-			for i, sc := range srcs {
-				if sc.fromR {
-					vals[i] = re.vals[sc.pos]
-				} else {
-					vals[i] = se.vals[sc.pos]
-				}
-			}
-			c, err := checkedMul(re.count, se.count)
-			if err != nil {
-				return nil, err
-			}
-			if err := out.Add(vals, c); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
+	return join(r, s, false)
 }
 
 // JoinSupports returns the relational join of the supports, R' ⋈ S', as a
 // bag over the union schema with all multiplicities 1. This is the index set
 // J of the linear program P(R, S) in Section 3 of the paper.
 func JoinSupports(r, s *Bag) (*Bag, error) {
-	return Join(r.SupportBag(), s.SupportBag())
+	return join(r, s, true)
+}
+
+func join(r, s *Bag, supports bool) (*Bag, error) {
+	union, srcs, cols := UnionLayout(r, s)
+	out := newDerived(union, cols)
+	outRow := table.GetUint32s(union.Len())
+	defer table.PutUint32s(outRow)
+	w, sw := r.rows.W, s.rows.W
+	err := mergeJoinPairs(r, s, func(rpos, spos int) error {
+		count := int64(1)
+		if !supports {
+			c, err := checkedMul(r.rows.Counts[rpos], s.rows.Counts[spos])
+			if err != nil {
+				return err
+			}
+			count = c
+		}
+		for oi, sc := range srcs {
+			if sc.FromR {
+				outRow[oi] = r.rows.IDs[rpos*w+sc.Pos]
+			} else {
+				outRow[oi] = s.rows.IDs[spos*sw+sc.Pos]
+			}
+		}
+		out.rows.Append(outRow, count)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.finishRows()
+	return out, nil
+}
+
+// mergeJoinPairs calls emit(rpos, spos) for every pair of support rows of
+// r and s that agree on all shared attributes — the tuple pairs of the
+// relational join R' ⋈ S' — in a deterministic order. It is a sort-merge
+// join on interned ids: both sides' shared projections are translated
+// into s's id space (one remap load per value inside the loop; the string
+// lookups happen once per distinct value up front), radix-sorted, and
+// merged; matching key runs emit their cross products.
+func mergeJoinPairs(r, s *Bag, emit func(rpos, spos int) error) error {
+	if r.rows.N() == 0 || s.rows.N() == 0 {
+		return nil
+	}
+	shared := r.schema.Intersect(s.schema)
+	sharedPosR, err := r.schema.positions(shared)
+	if err != nil {
+		return err
+	}
+	sharedPosS, err := s.schema.positions(shared)
+	if err != nil {
+		return err
+	}
+	zw := len(sharedPosR)
+	if zw == 0 {
+		// Disjoint schemas: full cross product.
+		for i := 0; i < r.rows.N(); i++ {
+			for j := 0; j < s.rows.N(); j++ {
+				if err := emit(i, j); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// Shared-attribute keys for both sides, both in s's id space.
+	keyR := table.GetRows(zw)
+	defer table.PutRows(keyR)
+	keyS := table.GetRows(zw)
+	defer table.PutRows(keyS)
+	// Pre-sized to the row count so append never regrows it — a deferred
+	// PutInt32s(origR) would bind the original slice header and leak any
+	// grown backing array out of the pool.
+	origR := table.GetInt32s(r.rows.N())[:0]
+	defer func() { table.PutInt32s(origR) }()
+
+	remap := make([][]uint32, zw)
+	for j, p := range sharedPosR {
+		if r.cols[p] != s.cols[sharedPosS[j]] {
+			remap[j] = table.RemapInto(r.cols[p], s.cols[sharedPosS[j]], table.GetUint32s(0))
+		}
+	}
+	defer putRemaps(remap)
+
+	w := r.rows.W
+rloop:
+	for i := 0; i < r.rows.N(); i++ {
+		base := i * w
+		mark := len(keyR.IDs)
+		for j, p := range sharedPosR {
+			id := r.rows.IDs[base+p]
+			if m := remap[j]; m != nil {
+				id = m[id]
+				if id == table.MissingID {
+					keyR.IDs = keyR.IDs[:mark]
+					continue rloop // value unknown to s: no partner exists
+				}
+			}
+			keyR.IDs = append(keyR.IDs, id)
+		}
+		keyR.Counts = append(keyR.Counts, 1)
+		origR = append(origR, int32(i))
+	}
+	sw := s.rows.W
+	for i := 0; i < s.rows.N(); i++ {
+		base := i * sw
+		for _, p := range sharedPosS {
+			keyS.IDs = append(keyS.IDs, s.rows.IDs[base+p])
+		}
+		keyS.Counts = append(keyS.Counts, 1)
+	}
+
+	permR := table.GetInt32s(keyR.N())
+	defer table.PutInt32s(permR)
+	permS := table.GetInt32s(keyS.N())
+	defer table.PutInt32s(permS)
+	table.SortPerm(keyR, permR)
+	table.SortPerm(keyS, permS)
+
+	ri, si := 0, 0
+	for ri < len(permR) && si < len(permS) {
+		cmp := compareRows(keyR, int(permR[ri]), keyS, int(permS[si]))
+		if cmp < 0 {
+			ri++
+			continue
+		}
+		if cmp > 0 {
+			si++
+			continue
+		}
+		// Find both runs of this key.
+		rEnd := ri + 1
+		for rEnd < len(permR) && table.RowsEqual(keyR, int(permR[ri]), keyR, int(permR[rEnd])) {
+			rEnd++
+		}
+		sEnd := si + 1
+		for sEnd < len(permS) && table.RowsEqual(keyS, int(permS[si]), keyS, int(permS[sEnd])) {
+			sEnd++
+		}
+		for a := ri; a < rEnd; a++ {
+			for bidx := si; bidx < sEnd; bidx++ {
+				if err := emit(int(origR[permR[a]]), int(permS[bidx])); err != nil {
+					return err
+				}
+			}
+		}
+		ri, si = rEnd, sEnd
+	}
+	return nil
+}
+
+// compareRows orders row a of ra against row b of rb lexicographically.
+func compareRows(ra *table.Rows, a int, rb *table.Rows, b int) int {
+	w := ra.W
+	for j := 0; j < w; j++ {
+		x := ra.IDs[a*w+j]
+		y := rb.IDs[b*w+j]
+		if x != y {
+			if x < y {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 // SupportSize is ‖R‖supp = |R'|.
-func (b *Bag) SupportSize() int { return len(b.entries) }
+func (b *Bag) SupportSize() int { return b.Len() }
 
 // MultiplicityBound is ‖R‖mu = max multiplicity in the support (0 for the
 // empty bag).
 func (b *Bag) MultiplicityBound() int64 {
 	var m int64
-	for _, e := range b.entries {
-		if e.count > m {
-			m = e.count
+	for _, c := range b.rows.Counts {
+		if c > m {
+			m = c
 		}
 	}
 	return m
@@ -328,8 +690,8 @@ func (b *Bag) MultiplicityBound() int64 {
 // MultiplicitySize is ‖R‖mb = max over the support of log2(R(r)+1).
 func (b *Bag) MultiplicitySize() float64 {
 	var m float64
-	for _, e := range b.entries {
-		if v := math.Log2(float64(e.count) + 1); v > m {
+	for _, c := range b.rows.Counts {
+		if v := math.Log2(float64(c) + 1); v > m {
 			m = v
 		}
 	}
@@ -339,8 +701,8 @@ func (b *Bag) MultiplicitySize() float64 {
 // UnarySize is ‖R‖u = Σ R(r), the total multiplicity (multiset cardinality).
 func (b *Bag) UnarySize() (int64, error) {
 	var total int64
-	for _, e := range b.entries {
-		t, err := checkedAdd(total, e.count)
+	for _, c := range b.rows.Counts {
+		t, err := checkedAdd(total, c)
 		if err != nil {
 			return 0, err
 		}
@@ -352,8 +714,8 @@ func (b *Bag) UnarySize() (int64, error) {
 // BinarySize is ‖R‖b = Σ log2(R(r)+1), the bit size of the multiplicities.
 func (b *Bag) BinarySize() float64 {
 	var total float64
-	for _, e := range b.entries {
-		total += math.Log2(float64(e.count) + 1)
+	for _, c := range b.rows.Counts {
+		total += math.Log2(float64(c) + 1)
 	}
 	return total
 }
@@ -370,13 +732,14 @@ func (b *Bag) String() string {
 		sb.WriteString(" ")
 	}
 	sb.WriteString("#\n")
-	for _, k := range b.sortedKeys() {
-		e := b.entries[k]
-		if len(e.vals) > 0 {
-			sb.WriteString(strings.Join(e.vals, " "))
+	vals := make([]string, b.rows.W)
+	for _, pos := range b.orderedRows() {
+		b.resolveRow(int(pos), vals)
+		if len(vals) > 0 {
+			sb.WriteString(strings.Join(vals, " "))
 			sb.WriteString(" ")
 		}
-		fmt.Fprintf(&sb, ": %d\n", e.count)
+		fmt.Fprintf(&sb, ": %d\n", b.rows.Counts[pos])
 	}
 	return sb.String()
 }

@@ -1,0 +1,112 @@
+package bag
+
+import (
+	"fmt"
+
+	"bagconsistency/internal/table"
+)
+
+// View is the read-only columnar window engine code (internal/core,
+// internal/canon) works through: the per-attribute dictionaries and the
+// flat interned row buffer. Row positions are stable for the life of the
+// view (0..N-1, all support) and double as dense tuple identifiers, which
+// is what lets the pair network and the integer program index nodes and
+// constraint rows without any map[string].
+//
+// The view aliases the bag's internal buffers. Callers must not mutate it
+// or the bag while using it.
+type View struct {
+	Schema *Schema
+	// Cols holds one dictionary per attribute in canonical order. Shared
+	// with the bag (and possibly its ancestors); append-only.
+	Cols []*table.Dict
+	// Rows is the support: Rows.N() rows, every count positive.
+	Rows *table.Rows
+}
+
+// View returns the columnar view of the bag's support. Like every read
+// path it leaves the bag untouched, so any number of goroutines may view
+// one bag concurrently.
+func (b *Bag) View() View {
+	return View{Schema: b.schema, Cols: b.cols, Rows: &b.rows}
+}
+
+// OrderedPositions returns the bag's row positions in its deterministic
+// iteration order (the order Each and Tuples use). The slice is freshly
+// computed per call — the caller owns it.
+func (b *Bag) OrderedPositions() []int32 {
+	return b.orderedRows()
+}
+
+// TupleAt materializes the support tuple stored at row position pos
+// (resolving its interned ids to value strings). Combined with
+// OrderedPositions it yields exactly the Tuples() sequence without
+// computing the deterministic order a second time.
+func (b *Bag) TupleAt(pos int) Tuple {
+	vals := make([]string, b.rows.W)
+	b.resolveRow(pos, vals)
+	return Tuple{schema: b.schema, vals: vals}
+}
+
+// FindRowIDs returns the row position holding exactly the given interned
+// ids (in the bag's own dictionaries), or -1. Width must match.
+func (b *Bag) FindRowIDs(row []uint32) int {
+	if len(row) != b.rows.W {
+		return -1
+	}
+	return b.findRow(row)
+}
+
+// UnionSrc says where one attribute of a two-bag union schema takes its
+// values from: R's column Pos when FromR, S's column Pos otherwise.
+type UnionSrc struct {
+	FromR bool
+	Pos   int
+}
+
+// UnionLayout computes the union schema of two bags together with, for
+// each union attribute in canonical order, its source column (R
+// preferred on shared attributes) and the dictionary an output column
+// over that attribute adopts. Join and the pair network's witness
+// assembly share this one definition, so their row encodings cannot
+// drift apart.
+func UnionLayout(r, s *Bag) (*Schema, []UnionSrc, []*table.Dict) {
+	union := r.schema.Union(s.schema)
+	srcs := make([]UnionSrc, union.Len())
+	cols := make([]*table.Dict, union.Len())
+	for i, a := range union.attrs {
+		if p := r.schema.Pos(a); p >= 0 {
+			srcs[i] = UnionSrc{FromR: true, Pos: p}
+			cols[i] = r.cols[p]
+		} else {
+			p := s.schema.Pos(a)
+			srcs[i] = UnionSrc{FromR: false, Pos: p}
+			cols[i] = s.cols[p]
+		}
+	}
+	return union, srcs, cols
+}
+
+// EachJoinPair calls emit(rpos, spos) for every pair of support row
+// positions of r and s that agree on every shared attribute — the index
+// pairs of the relational join R' ⋈ S' — in a deterministic order,
+// stopping on the first error. This is the integer-keyed primitive the
+// Lemma 2 pair network is built from: no join bag is materialized and no
+// tuple is ever re-keyed through a string map.
+func EachJoinPair(r, s *Bag, emit func(rpos, spos int) error) error {
+	return mergeJoinPairs(r, s, emit)
+}
+
+// FromColumnar assembles a bag over s that adopts the given column
+// dictionaries and row buffer. The rows must be distinct, their counts
+// positive, and every id valid in its column's dictionary — the callers
+// (witness construction, sort-based group-bys) guarantee this by
+// construction. The buffer is adopted, not copied.
+func FromColumnar(s *Schema, cols []*table.Dict, rows table.Rows) (*Bag, error) {
+	if len(cols) != s.Len() || rows.W != s.Len() {
+		return nil, fmt.Errorf("bag: columnar data with %d columns (width %d) for schema %v", len(cols), rows.W, s)
+	}
+	b := &Bag{schema: s, cols: cols, rows: rows}
+	b.finishRows()
+	return b, nil
+}

@@ -1,0 +1,310 @@
+package bag_test
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/canon"
+	"bagconsistency/internal/gen"
+)
+
+// This file property-tests the interned columnar Bag against a minimal
+// string-keyed reference implementation — the representation the engine
+// used before the dictionary/columnar data plane. Randomized instances
+// (including values with ':', digits and empty strings, which stress the
+// key encoding the reference sorts by) must agree on multiplicities,
+// enumeration order, marginals, joins, containment, and canonical
+// fingerprints after an intern round-trip.
+
+// refBag is the string-keyed reference: multiplicities keyed by the
+// length-prefixed encoding of the value row.
+type refBag struct {
+	attrs []string
+	m     map[string]int64
+	rows  map[string][]string
+}
+
+func newRefBag(attrs []string) *refBag {
+	return &refBag{attrs: attrs, m: make(map[string]int64), rows: make(map[string][]string)}
+}
+
+func refKey(vals []string) string {
+	k := ""
+	for _, v := range vals {
+		k += strconv.Itoa(len(v)) + ":" + v
+	}
+	return k
+}
+
+func (r *refBag) add(vals []string, mult int64) {
+	if mult == 0 {
+		return
+	}
+	k := refKey(vals)
+	r.m[k] += mult
+	r.rows[k] = append([]string(nil), vals...)
+}
+
+func (r *refBag) set(vals []string, mult int64) {
+	k := refKey(vals)
+	if mult == 0 {
+		delete(r.m, k)
+		delete(r.rows, k)
+		return
+	}
+	r.m[k] = mult
+	r.rows[k] = append([]string(nil), vals...)
+}
+
+func (r *refBag) count(vals []string) int64 { return r.m[refKey(vals)] }
+
+// sortedKeys reproduces the reference iteration order: ascending by
+// encoded key.
+func (r *refBag) sortedKeys() []string {
+	keys := make([]string, 0, len(r.m))
+	for k := range r.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// marginal computes the reference marginal onto the attribute subset
+// (given as positions into attrs).
+func (r *refBag) marginal(pos []int) *refBag {
+	attrs := make([]string, len(pos))
+	for i, p := range pos {
+		attrs[i] = r.attrs[p]
+	}
+	out := newRefBag(attrs)
+	for k, c := range r.m {
+		vals := make([]string, len(pos))
+		for i, p := range pos {
+			vals[i] = r.rows[k][p]
+		}
+		out.add(vals, c)
+	}
+	return out
+}
+
+// randomVals draws a row of values from a domain that includes encoding
+// hazards: separators, digits, empty strings, shared prefixes.
+func randomVals(rng *rand.Rand, w int) []string {
+	domain := []string{"", "a", "b", "ab", "a:b", ":", "1", "12", "2", "x_9", "long-value-string"}
+	vals := make([]string, w)
+	for i := range vals {
+		vals[i] = domain[rng.Intn(len(domain))]
+	}
+	return vals
+}
+
+func TestRandomOpsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		w := 1 + rng.Intn(4)
+		attrs := make([]string, w)
+		for i := range attrs {
+			attrs[i] = "A" + strconv.Itoa(i)
+		}
+		s := bag.MustSchema(attrs...)
+		b := bag.New(s)
+		ref := newRefBag(attrs)
+		for op := 0; op < 60; op++ {
+			vals := randomVals(rng, w)
+			switch rng.Intn(4) {
+			case 0, 1: // add
+				mult := rng.Int63n(5)
+				if err := b.Add(vals, mult); err != nil {
+					t.Fatal(err)
+				}
+				ref.add(vals, mult)
+			case 2: // set
+				mult := rng.Int63n(3)
+				if err := b.Set(vals, mult); err != nil {
+					t.Fatal(err)
+				}
+				ref.set(vals, mult)
+			case 3: // probe
+				if got, want := b.Count(vals), ref.count(vals); got != want {
+					t.Fatalf("trial %d: Count(%q) = %d, want %d", trial, vals, got, want)
+				}
+			}
+		}
+		if b.Len() != len(ref.m) {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, b.Len(), len(ref.m))
+		}
+		// Enumeration must visit the same tuples in the same (encoded-key)
+		// order with the same counts.
+		wantKeys := ref.sortedKeys()
+		i := 0
+		err := b.Each(func(tp bag.Tuple, c int64) error {
+			k := refKey(tp.Values())
+			if k != wantKeys[i] {
+				t.Fatalf("trial %d: Each order diverged at %d: %q vs %q", trial, i, k, wantKeys[i])
+			}
+			if c != ref.m[k] {
+				t.Fatalf("trial %d: Each count %d, want %d", trial, c, ref.m[k])
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != len(wantKeys) {
+			t.Fatalf("trial %d: Each visited %d tuples, want %d", trial, i, len(wantKeys))
+		}
+	}
+}
+
+func TestMarginalMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		w := 2 + rng.Intn(4)
+		attrs := make([]string, w)
+		for i := range attrs {
+			attrs[i] = "A" + strconv.Itoa(i)
+		}
+		s := bag.MustSchema(attrs...)
+		b := bag.New(s)
+		ref := newRefBag(attrs)
+		for op := 0; op < 40; op++ {
+			vals := randomVals(rng, w)
+			mult := 1 + rng.Int63n(1<<20)
+			if err := b.Add(vals, mult); err != nil {
+				t.Fatal(err)
+			}
+			ref.add(vals, mult)
+		}
+		// Random subset of attributes (possibly empty).
+		var pos []int
+		var subAttrs []string
+		for i := 0; i < w; i++ {
+			if rng.Intn(2) == 0 {
+				pos = append(pos, i)
+				subAttrs = append(subAttrs, attrs[i])
+			}
+		}
+		m, err := b.Marginal(bag.MustSchema(subAttrs...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.marginal(pos)
+		if m.Len() != len(want.m) {
+			t.Fatalf("trial %d: marginal support %d, want %d", trial, m.Len(), len(want.m))
+		}
+		for k, c := range want.m {
+			if got := m.Count(want.rows[k]); got != c {
+				t.Fatalf("trial %d: marginal count %d, want %d", trial, got, c)
+			}
+		}
+	}
+}
+
+func TestJoinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		// Schemas AB and BC share B; sometimes disjoint (A and C only).
+		shared := rng.Intn(4) > 0
+		var rs, ss *bag.Schema
+		if shared {
+			rs, ss = bag.MustSchema("A", "B"), bag.MustSchema("B", "C")
+		} else {
+			rs, ss = bag.MustSchema("A"), bag.MustSchema("C")
+		}
+		r := bag.New(rs)
+		s := bag.New(ss)
+		for op := 0; op < 12; op++ {
+			if err := r.Add(randomVals(rng, rs.Len()), 1+rng.Int63n(8)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Add(randomVals(rng, ss.Len()), 1+rng.Int63n(8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j, err := bag.Join(r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := bag.JoinSupports(r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: nested loops over both supports.
+		union := rs.Union(ss)
+		wantJoin := bag.New(union)
+		wantSupports := bag.New(union)
+		for _, rt := range r.Tuples() {
+			for _, st := range s.Tuples() {
+				if !rt.JoinsWith(st) {
+					continue
+				}
+				jt, err := bag.JoinTuples(rt, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := wantJoin.AddTuple(jt, r.CountTuple(rt)*s.CountTuple(st)); err != nil {
+					t.Fatal(err)
+				}
+				if err := wantSupports.Set(jt.Values(), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !j.Equal(wantJoin) {
+			t.Fatalf("trial %d: Join diverged from reference\n got %v\nwant %v", trial, j, wantJoin)
+		}
+		if !js.Equal(wantSupports) {
+			t.Fatalf("trial %d: JoinSupports diverged from reference", trial)
+		}
+	}
+}
+
+// TestInternRoundTripPreservesFingerprints rebuilds random collections
+// tuple by tuple from their enumerated (resolved-string) form — the
+// intern round-trip wire decoding performs — and checks equality and
+// canonical fingerprints survive, with dictionaries in scrambled
+// insertion order.
+func TestInternRoundTripPreservesFingerprints(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 25; trial++ {
+		h, err := gen.RandomAcyclicHypergraph(rng, 2+rng.Intn(3), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _, err := gen.RandomConsistent(rng, h, 4+rng.Intn(20), 1<<uint(1+rng.Intn(10)), 2+rng.Intn(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := c.Bags()
+		rebuilt := make([]*bag.Bag, len(orig))
+		for i, b := range orig {
+			nb := bag.New(b.Schema())
+			tuples := b.Tuples()
+			rng.Shuffle(len(tuples), func(a, z int) { tuples[a], tuples[z] = tuples[z], tuples[a] })
+			for _, tp := range tuples {
+				if err := nb.AddTuple(tp, b.CountTuple(tp)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !nb.Equal(b) || !b.Equal(nb) {
+				t.Fatalf("trial %d: round-tripped bag %d not Equal to original", trial, i)
+			}
+			rebuilt[i] = nb
+		}
+		fpOrig, err := canon.Bags(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fpRe, err := canon.Bags(rebuilt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fpOrig.FP != fpRe.FP {
+			t.Fatalf("trial %d: intern round-trip changed the fingerprint", trial)
+		}
+	}
+}

@@ -23,6 +23,12 @@
 // the instance is named. DecodeAny sniffs the leading byte and accepts
 // either JSON shape or the text format, so every server endpoint and tool
 // reads all three.
+//
+// Decoding interns at parse time: every value token is handed straight
+// to bag.Add, which dictionary-encodes it into the bag's per-attribute
+// interner (internal/table) — the wire → engine path never materializes
+// a per-tuple key string, and the decoded bags are already in the
+// columnar form the decision procedures run on.
 package bagio
 
 import (

@@ -1,0 +1,52 @@
+package canon_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"bagconsistency/internal/canon"
+	"bagconsistency/internal/gen"
+)
+
+// Allocation ceiling for fingerprinting. The string-keyed refinement
+// rebuilt map[valueRef]uint64 and map[valueRef][]uint64 every round
+// (~2700 allocs/op on the support-256 pair below); the interned
+// refinement hashes dense integer arrays and measures ~970, dominated by
+// the one-time Canonical value tables it must return. Budget has ~50%
+// headroom; a regression back toward per-round maps blows straight
+// through it.
+const canonAllocBudget = 1500
+
+func measureCanonAllocs(tb testing.TB) float64 {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(1))
+	r, s, err := gen.RandomConsistentPair(rng, 256, 1<<20, 34)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return testing.AllocsPerRun(50, func() {
+		if _, err := canon.Pair(r, s); err != nil {
+			tb.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkCanonAllocs reports fingerprinting allocations and fails if
+// they regress above the committed budget.
+func BenchmarkCanonAllocs(b *testing.B) {
+	allocs := measureCanonAllocs(b)
+	b.ReportMetric(allocs, "allocs/op")
+	if !raceEnabled && allocs > canonAllocBudget {
+		b.Fatalf("canon.Pair allocates %.0f/op, budget %d", allocs, canonAllocBudget)
+	}
+}
+
+// TestCanonAllocBudget enforces the ceiling under plain `go test`.
+func TestCanonAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if allocs := measureCanonAllocs(t); allocs > canonAllocBudget {
+		t.Fatalf("canon.Pair allocates %.0f/op, budget %d", allocs, canonAllocBudget)
+	}
+}

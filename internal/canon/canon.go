@@ -40,8 +40,10 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"sync"
 
 	"bagconsistency/internal/bag"
+	"bagconsistency/internal/table"
 )
 
 // Fingerprint is a 256-bit canonical instance digest.
@@ -69,53 +71,96 @@ type Canonical struct {
 	Index map[string]map[string]int
 }
 
-// valueRef identifies a value occurrence site: attribute a, value v.
-type valueRef struct {
-	attr string
-	val  string
+// attrSpace is the per-attribute value universe of one canonicalization:
+// the values actually occurring in support rows, interned into dense
+// "space ids" that the refinement loop uses in place of {attr,val} string
+// pairs. Refinement then hashes integers only.
+type attrSpace struct {
+	attr  string
+	vals  []string          // space id -> value string
+	index map[string]uint32 // value string -> space id
+	color []uint64          // current refinement color per space id
+	occ   [][]uint64        // per-round occurrence hashes (buffers reused)
+}
+
+func (sp *attrSpace) intern(v string) uint32 {
+	if id, ok := sp.index[v]; ok {
+		return id
+	}
+	id := uint32(len(sp.vals))
+	sp.vals = append(sp.vals, v)
+	sp.index[v] = id
+	return id
 }
 
 // Bags canonicalizes an ordered list of bags (bag i of one instance
 // corresponds to bag i of another; collections are indexed by hyperedge
 // position, so bag order is significant and not canonicalized away).
+//
+// The implementation consumes the bags' interned columnar views directly:
+// each bag column's dictionary ids are translated once into per-attribute
+// space ids (a remap array, built with one string lookup per distinct
+// value), and every refinement round then hashes machine integers —
+// no {attr,val} string structs, no map[string] in the loop. The hash
+// functions, refinement schedule, tie-breaking, and final encoding are
+// unchanged from the string-keyed implementation, so fingerprints are
+// bit-for-bit identical (the reference property test pins this).
 func Bags(bags []*bag.Bag) (*Canonical, error) {
 	if len(bags) == 0 {
 		return nil, fmt.Errorf("canon: empty instance")
 	}
 
-	// Gather the value universe per attribute and, per bag, the tuple
-	// matrix in schema-attribute order.
-	type tupleRow struct {
-		refs  []valueRef
-		count int64
-	}
-	type bagRows struct {
-		attrs []string
-		rows  []tupleRow
-	}
-	instance := make([]bagRows, len(bags))
-	valueSet := make(map[valueRef]bool)
+	views := make([]bag.View, len(bags))
 	for i, b := range bags {
 		if b == nil {
 			return nil, fmt.Errorf("canon: nil bag at index %d", i)
 		}
-		attrs := b.Schema().Attrs()
-		br := bagRows{attrs: attrs}
-		err := b.Each(func(t bag.Tuple, count int64) error {
-			vals := t.Values()
-			row := tupleRow{refs: make([]valueRef, len(vals)), count: count}
-			for j, v := range vals {
-				ref := valueRef{attr: attrs[j], val: v}
-				row.refs[j] = ref
-				valueSet[ref] = true
+		views[i] = b.View()
+	}
+
+	// Build the per-attribute value spaces and translate every bag column
+	// into space ids. refs[i] mirrors views[i].Rows.IDs with space ids;
+	// colSpace[i][j] is the space of bag i's column j.
+	var spaces []*attrSpace
+	spaceOf := make(map[string]*attrSpace)
+	refs := make([][]uint32, len(views))
+	colSpace := make([][]*attrSpace, len(views))
+	totalVals := 0
+	for i, v := range views {
+		attrs := v.Schema.Attrs()
+		w := v.Rows.W
+		colSpace[i] = make([]*attrSpace, w)
+		refs[i] = make([]uint32, len(v.Rows.IDs))
+		for j := 0; j < w; j++ {
+			sp := spaceOf[attrs[j]]
+			if sp == nil {
+				sp = &attrSpace{attr: attrs[j], index: make(map[string]uint32)}
+				spaceOf[attrs[j]] = sp
+				spaces = append(spaces, sp)
 			}
-			br.rows = append(br.rows, row)
-			return nil
-		})
-		if err != nil {
-			return nil, err
+			colSpace[i][j] = sp
+			// Remap this column's dictionary ids into space ids, touching
+			// each distinct value's string exactly once.
+			dict := v.Cols[j]
+			remap := table.GetUint32s(dict.Len())
+			for k := range remap {
+				remap[k] = table.MissingID
+			}
+			n := v.Rows.N()
+			for r := 0; r < n; r++ {
+				id := v.Rows.IDs[r*w+j]
+				sid := remap[id]
+				if sid == table.MissingID {
+					sid = sp.intern(dict.Value(id))
+					remap[id] = sid
+				}
+				refs[i][r*w+j] = sid
+			}
+			table.PutUint32s(remap)
 		}
-		instance[i] = br
+	}
+	for _, sp := range spaces {
+		totalVals += len(sp.vals)
 	}
 
 	// Color refinement. Colors are uint64 hashes; the initial color of a
@@ -124,75 +169,95 @@ func Bags(bags []*bag.Bag) (*Canonical, error) {
 	// hash covers the bag index, the multiplicity, and the current colors
 	// of all its values). Everything a color depends on is
 	// renaming-invariant, so the stable partition is too.
-	color := make(map[valueRef]uint64, len(valueSet))
-	for ref := range valueSet {
-		color[ref] = hashStrings("attr", ref.attr)
+	for _, sp := range spaces {
+		c := hashStrings("attr", sp.attr)
+		sp.color = make([]uint64, len(sp.vals))
+		for k := range sp.color {
+			sp.color[k] = c
+		}
+		sp.occ = make([][]uint64, len(sp.vals))
 	}
-	distinct := countDistinct(color)
+	scratch := getU64s(totalVals)
+	distinct := countDistinct(spaces, scratch)
 	// The partition refines monotonically (old color is folded into the
 	// new one), so it stabilizes after at most |values| strict
 	// refinements.
-	for round := 0; round <= len(color); round++ {
-		occ := make(map[valueRef][]uint64, len(color))
-		for i := range instance {
-			for _, row := range instance[i].rows {
+	for round := 0; round <= totalVals; round++ {
+		for _, sp := range spaces {
+			for k := range sp.occ {
+				sp.occ[k] = sp.occ[k][:0]
+			}
+		}
+		for i := range views {
+			w := views[i].Rows.W
+			n := views[i].Rows.N()
+			cs := colSpace[i]
+			for r := 0; r < n; r++ {
 				h := newHasher()
 				h.writeUint(uint64(i))
-				h.writeUint(uint64(row.count))
-				for _, ref := range row.refs {
-					h.writeUint(color[ref])
+				h.writeUint(uint64(views[i].Rows.Counts[r]))
+				base := r * w
+				for j := 0; j < w; j++ {
+					h.writeUint(cs[j].color[refs[i][base+j]])
 				}
 				th := h.sum()
-				for _, ref := range row.refs {
-					occ[ref] = append(occ[ref], th)
+				for j := 0; j < w; j++ {
+					sid := refs[i][base+j]
+					cs[j].occ[sid] = append(cs[j].occ[sid], th)
 				}
 			}
 		}
-		next := make(map[valueRef]uint64, len(color))
-		for ref, old := range color {
-			hs := occ[ref]
-			sort.Slice(hs, func(a, b int) bool { return hs[a] < hs[b] })
-			h := newHasher()
-			h.writeUint(old)
-			for _, v := range hs {
-				h.writeUint(v)
+		for _, sp := range spaces {
+			for k := range sp.color {
+				hs := sp.occ[k]
+				sortU64s(hs)
+				h := newHasher()
+				h.writeUint(sp.color[k])
+				for _, v := range hs {
+					h.writeUint(v)
+				}
+				sp.color[k] = h.sum()
 			}
-			next[ref] = h.sum()
 		}
-		color = next
-		if d := countDistinct(color); d == distinct {
+		if d := countDistinct(spaces, scratch); d == distinct {
 			break
 		} else {
 			distinct = d
 		}
 	}
+	putU64s(scratch)
 
 	// Canonical interning: within each attribute, order values by final
 	// color, breaking residual ties by the original value string (see the
 	// package comment for why this is sound).
-	perAttr := make(map[string][]string)
-	for ref := range valueSet {
-		perAttr[ref.attr] = append(perAttr[ref.attr], ref.val)
-	}
 	can := &Canonical{
-		Values: make(map[string][]string, len(perAttr)),
-		Index:  make(map[string]map[string]int, len(perAttr)),
+		Values: make(map[string][]string, len(spaces)),
+		Index:  make(map[string]map[string]int, len(spaces)),
 	}
-	for attr, vals := range perAttr {
-		sort.Slice(vals, func(a, b int) bool {
-			ca := color[valueRef{attr: attr, val: vals[a]}]
-			cb := color[valueRef{attr: attr, val: vals[b]}]
+	canIdx := make(map[string][]int, len(spaces)) // attr -> space id -> canonical index
+	for _, sp := range spaces {
+		order := make([]int, len(sp.vals))
+		for k := range order {
+			order[k] = k
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ca, cb := sp.color[order[a]], sp.color[order[b]]
 			if ca != cb {
 				return ca < cb
 			}
-			return vals[a] < vals[b]
+			return sp.vals[order[a]] < sp.vals[order[b]]
 		})
-		idx := make(map[string]int, len(vals))
-		for i, v := range vals {
-			idx[v] = i
+		vals := make([]string, len(order))
+		idx := make(map[string]int, len(order))
+		ci := make([]int, len(order))
+		for rank, sid := range order {
+			vals[rank] = sp.vals[sid]
+			idx[sp.vals[sid]] = rank
+			ci[sid] = rank
 		}
-		can.Values[attr] = vals
-		can.Index[attr] = idx
+		can.Values[sp.attr] = vals
+		can.Index[sp.attr] = idx
+		canIdx[sp.attr] = ci
 	}
 
 	// Emit the canonical encoding: per bag, its attribute names, then its
@@ -209,28 +274,36 @@ func Bags(bags []*bag.Bag) (*Canonical, error) {
 		writeU64(uint64(len(s)))
 		enc.Write([]byte(s))
 	}
-	writeU64(uint64(len(instance)))
-	for _, br := range instance {
-		writeU64(uint64(len(br.attrs)))
-		for _, a := range br.attrs {
+	writeU64(uint64(len(views)))
+	for i, v := range views {
+		attrs := v.Schema.Attrs()
+		writeU64(uint64(len(attrs)))
+		for _, a := range attrs {
 			writeStr(a)
 		}
-		rows := make([][]uint64, len(br.rows))
-		for r, row := range br.rows {
-			vec := make([]uint64, 0, len(row.refs)+1)
-			for _, ref := range row.refs {
-				vec = append(vec, uint64(can.Index[ref.attr][ref.val]))
+		w := v.Rows.W
+		n := v.Rows.N()
+		// One flat block for all index vectors; rows are views into it.
+		stride := w + 1
+		block := getU64s(n * stride)
+		rows := make([][]uint64, n)
+		for r := 0; r < n; r++ {
+			vec := block[r*stride : r*stride : (r+1)*stride]
+			base := r * w
+			for j := 0; j < w; j++ {
+				vec = append(vec, uint64(canIdx[attrs[j]][refs[i][base+j]]))
 			}
-			vec = append(vec, uint64(row.count))
+			vec = append(vec, uint64(v.Rows.Counts[r]))
 			rows[r] = vec
 		}
 		sort.Slice(rows, func(a, b int) bool { return lessUint64s(rows[a], rows[b]) })
-		writeU64(uint64(len(rows)))
+		writeU64(uint64(n))
 		for _, vec := range rows {
 			for _, v := range vec {
 				writeU64(v)
 			}
 		}
+		putU64s(block)
 	}
 	copy(can.FP[:], enc.Sum(nil))
 	return can, nil
@@ -283,12 +356,41 @@ func (c *Canonical) Indices(attrs []string, vals []string) ([]int, error) {
 	return out, nil
 }
 
-func countDistinct(m map[valueRef]uint64) int {
-	seen := make(map[uint64]bool, len(m))
-	for _, v := range m {
-		seen[v] = true
+// countDistinct counts the distinct colors across every attribute space
+// (matching the string-keyed implementation, which counted over the whole
+// valueRef universe at once). scratch must hold all colors.
+func countDistinct(spaces []*attrSpace, scratch []uint64) int {
+	all := scratch[:0]
+	for _, sp := range spaces {
+		all = append(all, sp.color...)
 	}
-	return len(seen)
+	sortU64s(all)
+	d := 0
+	for i, v := range all {
+		if i == 0 || all[i-1] != v {
+			d++
+		}
+	}
+	return d
+}
+
+func sortU64s(s []uint64) {
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+}
+
+var u64Pool = sync.Pool{New: func() any { s := make([]uint64, 0, 256); return &s }}
+
+func getU64s(n int) []uint64 {
+	p := u64Pool.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, n)
+	}
+	return (*p)[:n]
+}
+
+func putU64s(s []uint64) {
+	s = s[:0]
+	u64Pool.Put(&s)
 }
 
 func lessUint64s(a, b []uint64) bool {
@@ -303,10 +405,11 @@ func lessUint64s(a, b []uint64) bool {
 // hasher is FNV-1a over uint64 words: cheap, deterministic across runs and
 // platforms, and good enough for refinement colors (the final fingerprint
 // uses SHA-256, so refinement collisions cost discrimination, not
-// soundness).
+// soundness). It is a value type so the refinement inner loop hashes on
+// the stack, allocation-free.
 type hasher struct{ h uint64 }
 
-func newHasher() *hasher { return &hasher{h: 14695981039346656037} }
+func newHasher() hasher { return hasher{h: 14695981039346656037} }
 
 func (x *hasher) writeUint(v uint64) {
 	for i := 0; i < 8; i++ {

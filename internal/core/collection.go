@@ -7,6 +7,7 @@ import (
 	"bagconsistency/internal/bag"
 	"bagconsistency/internal/hypergraph"
 	"bagconsistency/internal/ilp"
+	"bagconsistency/internal/table"
 )
 
 // Collection is a collection of bags over a hypergraph schema: bag i is
@@ -237,32 +238,90 @@ func (c *Collection) BuildProgram() (*ilp.Problem, []bag.Tuple, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	// Row layout: bag 0's support tuples first (sorted), then bag 1's, ...
-	rowIndex := make([]map[string]int, len(c.bags))
+	// Row layout: bag 0's support tuples first (deterministic order), then
+	// bag 1's, ... — the same layout the string-keyed construction used, so
+	// the integer search explores an identical tree. Constraint rows are
+	// located by columnar row position: project the join row's interned ids
+	// onto each bag (through a per-column remap built once) and look the
+	// row up in the bag's integer index. No Tuple.Key() strings exist.
+	rowIdx := make([][]int32, len(c.bags)) // bag row position -> constraint row
 	var b []int64
 	row := 0
 	for i, rb := range c.bags {
-		rowIndex[i] = make(map[string]int, rb.Len())
-		for _, t := range rb.Tuples() {
-			rowIndex[i][t.Key()] = row
-			b = append(b, rb.CountTuple(t))
+		v := rb.View()
+		idx := make([]int32, v.Rows.N())
+		for _, pos := range rb.OrderedPositions() {
+			idx[pos] = int32(row)
+			b = append(b, v.Rows.Counts[pos])
 			row++
 		}
+		rowIdx[i] = idx
 	}
-	tuples := j.Tuples()
-	cols := make([][]int, len(tuples))
-	for tj, t := range tuples {
-		rows := make([]int, len(c.bags))
-		for i, rb := range c.bags {
-			proj, err := t.Project(rb.Schema())
-			if err != nil {
-				return nil, nil, err
+
+	jv := j.View()
+	jorder := j.OrderedPositions()
+	// Materialize the column tuples from the one ordering pass; tuples[i]
+	// is the join row at jorder[i] by construction, not by coincidence.
+	tuples := make([]bag.Tuple, len(jorder))
+	for i, jpos := range jorder {
+		tuples[i] = j.TupleAt(int(jpos))
+	}
+	jw := jv.Rows.W
+
+	// Per bag: where its attributes sit in the join schema, and the remap
+	// from the join's dictionaries into the bag's.
+	type proj struct {
+		jpos  []int
+		remap [][]uint32 // nil entry = shared dictionary
+	}
+	projs := make([]proj, len(c.bags))
+	for i, rb := range c.bags {
+		attrs := rb.Schema().Attrs()
+		p := proj{jpos: make([]int, len(attrs)), remap: make([][]uint32, len(attrs))}
+		bv := rb.View()
+		for k, a := range attrs {
+			jp := jv.Schema.Pos(a)
+			if jp < 0 {
+				return nil, nil, fmt.Errorf("core: bag %d attribute %q missing from join schema", i, a)
 			}
-			ri, ok := rowIndex[i][proj.Key()]
-			if !ok {
+			p.jpos[k] = jp
+			if jv.Cols[jp] != bv.Cols[k] {
+				p.remap[k] = table.Remap(jv.Cols[jp], bv.Cols[k])
+			}
+		}
+		projs[i] = p
+	}
+
+	cols := make([][]int, len(tuples))
+	projRow := table.GetUint32s(jw)
+	defer table.PutUint32s(projRow)
+	for tj, jpos := range jorder {
+		rows := make([]int, len(c.bags))
+		base := int(jpos) * jw
+		for i := range c.bags {
+			p := &projs[i]
+			ok := true
+			for k, jp := range p.jpos {
+				id := jv.Rows.IDs[base+jp]
+				if m := p.remap[k]; m != nil {
+					id = m[id]
+					if id == table.MissingID {
+						ok = false
+						break
+					}
+				}
+				projRow[k] = id
+			}
+			var pos int
+			if ok {
+				pos = c.bags[i].FindRowIDs(projRow[:len(p.jpos)])
+			} else {
+				pos = -1
+			}
+			if pos < 0 {
 				return nil, nil, fmt.Errorf("core: join tuple projects outside bag %d support", i)
 			}
-			rows[i] = ri
+			rows[i] = int(rowIdx[i][pos])
 		}
 		cols[tj] = rows
 	}

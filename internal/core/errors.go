@@ -1,0 +1,19 @@
+package core
+
+import "fmt"
+
+// OverflowError reports that an instance's multiplicities are too large
+// for the max-flow machinery: the total multiplicity (or the sum of the
+// network's arc capacities) does not fit in int64. The decision
+// procedures return it as a typed error — callers can distinguish "the
+// instance is numerically out of range" from "the computation failed" —
+// instead of wrapping a generic arithmetic failure.
+type OverflowError struct {
+	// Op names the quantity that overflowed, e.g. "total multiplicity of R"
+	// or "pair network capacity".
+	Op string
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("core: %s overflows int64", e.Op)
+}

@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"bagconsistency/internal/bag"
 	"bagconsistency/internal/ilp"
 	"bagconsistency/internal/lp"
 	"bagconsistency/internal/maxflow"
+	"bagconsistency/internal/table"
 )
 
 // PairConsistent reports whether two bags are consistent, using the
@@ -28,73 +30,93 @@ func PairConsistent(r, s *bag.Bag) (bool, error) {
 
 // pairNetwork is the network N(R,S) of Section 3: a source with an arc of
 // capacity R(r) to each support tuple of R, an arc of capacity S(s) from
-// each support tuple of S to the sink, and an effectively infinite "middle"
-// arc t[X] -> t[Y] for every t in the join of the supports.
+// each support tuple of S to the sink, and a "middle" arc t[X] -> t[Y]
+// for every t in the join of the supports.
+//
+// The construction is fully integer-keyed: support rows of R and S are
+// network nodes by their columnar row position (no Tuple.Key() strings,
+// no map[string] anywhere), the middle arcs come straight from the
+// sort-merge join over interned ids, and a middle arc's capacity is
+// min(R(r), S(s)) — already an upper bound on any flow it can carry, so
+// the max-flow value is unchanged versus the paper's "infinite" capacity
+// while the int64 overflow hazard of a wantR+1 sentinel is gone.
 type pairNetwork struct {
 	nw *maxflow.Network
-	// middle[i] is the edge id of the middle arc for join tuple joined[i].
+	r  *bag.Bag
+	s  *bag.Bag
+	rv bag.View
+	sv bag.View
+	// middle[i] is the edge id of the i-th middle arc; it connects the
+	// support rows pairR[i] of R and pairS[i] of S.
 	middle []int
-	joined []bag.Tuple
+	pairR  []int32
+	pairS  []int32
 	// want is the saturation target: total multiplicity of R (= of S when
 	// consistent).
 	wantR int64
 	wantS int64
 }
 
+// unarySizeOf sums a view's multiplicities, failing with the typed
+// overflow error when the total leaves int64.
+func unarySizeOf(v bag.View, name string) (int64, error) {
+	var total int64
+	for _, c := range v.Rows.Counts {
+		if total > math.MaxInt64-c {
+			return 0, &OverflowError{Op: "total multiplicity of " + name}
+		}
+		total += c
+	}
+	return total, nil
+}
+
 // buildPairNetwork constructs N(R,S).
 func buildPairNetwork(r, s *bag.Bag) (*pairNetwork, error) {
-	j, err := bag.JoinSupports(r, s)
-	if err != nil {
-		return nil, err
-	}
-	rTuples := r.Tuples()
-	sTuples := s.Tuples()
-	n := 2 + len(rTuples) + len(sTuples)
+	rv, sv := r.View(), s.View()
+	nR, nS := rv.Rows.N(), sv.Rows.N()
+	n := 2 + nR + nS
 	source := 0
 	sink := n - 1
 	nw, err := maxflow.NewNetwork(n, source, sink)
 	if err != nil {
 		return nil, err
 	}
-	rIndex := make(map[string]int, len(rTuples))
-	for i, t := range rTuples {
-		rIndex[t.Key()] = 1 + i
-		if _, err := nw.AddEdge(source, 1+i, r.CountTuple(t)); err != nil {
-			return nil, err
+	nw.ReserveEdges(nR + nS)
+	for i := 0; i < nR; i++ {
+		if _, err := nw.AddEdge(source, 1+i, rv.Rows.Counts[i]); err != nil {
+			return nil, &OverflowError{Op: "pair network capacity"}
 		}
 	}
-	sIndex := make(map[string]int, len(sTuples))
-	for i, t := range sTuples {
-		sIndex[t.Key()] = 1 + len(rTuples) + i
-		if _, err := nw.AddEdge(1+len(rTuples)+i, sink, s.CountTuple(t)); err != nil {
-			return nil, err
+	for j := 0; j < nS; j++ {
+		if _, err := nw.AddEdge(1+nR+j, sink, sv.Rows.Counts[j]); err != nil {
+			return nil, &OverflowError{Op: "pair network capacity"}
 		}
 	}
-	wantR, err := r.UnarySize()
+	wantR, err := unarySizeOf(rv, "R")
 	if err != nil {
 		return nil, err
 	}
-	wantS, err := s.UnarySize()
+	wantS, err := unarySizeOf(sv, "S")
 	if err != nil {
 		return nil, err
 	}
-	inf := wantR + 1 // larger than any feasible middle flow
-	pn := &pairNetwork{nw: nw, wantR: wantR, wantS: wantS}
-	for _, t := range j.Tuples() {
-		tx, err := t.Project(r.Schema())
-		if err != nil {
-			return nil, err
+	pn := &pairNetwork{nw: nw, r: r, s: s, rv: rv, sv: sv, wantR: wantR, wantS: wantS}
+	err = bag.EachJoinPair(r, s, func(rpos, spos int) error {
+		cap := rv.Rows.Counts[rpos]
+		if c := sv.Rows.Counts[spos]; c < cap {
+			cap = c
 		}
-		ty, err := t.Project(s.Schema())
+		id, err := nw.AddEdge(1+rpos, 1+nR+spos, cap)
 		if err != nil {
-			return nil, err
-		}
-		id, err := nw.AddEdge(rIndex[tx.Key()], sIndex[ty.Key()], inf)
-		if err != nil {
-			return nil, err
+			return &OverflowError{Op: "pair network capacity"}
 		}
 		pn.middle = append(pn.middle, id)
-		pn.joined = append(pn.joined, t)
+		pn.pairR = append(pn.pairR, int32(rpos))
+		pn.pairS = append(pn.pairS, int32(spos))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pn, nil
 }
@@ -109,17 +131,34 @@ func (pn *pairNetwork) saturated() bool {
 }
 
 // witness reads the bag T(XY) off the middle-arc flows after a saturated
-// max-flow computation: T(t) = f(t[X], t[Y]) (proof of Lemma 2).
-func (pn *pairNetwork) witness(union *bag.Schema) (*bag.Bag, error) {
-	w := bag.New(union)
+// max-flow computation: T(t) = f(t[X], t[Y]) (proof of Lemma 2). The
+// witness rows are assembled directly from the two views' interned ids
+// using the same union layout Join uses (bag.UnionLayout) and share the
+// inputs' dictionaries — distinct middle arcs yield distinct union
+// tuples, so the rows need no deduplication.
+func (pn *pairNetwork) witness() (*bag.Bag, error) {
+	union, srcs, cols := bag.UnionLayout(pn.r, pn.s)
+	var rows table.Rows
+	rows.W = union.Len()
+	rw, sw := pn.rv.Rows.W, pn.sv.Rows.W
+	row := table.GetUint32s(union.Len())
+	defer table.PutUint32s(row)
 	for i, id := range pn.middle {
-		if f := pn.nw.Flow(id); f > 0 {
-			if err := w.AddTuple(pn.joined[i], f); err != nil {
-				return nil, err
+		f := pn.nw.Flow(id)
+		if f <= 0 {
+			continue
+		}
+		rpos, spos := int(pn.pairR[i]), int(pn.pairS[i])
+		for oi, sc := range srcs {
+			if sc.FromR {
+				row[oi] = pn.rv.Rows.IDs[rpos*rw+sc.Pos]
+			} else {
+				row[oi] = pn.sv.Rows.IDs[spos*sw+sc.Pos]
 			}
 		}
+		rows.Append(row, f)
 	}
-	return w, nil
+	return bag.FromColumnar(union, cols, rows)
 }
 
 // PairWitness determines whether two bags are consistent and, if so,
@@ -140,7 +179,7 @@ func PairWitness(r, s *bag.Bag) (*bag.Bag, bool, error) {
 		// internal invariant violation rather than "inconsistent".
 		return nil, false, fmt.Errorf("core: marginals agree but network is unsaturated")
 	}
-	w, err := pn.witness(r.Schema().Union(s.Schema()))
+	w, err := pn.witness()
 	if err != nil {
 		return nil, false, err
 	}
@@ -158,8 +197,17 @@ func MinimalPairWitness(r, s *bag.Bag) (*bag.Bag, bool, error) {
 }
 
 // MinimalPairWitnessContext is MinimalPairWitness with cooperative
-// cancellation, polled once per middle-edge probe (each probe is one
-// max-flow computation).
+// cancellation, polled once per middle-edge probe.
+//
+// The self-reducibility loop is incremental: it keeps one saturated flow
+// alive across probes instead of recomputing max flow per edge. An edge
+// carrying no flow in the current assignment is deletable outright (the
+// current flow already avoids it); an edge carrying f units is probed by
+// rerouting those f units through the residual graph (maxflow.TryReroute),
+// which succeeds iff a saturated flow exists without the edge — the same
+// criterion the from-scratch loop evaluated, at a fraction of the cost.
+// A final full max-flow on the surviving edges keeps the extracted
+// witness deterministic.
 func MinimalPairWitnessContext(ctx context.Context, r, s *bag.Bag) (*bag.Bag, bool, error) {
 	ok, err := PairConsistent(r, s)
 	if err != nil || !ok {
@@ -176,21 +224,18 @@ func MinimalPairWitnessContext(ctx context.Context, r, s *bag.Bag) (*bag.Bag, bo
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
 		}
-		cap := pn.nw.Capacity(id)
-		if err := pn.nw.SetCapacity(id, 0); err != nil {
-			return nil, false, err
-		}
-		if !pn.saturated() {
-			// The edge is used by every saturated flow; restore it.
-			if err := pn.nw.SetCapacity(id, cap); err != nil {
+		if pn.nw.Flow(id) == 0 {
+			if err := pn.nw.DropIdleEdge(id); err != nil {
 				return nil, false, err
 			}
+			continue
 		}
+		pn.nw.TryReroute(id)
 	}
 	if !pn.saturated() {
 		return nil, false, fmt.Errorf("core: minimal witness loop lost saturation")
 	}
-	w, err := pn.witness(r.Schema().Union(s.Schema()))
+	w, err := pn.witness()
 	if err != nil {
 		return nil, false, err
 	}

@@ -26,6 +26,13 @@ type Network struct {
 	head   [][]int32 // adjacency lists of edge indices
 	edges  []edge
 	total  int64 // sum of all capacities, for overflow control
+
+	// Reusable search scratch: allocated once per network, so repeated
+	// flow computations (the witness-minimization probe loop runs one per
+	// rerouted edge) allocate nothing.
+	level []int32
+	iter  []int
+	queue []int32
 }
 
 type edge struct {
@@ -47,6 +54,16 @@ func NewNetwork(n, source, sink int) (*Network, error) {
 
 // NumVertices returns the number of vertices.
 func (nw *Network) NumVertices() int { return nw.n }
+
+// ReserveEdges pre-sizes the edge store for m AddEdge calls, avoiding
+// append growth during bulk network construction.
+func (nw *Network) ReserveEdges(m int) {
+	if need := len(nw.edges) + 2*m; cap(nw.edges) < need {
+		grown := make([]edge, len(nw.edges), need)
+		copy(grown, nw.edges)
+		nw.edges = grown
+	}
+}
 
 // AddEdge adds a directed edge with the given capacity and returns its
 // identifier for later flow inspection. Capacities must be non-negative and
@@ -103,16 +120,32 @@ func (nw *Network) Reset() {
 // available through Flow afterwards.
 func (nw *Network) MaxFlow() int64 {
 	nw.Reset()
+	return nw.augment(nw.source, nw.sink, math.MaxInt64)
+}
+
+func (nw *Network) ensureScratch() {
+	if cap(nw.level) < nw.n {
+		nw.level = make([]int32, nw.n)
+		nw.iter = make([]int, nw.n)
+		nw.queue = make([]int32, 0, nw.n)
+	}
+	nw.level = nw.level[:nw.n]
+	nw.iter = nw.iter[:nw.n]
+}
+
+// augment runs Dinic phases pushing at most limit additional units from
+// src to dst on the *current* residual graph (no reset). MaxFlow calls it
+// source→sink after a reset; TryReroute calls it between the endpoints of
+// a deleted edge to repair the flow in place.
+func (nw *Network) augment(src, dst int, limit int64) int64 {
+	nw.ensureScratch()
 	var total int64
-	level := make([]int32, nw.n)
-	iter := make([]int, nw.n)
-	queue := make([]int32, 0, nw.n)
-	for nw.bfsLevels(level, &queue) {
-		for i := range iter {
-			iter[i] = 0
+	for total < limit && nw.bfsLevels(src, dst) {
+		for i := range nw.iter {
+			nw.iter[i] = 0
 		}
-		for {
-			pushed := nw.blockingDFS(nw.source, math.MaxInt64, level, iter)
+		for total < limit {
+			pushed := nw.blockingDFS(src, dst, limit-total)
 			if pushed == 0 {
 				break
 			}
@@ -122,14 +155,16 @@ func (nw *Network) MaxFlow() int64 {
 	return total
 }
 
-// bfsLevels builds the level graph; reports whether the sink is reachable.
-func (nw *Network) bfsLevels(level []int32, queue *[]int32) bool {
+// bfsLevels builds the level graph from src; reports whether dst is
+// reachable.
+func (nw *Network) bfsLevels(src, dst int) bool {
+	level := nw.level
 	for i := range level {
 		level[i] = -1
 	}
-	q := (*queue)[:0]
-	level[nw.source] = 0
-	q = append(q, int32(nw.source))
+	q := nw.queue[:0]
+	level[src] = 0
+	q = append(q, int32(src))
 	for qi := 0; qi < len(q); qi++ {
 		u := q[qi]
 		for _, eid := range nw.head[u] {
@@ -140,16 +175,17 @@ func (nw *Network) bfsLevels(level []int32, queue *[]int32) bool {
 			}
 		}
 	}
-	*queue = q
-	return level[nw.sink] >= 0
+	nw.queue = q
+	return level[dst] >= 0
 }
 
 // blockingDFS pushes flow along the level graph with the standard
 // current-arc optimization.
-func (nw *Network) blockingDFS(u int, limit int64, level []int32, iter []int) int64 {
-	if u == nw.sink {
+func (nw *Network) blockingDFS(u, dst int, limit int64) int64 {
+	if u == dst {
 		return limit
 	}
+	iter, level := nw.iter, nw.level
 	for ; iter[u] < len(nw.head[u]); iter[u]++ {
 		eid := nw.head[u][iter[u]]
 		e := &nw.edges[eid]
@@ -160,7 +196,7 @@ func (nw *Network) blockingDFS(u int, limit int64, level []int32, iter []int) in
 		if e.cap < pass {
 			pass = e.cap
 		}
-		pushed := nw.blockingDFS(int(e.to), pass, level, iter)
+		pushed := nw.blockingDFS(int(e.to), dst, pass)
 		if pushed > 0 {
 			e.cap -= pushed
 			nw.edges[eid^1].cap += pushed
@@ -168,6 +204,57 @@ func (nw *Network) blockingDFS(u int, limit int64, level []int32, iter []int) in
 		}
 	}
 	return 0
+}
+
+// DropIdleEdge deletes an edge that carries no flow in the current
+// assignment, leaving the flow itself untouched (it remains valid: no
+// unit crossed the edge). It returns an error if the edge carries flow —
+// use TryReroute for that case.
+func (nw *Network) DropIdleEdge(id int) error {
+	if f := nw.Flow(id); f != 0 {
+		return fmt.Errorf("maxflow: edge %d carries %d units", id, f)
+	}
+	nw.edges[id].orig = 0
+	nw.edges[id].cap = 0
+	return nil
+}
+
+// TryReroute attempts to delete edge id while preserving the current
+// total flow value: it removes the edge's flow f, then searches the
+// residual graph for f replacement units from the edge's tail to its
+// head. Augmenting paths between two interior vertices cannot alter any
+// source or sink arc of a saturated flow (those arcs have no forward
+// residual, so no path transits the source or sink), hence success means
+// the same saturated value stands without the edge, which is exactly the
+// deletability criterion of the witness-minimization loop — evaluated
+// without recomputing the flow from scratch.
+//
+// On success the edge is deleted (capacity 0) and true is returned; on
+// failure the edge is restored carrying the unreroutable remainder, the
+// flow is again valid at the same value, and false is returned.
+func (nw *Network) TryReroute(id int) bool {
+	e := &nw.edges[id]
+	f := e.orig - e.cap
+	if f == 0 {
+		e.orig, e.cap = 0, 0
+		return true
+	}
+	u := int(nw.edges[id^1].to) // tail
+	v := int(e.to)              // head
+	origCap := e.orig
+	e.orig, e.cap = 0, 0
+	nw.edges[id^1].cap -= f
+	g := nw.augment(u, v, f)
+	if g == f {
+		return true
+	}
+	// Not fully reroutable: restore the edge with the remainder flowing
+	// through it (the g rerouted units stay on their new paths).
+	rem := f - g
+	e.orig = origCap
+	e.cap = origCap - rem
+	nw.edges[id^1].cap += rem
+	return false
 }
 
 // MaxFlowEdmondsKarp computes a maximum integral flow with the

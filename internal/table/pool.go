@@ -1,0 +1,76 @@
+package table
+
+import "sync"
+
+// Pooled scratch buffers for the sort/group/remap passes and for network
+// construction in internal/core. Steady-state hot paths (repeated
+// marginals, pair networks, refinement rounds) allocate nothing once the
+// pools are warm.
+
+var (
+	int32Pool = sync.Pool{New: func() any { s := make([]int32, 0, 256); return &s }}
+	u32Pool   = sync.Pool{New: func() any { s := make([]uint32, 0, 256); return &s }}
+	i64Pool   = sync.Pool{New: func() any { s := make([]int64, 0, 256); return &s }}
+	rowsPool  = sync.Pool{New: func() any { return &Rows{} }}
+)
+
+func getInt32s(n int) []int32 {
+	p := int32Pool.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	return (*p)[:n]
+}
+
+func putInt32s(s []int32) {
+	s = s[:0]
+	int32Pool.Put(&s)
+}
+
+// GetInt32s returns a pooled []int32 of length n (contents undefined).
+func GetInt32s(n int) []int32 { return getInt32s(n) }
+
+// PutInt32s recycles a buffer from GetInt32s.
+func PutInt32s(s []int32) { putInt32s(s) }
+
+// GetUint32s returns a pooled []uint32 of length n (contents undefined).
+func GetUint32s(n int) []uint32 {
+	p := u32Pool.Get().(*[]uint32)
+	if cap(*p) < n {
+		*p = make([]uint32, n)
+	}
+	return (*p)[:n]
+}
+
+// PutUint32s recycles a buffer from GetUint32s.
+func PutUint32s(s []uint32) {
+	s = s[:0]
+	u32Pool.Put(&s)
+}
+
+// GetInt64s returns a pooled []int64 of length n (contents undefined).
+func GetInt64s(n int) []int64 {
+	p := i64Pool.Get().(*[]int64)
+	if cap(*p) < n {
+		*p = make([]int64, n)
+	}
+	return (*p)[:n]
+}
+
+// PutInt64s recycles a buffer from GetInt64s.
+func PutInt64s(s []int64) {
+	s = s[:0]
+	i64Pool.Put(&s)
+}
+
+// GetRows returns a pooled scratch Rows reset to width w.
+func GetRows(w int) *Rows {
+	r := rowsPool.Get().(*Rows)
+	r.Reset(w)
+	return r
+}
+
+// PutRows recycles a scratch Rows.
+func PutRows(r *Rows) {
+	rowsPool.Put(r)
+}

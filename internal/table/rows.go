@@ -1,0 +1,224 @@
+package table
+
+import "math/bits"
+
+// Rows is the flat columnar tuple buffer: row i occupies
+// IDs[i*W : (i+1)*W] and has multiplicity Counts[i]. A width of 0 is
+// valid (the empty schema has exactly one possible tuple, the empty one).
+type Rows struct {
+	W      int
+	IDs    []uint32
+	Counts []int64
+}
+
+// N returns the number of rows.
+func (r *Rows) N() int { return len(r.Counts) }
+
+// Row returns row i's ids (aliasing the buffer; nil when W == 0).
+func (r *Rows) Row(i int) []uint32 {
+	if r.W == 0 {
+		return nil
+	}
+	return r.IDs[i*r.W : (i+1)*r.W : (i+1)*r.W]
+}
+
+// Append adds a row and returns its position.
+func (r *Rows) Append(row []uint32, count int64) int {
+	pos := len(r.Counts)
+	r.IDs = append(r.IDs, row...)
+	r.Counts = append(r.Counts, count)
+	return pos
+}
+
+// Reset truncates to zero rows, keeping capacity.
+func (r *Rows) Reset(w int) {
+	r.W = w
+	r.IDs = r.IDs[:0]
+	r.Counts = r.Counts[:0]
+}
+
+// Clone returns a deep copy.
+func (r *Rows) Clone() Rows {
+	return Rows{
+		W:      r.W,
+		IDs:    append([]uint32(nil), r.IDs...),
+		Counts: append([]int64(nil), r.Counts...),
+	}
+}
+
+// RowsEqual reports whether rows a (in ra) and b (in rb) hold identical
+// ids. The two buffers must have the same width.
+func RowsEqual(ra *Rows, a int, rb *Rows, b int) bool {
+	if ra.W == 0 {
+		return true
+	}
+	x := ra.IDs[a*ra.W : (a+1)*ra.W]
+	y := rb.IDs[b*rb.W : (b+1)*rb.W]
+	for i, v := range x {
+		if y[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// hashRow mixes a row of ids into a 64-bit hash (xor-multiply over the
+// words with a 64-bit avalanche finish). Deterministic across runs; used
+// only for in-memory indexing, never persisted.
+func hashRow(row []uint32) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range row {
+		h = (h ^ uint64(v)) * 0x9ddfea08eb382d69
+		h ^= h >> 29
+	}
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 32
+	return h
+}
+
+// Index is an open-addressing (linear probing) hash index from row
+// contents to row position within one Rows buffer. It replaces
+// map[string]*entry: probes compare interned ids, no key strings exist.
+type Index struct {
+	slots []int32 // row position + 1; 0 means empty
+	mask  uint64
+	used  int
+}
+
+// NewIndex returns an index sized for about n rows.
+func NewIndex(n int) *Index {
+	ix := &Index{}
+	ix.init(n)
+	return ix
+}
+
+func (ix *Index) init(n int) {
+	size := 8
+	if n > 0 {
+		// Size for load factor <= 0.5 at the hinted row count.
+		size = 1 << bits.Len(uint(n*2))
+		if size < 8 {
+			size = 8
+		}
+	}
+	if cap(ix.slots) >= size {
+		ix.slots = ix.slots[:size]
+		for i := range ix.slots {
+			ix.slots[i] = 0
+		}
+	} else {
+		ix.slots = make([]int32, size)
+	}
+	ix.mask = uint64(size - 1)
+	ix.used = 0
+}
+
+// Find returns the position of the row with the given ids, or -1.
+func (ix *Index) Find(rs *Rows, row []uint32) int {
+	if len(ix.slots) == 0 {
+		return -1
+	}
+	for slot := hashRow(row) & ix.mask; ; slot = (slot + 1) & ix.mask {
+		s := ix.slots[slot]
+		if s == 0 {
+			return -1
+		}
+		pos := int(s - 1)
+		if rowEqualIDs(rs, pos, row) {
+			return pos
+		}
+	}
+}
+
+// Insert records the row already appended at pos. The caller guarantees
+// the row is not yet present.
+func (ix *Index) Insert(rs *Rows, pos int) {
+	if len(ix.slots) == 0 {
+		ix.init(rs.N())
+	}
+	if (ix.used+1)*4 > len(ix.slots)*3 {
+		ix.grow(rs)
+	}
+	ix.insertHash(hashRow(rs.Row(pos)), pos)
+}
+
+func (ix *Index) insertHash(h uint64, pos int) {
+	for slot := h & ix.mask; ; slot = (slot + 1) & ix.mask {
+		if ix.slots[slot] == 0 {
+			ix.slots[slot] = int32(pos + 1)
+			ix.used++
+			return
+		}
+	}
+}
+
+func (ix *Index) grow(rs *Rows) {
+	old := ix.slots
+	size := len(old) * 2
+	ix.slots = make([]int32, size)
+	ix.mask = uint64(size - 1)
+	ix.used = 0
+	for _, s := range old {
+		if s != 0 {
+			ix.insertHash(hashRow(rs.Row(int(s-1))), int(s-1))
+		}
+	}
+}
+
+// Delete removes the entry for row pos (whose ids must still be in the
+// buffer) using backward-shift deletion, so every remaining probe chain
+// stays intact. A no-op if the row is not indexed.
+func (ix *Index) Delete(rs *Rows, pos int) {
+	if len(ix.slots) == 0 {
+		return
+	}
+	slot := hashRow(rs.Row(pos)) & ix.mask
+	for ix.slots[slot] != int32(pos+1) {
+		if ix.slots[slot] == 0 {
+			return
+		}
+		slot = (slot + 1) & ix.mask
+	}
+	ix.slots[slot] = 0
+	ix.used--
+	// Shift the rest of the cluster back: an entry at j may fill the hole
+	// iff its home slot is not cyclically inside (slot, j].
+	for j := (slot + 1) & ix.mask; ix.slots[j] != 0; j = (j + 1) & ix.mask {
+		home := hashRow(rs.Row(int(ix.slots[j]-1))) & ix.mask
+		if (j-home)&ix.mask >= (j-slot)&ix.mask {
+			ix.slots[slot] = ix.slots[j]
+			ix.slots[j] = 0
+			slot = j
+		}
+	}
+}
+
+// Rebuild indexes every row of rs from scratch (bulk construction after
+// a sort-based group-by; the rows must be distinct).
+func (ix *Index) Rebuild(rs *Rows) {
+	ix.init(rs.N())
+	for i := 0; i < rs.N(); i++ {
+		if (ix.used+1)*4 > len(ix.slots)*3 {
+			ix.grow(rs)
+		}
+		ix.insertHash(hashRow(rs.Row(i)), i)
+	}
+}
+
+// Clone returns a deep copy of the index.
+func (ix *Index) Clone() *Index {
+	return &Index{slots: append([]int32(nil), ix.slots...), mask: ix.mask, used: ix.used}
+}
+
+func rowEqualIDs(rs *Rows, pos int, row []uint32) bool {
+	if rs.W == 0 {
+		return true
+	}
+	have := rs.IDs[pos*rs.W : (pos+1)*rs.W]
+	for i, v := range row {
+		if have[i] != v {
+			return false
+		}
+	}
+	return true
+}
