@@ -13,7 +13,17 @@
 //	bagcd [-addr :8080] [-parallelism N] [-queue-depth N] [-cache-size N]
 //	      [-data-dir DIR] [-store-segment-bytes N] [-store-sync]
 //	      [-max-nodes N] [-default-timeout 0] [-max-timeout 60s]
+//	      [-admission fifo|hardness] [-shed-threshold 0.5]
+//	      [-expensive-support N]
 //	      [-drain-timeout 30s] [-max-batch-lines N] [-version]
+//
+// -admission hardness enables cost-based shedding: each request's
+// predicted cost is classified at admission (schema acyclicity via the
+// GYO reduction + instance size), and once queue occupancy passes
+// -shed-threshold, predicted-expensive requests shed with 503 while
+// cheap ones keep flowing; requests whose deadline cannot be met by the
+// estimated queue wait + service time shed immediately. See
+// docs/SERVING.md "Admission control".
 //
 // Endpoints (see docs/SERVING.md for wire formats):
 //
@@ -54,20 +64,23 @@ func main() {
 
 // options collects the daemon's flags.
 type options struct {
-	addr           string
-	parallelism    int
-	queueDepth     int
-	cacheSize      int
-	dataDir        string
-	storeSegBytes  int64
-	storeSync      bool
-	maxNodes       int64
-	defaultTimeout time.Duration
-	maxTimeout     time.Duration
-	drainTimeout   time.Duration
-	maxBatchLines  int
-	pprofAddr      string
-	storeLogf      func(format string, args ...any) // recovery warnings; tests capture it
+	addr             string
+	parallelism      int
+	queueDepth       int
+	cacheSize        int
+	dataDir          string
+	storeSegBytes    int64
+	storeSync        bool
+	maxNodes         int64
+	defaultTimeout   time.Duration
+	maxTimeout       time.Duration
+	drainTimeout     time.Duration
+	maxBatchLines    int
+	pprofAddr        string
+	admission        string
+	shedThreshold    float64
+	expensiveSupport int
+	storeLogf        func(format string, args ...any) // recovery warnings; tests capture it
 }
 
 func parseFlags(args []string, out io.Writer) (*options, bool, error) {
@@ -86,6 +99,9 @@ func parseFlags(args []string, out io.Writer) (*options, bool, error) {
 	fs.DurationVar(&opt.drainTimeout, "drain-timeout", 30*time.Second, "how long to let in-flight requests finish on shutdown")
 	fs.IntVar(&opt.maxBatchLines, "max-batch-lines", service.DefaultMaxBatchLines, "NDJSON lines accepted per /v1/batch request")
 	fs.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = off)")
+	fs.StringVar(&opt.admission, "admission", "fifo", "admission policy: fifo (drop-tail) or hardness (shed predicted-expensive work first under overload)")
+	fs.Float64Var(&opt.shedThreshold, "shed-threshold", service.DefaultShedThreshold, "queue-occupancy fraction beyond which -admission hardness sheds expensive requests")
+	fs.IntVar(&opt.expensiveSupport, "expensive-support", service.DefaultExpensiveSupport, "total tuple support above which a request is classed expensive regardless of schema")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, false, err
@@ -127,6 +143,15 @@ func (o *options) validate() error {
 	if o.defaultTimeout < 0 || o.maxTimeout < 0 || o.drainTimeout < 0 {
 		return fmt.Errorf("timeouts must be >= 0")
 	}
+	if _, err := service.ParsePolicy(o.admission); err != nil {
+		return fmt.Errorf("-admission: %w", err)
+	}
+	if o.shedThreshold <= 0 || o.shedThreshold > 1 {
+		return fmt.Errorf("-shed-threshold must be in (0, 1], got %g", o.shedThreshold)
+	}
+	if o.expensiveSupport < 1 {
+		return fmt.Errorf("-expensive-support must be at least 1, got %d", o.expensiveSupport)
+	}
 	return nil
 }
 
@@ -167,12 +192,19 @@ func buildServer(opt *options) (*service.Service, http.Handler, *bagconsist.Stor
 		}
 		return nil, nil, nil, err
 	}
+	policy, err := service.ParsePolicy(opt.admission)
+	if err != nil {
+		return fail(err)
+	}
 	svc, err := service.New(service.Config{
-		Checker:        bagconsist.New(checkerOpts...),
-		QueueDepth:     opt.queueDepth,
-		DefaultTimeout: opt.defaultTimeout,
-		MaxTimeout:     opt.maxTimeout,
-		Metrics:        reg,
+		Checker:          bagconsist.New(checkerOpts...),
+		QueueDepth:       opt.queueDepth,
+		DefaultTimeout:   opt.defaultTimeout,
+		MaxTimeout:       opt.maxTimeout,
+		Policy:           policy,
+		ShedThreshold:    opt.shedThreshold,
+		ExpensiveSupport: opt.expensiveSupport,
+		Metrics:          reg,
 	})
 	if err != nil {
 		return fail(err)

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bagconsistency/internal/load"
+	"bagconsistency/pkg/bagclient"
+)
+
+// outcomeKind partitions every fired request into exactly one bucket;
+// the partition is the client half of the conservation invariant.
+type outcomeKind int
+
+const (
+	outcomeOK outcomeKind = iota
+	outcomeShed
+	outcomeFailed
+	outcomeTransport
+	outcomeTimeout
+)
+
+// fireResult is what one open-loop shot reports back.
+type fireResult struct {
+	class    load.Class
+	outcome  outcomeKind
+	latency  float64 // seconds, wall time of the request
+	lineErrs int     // batch only: lines that carried an error
+	late     bool    // fired >1ms after its scheduled slot
+}
+
+// payloads holds the corpus pre-encoded into client request shapes so
+// the hot loop does no generation work.
+type payloads struct {
+	globals [][]bagclient.NamedBag
+	pairs   [][2]bagclient.NamedBag
+}
+
+func buildPayloads(corpus []load.Item) *payloads {
+	p := &payloads{
+		globals: make([][]bagclient.NamedBag, len(corpus)),
+		pairs:   make([][2]bagclient.NamedBag, len(corpus)),
+	}
+	for i, it := range corpus {
+		bags := make([]bagclient.NamedBag, len(it.Collection.Bags()))
+		for j, b := range it.Collection.Bags() {
+			bags[j] = bagclient.NamedBag{Name: fmt.Sprintf("b%d", j), Bag: b}
+		}
+		p.globals[i] = bags
+		p.pairs[i] = [2]bagclient.NamedBag{
+			{Name: "r", Bag: it.R},
+			{Name: "s", Bag: it.S},
+		}
+	}
+	return p
+}
+
+// drive fires the schedule open-loop: each event launches at its offset
+// from the run start whether or not earlier requests have completed.
+// The function returns when every fired request has resolved.
+func drive(ctx context.Context, cli *bagclient.Client, pay *payloads, events []load.Event, reqTimeout time.Duration) []fireResult {
+	var opts []bagclient.RequestOption
+	if reqTimeout > 0 {
+		opts = append(opts, bagclient.WithTimeout(reqTimeout))
+	}
+
+	results := make([]fireResult, len(events))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, e := range events {
+		if d := e.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		late := time.Since(start)-e.At > time.Millisecond
+		wg.Add(1)
+		go func(i int, e load.Event) {
+			defer wg.Done()
+			results[i] = fire(ctx, cli, pay, e, reqTimeout, opts)
+			results[i].late = late
+		}(i, e)
+	}
+	wg.Wait()
+	return results
+}
+
+func fire(ctx context.Context, cli *bagclient.Client, pay *payloads, e load.Event, reqTimeout time.Duration, opts []bagclient.RequestOption) fireResult {
+	if reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, reqTimeout)
+		defer cancel()
+	}
+	res := fireResult{class: e.Class}
+	begin := time.Now()
+	var err error
+	switch e.Class {
+	case load.ClassPair:
+		p := pay.pairs[e.Items[0]]
+		_, err = cli.CheckPair(ctx, p[0], p[1], opts...)
+	case load.ClassBatch:
+		colls := make([][]bagclient.NamedBag, len(e.Items))
+		for j, item := range e.Items {
+			colls[j] = pay.globals[item]
+		}
+		var lines []bagclient.BatchResult
+		lines, err = cli.CheckBatch(ctx, colls, opts...)
+		for _, ln := range lines {
+			if ln.Err != "" {
+				res.lineErrs++
+			}
+		}
+	default:
+		_, err = cli.Check(ctx, pay.globals[e.Items[0]], opts...)
+	}
+	res.latency = time.Since(begin).Seconds()
+	res.outcome = classifyOutcome(err)
+	return res
+}
+
+// classifyOutcome maps a client error to its conservation bucket.
+func classifyOutcome(err error) outcomeKind {
+	if err == nil {
+		return outcomeOK
+	}
+	var se *bagclient.StatusError
+	if errors.As(err, &se) {
+		switch se.Code {
+		case 503:
+			return outcomeShed
+		case 504:
+			return outcomeTimeout
+		default:
+			return outcomeFailed
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return outcomeTimeout
+	}
+	return outcomeTransport
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLedgerSchema strictly decodes every archived experiment data file
+// against the current Report schema: an unknown field, a renamed field,
+// or a schema-string mismatch fails CI. This is what keeps the ledger
+// replayable — if the report format drifts, the drift is forced into a
+// new schema version instead of silently reinterpreting old runs.
+func TestLedgerSchema(t *testing.T) {
+	dir := filepath.Join("..", "..", "docs", "experiments", "data")
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no ledger data files under %s; the experiments ledger must ship with its data", dir)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var rep Report
+		if err := dec.Decode(&rep); err != nil {
+			t.Errorf("%s: does not match the Report schema: %v", filepath.Base(path), err)
+			continue
+		}
+		if rep.Schema != ReportSchema {
+			t.Errorf("%s: schema %q, want %q", filepath.Base(path), rep.Schema, ReportSchema)
+		}
+		if rep.Config.Seed == 0 || rep.Config.RPS == 0 {
+			t.Errorf("%s: config not self-describing: %+v", filepath.Base(path), rep.Config)
+		}
+		if rep.Traffic.Sent == 0 {
+			t.Errorf("%s: empty run archived", filepath.Base(path))
+		}
+		if !rep.Conservation.ClientHolds {
+			t.Errorf("%s: archived run violates client conservation", filepath.Base(path))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+)
+
+// promSnapshot is a flat view of one /metrics scrape: full series name
+// (including its label set, exactly as rendered) to value. Subtracting
+// two snapshots yields the run delta of every counter.
+type promSnapshot map[string]float64
+
+// parsePromText reads the Prometheus text exposition format the daemon's
+// dependency-free registry writes: `name 1` or `name{label="v"} 2.5`
+// lines, `#` comments. Unparseable lines are skipped — the scrape is
+// observability, not a protocol.
+func parsePromText(text string) promSnapshot {
+	snap := make(promSnapshot)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			continue
+		}
+		snap[line[:idx]] = v
+	}
+	return snap
+}
+
+// delta returns after[series] - before[series], treating a missing
+// series as 0 on either side.
+func (before promSnapshot) delta(after promSnapshot, series string) float64 {
+	return after[series] - before[series]
+}
+
+// sumDelta sums the delta of every series whose name starts with the
+// given prefix (e.g. all label variants of one metric).
+func (before promSnapshot) sumDelta(after promSnapshot, prefix string) float64 {
+	total := 0.0
+	seen := make(map[string]bool)
+	for series := range after {
+		if strings.HasPrefix(series, prefix) {
+			total += after[series] - before[series]
+			seen[series] = true
+		}
+	}
+	for series := range before {
+		if strings.HasPrefix(series, prefix) && !seen[series] {
+			total -= before[series]
+		}
+	}
+	return total
+}

@@ -127,14 +127,18 @@ type Speedup struct {
 	DiskHits uint64 `json:"disk_hits,omitempty"`
 }
 
-// Output is the BENCH_*.json document.
+// Output is the BENCH_*.json document. Runner attributes the numbers to
+// a machine class and commit — a committed baseline is only comparable
+// to a candidate from the same class, and the -compare gate's -normalize
+// mode exists precisely because CI runners are not the baseline machine.
 type Output struct {
-	Bench      string    `json:"bench"`
-	GoVersion  string    `json:"go_version"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	Quick      bool      `json:"quick"`
-	Entries    []Entry   `json:"entries"`
-	Speedups   []Speedup `json:"cache_speedups"`
+	Bench      string               `json:"bench"`
+	Runner     buildinfo.RunnerMeta `json:"runner"`
+	GoVersion  string               `json:"go_version"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Quick      bool                 `json:"quick"`
+	Entries    []Entry              `json:"entries"`
+	Speedups   []Speedup            `json:"cache_speedups"`
 }
 
 func run(log io.Writer, outPath string, quick bool, family string) error {
@@ -148,6 +152,7 @@ func run(log io.Writer, outPath string, quick bool, family string) error {
 	}
 	doc := &Output{
 		Bench:      benchName,
+		Runner:     buildinfo.Runner(),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,

@@ -25,11 +25,10 @@ var (
 	Commit = ""
 )
 
-// String renders a one-line identification, e.g.
-//
-//	dev (commit 92fb27e, go1.24.0)
-func String() string {
-	version, commit := Version, Commit
+// resolve returns the effective version and commit: the linker stamps
+// when set, the toolchain's embedded build info otherwise.
+func resolve() (version, commit string) {
+	version, commit = Version, Commit
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		if version == "dev" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
 			version = bi.Main.Version
@@ -46,8 +45,44 @@ func String() string {
 	if len(commit) > 12 {
 		commit = commit[:12]
 	}
+	return version, commit
+}
+
+// String renders a one-line identification, e.g.
+//
+//	dev (commit 92fb27e, go1.24.0)
+func String() string {
+	version, commit := resolve()
 	if commit == "" {
 		return fmt.Sprintf("%s (%s)", version, runtime.Version())
 	}
 	return fmt.Sprintf("%s (commit %s, %s)", version, commit, runtime.Version())
+}
+
+// RunnerMeta identifies the machine class and build that produced a
+// committed measurement document (BENCH_*.json, load-lab reports,
+// experiment ledgers), so numbers stay attributable when compared across
+// machines and commits.
+type RunnerMeta struct {
+	Version    string `json:"version"`
+	Commit     string `json:"commit,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Runner captures the current process's RunnerMeta.
+func Runner() RunnerMeta {
+	version, commit := resolve()
+	return RunnerMeta{
+		Version:    version,
+		Commit:     commit,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 }

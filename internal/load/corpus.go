@@ -1,0 +1,168 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/core"
+	"bagconsistency/internal/gen"
+	"bagconsistency/internal/hypergraph"
+)
+
+// CorpusSpec parameterizes BuildCorpus. Seed and Items are required;
+// zero-valued knobs take the defaults below, except AcyclicFrac where 0
+// legitimately means an all-cyclic corpus (use a negative value for the
+// default).
+type CorpusSpec struct {
+	// Seed drives generation and the final shuffle.
+	Seed int64
+	// Items is the corpus size.
+	Items int
+	// AcyclicFrac is the fraction of acyclic-schema items; negative
+	// means DefaultAcyclicFrac, 0 means all cyclic, 1 all acyclic.
+	AcyclicFrac float64
+	// Support is the global-bag support size of acyclic items (also the
+	// per-bag support of each item's pair instance).
+	Support int
+	// MaxMult bounds tuple multiplicities.
+	MaxMult int64
+	// DomainSize bounds attribute values of acyclic items.
+	DomainSize int
+	// CyclicN is the 3DCT dimension of cyclic items: service time on the
+	// NP-hard path grows steeply with it.
+	CyclicN int
+	// CyclicMaxV bounds 3DCT margin mass.
+	CyclicMaxV int64
+}
+
+// Defaults for CorpusSpec fields left zero.
+const (
+	DefaultAcyclicFrac = 0.7
+	DefaultSupport     = 64
+	DefaultMaxMult     = 8
+	DefaultDomainSize  = 8
+	DefaultCyclicN     = 3
+	DefaultCyclicMaxV  = 1 << 12
+)
+
+// Item is one corpus entry, able to serve any request class: Collection
+// backs global and batch checks, R/S back pair checks. Cyclic records
+// the schema family — the ground truth the hardness-aware admission
+// policy tries to predict.
+type Item struct {
+	// Name is stable across runs with the same spec and names the item
+	// in reports: family, then generation index within the family.
+	Name       string
+	Collection *core.Collection
+	R, S       *bag.Bag
+	Cyclic     bool
+}
+
+func (s CorpusSpec) withDefaults() CorpusSpec {
+	if s.AcyclicFrac < 0 {
+		s.AcyclicFrac = DefaultAcyclicFrac
+	}
+	if s.Support == 0 {
+		s.Support = DefaultSupport
+	}
+	if s.MaxMult == 0 {
+		s.MaxMult = DefaultMaxMult
+	}
+	if s.DomainSize == 0 {
+		s.DomainSize = DefaultDomainSize
+	}
+	if s.CyclicN == 0 {
+		s.CyclicN = DefaultCyclicN
+	}
+	if s.CyclicMaxV == 0 {
+		s.CyclicMaxV = DefaultCyclicMaxV
+	}
+	return s
+}
+
+// BuildCorpus generates a deterministic instance corpus mixing the two
+// sides of the paper's dichotomy: acyclic-schema collections (checkable
+// in polynomial time) and cyclic 3-dimensional contingency-table
+// collections (the NP-hard family of the reduction). The result is
+// shuffled with the same seed so that Zipf popularity ranks interleave
+// both families — the hot set contains cheap and expensive items alike,
+// which is exactly the regime where hardness-aware admission has to
+// earn its keep.
+func BuildCorpus(spec CorpusSpec) ([]Item, error) {
+	spec = spec.withDefaults()
+	if spec.Items < 1 {
+		return nil, fmt.Errorf("load: CorpusSpec.Items must be at least 1, got %d", spec.Items)
+	}
+	if spec.AcyclicFrac > 1 {
+		return nil, fmt.Errorf("load: CorpusSpec.AcyclicFrac must be at most 1, got %g", spec.AcyclicFrac)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nAcyclic := int(spec.AcyclicFrac*float64(spec.Items) + 0.5)
+
+	items := make([]Item, 0, spec.Items)
+	for i := range spec.Items {
+		var it Item
+		var err error
+		if i < nAcyclic {
+			it, err = buildAcyclicItem(rng, spec, i)
+		} else {
+			it, err = buildCyclicItem(rng, spec, i-nAcyclic)
+		}
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+	}
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return items, nil
+}
+
+// acyclicShapes are the schema skeletons acyclic items rotate through:
+// chains and stars of a few sizes, all GYO-reducible.
+var acyclicShapes = []func() *hypergraph.Hypergraph{
+	func() *hypergraph.Hypergraph { return hypergraph.Path(3) },
+	func() *hypergraph.Hypergraph { return hypergraph.Star(4) },
+	func() *hypergraph.Hypergraph { return hypergraph.Path(5) },
+}
+
+func buildAcyclicItem(rng *rand.Rand, spec CorpusSpec, idx int) (Item, error) {
+	h := acyclicShapes[idx%len(acyclicShapes)]()
+	coll, _, err := gen.RandomConsistent(rng, h, spec.Support, spec.MaxMult, spec.DomainSize)
+	if err != nil {
+		return Item{}, fmt.Errorf("load: acyclic item %d: %w", idx, err)
+	}
+	r, s, err := gen.RandomConsistentPair(rng, spec.Support, spec.MaxMult, spec.DomainSize)
+	if err != nil {
+		return Item{}, fmt.Errorf("load: acyclic item %d pair: %w", idx, err)
+	}
+	return Item{
+		Name:       fmt.Sprintf("acyclic-%04d", idx),
+		Collection: coll,
+		R:          r,
+		S:          s,
+		Cyclic:     false,
+	}, nil
+}
+
+func buildCyclicItem(rng *rand.Rand, spec CorpusSpec, idx int) (Item, error) {
+	inst, err := gen.RandomThreeDCT(rng, spec.CyclicN, spec.CyclicMaxV)
+	if err != nil {
+		return Item{}, fmt.Errorf("load: cyclic item %d: %w", idx, err)
+	}
+	coll, err := inst.ToCollection()
+	if err != nil {
+		return Item{}, fmt.Errorf("load: cyclic item %d: %w", idx, err)
+	}
+	r, s, err := gen.RandomConsistentPair(rng, spec.Support, spec.MaxMult, spec.DomainSize)
+	if err != nil {
+		return Item{}, fmt.Errorf("load: cyclic item %d pair: %w", idx, err)
+	}
+	return Item{
+		Name:       fmt.Sprintf("cyclic-%04d", idx),
+		Collection: coll,
+		R:          r,
+		S:          s,
+		Cyclic:     true,
+	}, nil
+}

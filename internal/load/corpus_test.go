@@ -1,0 +1,145 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func corpusSignature(items []Item) []string {
+	sig := make([]string, len(items))
+	for i, it := range items {
+		support := 0
+		for _, b := range it.Collection.Bags() {
+			support += b.Len()
+		}
+		sig[i] = it.Name + "|" + map[bool]string{true: "cyclic", false: "acyclic"}[it.Cyclic] +
+			"|" + itoa(support) + "|" + itoa(it.R.Len()) + "|" + itoa(it.S.Len())
+	}
+	return sig
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestBuildCorpusDeterministic(t *testing.T) {
+	spec := CorpusSpec{Seed: 42, Items: 20, AcyclicFrac: 0.5}
+	a, err := BuildCorpus(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCorpus(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigA, sigB := corpusSignature(a), corpusSignature(b)
+	for i := range sigA {
+		if sigA[i] != sigB[i] {
+			t.Fatalf("corpus differs at %d: %q vs %q", i, sigA[i], sigB[i])
+		}
+	}
+
+	spec.Seed = 43
+	c, err := BuildCorpus(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i, s := range corpusSignature(c) {
+		if s != sigA[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// TestBuildCorpusFamilies checks the class split, that the Cyclic flag
+// agrees with the actual GYO verdict on each item's schema, and that the
+// shuffle interleaves families rather than leaving them in generation
+// order.
+func TestBuildCorpusFamilies(t *testing.T) {
+	items, err := BuildCorpus(CorpusSpec{Seed: 42, Items: 20, AcyclicFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclic := 0
+	for i, it := range items {
+		if it.Cyclic != it.Collection.Hypergraph().IsCyclic() {
+			t.Fatalf("item %d (%s): Cyclic flag %v disagrees with GYO", i, it.Name, it.Cyclic)
+		}
+		if it.Cyclic != strings.HasPrefix(it.Name, "cyclic-") {
+			t.Fatalf("item %d: name %q disagrees with Cyclic=%v", i, it.Name, it.Cyclic)
+		}
+		if it.R == nil || it.S == nil || it.R.Len() == 0 || it.S.Len() == 0 {
+			t.Fatalf("item %d: empty pair instance", i)
+		}
+		if it.Cyclic {
+			cyclic++
+		}
+	}
+	if cyclic != 10 {
+		t.Fatalf("cyclic items = %d, want 10 of 20", cyclic)
+	}
+	// Shuffled: the first half must not be purely acyclic.
+	firstHalfCyclic := 0
+	for _, it := range items[:10] {
+		if it.Cyclic {
+			firstHalfCyclic++
+		}
+	}
+	if firstHalfCyclic == 0 || firstHalfCyclic == 10 {
+		t.Fatalf("corpus not interleaved: %d cyclic in first half", firstHalfCyclic)
+	}
+}
+
+func TestBuildCorpusExtremes(t *testing.T) {
+	all, err := BuildCorpus(CorpusSpec{Seed: 1, Items: 6, AcyclicFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range all {
+		if it.Cyclic {
+			t.Fatal("AcyclicFrac=1 produced a cyclic item")
+		}
+	}
+	none, err := BuildCorpus(CorpusSpec{Seed: 1, Items: 6, AcyclicFrac: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range none {
+		if !it.Cyclic {
+			t.Fatal("AcyclicFrac=0 produced an acyclic item")
+		}
+	}
+	if _, err := BuildCorpus(CorpusSpec{Seed: 1, Items: 0}); err == nil {
+		t.Fatal("Items=0 must error")
+	}
+	if _, err := BuildCorpus(CorpusSpec{Seed: 1, Items: 5, AcyclicFrac: 2}); err == nil {
+		t.Fatal("AcyclicFrac>1 must error")
+	}
+	// Negative fraction takes the default.
+	def, err := BuildCorpus(CorpusSpec{Seed: 1, Items: 10, AcyclicFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acyclic := 0
+	for _, it := range def {
+		if !it.Cyclic {
+			acyclic++
+		}
+	}
+	if acyclic != 7 {
+		t.Fatalf("default AcyclicFrac: %d acyclic of 10, want 7", acyclic)
+	}
+}

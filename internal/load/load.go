@@ -1,0 +1,310 @@
+// Package load is the traffic model of the bagload lab: seeded,
+// open-loop arrival schedules over a pre-generated instance corpus.
+//
+// Everything here is deterministic given Spec.Seed — the same spec
+// always yields the byte-identical schedule, so an experiment written
+// into the ledger can be reproduced from its parameters alone. The
+// package deliberately knows nothing about transports or clocks: it
+// emits a list of (offset, class, items) events, and the driver
+// (cmd/bagload) fires them at wall-clock offsets regardless of how the
+// server keeps up. That open-loop discipline is what makes tail-latency
+// measurements honest: a closed loop would slow its own arrival rate
+// exactly when the server struggles, hiding the queueing the lab exists
+// to measure.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Arrival selects the inter-arrival process of a schedule.
+type Arrival int
+
+const (
+	// Poisson is a homogeneous Poisson process: exponential
+	// inter-arrivals at the target rate. The memoryless baseline.
+	Poisson Arrival = iota
+	// Bursty is a two-state Markov-modulated Poisson process: a calm
+	// state and a burst state whose rate is BurstFactor times the mean,
+	// with exponentially distributed dwell times. The long-run rate still
+	// equals Spec.RPS; the variance does not — which is the point.
+	Bursty
+)
+
+// String names the arrival process as it appears in flags and reports.
+func (a Arrival) String() string {
+	switch a {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("Arrival(%d)", int(a))
+	}
+}
+
+// ParseArrival reads an arrival-process name as accepted by bagload's
+// -arrival flag.
+func ParseArrival(s string) (Arrival, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "poisson", "":
+		return Poisson, nil
+	case "bursty", "mmpp":
+		return Bursty, nil
+	default:
+		return 0, fmt.Errorf("load: unknown arrival process %q (want poisson or bursty)", s)
+	}
+}
+
+// Class is the request shape of one scheduled event.
+type Class int
+
+const (
+	// ClassPair issues a two-bag pairwise consistency check.
+	ClassPair Class = iota
+	// ClassGlobal issues a whole-collection global consistency check.
+	ClassGlobal
+	// ClassBatch issues one batch request carrying Spec.BatchSize
+	// independently sampled collections.
+	ClassBatch
+)
+
+// String names the class as it appears in reports and golden files.
+func (c Class) String() string {
+	switch c {
+	case ClassPair:
+		return "pair"
+	case ClassGlobal:
+		return "global"
+	case ClassBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Mix weights the request classes. Weights are relative (they need not
+// sum to 1); a zero weight disables the class. The zero Mix means
+// all-global.
+type Mix struct {
+	Pair   float64
+	Global float64
+	Batch  float64
+}
+
+func (m Mix) normalized() (Mix, error) {
+	if m.Pair < 0 || m.Global < 0 || m.Batch < 0 {
+		return Mix{}, fmt.Errorf("load: negative mix weight %+v", m)
+	}
+	sum := m.Pair + m.Global + m.Batch
+	if sum == 0 {
+		return Mix{Global: 1}, nil
+	}
+	return Mix{Pair: m.Pair / sum, Global: m.Global / sum, Batch: m.Batch / sum}, nil
+}
+
+// Defaults for Spec fields left zero.
+const (
+	DefaultZipfS         = 1.1
+	DefaultBatchSize     = 8
+	DefaultBurstFactor   = 4.0
+	DefaultBurstFraction = 0.2
+	DefaultBurstPeriod   = 2 * time.Second
+)
+
+// Spec parameterizes Schedule. The zero values of optional fields take
+// the Default* constants above; Seed, RPS, and Duration are required.
+type Spec struct {
+	// Seed drives every random draw: arrivals, class picks, item picks.
+	Seed int64
+	// RPS is the long-run mean request rate, counting each batch request
+	// as one event.
+	RPS float64
+	// Duration bounds the schedule: every event offset is in [0, Duration).
+	Duration time.Duration
+	// Arrival selects Poisson or Bursty inter-arrivals.
+	Arrival Arrival
+	// Mix weights pair/global/batch request classes.
+	Mix Mix
+	// ZipfS is the popularity skew exponent: item rank r is drawn with
+	// probability proportional to 1/r^ZipfS. 0 means DefaultZipfS;
+	// values in (0, 1) are mild skew, above 1 heavy.
+	ZipfS float64
+	// BatchSize is the number of collections per ClassBatch event.
+	BatchSize int
+	// BurstFactor multiplies the mean rate during the burst state of the
+	// Bursty process (must exceed 1; BurstFraction*BurstFactor < 1 so
+	// the calm state keeps a positive rate).
+	BurstFactor float64
+	// BurstFraction is the long-run fraction of time spent bursting.
+	BurstFraction float64
+	// BurstPeriod is the mean calm+burst cycle length.
+	BurstPeriod time.Duration
+}
+
+// Event is one scheduled request: fire at offset At from the run start,
+// with the given class, over the given corpus item indices (one index
+// for pair/global, BatchSize indices for batch).
+type Event struct {
+	At    time.Duration
+	Class Class
+	Items []int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.ZipfS == 0 {
+		s.ZipfS = DefaultZipfS
+	}
+	if s.BatchSize == 0 {
+		s.BatchSize = DefaultBatchSize
+	}
+	if s.BurstFactor == 0 {
+		s.BurstFactor = DefaultBurstFactor
+	}
+	if s.BurstFraction == 0 {
+		s.BurstFraction = DefaultBurstFraction
+	}
+	if s.BurstPeriod == 0 {
+		s.BurstPeriod = DefaultBurstPeriod
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.RPS <= 0 {
+		return fmt.Errorf("load: Spec.RPS must be positive, got %g", s.RPS)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("load: Spec.Duration must be positive, got %v", s.Duration)
+	}
+	if s.ZipfS < 0 {
+		return fmt.Errorf("load: Spec.ZipfS must be non-negative, got %g", s.ZipfS)
+	}
+	if s.BatchSize < 1 {
+		return fmt.Errorf("load: Spec.BatchSize must be at least 1, got %d", s.BatchSize)
+	}
+	if s.Arrival == Bursty {
+		if s.BurstFactor <= 1 {
+			return fmt.Errorf("load: Spec.BurstFactor must exceed 1, got %g", s.BurstFactor)
+		}
+		if s.BurstFraction <= 0 || s.BurstFraction >= 1 {
+			return fmt.Errorf("load: Spec.BurstFraction must be in (0, 1), got %g", s.BurstFraction)
+		}
+		if s.BurstFraction*s.BurstFactor >= 1 {
+			return fmt.Errorf("load: BurstFraction*BurstFactor = %g must stay below 1 so the calm rate is positive",
+				s.BurstFraction*s.BurstFactor)
+		}
+	}
+	return nil
+}
+
+// Schedule materializes the full event list for a corpus of the given
+// size. It is pure: same spec and corpusSize, same events, always.
+func Schedule(spec Spec, corpusSize int) ([]Event, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if corpusSize < 1 {
+		return nil, fmt.Errorf("load: corpus size must be at least 1, got %d", corpusSize)
+	}
+	mix, err := spec.Mix.normalized()
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	zipf := newZipfSampler(corpusSize, spec.ZipfS)
+	arrivals := spec.arrivalTimes(rng)
+
+	events := make([]Event, 0, len(arrivals))
+	for _, at := range arrivals {
+		class := pickClass(mix, rng.Float64())
+		n := 1
+		if class == ClassBatch {
+			n = spec.BatchSize
+		}
+		items := make([]int, n)
+		for i := range items {
+			items[i] = zipf.sample(rng.Float64())
+		}
+		events = append(events, Event{At: at, Class: class, Items: items})
+	}
+	return events, nil
+}
+
+// arrivalTimes draws the event offsets of the configured process.
+func (s Spec) arrivalTimes(rng *rand.Rand) []time.Duration {
+	horizon := s.Duration.Seconds()
+	var out []time.Duration
+	switch s.Arrival {
+	case Bursty:
+		// Two-state MMPP. The calm rate is solved so the long-run mean is
+		// exactly RPS: f*burst + (1-f)*calm = RPS with burst = RPS*Factor.
+		f := s.BurstFraction
+		burstRate := s.RPS * s.BurstFactor
+		calmRate := s.RPS * (1 - f*s.BurstFactor) / (1 - f)
+		calmDwell := (1 - f) * s.BurstPeriod.Seconds()
+		burstDwell := f * s.BurstPeriod.Seconds()
+
+		inBurst := false
+		t := 0.0
+		stateEnd := expDraw(rng, 1/calmDwell)
+		for t < horizon {
+			rate := calmRate
+			if inBurst {
+				rate = burstRate
+			}
+			next := t + expDraw(rng, rate)
+			if next >= stateEnd {
+				// Exponential inter-arrivals are memoryless, so jumping to
+				// the state boundary and redrawing at the new rate samples
+				// the MMPP exactly — no arrival is owed from the old state.
+				t = stateEnd
+				inBurst = !inBurst
+				dwell := calmDwell
+				if inBurst {
+					dwell = burstDwell
+				}
+				stateEnd = t + expDraw(rng, 1/dwell)
+				continue
+			}
+			t = next
+			if t < horizon {
+				out = append(out, time.Duration(t*float64(time.Second)))
+			}
+		}
+	default: // Poisson
+		t := 0.0
+		for {
+			t += expDraw(rng, s.RPS)
+			if t >= horizon {
+				break
+			}
+			out = append(out, time.Duration(t*float64(time.Second)))
+		}
+	}
+	return out
+}
+
+// expDraw samples an exponential inter-arrival with the given rate.
+func expDraw(rng *rand.Rand, rate float64) float64 {
+	// 1-Float64() is in (0, 1]: never log(0).
+	return -math.Log(1-rng.Float64()) / rate
+}
+
+// pickClass maps one uniform draw to a class under the normalized mix.
+func pickClass(m Mix, u float64) Class {
+	switch {
+	case u < m.Pair:
+		return ClassPair
+	case u < m.Pair+m.Global:
+		return ClassGlobal
+	default:
+		return ClassBatch
+	}
+}

@@ -1,0 +1,242 @@
+package load
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// scheduleHash canonically encodes a schedule so goldens pin the exact
+// byte-level content: offsets in nanoseconds, class ordinal, item list.
+func scheduleHash(evs []Event) uint64 {
+	h := fnv.New64a()
+	for _, e := range evs {
+		fmt.Fprintf(h, "%d|%d|%v\n", e.At.Nanoseconds(), e.Class, e.Items)
+	}
+	return h.Sum64()
+}
+
+var goldenSpec = Spec{
+	Seed:     42,
+	RPS:      50,
+	Duration: 2 * time.Second,
+	Arrival:  Poisson,
+	Mix:      Mix{Pair: 1, Global: 2, Batch: 1},
+}
+
+// TestScheduleGolden pins the exact schedule a fixed spec produces: the
+// first events literally and the full event list by count. A failure
+// here means reproducibility broke — any intentional generator change
+// must update these values and note it in the ledger, because it
+// invalidates cross-version comparison of experiment runs.
+func TestScheduleGolden(t *testing.T) {
+	evs, err := Schedule(goldenSpec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 91 {
+		t.Fatalf("golden schedule length = %d, want 91", len(evs))
+	}
+	wantHead := []Event{
+		{At: 9337079, Class: ClassBatch, Items: []int{0, 8, 4, 1, 38, 2, 5, 0}},
+		{At: 10702666, Class: ClassBatch, Items: []int{1, 0, 31, 31, 4, 1, 12, 7}},
+		{At: 29234228, Class: ClassGlobal, Items: []int{7}},
+		{At: 33918791, Class: ClassPair, Items: []int{0}},
+	}
+	if !reflect.DeepEqual(evs[:len(wantHead)], wantHead) {
+		t.Fatalf("golden head mismatch:\n got %+v\nwant %+v", evs[:len(wantHead)], wantHead)
+	}
+	if got := scheduleHash(evs); got != 0x01d60eed268e72f1 {
+		t.Fatalf("golden schedule hash = %#x, want 0x01d60eed268e72f1", got)
+	}
+}
+
+// TestScheduleDeterministic: same spec, same corpus size, byte-identical
+// schedule — across repeated calls and regardless of prior rng use.
+func TestScheduleDeterministic(t *testing.T) {
+	a, err := Schedule(goldenSpec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(goldenSpec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec produced different schedules")
+	}
+	if scheduleHash(a) != scheduleHash(b) {
+		t.Fatal("schedule hashes differ")
+	}
+
+	other := goldenSpec
+	other.Seed = 43
+	c, err := Schedule(other, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleShape checks structural invariants every schedule must
+// hold: sorted offsets inside [0, Duration), item indices inside the
+// corpus, batch events carrying exactly BatchSize items and the other
+// classes exactly one.
+func TestScheduleShape(t *testing.T) {
+	for _, arrival := range []Arrival{Poisson, Bursty} {
+		spec := goldenSpec
+		spec.Arrival = arrival
+		spec.BatchSize = 4
+		evs, err := Schedule(spec, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) == 0 {
+			t.Fatalf("%v: empty schedule", arrival)
+		}
+		prev := time.Duration(-1)
+		for i, e := range evs {
+			if e.At < prev {
+				t.Fatalf("%v: event %d out of order: %v after %v", arrival, i, e.At, prev)
+			}
+			prev = e.At
+			if e.At < 0 || e.At >= spec.Duration {
+				t.Fatalf("%v: event %d offset %v outside [0, %v)", arrival, i, e.At, spec.Duration)
+			}
+			wantItems := 1
+			if e.Class == ClassBatch {
+				wantItems = spec.BatchSize
+			}
+			if len(e.Items) != wantItems {
+				t.Fatalf("%v: event %d class %v has %d items, want %d", arrival, i, e.Class, len(e.Items), wantItems)
+			}
+			for _, it := range e.Items {
+				if it < 0 || it >= 30 {
+					t.Fatalf("%v: event %d item %d outside corpus", arrival, i, it)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleMeanRate: both processes hit the target long-run rate.
+// Averaged over 3 seeds and a 2000-event horizon, the sample mean must
+// land within 10% of RPS for Poisson and 15% for the burstier MMPP.
+func TestScheduleMeanRate(t *testing.T) {
+	for _, tc := range []struct {
+		arrival Arrival
+		tol     float64
+	}{{Poisson, 0.10}, {Bursty, 0.15}} {
+		total := 0
+		for _, seed := range []int64{42, 123, 456} {
+			spec := Spec{Seed: seed, RPS: 100, Duration: 20 * time.Second, Arrival: tc.arrival}
+			evs, err := Schedule(spec, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(evs)
+		}
+		want := 3 * 100 * 20.0
+		if got := float64(total); math.Abs(got-want)/want > tc.tol {
+			t.Errorf("%v: %v events across seeds, want within %g%% of %v",
+				tc.arrival, got, tc.tol*100, want)
+		}
+	}
+}
+
+// TestScheduleMix: class fractions track the normalized weights.
+func TestScheduleMix(t *testing.T) {
+	spec := Spec{Seed: 42, RPS: 500, Duration: 10 * time.Second,
+		Mix: Mix{Pair: 1, Global: 2, Batch: 1}}
+	evs, err := Schedule(spec, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Class]int{}
+	for _, e := range evs {
+		counts[e.Class]++
+	}
+	n := float64(len(evs))
+	for class, want := range map[Class]float64{ClassPair: 0.25, ClassGlobal: 0.5, ClassBatch: 0.25} {
+		got := float64(counts[class]) / n
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("class %v fraction = %.3f, want %.2f±0.05", class, got, want)
+		}
+	}
+}
+
+// TestBurstyDispersion: the MMPP must actually burst. The index of
+// dispersion (variance/mean of per-window counts) is ~1 for Poisson and
+// materially higher for a 4x-burst MMPP, for every seed.
+func TestBurstyDispersion(t *testing.T) {
+	dispersion := func(arrival Arrival, seed int64) float64 {
+		spec := Spec{Seed: seed, RPS: 200, Duration: 30 * time.Second, Arrival: arrival}
+		evs, err := Schedule(spec, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const window = 100 * time.Millisecond
+		counts := make([]float64, int(spec.Duration/window))
+		for _, e := range evs {
+			counts[int(e.At/window)]++
+		}
+		mean, varsum := 0.0, 0.0
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(len(counts))
+		for _, c := range counts {
+			varsum += (c - mean) * (c - mean)
+		}
+		return varsum / float64(len(counts)-1) / mean
+	}
+	for _, seed := range []int64{42, 123, 456} {
+		p := dispersion(Poisson, seed)
+		b := dispersion(Bursty, seed)
+		if b < 1.5*p {
+			t.Errorf("seed %d: bursty dispersion %.2f not above 1.5x poisson %.2f", seed, b, p)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	base := Spec{Seed: 1, RPS: 10, Duration: time.Second}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		corpus int
+	}{
+		{"zero rps", func(s *Spec) { s.RPS = 0 }, 10},
+		{"zero duration", func(s *Spec) { s.Duration = 0 }, 10},
+		{"negative zipf", func(s *Spec) { s.ZipfS = -1 }, 10},
+		{"negative mix", func(s *Spec) { s.Mix.Pair = -1 }, 10},
+		{"empty corpus", func(s *Spec) {}, 0},
+		{"burst factor", func(s *Spec) { s.Arrival = Bursty; s.BurstFactor = 0.5 }, 10},
+		{"burst fraction", func(s *Spec) { s.Arrival = Bursty; s.BurstFraction = 1.5 }, 10},
+		{"burst product", func(s *Spec) { s.Arrival = Bursty; s.BurstFactor = 6; s.BurstFraction = 0.3 }, 10},
+	}
+	for _, c := range cases {
+		spec := base
+		c.mutate(&spec)
+		if _, err := Schedule(spec, c.corpus); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	for in, want := range map[string]Arrival{"poisson": Poisson, "": Poisson, "bursty": Bursty, "MMPP": Bursty} {
+		got, err := ParseArrival(in)
+		if err != nil || got != want {
+			t.Errorf("ParseArrival(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseArrival("uniform"); err == nil {
+		t.Error("ParseArrival(uniform): want error")
+	}
+}

@@ -1,0 +1,36 @@
+package load
+
+import (
+	"math"
+	"sort"
+)
+
+// zipfSampler draws corpus indices with Zipf-skewed popularity: index i
+// (0-based) has weight 1/(i+1)^s. Implemented as a precomputed CDF and a
+// binary search per draw, so sampling is O(log n) and — unlike
+// rand.Zipf — consumes exactly one uniform variate per sample, which
+// keeps schedules reproducible and the variate budget easy to reason
+// about.
+type zipfSampler struct {
+	cdf []float64 // cdf[i] = P(index <= i), cdf[n-1] == 1
+}
+
+func newZipfSampler(n int, s float64) *zipfSampler {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := range cdf {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // exact despite rounding
+	return &zipfSampler{cdf: cdf}
+}
+
+// sample maps a uniform draw u in [0, 1) to an index in [0, n): the
+// first index whose cumulative mass covers u.
+func (z *zipfSampler) sample(u float64) int {
+	return sort.SearchFloat64s(z.cdf, u)
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Sample collects a bounded set of observations and answers exact
+// quantiles over them. Histograms answer quantiles only to bucket
+// resolution — good enough for dashboards, not for a load report whose
+// headline is the p999: with 13 fixed bounds, every tail quantile
+// collapses onto a bucket edge. A load run observes a known, bounded
+// number of requests, so keeping the raw samples and sorting once is
+// both exact and cheap.
+//
+// Observe is safe for concurrent use; the quantile methods take the same
+// lock, so they can run while observations continue (each call sees a
+// consistent snapshot).
+type Sample struct {
+	mu   sync.Mutex
+	vals []float64
+}
+
+// NewSample returns an empty sample set with capacity for sizeHint
+// observations (it grows beyond the hint; the hint just avoids
+// reallocation when the caller knows the request count up front).
+func NewSample(sizeHint int) *Sample {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Sample{vals: make([]float64, 0, sizeHint)}
+}
+
+// Observe records one value.
+func (s *Sample) Observe(v float64) {
+	s.mu.Lock()
+	s.vals = append(s.vals, v)
+	s.mu.Unlock()
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Quantile returns the exact q-quantile (0 < q <= 1) by the nearest-rank
+// method on a sorted copy: the smallest observed value v such that at
+// least ceil(q·N) observations are <= v. Returns NaN with no
+// observations. Nearest rank (not interpolation) keeps the answer an
+// actual observed latency — a p999 that was really measured, not a value
+// invented between two samples.
+func (s *Sample) Quantile(q float64) float64 {
+	return s.Quantiles(q)[0]
+}
+
+// Quantiles answers several quantiles with one sort. Arguments outside
+// (0, 1] and all-empty samples yield NaN entries.
+func (s *Sample) Quantiles(qs ...float64) []float64 {
+	s.mu.Lock()
+	sorted := append([]float64(nil), s.vals...)
+	s.mu.Unlock()
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+// ExactQuantile computes the nearest-rank q-quantile of vals without
+// mutating them. For repeated quantiles over the same data use a Sample
+// (one sort, many answers).
+func ExactQuantile(vals []float64, q float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is the nearest-rank rule over an ascending slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 || q <= 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// String summarizes the sample for logs: count, mean, and the standard
+// latency quantiles.
+func (s *Sample) String() string {
+	qs := s.Quantiles(0.5, 0.99, 0.999)
+	return fmt.Sprintf("n=%d mean=%g p50=%g p99=%g p999=%g", s.N(), s.Mean(), qs[0], qs[1], qs[2])
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestExactQuantileNearestRank(t *testing.T) {
+	// Nearest rank on 1..10: q-quantile is element ceil(10q).
+	vals := []float64{10, 3, 7, 1, 9, 5, 2, 8, 6, 4}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.1, 1}, {0.5, 5}, {0.9, 9}, {0.99, 10}, {0.999, 10}, {1, 10},
+		{0.05, 1}, // rank ceil(0.5)=1
+	}
+	for _, c := range cases {
+		if got := ExactQuantile(vals, c.q); got != c.want {
+			t.Errorf("ExactQuantile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated (sorted in place would reorder).
+	if vals[0] != 10 || vals[9] != 4 {
+		t.Errorf("ExactQuantile mutated its input: %v", vals)
+	}
+}
+
+func TestExactQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN(ExactQuantile(nil, 0.5)) {
+		t.Error("empty slice should yield NaN")
+	}
+	if !math.IsNaN(ExactQuantile([]float64{1, 2}, 0)) {
+		t.Error("q=0 should yield NaN")
+	}
+	if !math.IsNaN(ExactQuantile([]float64{1, 2}, 1.5)) {
+		t.Error("q>1 should yield NaN")
+	}
+	if got := ExactQuantile([]float64{42}, 0.999); got != 42 {
+		t.Errorf("single sample p999 = %v, want 42", got)
+	}
+}
+
+// TestSampleP999Exact is the motivating case: the p999 of a bounded
+// sample set must be a real observed value, not a histogram bucket edge.
+func TestSampleP999Exact(t *testing.T) {
+	s := NewSample(2000)
+	// 1999 fast observations and one slow outlier: p999 of 2000 samples is
+	// rank 2000*0.999 = 1998 -> still fast; p9995 would catch the outlier.
+	for i := 0; i < 1999; i++ {
+		s.Observe(0.001)
+	}
+	s.Observe(7.5)
+	got := s.Quantiles(0.5, 0.999, 1)
+	if got[0] != 0.001 || got[1] != 0.001 {
+		t.Errorf("p50/p999 = %v/%v, want 0.001/0.001", got[0], got[1])
+	}
+	if got[2] != 7.5 {
+		t.Errorf("max (q=1) = %v, want the exact outlier 7.5", got[2])
+	}
+	// Compare against the bucketed histogram: the outlier lands in the
+	// +Inf-adjacent bucket, so no bucket bound can reproduce 7.5 exactly.
+	h := newHistogram(DefaultLatencyBuckets)
+	h.Observe(7.5)
+	for _, b := range DefaultLatencyBuckets {
+		if b == 7.5 {
+			t.Fatal("test premise broken: 7.5 is a bucket bound")
+		}
+	}
+}
+
+func TestSampleMeanAndN(t *testing.T) {
+	s := NewSample(0)
+	if s.Mean() != 0 || s.N() != 0 {
+		t.Errorf("empty sample: mean=%v n=%d", s.Mean(), s.N())
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Observe(v)
+	}
+	if s.N() != 4 || s.Mean() != 2.5 {
+		t.Errorf("n=%d mean=%v, want 4, 2.5", s.N(), s.Mean())
+	}
+}
+
+func TestSampleConcurrentObserve(t *testing.T) {
+	s := NewSample(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				s.Observe(rng.Float64())
+				if i%100 == 0 {
+					s.Quantile(0.99) // quantiles while observing must be safe
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.N() != 4000 {
+		t.Errorf("n=%d, want 4000", s.N())
+	}
+	p100 := s.Quantile(1)
+	if p100 <= 0 || p100 >= 1 {
+		t.Errorf("max %v out of (0,1)", p100)
+	}
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+)
+
+// Policy selects the admission-control discipline of a Service.
+//
+// The paper's dichotomy makes request cost wildly bimodal: acyclic
+// instances decide in polynomial time (microseconds on this engine)
+// while cyclic ones run an NP-hard integer search that can take
+// milliseconds to seconds. A FIFO drop-tail queue is blind to that
+// split — under overload a handful of cyclic requests occupy every
+// worker while thousands of cheap requests shed behind them. The
+// HardnessAware policy classifies each request's predicted cost at
+// admission (schema acyclicity via the GYO reduction, plus instance
+// size) and sheds predicted-expensive work first, keeping the cheap
+// majority flowing.
+type Policy int
+
+const (
+	// FIFO is plain drop-tail: every request is admitted until the queue
+	// is full, then everything sheds alike. The pre-load-lab behavior.
+	FIFO Policy = iota
+	// HardnessAware sheds predicted-expensive requests once queue
+	// occupancy crosses Config.ShedThreshold, and sheds requests whose
+	// caller deadline cannot be met by the estimated queue wait plus the
+	// estimated service time of their cost class.
+	HardnessAware
+)
+
+// String names the policy as it appears in flags and metric labels.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case HardnessAware:
+		return "hardness"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy reads a policy name as accepted by bagcd's -admission flag.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fifo", "":
+		return FIFO, nil
+	case "hardness", "hardness-aware", "hardnessaware":
+		return HardnessAware, nil
+	default:
+		return 0, fmt.Errorf("service: unknown admission policy %q (want fifo or hardness)", s)
+	}
+}
+
+// Cost is the admission-time prediction of how expensive a request is.
+type Cost int
+
+const (
+	// CostCheap predicts polynomial work: a pair check, or a global check
+	// over an acyclic schema of modest support.
+	CostCheap Cost = iota
+	// CostExpensive predicts the NP-hard side of the dichotomy (cyclic
+	// schema — the integer search) or an instance large enough that even
+	// polynomial work monopolizes a worker.
+	CostExpensive
+)
+
+// String names the cost class as it appears in metric labels.
+func (c Cost) String() string {
+	if c == CostExpensive {
+		return "expensive"
+	}
+	return "cheap"
+}
+
+// DefaultExpensiveSupport is the total-support threshold above which even
+// polynomially-checkable instances are classed expensive: past this size
+// the sort-based acyclic composition itself holds a worker long enough to
+// matter under overload.
+const DefaultExpensiveSupport = 1 << 16
+
+// Shed reasons, the labels of bagcd_load_shed_total.
+const (
+	shedQueueFull = "queue_full"          // drop-tail: admission queue at capacity
+	shedExpensive = "predicted_expensive" // hardness-aware: expensive work past the threshold
+	shedDeadline  = "deadline_unmeetable" // deadline-aware: predicted wait+service exceeds the caller's deadline
+)
+
+// classifyCost predicts a request's cost class without touching the data
+// plane: schema acyclicity by the GYO reduction (a structural property of
+// the hypergraph, independent of instance size) and total support. Pair
+// requests always run the strongly polynomial marginal test, so only
+// their size can make them expensive.
+func classifyCost(req Request, expensiveSupport int) Cost {
+	support := 0
+	cyclic := false
+	switch req.Kind {
+	case Pair:
+		if req.R != nil {
+			support += req.R.Len()
+		}
+		if req.S != nil {
+			support += req.S.Len()
+		}
+	default:
+		if req.Collection != nil {
+			for _, b := range req.Collection.Bags() {
+				support += b.Len()
+			}
+			// The dichotomy: cyclic schema => pairwise refutation then the
+			// exact integer search. That search is the expensive tier.
+			cyclic = req.Collection.Hypergraph().IsCyclic()
+		}
+	}
+	if cyclic || support > expensiveSupport {
+		return CostExpensive
+	}
+	return CostCheap
+}
+
+// ewma is a concurrency-safe exponentially weighted moving average of
+// observed service times, the estimator behind deadline-aware admission.
+// Zero until the first observation; readers treat "no data" as "predict
+// nothing" so an idle daemon never sheds on a cold estimator.
+type ewma struct {
+	bits atomic.Uint64 // float64 bits of the current mean
+	n    atomic.Uint64 // observation count (0 = no estimate yet)
+}
+
+// ewmaAlpha weights the newest observation: high enough to track load
+// shifts within tens of requests, low enough that one outlier does not
+// swing admission.
+const ewmaAlpha = 0.2
+
+func (e *ewma) observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return
+	}
+	if e.n.Add(1) == 1 {
+		e.bits.Store(math.Float64bits(v))
+		return
+	}
+	for {
+		old := e.bits.Load()
+		next := math.Float64bits((1-ewmaAlpha)*math.Float64frombits(old) + ewmaAlpha*v)
+		if e.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// value returns the current estimate and whether any observation backs it.
+func (e *ewma) value() (float64, bool) {
+	if e.n.Load() == 0 {
+		return 0, false
+	}
+	return math.Float64frombits(e.bits.Load()), true
+}

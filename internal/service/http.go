@@ -71,6 +71,9 @@ type HealthStatus struct {
 	QueueDepth    int     `json:"queue_depth"`
 	QueueCapacity int     `json:"queue_capacity"`
 	Inflight      int     `json:"inflight"`
+	// Admission names the admission-control policy ("fifo" or
+	// "hardness") so load tooling can verify what it is measuring.
+	Admission string `json:"admission,omitempty"`
 	// Cache is present when the daemon runs a shared result cache.
 	Cache *bagconsist.CacheStats `json:"cache,omitempty"`
 	// Store is present when the cache is backed by a persistent store
@@ -273,11 +276,26 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request, kind Kind) 
 	if err != nil {
 		return s.writeError(w, http.StatusBadRequest, err)
 	}
-	rep, err := s.svc.Do(r.Context(), req)
+	ctx, cancel := deadlineContext(r.Context(), timeout)
+	defer cancel()
+	rep, err := s.svc.Do(ctx, req)
 	if err != nil {
 		return s.writeError(w, errStatus(err), err)
 	}
 	return s.writeJSON(w, http.StatusOK, rep)
+}
+
+// deadlineContext turns a request's timeout into a context deadline that
+// exists already at admission, making ?timeout_ms an end-to-end budget
+// over HTTP (queue wait included) rather than a compute-only cap. This
+// is what lets the HardnessAware policy's deadline veto shed a request
+// whose budget the predicted wait already exhausts, instead of queueing
+// it to die.
+func deadlineContext(parent context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, timeout)
 }
 
 // handleBatch streams NDJSON: each request line is one collection in
@@ -368,7 +386,9 @@ func (s *server) batchLine(r *http.Request, idx int, line []byte, timeout time.D
 		var req Request
 		kind := Global
 		if req, err = buildRequest(kind, bags, timeout); err == nil {
-			out.Report, err = s.svc.Do(r.Context(), req)
+			ctx, cancel := deadlineContext(r.Context(), timeout)
+			out.Report, err = s.svc.Do(ctx, req)
+			cancel()
 		}
 	}
 	if err != nil {
@@ -389,6 +409,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 		QueueDepth:    s.svc.QueueDepth(),
 		QueueCapacity: s.svc.QueueCapacity(),
 		Inflight:      s.svc.Inflight(),
+		Admission:     s.svc.Policy().String(),
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()

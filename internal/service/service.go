@@ -80,6 +80,17 @@ type Config struct {
 	// MaxTimeout caps per-request Timeouts so a client cannot pin a
 	// worker arbitrarily long; 0 disables the cap.
 	MaxTimeout time.Duration
+	// Policy selects the admission discipline: FIFO drop-tail (default)
+	// or HardnessAware cost-based shedding.
+	Policy Policy
+	// ShedThreshold is the queue-occupancy fraction (0, 1] beyond which
+	// the HardnessAware policy sheds predicted-expensive requests; 0
+	// means DefaultShedThreshold. Ignored under FIFO.
+	ShedThreshold float64
+	// ExpensiveSupport is the total-support size above which a request is
+	// classed expensive regardless of schema structure; 0 means
+	// DefaultExpensiveSupport.
+	ExpensiveSupport int
 	// Metrics receives request/latency/queue instrumentation; nil runs
 	// unobserved.
 	Metrics *metrics.Registry
@@ -87,6 +98,11 @@ type Config struct {
 
 // DefaultQueueDepth bounds the admission queue when Config leaves it 0.
 const DefaultQueueDepth = 256
+
+// DefaultShedThreshold is the queue-occupancy fraction at which the
+// HardnessAware policy starts shedding predicted-expensive work: half
+// the queue is headroom reserved for the cheap majority.
+const DefaultShedThreshold = 0.5
 
 // Service runs consistency queries through a bounded queue and a fixed
 // worker pool. Create with New, stop with Drain.
@@ -96,6 +112,13 @@ type Service struct {
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 
+	// Admission control (see admission.go).
+	policy           Policy
+	shedDepth        int // queue occupancy at which expensive work sheds
+	expensiveSupport int
+	workerCount      int
+	estimates        [2]ewma // service-time estimator per Cost class
+
 	mu       sync.RWMutex // guards draining flips vs. enqueues
 	draining bool
 
@@ -104,17 +127,24 @@ type Service struct {
 
 	// Instrumentation (non-nil even without a registry, to keep the hot
 	// path branch-light; the no-registry case wires them to throwaways).
-	admitted  *metrics.Counter
-	shed      *metrics.Counter
-	rejected  *metrics.Counter // draining-time rejections
-	outcomes  map[string]*metrics.Counter
-	latencies map[Kind]*metrics.Histogram
+	admitted      *metrics.Counter
+	shed          *metrics.Counter
+	rejected      *metrics.Counter // draining-time rejections
+	abandoned     *metrics.Counter // admitted but discarded unstarted: caller gone
+	outcomes      map[string]*metrics.Counter
+	latencies     map[Kind]*metrics.Histogram // end-to-end: queue wait + service
+	queueWait     map[Kind]*metrics.Histogram
+	serviceTime   map[Kind]*metrics.Histogram
+	shedReasons   map[string]*metrics.Counter
+	admittedClass map[Cost]*metrics.Counter
 }
 
 type task struct {
-	ctx  context.Context
-	req  Request
-	done chan result
+	ctx      context.Context
+	req      Request
+	cost     Cost
+	enqueued time.Time
+	done     chan result
 }
 
 type result struct {
@@ -135,16 +165,40 @@ func New(cfg Config) (*Service, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	threshold := cfg.ShedThreshold
+	if threshold <= 0 {
+		threshold = DefaultShedThreshold
+	}
+	if threshold > 1 {
+		return nil, fmt.Errorf("service: Config.ShedThreshold must be in (0, 1], got %g", cfg.ShedThreshold)
+	}
+	shedDepth := int(threshold * float64(depth))
+	if shedDepth < 1 {
+		shedDepth = 1
+	}
+	expensiveSupport := cfg.ExpensiveSupport
+	if expensiveSupport <= 0 {
+		expensiveSupport = DefaultExpensiveSupport
+	}
 	s := &Service{
-		checker:        cfg.Checker,
-		queue:          make(chan *task, depth),
-		defaultTimeout: cfg.DefaultTimeout,
-		maxTimeout:     cfg.MaxTimeout,
-		admitted:       reg.Counter("bagcd_requests_admitted_total", "", "Requests admitted to the queue."),
-		shed:           reg.Counter("bagcd_requests_shed_total", "", "Requests shed because the admission queue was full."),
-		rejected:       reg.Counter("bagcd_requests_rejected_draining_total", "", "Requests rejected because the service was draining."),
-		outcomes:       make(map[string]*metrics.Counter),
-		latencies:      make(map[Kind]*metrics.Histogram),
+		checker:          cfg.Checker,
+		queue:            make(chan *task, depth),
+		defaultTimeout:   cfg.DefaultTimeout,
+		maxTimeout:       cfg.MaxTimeout,
+		policy:           cfg.Policy,
+		shedDepth:        shedDepth,
+		expensiveSupport: expensiveSupport,
+		workerCount:      cfg.Checker.Parallelism(),
+		admitted:         reg.Counter("bagcd_requests_admitted_total", "", "Requests admitted to the queue."),
+		shed:             reg.Counter("bagcd_requests_shed_total", "", "Requests shed before admission, any reason."),
+		rejected:         reg.Counter("bagcd_requests_rejected_draining_total", "", "Requests rejected because the service was draining."),
+		abandoned:        reg.Counter("bagcd_requests_abandoned_total", "", "Admitted requests discarded unstarted because the caller had already gone; with bagcd_requests_total these partition bagcd_requests_admitted_total."),
+		outcomes:         make(map[string]*metrics.Counter),
+		latencies:        make(map[Kind]*metrics.Histogram),
+		queueWait:        make(map[Kind]*metrics.Histogram),
+		serviceTime:      make(map[Kind]*metrics.Histogram),
+		shedReasons:      make(map[string]*metrics.Counter),
+		admittedClass:    make(map[Cost]*metrics.Counter),
 	}
 	for _, kind := range []Kind{Global, Pair} {
 		for _, outcome := range []string{"ok", "error", "cancelled"} {
@@ -152,8 +206,25 @@ func New(cfg Config) (*Service, error) {
 			s.outcomes[kind.String()+"/"+outcome] = reg.Counter("bagcd_requests_total", labels,
 				"Completed requests by kind and outcome.")
 		}
-		s.latencies[kind] = reg.Histogram("bagcd_request_seconds", fmt.Sprintf(`kind=%q`, kind),
-			"Request compute latency by kind.", metrics.DefaultLatencyBuckets)
+		kindLabel := fmt.Sprintf(`kind=%q`, kind)
+		s.latencies[kind] = reg.Histogram("bagcd_request_seconds", kindLabel,
+			"End-to-end request latency by kind (queue wait + service).", metrics.DefaultLatencyBuckets)
+		s.queueWait[kind] = reg.Histogram("bagcd_queue_wait_seconds", kindLabel,
+			"Time spent waiting in the admission queue before a worker picked the request up.", metrics.DefaultLatencyBuckets)
+		s.serviceTime[kind] = reg.Histogram("bagcd_service_seconds", kindLabel,
+			"Pure compute time by kind, excluding queue wait.", metrics.DefaultLatencyBuckets)
+	}
+	for _, reason := range []string{shedQueueFull, shedExpensive, shedDeadline} {
+		s.shedReasons[reason] = reg.Counter("bagcd_load_shed_total", fmt.Sprintf(`reason=%q`, reason),
+			"Requests shed at admission by reason.")
+	}
+	for _, cost := range []Cost{CostCheap, CostExpensive} {
+		s.admittedClass[cost] = reg.Counter("bagcd_load_admitted_total", fmt.Sprintf(`class=%q`, cost),
+			"Requests admitted by predicted cost class.")
+		c := cost
+		reg.GaugeFunc("bagcd_load_est_service_seconds", fmt.Sprintf(`class=%q`, c),
+			"EWMA service-time estimate per predicted cost class (deadline-aware admission input).",
+			func() float64 { v, _ := s.estimates[c].value(); return v })
 	}
 	reg.GaugeFunc("bagcd_queue_depth", "", "Requests admitted and waiting for a worker.",
 		func() float64 { return float64(len(s.queue)) })
@@ -162,12 +233,23 @@ func New(cfg Config) (*Service, error) {
 	reg.GaugeFunc("bagcd_inflight", "", "Requests currently computing.",
 		func() float64 { return float64(s.inflight.Load()) })
 
-	workers := cfg.Checker.Parallelism()
-	s.workers.Add(workers)
-	for range workers {
+	s.workers.Add(s.workerCount)
+	for range s.workerCount {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// Policy returns the admission discipline the service runs.
+func (s *Service) Policy() Policy { return s.policy }
+
+// EstimatedServiceSeconds returns the EWMA service-time estimate for a
+// cost class and whether any completed request backs it.
+func (s *Service) EstimatedServiceSeconds(c Cost) (float64, bool) {
+	if c != CostCheap && c != CostExpensive {
+		return 0, false
+	}
+	return s.estimates[c].value()
 }
 
 // Checker returns the engine this service runs queries through.
@@ -190,12 +272,15 @@ func (s *Service) Draining() bool {
 }
 
 // Do admits the request, waits for its result, and returns the Report.
-// It sheds with ErrOverloaded when the queue is full (never blocking on
-// admission), rejects with ErrDraining during drain, and returns the
-// context's error if the caller gives up while queued — the worker then
-// discards the stale task without computing.
+// It sheds with ErrOverloaded when the admission policy refuses the
+// request (queue full under any policy; predicted-expensive past the
+// occupancy threshold or deadline-unmeetable under HardnessAware — never
+// blocking on admission either way), rejects with ErrDraining during
+// drain, and returns the context's error if the caller gives up while
+// queued — the worker then discards the stale task without computing.
 func (s *Service) Do(ctx context.Context, req Request) (*bagconsist.Report, error) {
-	t := &task{ctx: ctx, req: req, done: make(chan result, 1)}
+	cost := classifyCost(req, s.expensiveSupport)
+	t := &task{ctx: ctx, req: req, cost: cost, done: make(chan result, 1)}
 
 	// Enqueue under the read lock so Drain's write lock linearizes
 	// against every in-flight admission: after Drain flips the flag, no
@@ -206,13 +291,24 @@ func (s *Service) Do(ctx context.Context, req Request) (*bagconsist.Report, erro
 		s.rejected.Inc()
 		return nil, ErrDraining
 	}
+	if s.policy == HardnessAware {
+		if reason := s.admissionVeto(ctx, cost); reason != "" {
+			s.mu.RUnlock()
+			s.shed.Inc()
+			s.shedReasons[reason].Inc()
+			return nil, ErrOverloaded
+		}
+	}
+	t.enqueued = time.Now()
 	select {
 	case s.queue <- t:
 		s.mu.RUnlock()
 		s.admitted.Inc()
+		s.admittedClass[cost].Inc()
 	default:
 		s.mu.RUnlock()
 		s.shed.Inc()
+		s.shedReasons[shedQueueFull].Inc()
 		return nil, ErrOverloaded
 	}
 
@@ -221,6 +317,52 @@ func (s *Service) Do(ctx context.Context, req Request) (*bagconsist.Report, erro
 		return res.rep, res.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	}
+}
+
+// admissionVeto applies the HardnessAware pre-queue checks and returns
+// the shed reason, or "" to admit. Both checks are O(1) over state the
+// service already tracks; the caller holds the read lock.
+func (s *Service) admissionVeto(ctx context.Context, cost Cost) string {
+	// Cost-based shedding: once the queue is past the occupancy
+	// threshold the service is in overload, and admitting one more
+	// integer search hurts every queued request behind it. Cheap work
+	// keeps the remaining headroom.
+	if cost == CostExpensive && len(s.queue) >= s.shedDepth {
+		return shedExpensive
+	}
+	// Deadline-aware admission: when the caller's context deadline
+	// cannot outlast the predicted queue wait plus the predicted service
+	// time of this cost class, computing is pure waste — the caller will
+	// have abandoned the result. Estimates are EWMAs of completed
+	// requests; with no history the service admits (never shed blind).
+	if deadline, ok := ctx.Deadline(); ok {
+		est, haveEst := s.estimates[cost].value()
+		meanAll, haveMean := s.meanServiceEstimate()
+		if haveEst && haveMean {
+			waitEst := float64(len(s.queue)) * meanAll / float64(s.workerCount)
+			if time.Until(deadline).Seconds() < waitEst+est {
+				return shedDeadline
+			}
+		}
+	}
+	return ""
+}
+
+// meanServiceEstimate blends the per-class EWMAs into one queue-drain
+// rate estimate, weighting classes equally when both have history.
+func (s *Service) meanServiceEstimate() (float64, bool) {
+	cheap, okC := s.estimates[CostCheap].value()
+	exp, okE := s.estimates[CostExpensive].value()
+	switch {
+	case okC && okE:
+		return (cheap + exp) / 2, true
+	case okC:
+		return cheap, true
+	case okE:
+		return exp, true
+	default:
+		return 0, false
 	}
 }
 
@@ -233,8 +375,11 @@ func (s *Service) worker() {
 
 func (s *Service) run(t *task) {
 	// The caller may have abandoned the task while it sat queued; skip
-	// dead work before it costs anything.
+	// dead work before it costs anything. Counted separately so that
+	// admitted = completed (bagcd_requests_total) + abandoned stays an
+	// exact conservation invariant after drain.
 	if err := t.ctx.Err(); err != nil {
+		s.abandoned.Inc()
 		t.done <- result{nil, err}
 		return
 	}
@@ -254,6 +399,7 @@ func (s *Service) run(t *task) {
 
 	s.inflight.Add(1)
 	start := time.Now()
+	wait := start.Sub(t.enqueued)
 	var rep *bagconsist.Report
 	var err error
 	switch t.req.Kind {
@@ -265,7 +411,10 @@ func (s *Service) run(t *task) {
 	elapsed := time.Since(start)
 	s.inflight.Add(-1)
 
-	s.latencies[t.req.Kind].Observe(elapsed.Seconds())
+	s.queueWait[t.req.Kind].Observe(wait.Seconds())
+	s.serviceTime[t.req.Kind].Observe(elapsed.Seconds())
+	s.latencies[t.req.Kind].Observe((wait + elapsed).Seconds())
+	s.estimates[t.cost].observe(elapsed.Seconds())
 	outcome := "ok"
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):

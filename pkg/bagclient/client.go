@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -74,6 +75,7 @@ type Client struct {
 	maxRetries int
 	backoff    time.Duration
 	maxWait    time.Duration
+	jitter     float64
 }
 
 // Option configures a Client.
@@ -104,6 +106,28 @@ func WithMaxRetryWait(d time.Duration) Option {
 	return func(c *Client) { c.maxWait = d }
 }
 
+// WithRetryJitter sets the jitter fraction f in [0, 1] applied to every
+// retry wait: the actual wait is drawn uniformly from
+// [wait·(1-f), wait]. The default is 0.5.
+//
+// Jitter exists because a shed is correlated across callers: the daemon
+// that 503'd one request 503'd everyone who arrived that instant, and a
+// deterministic backoff (or everyone honoring the same Retry-After hint)
+// has the whole fleet retry in one synchronized wave that re-overloads
+// the daemon exactly when it was recovering. 0 disables jitter for tests
+// that need deterministic waits.
+func WithRetryJitter(f float64) Option {
+	return func(c *Client) {
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		c.jitter = f
+	}
+}
+
 // New builds a client for the daemon at baseURL (e.g.
 // "http://10.0.0.7:8080").
 func New(baseURL string, opts ...Option) (*Client, error) {
@@ -120,6 +144,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		maxRetries: 3,
 		backoff:    100 * time.Millisecond,
 		maxWait:    5 * time.Second,
+		jitter:     0.5,
 	}
 	for _, o := range opts {
 		o(c)
@@ -197,7 +222,8 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http
 
 // retryWait derives the wait before retrying a shed request: the server's
 // Retry-After when present, exponential backoff otherwise, capped either
-// way.
+// way, then jittered (WithRetryJitter) so a fleet of clients shed by the
+// same overloaded daemon does not retry in one synchronized wave.
 func (c *Client) retryWait(resp *http.Response, attempt int) time.Duration {
 	wait := c.backoff << attempt
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
@@ -207,6 +233,13 @@ func (c *Client) retryWait(resp *http.Response, attempt int) time.Duration {
 	}
 	if wait > c.maxWait {
 		wait = c.maxWait
+	}
+	if c.jitter > 0 && wait > 0 {
+		// Uniform in [wait·(1-jitter), wait]. The global rand source is
+		// concurrency-safe and deliberately NOT seeded per client: two
+		// clients in one process must not jitter identically either.
+		span := float64(wait) * c.jitter
+		wait -= time.Duration(rand.Int63n(int64(span) + 1))
 	}
 	return wait
 }

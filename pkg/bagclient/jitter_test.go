@@ -1,0 +1,94 @@
+package bagclient
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func respWithRetryAfter(secs string) *http.Response {
+	h := http.Header{}
+	if secs != "" {
+		h.Set("Retry-After", secs)
+	}
+	return &http.Response{Header: h}
+}
+
+// TestRetryWaitJitterBounds asserts every jittered wait lands in
+// [wait·(1-jitter), wait] and that the waits actually vary — the whole
+// point is that a fleet of clients shed together must not sleep
+// identically.
+func TestRetryWaitJitterBounds(t *testing.T) {
+	c, err := New("http://example.invalid", WithRetryBackoff(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 100 * time.Millisecond // attempt 0, no hint
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		w := c.retryWait(respWithRetryAfter(""), 0)
+		if w < base/2 || w > base {
+			t.Fatalf("jittered wait %v outside [%v, %v]", w, base/2, base)
+		}
+		seen[w] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("200 draws produced only %d distinct waits; jitter looks broken", len(seen))
+	}
+}
+
+// TestRetryWaitJitterAppliesToHint asserts the server's Retry-After hint
+// is jittered too: the herd forms precisely because every client honors
+// the same hint.
+func TestRetryWaitJitterAppliesToHint(t *testing.T) {
+	c, err := New("http://example.invalid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hint := 2 * time.Second
+	varied := false
+	for i := 0; i < 100; i++ {
+		w := c.retryWait(respWithRetryAfter("2"), 0)
+		if w < hint/2 || w > hint {
+			t.Fatalf("jittered hinted wait %v outside [%v, %v]", w, hint/2, hint)
+		}
+		if w != hint {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("100 hinted waits all exactly equal to the hint; jitter not applied")
+	}
+}
+
+// TestRetryWaitJitterDisabled pins the deterministic capped-doubling
+// behavior behind WithRetryJitter(0): tests and capacity math that need
+// exact waits can still get them.
+func TestRetryWaitJitterDisabled(t *testing.T) {
+	c, err := New("http://example.invalid",
+		WithRetryJitter(0), WithRetryBackoff(50*time.Millisecond), WithMaxRetryWait(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt, want := range []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond} {
+		if got := c.retryWait(respWithRetryAfter(""), attempt); got != want {
+			t.Errorf("attempt %d: wait %v, want %v", attempt, got, want)
+		}
+	}
+	// Cap still applies before (absent) jitter.
+	if got := c.retryWait(respWithRetryAfter("30"), 0); got != time.Second {
+		t.Errorf("capped hinted wait %v, want 1s", got)
+	}
+}
+
+// TestRetryWaitZeroIsZero: a zero wait (Retry-After: 0) must stay zero —
+// jitter never turns "retry immediately" into a sleep.
+func TestRetryWaitZeroIsZero(t *testing.T) {
+	c, err := New("http://example.invalid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.retryWait(respWithRetryAfter("0"), 0); got != 0 {
+		t.Errorf("Retry-After 0 gave wait %v, want 0", got)
+	}
+}
