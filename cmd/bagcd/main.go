@@ -11,11 +11,20 @@
 // Usage:
 //
 //	bagcd [-addr :8080] [-parallelism N] [-queue-depth N] [-cache-size N]
+//	      [-solver-parallelism N] [-decompose]
 //	      [-data-dir DIR] [-store-segment-bytes N] [-store-sync]
 //	      [-max-nodes N] [-default-timeout 0] [-max-timeout 60s]
 //	      [-admission fifo|hardness] [-shed-threshold 0.5]
 //	      [-expensive-support N]
 //	      [-drain-timeout 30s] [-max-batch-lines N] [-version]
+//
+// -solver-parallelism runs the integer search for a single cyclic
+// instance on N work-stealing workers (verdicts are identical at any N;
+// the default 1 avoids multiplying the request pool). -decompose makes
+// cyclic schemas searchable near their cyclic core only: GYO strips the
+// acyclic fringe, which is then composed back polynomially. Search
+// volume is observable as bagcd_ilp_nodes_total / bagcd_ilp_steals_total
+// / bagcd_ilp_idles_total.
 //
 // -admission hardness enables cost-based shedding: each request's
 // predicted cost is classified at admission (schema acyclicity via the
@@ -64,23 +73,25 @@ func main() {
 
 // options collects the daemon's flags.
 type options struct {
-	addr             string
-	parallelism      int
-	queueDepth       int
-	cacheSize        int
-	dataDir          string
-	storeSegBytes    int64
-	storeSync        bool
-	maxNodes         int64
-	defaultTimeout   time.Duration
-	maxTimeout       time.Duration
-	drainTimeout     time.Duration
-	maxBatchLines    int
-	pprofAddr        string
-	admission        string
-	shedThreshold    float64
-	expensiveSupport int
-	storeLogf        func(format string, args ...any) // recovery warnings; tests capture it
+	addr              string
+	parallelism       int
+	solverParallelism int
+	decompose         bool
+	queueDepth        int
+	cacheSize         int
+	dataDir           string
+	storeSegBytes     int64
+	storeSync         bool
+	maxNodes          int64
+	defaultTimeout    time.Duration
+	maxTimeout        time.Duration
+	drainTimeout      time.Duration
+	maxBatchLines     int
+	pprofAddr         string
+	admission         string
+	shedThreshold     float64
+	expensiveSupport  int
+	storeLogf         func(format string, args ...any) // recovery warnings; tests capture it
 }
 
 func parseFlags(args []string, out io.Writer) (*options, bool, error) {
@@ -88,6 +99,8 @@ func parseFlags(args []string, out io.Writer) (*options, bool, error) {
 	opt := &options{}
 	fs.StringVar(&opt.addr, "addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	fs.IntVar(&opt.parallelism, "parallelism", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&opt.solverParallelism, "solver-parallelism", 1, "workers inside each integer search on cyclic schemas (1 = sequential, 0 = match the request pool size)")
+	fs.BoolVar(&opt.decompose, "decompose", false, "solve cyclic schemas by GYO decomposition: search only the cyclic core, compose the acyclic fringe polynomially")
 	fs.IntVar(&opt.queueDepth, "queue-depth", service.DefaultQueueDepth, "admission queue bound; beyond it requests shed with 503")
 	fs.IntVar(&opt.cacheSize, "cache-size", 4096, "shared result cache entries (must be at least 1)")
 	fs.StringVar(&opt.dataDir, "data-dir", "", "directory for the persistent result store (empty = RAM cache only)")
@@ -128,6 +141,9 @@ func (o *options) validate() error {
 	if o.parallelism < 0 {
 		return fmt.Errorf("-parallelism must be >= 0, got %d", o.parallelism)
 	}
+	if o.solverParallelism < 0 {
+		return fmt.Errorf("-solver-parallelism must be >= 0, got %d", o.solverParallelism)
+	}
 	if o.queueDepth < 1 {
 		return fmt.Errorf("-queue-depth must be at least 1, got %d", o.queueDepth)
 	}
@@ -165,6 +181,12 @@ func buildServer(opt *options) (*service.Service, http.Handler, *bagconsist.Stor
 	checkerOpts := []bagconsist.Option{bagconsist.WithMaxNodes(opt.maxNodes)}
 	if opt.parallelism > 0 {
 		checkerOpts = append(checkerOpts, bagconsist.WithParallelism(opt.parallelism))
+	}
+	if opt.solverParallelism != 1 {
+		checkerOpts = append(checkerOpts, bagconsist.WithSolverParallelism(opt.solverParallelism))
+	}
+	if opt.decompose {
+		checkerOpts = append(checkerOpts, bagconsist.WithDecomposition(true))
 	}
 	cache := bagconsist.NewCache(opt.cacheSize)
 	checkerOpts = append(checkerOpts, bagconsist.WithSharedCache(cache))

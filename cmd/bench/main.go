@@ -16,7 +16,13 @@
 //	      [-prev OLD.json] [-compare BASELINE.json]
 //
 // -family takes a comma-separated subset of
-// pair|acyclic|cyclic|cache|batch|restart (empty = all).
+// pair|acyclic|cyclic|cycliccore|cache|batch|restart (empty = all).
+//
+// The cycliccore family is the parallel-solver acceptance measurement:
+// near-acyclic schemas (a path with k chords) decided sequentially, with
+// the 4-worker work-stealing search, and with 4 workers plus the
+// decomposition-hybrid; its Speedup entries compare each parallel config
+// against the sequential monolith on the same instance.
 //
 // The restart family measures the persistence layer's headline number:
 // cold compute vs a warm start from disk after a simulated process
@@ -61,7 +67,7 @@ var ctx = context.Background()
 func main() {
 	quick := flag.Bool("quick", false, "shorter measurement floors and smaller sweeps")
 	out := flag.String("out", "BENCH_pr2.json", "output JSON path (- for stdout)")
-	family := flag.String("family", "", "comma-separated families to run (pair, acyclic, cyclic, cache, batch, restart; empty = all)")
+	family := flag.String("family", "", "comma-separated families to run (pair, acyclic, cyclic, cycliccore, cache, batch, restart; empty = all)")
 	prev := flag.String("prev", "", "previous-engine BENCH json; embeds engine-speedup entries for matching uncached benchmarks")
 	compare := flag.String("compare", "", "baseline BENCH json; exit nonzero on >25% ns/op regression in uncached engine families")
 	normalize := flag.Bool("normalize", false, "with -compare: divide ratios by their median first, gating relative regressions only (for runners of a different speed class than the baseline machine)")
@@ -165,6 +171,7 @@ func run(log io.Writer, outPath string, quick bool, family string) error {
 		{"pair", benchPair},
 		{"acyclic", benchAcyclic},
 		{"cyclic", benchCyclic},
+		{"cycliccore", benchCyclicCore},
 		{"cache", benchCacheSpeedup},
 		{"batch", benchBatch},
 		{"restart", benchRestart},
@@ -275,7 +282,7 @@ func embedEngineSpeedups(log io.Writer, outPath, prevPath string) error {
 // engineFamilies are the uncached compute families the regression gate
 // watches: the ones a data-plane change moves. Cache/batch/restart
 // measure the serving tiers and have their own bars in the tests.
-var engineFamilies = map[string]bool{"pair": true, "acyclic": true, "cyclic": true}
+var engineFamilies = map[string]bool{"pair": true, "acyclic": true, "cyclic": true, "cycliccore": true}
 
 // maxRegression is the -compare failure threshold.
 const maxRegression = 1.25
@@ -525,6 +532,89 @@ func benchCyclic(log io.Writer, doc *Output, opts harness.Options, quick bool) e
 					Params: fmt.Sprintf("n=%d", n),
 				}, res)
 			}
+		}
+	}
+	return nil
+}
+
+// benchCyclicCore sweeps distance-from-acyclicity: a long acyclic path
+// with k chords (gen.NearAcyclicHypergraph), so the GYO core holds 2k+1
+// edges while the fringe stays polynomial. Every instance is decided
+// three ways — sequential monolithic integer search, the work-stealing
+// parallel search at 4 workers, and 4 workers plus the
+// decomposition-hybrid — all under ForceILP so the monolith really
+// searches the whole schema. Each parallel config gains a Speedup entry
+// against the sequential monolith on the same instance: the PR 7
+// acceptance number lives here.
+func benchCyclicCore(log io.Writer, doc *Output, opts harness.Options, quick bool) error {
+	m := 10
+	ks := []int{0, 1, 2, 3}
+	if quick {
+		m = 8
+		ks = []int{1, 2}
+	}
+	configs := []struct {
+		name  string
+		copts []bagconsist.Option
+	}{
+		{"seq", nil},
+		{"par4", []bagconsist.Option{bagconsist.WithSolverParallelism(4)}},
+		{"par4+decomp", []bagconsist.Option{
+			bagconsist.WithSolverParallelism(4), bagconsist.WithDecomposition(true),
+		}},
+	}
+	for _, k := range ks {
+		rng := rand.New(rand.NewSource(7))
+		h, err := gen.NearAcyclicHypergraph(m, k)
+		if err != nil {
+			return err
+		}
+		c, _, err := gen.RandomConsistent(rng, h, 6, 4, 2)
+		if err != nil {
+			return err
+		}
+		var seqNs float64
+		for _, cfg := range configs {
+			copts := append([]bagconsist.Option{
+				bagconsist.WithMethod(bagconsist.ILP),
+				bagconsist.WithMaxNodes(2_000_000_000),
+				// The measurement targets the search, not witness
+				// post-processing.
+				bagconsist.WithWitnessMinimization(false),
+			}, cfg.copts...)
+			checker := bagconsist.New(copts...)
+			fn := func() error {
+				rep, err := checker.CheckGlobal(ctx, c)
+				if err != nil {
+					return err
+				}
+				if !rep.Consistent {
+					return fmt.Errorf("generated-consistent instance judged inconsistent")
+				}
+				return nil
+			}
+			res, err := harness.Measure(fn, opts)
+			if err != nil {
+				return err
+			}
+			record(log, doc, Entry{
+				Name:   fmt.Sprintf("cycliccore/%s/cache=off/m=%d,k=%d", cfg.name, m, k),
+				Family: "cycliccore", Method: "integer-program", Cache: "off",
+				Params: fmt.Sprintf("m=%d,k=%d,solver=%s", m, k, cfg.name),
+			}, res)
+			if cfg.name == "seq" {
+				seqNs = res.NsPerOp
+				continue
+			}
+			sp := Speedup{
+				Family: "cycliccore", Params: fmt.Sprintf("m=%d,k=%d", m, k),
+				Variant: cfg.name,
+				ColdNs:  seqNs, WarmNs: res.NsPerOp,
+				Speedup: seqNs / res.NsPerOp,
+			}
+			doc.Speedups = append(doc.Speedups, sp)
+			fmt.Fprintf(log, "  speedup %-36s %10.2fx (seq %.0f ns -> %.0f ns)\n",
+				sp.Params+"/"+sp.Variant, sp.Speedup, sp.ColdNs, sp.WarmNs)
 		}
 	}
 	return nil

@@ -37,7 +37,7 @@ func TestQuickSweepWritesJSON(t *testing.T) {
 			t.Errorf("entry %s has empty measurement: %+v", e.Name, e)
 		}
 	}
-	for _, f := range []string{"pair", "acyclic", "cyclic", "batch", "restart"} {
+	for _, f := range []string{"pair", "acyclic", "cyclic", "cycliccore", "batch", "restart"} {
 		if families[f] == 0 {
 			t.Errorf("no entries for family %q", f)
 		}
@@ -45,8 +45,20 @@ func TestQuickSweepWritesJSON(t *testing.T) {
 	if len(doc.Speedups) == 0 {
 		t.Fatal("no cache speedups measured")
 	}
-	var sawRestart bool
+	var sawRestart, sawDecomp bool
 	for _, sp := range doc.Speedups {
+		// cycliccore speedups compare solver configurations (parallel /
+		// decomposition vs the sequential monolith), not cache tiers; no
+		// cache is configured there at all.
+		if sp.Family == "cycliccore" {
+			if sp.Variant == "par4+decomp" {
+				sawDecomp = true
+			}
+			if sp.ColdNs <= 0 || sp.WarmNs <= 0 {
+				t.Errorf("%s/%s/%s: empty measurement: %+v", sp.Family, sp.Params, sp.Variant, sp)
+			}
+			continue
+		}
 		if !sp.CacheHit {
 			t.Errorf("%s/%s: warm run did not hit the cache", sp.Family, sp.Variant)
 		}
@@ -76,6 +88,9 @@ func TestQuickSweepWritesJSON(t *testing.T) {
 	}
 	if !sawRestart {
 		t.Error("no restart speedup measured")
+	}
+	if !sawDecomp {
+		t.Error("no cycliccore par4+decomp speedup measured")
 	}
 }
 

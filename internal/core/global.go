@@ -22,6 +22,10 @@ const (
 	// MethodPairwiseRefuted means a pairwise inconsistency already refutes
 	// global consistency, regardless of the schema's shape.
 	MethodPairwiseRefuted Method = "pairwise-refuted"
+	// MethodHybrid is the decomposition-hybrid procedure: GYO strips the
+	// acyclic fringe, the integer search runs on the cyclic core only, and
+	// the fringe is reattached by the polynomial pairwise composition.
+	MethodHybrid Method = "hybrid-decomposition"
 )
 
 // GlobalOptions is the single configuration surface for the decision
@@ -46,11 +50,24 @@ type GlobalOptions struct {
 	// BranchLowFirst tries candidate values 0..ub instead of ub..0 in the
 	// integer search (ablation).
 	BranchLowFirst bool
+	// SolverWorkers sets the worker count of the integer search; values
+	// below 2 run the sequential search. The verdict and witness validity
+	// are identical for every worker count.
+	SolverWorkers int
+	// Decompose enables the decomposition-hybrid cyclic procedure: the
+	// integer search runs only on the GYO core of the schema and the
+	// acyclic fringe is composed polynomially around its witness.
+	Decompose bool
 }
 
 // ILP projects the options onto the integer-search tuning knobs.
 func (o GlobalOptions) ILP() ilp.Options {
-	return ilp.Options{MaxNodes: o.MaxNodes, LPPruning: o.LPPruning, BranchLowFirst: o.BranchLowFirst}
+	return ilp.Options{
+		MaxNodes:       o.MaxNodes,
+		LPPruning:      o.LPPruning,
+		BranchLowFirst: o.BranchLowFirst,
+		Workers:        o.SolverWorkers,
+	}
 }
 
 // Decision is the outcome of a global consistency query.
@@ -62,8 +79,12 @@ type Decision struct {
 	Witness *bag.Bag
 	// Method says which procedure ran.
 	Method Method
-	// Nodes is the number of search nodes (MethodILP only).
+	// Nodes is the number of search nodes (MethodILP and MethodHybrid).
 	Nodes int64
+	// Steals and Idles are work-stealing statistics of the parallel
+	// integer search (zero on sequential solves and non-ILP methods).
+	Steals int64
+	Idles  int64
 }
 
 // GloballyConsistent decides whether the collection is globally consistent
@@ -104,6 +125,16 @@ func (c *Collection) GloballyConsistentContext(ctx context.Context, opts GlobalO
 		return &Decision{Consistent: false, Method: MethodPairwiseRefuted}, nil
 	}
 
+	if opts.Decompose {
+		return c.solveHybrid(ctx, opts)
+	}
+	return c.solveProgram(ctx, opts)
+}
+
+// solveProgram runs the exact integer search over the whole collection's
+// program P(R1,...,Rm) and decodes any solution into a witness bag. The
+// caller has already established pairwise consistency.
+func (c *Collection) solveProgram(ctx context.Context, opts GlobalOptions) (*Decision, error) {
 	p, tuples, err := c.BuildProgram()
 	if err != nil {
 		return nil, err
@@ -123,7 +154,7 @@ func (c *Collection) GloballyConsistentContext(ctx context.Context, opts GlobalO
 		return nil, err
 	}
 	if !sol.Feasible {
-		return &Decision{Consistent: false, Method: MethodILP, Nodes: sol.Nodes}, nil
+		return &Decision{Consistent: false, Method: MethodILP, Nodes: sol.Nodes, Steals: sol.Steals, Idles: sol.Idles}, nil
 	}
 	w := bag.New(union)
 	for j, v := range sol.X {
@@ -133,7 +164,7 @@ func (c *Collection) GloballyConsistentContext(ctx context.Context, opts GlobalO
 			}
 		}
 	}
-	return &Decision{Consistent: true, Witness: w, Method: MethodILP, Nodes: sol.Nodes}, nil
+	return &Decision{Consistent: true, Witness: w, Method: MethodILP, Nodes: sol.Nodes, Steals: sol.Steals, Idles: sol.Idles}, nil
 }
 
 // WitnessAcyclic runs the polynomial witness construction of Theorem 6 on

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"bagconsistency/internal/bag"
+)
+
+// solveHybrid decides global consistency by decomposition: GYO strips the
+// acyclic fringe of the schema hypergraph, the exact integer search runs
+// only on the surviving cyclic core, and — when the core is consistent —
+// the fringe is reattached around the core witness by the same pairwise
+// composition the acyclic algorithm uses, in reverse elimination order.
+//
+// Soundness rests on two facts. Refutation: any witness of the whole
+// collection marginalizes to a witness of the core sub-collection, so an
+// infeasible core refutes the whole. Construction: when edge e was
+// eliminated, every vertex e shares with the edges still alive at that
+// moment lies in e's cover (CoreDecomposition's invariant); the running
+// witness at reattachment time spans exactly those alive edges and
+// marginalizes onto the cover's bag, which is pairwise consistent with
+// e's bag — so the pairwise composition always succeeds. The caller has
+// already established pairwise consistency of the whole collection.
+func (c *Collection) solveHybrid(ctx context.Context, opts GlobalOptions) (*Decision, error) {
+	elim, core := c.hg.CoreDecomposition()
+	if len(core) <= 1 {
+		// Acyclic schema (reachable only under ForceILP): there is no
+		// cyclic core to search, so fall back to the monolithic program —
+		// the ablation still measures the full search.
+		return c.solveProgram(ctx, opts)
+	}
+	sub, err := c.Sub(core)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := sub.solveProgram(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	dec.Method = MethodHybrid
+	if !dec.Consistent || len(elim) == 0 {
+		return dec, nil
+	}
+
+	witnessOf := MinimalPairWitnessContext
+	if opts.SkipWitnessMinimization {
+		witnessOf = func(_ context.Context, r, s *bag.Bag) (*bag.Bag, bool, error) {
+			return PairWitness(r, s)
+		}
+	}
+	acc := dec.Witness
+	for i := len(elim) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		next, ok, err := witnessOf(ctx, acc, c.bags[elim[i].Edge])
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// The decomposition invariant makes this unreachable for a
+			// pairwise consistent collection.
+			return nil, fmt.Errorf("core: hybrid reattachment lost consistency at edge %d", elim[i].Edge)
+		}
+		acc = next
+	}
+	dec.Witness = acc
+	return dec, nil
+}

@@ -1,0 +1,197 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/core"
+	"bagconsistency/internal/gen"
+	"bagconsistency/internal/hypergraph"
+)
+
+// mustBag builds a bag over attrs with the given rows.
+func mustBag(t *testing.T, attrs []string, rows map[string]int64) *bag.Bag {
+	t.Helper()
+	s, err := bag.NewSchema(attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bag.New(s)
+	for k, c := range rows {
+		vals := make([]string, 0, len(attrs))
+		for _, ch := range k {
+			vals = append(vals, string(ch))
+		}
+		if err := b.Add(vals, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+// parityTriangle returns the 3-bag parity instance over {A,B},{B,C},{A,C}:
+// pairwise consistent always; globally consistent iff the AC bag demands
+// equality (even parity) rather than inequality.
+func parityTriangle(t *testing.T, consistent bool) *core.Collection {
+	t.Helper()
+	h := hypergraph.Must([]string{"A", "B"}, []string{"B", "C"}, []string{"A", "C"})
+	eq := map[string]int64{"00": 1, "11": 1}
+	ne := map[string]int64{"01": 1, "10": 1}
+	ac := ne
+	if consistent {
+		ac = eq
+	}
+	bags := []*bag.Bag{
+		mustBag(t, []string{"A", "B"}, eq),
+		mustBag(t, []string{"B", "C"}, eq),
+		mustBag(t, []string{"A", "C"}, ac),
+	}
+	coll, err := core.NewCollection(h, bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coll
+}
+
+// withFringe extends a parity triangle with a path fringe C–D–E whose
+// bags are marginal-consistent with the triangle: the schema becomes
+// near-acyclic (triangle core, two fringe edges).
+func withFringe(t *testing.T, consistent bool) *core.Collection {
+	t.Helper()
+	h := hypergraph.Must(
+		[]string{"A", "B"}, []string{"B", "C"}, []string{"A", "C"},
+		[]string{"C", "D"}, []string{"D", "E"},
+	)
+	eq := map[string]int64{"00": 1, "11": 1}
+	ne := map[string]int64{"01": 1, "10": 1}
+	ac := ne
+	if consistent {
+		ac = eq
+	}
+	bags := []*bag.Bag{
+		mustBag(t, []string{"A", "B"}, eq),
+		mustBag(t, []string{"B", "C"}, eq),
+		mustBag(t, []string{"A", "C"}, ac),
+		mustBag(t, []string{"C", "D"}, eq), // marginal on C: uniform(1,1)
+		mustBag(t, []string{"D", "E"}, eq),
+	}
+	coll, err := core.NewCollection(h, bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coll
+}
+
+func decide(t *testing.T, c *core.Collection, opts core.GlobalOptions) *core.Decision {
+	t.Helper()
+	dec, err := c.GloballyConsistent(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+func TestHybridParityInstances(t *testing.T) {
+	for _, consistent := range []bool{true, false} {
+		for _, coll := range []*core.Collection{parityTriangle(t, consistent), withFringe(t, consistent)} {
+			plain := decide(t, coll, core.GlobalOptions{})
+			hybrid := decide(t, coll, core.GlobalOptions{Decompose: true})
+			if plain.Consistent != consistent || hybrid.Consistent != consistent {
+				t.Fatalf("consistent=%v: plain=%v hybrid=%v", consistent, plain.Consistent, hybrid.Consistent)
+			}
+			if hybrid.Method != core.MethodHybrid {
+				t.Fatalf("hybrid method = %q, want %q", hybrid.Method, core.MethodHybrid)
+			}
+			if consistent {
+				ok, err := coll.VerifyWitness(hybrid.Witness)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatal("hybrid witness does not verify against the full collection")
+				}
+			}
+		}
+	}
+}
+
+func TestHybridMatchesMonolithicOnGeneratedFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+
+	// Feasible near-acyclic schemas across the whole k dial, with the
+	// parallel solver in the loop at two worker counts.
+	for k := 0; k <= 3; k++ {
+		h, err := gen.NearAcyclicHypergraph(6, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll, _, err := gen.RandomConsistent(rng, h, 4, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			plain := decide(t, coll, core.GlobalOptions{ForceILP: true, SolverWorkers: workers})
+			hybrid := decide(t, coll, core.GlobalOptions{ForceILP: true, Decompose: true, SolverWorkers: workers})
+			if !plain.Consistent || !hybrid.Consistent {
+				t.Fatalf("k=%d workers=%d: generated-consistent instance judged inconsistent (plain=%v hybrid=%v)",
+					k, workers, plain.Consistent, hybrid.Consistent)
+			}
+			for name, dec := range map[string]*core.Decision{"plain": plain, "hybrid": hybrid} {
+				ok, err := coll.VerifyWitness(dec.Witness)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("k=%d workers=%d: %s witness does not verify", k, workers, name)
+				}
+			}
+			// k = 0 is acyclic: no core to search, the hybrid must fall
+			// back to the monolithic program (honest ablation).
+			if k == 0 && hybrid.Method != core.MethodILP {
+				t.Fatalf("acyclic fallback method = %q, want %q", hybrid.Method, core.MethodILP)
+			}
+			if k > 0 && hybrid.Method != core.MethodHybrid {
+				t.Fatalf("k=%d method = %q, want %q", k, hybrid.Method, core.MethodHybrid)
+			}
+		}
+	}
+
+	// Search-bound infeasible: 3DCT margins perturbed into pairwise
+	// consistency without global consistency (fully cyclic, so the core
+	// is the whole schema and the hybrid degenerates to the monolith).
+	inst, err := gen.InfeasibleThreeDCT(rng, 2, 3, 200, 200_000)
+	if err != nil {
+		t.Skipf("no infeasible instance at this seed: %v", err)
+	}
+	coll, err := inst.ToCollection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := decide(t, coll, core.GlobalOptions{})
+	hybrid := decide(t, coll, core.GlobalOptions{Decompose: true})
+	if plain.Consistent || hybrid.Consistent {
+		t.Fatalf("infeasible instance judged consistent (plain=%v hybrid=%v)", plain.Consistent, hybrid.Consistent)
+	}
+}
+
+func TestHybridPropagatesSolverStats(t *testing.T) {
+	// A cyclic instance solved with 4 workers must surface the parallel
+	// search's steal statistics through the Decision.
+	rng := rand.New(rand.NewSource(41))
+	inst, err := gen.RandomThreeDCT(rng, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := inst.ToCollection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := decide(t, coll, core.GlobalOptions{SolverWorkers: 4})
+	if !dec.Consistent {
+		t.Fatal("3DCT margins of a real table must be consistent")
+	}
+	if dec.Steals < 1 {
+		t.Fatalf("expected steal stats from the parallel solve, got %d", dec.Steals)
+	}
+}

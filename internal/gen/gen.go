@@ -370,3 +370,24 @@ func RandomAcyclicHypergraph(rng *rand.Rand, m, maxEdgeSize int) (*hypergraph.Hy
 	}
 	return hypergraph.New(edges)
 }
+
+// NearAcyclicHypergraph returns the path hypergraph on m+1 vertices
+// (edges {A_i, A_{i+1}} for i = 1..m) plus k chord edges {A_1, A_{2+c}}
+// for c = 1..k. k = 0 is acyclic; k ≥ 1 is cyclic with a GYO core of
+// exactly 2k+1 edges (the first k+1 path edges plus the chords) no
+// matter how long the path is — so k dials distance from acyclicity
+// while m grows only the acyclic fringe, exactly the parameterized
+// hardness family of the cycliccore benchmarks.
+func NearAcyclicHypergraph(m, k int) (*hypergraph.Hypergraph, error) {
+	if m < 1 || k < 0 || k > m-1 {
+		return nil, fmt.Errorf("gen: NearAcyclicHypergraph needs m >= 1 and 0 <= k <= m-1, got m=%d k=%d", m, k)
+	}
+	var edges [][]string
+	for i := 1; i <= m; i++ {
+		edges = append(edges, []string{hypergraph.AttrName(i), hypergraph.AttrName(i + 1)})
+	}
+	for c := 1; c <= k; c++ {
+		edges = append(edges, []string{hypergraph.AttrName(1), hypergraph.AttrName(2 + c)})
+	}
+	return hypergraph.New(edges)
+}

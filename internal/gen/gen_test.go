@@ -362,3 +362,41 @@ func TestRandomAcyclicHypergraphIsAcyclic(t *testing.T) {
 		t.Error("expected parameter error")
 	}
 }
+
+func TestNearAcyclicHypergraphCoreSize(t *testing.T) {
+	// The defining property of the family: k = 0 is acyclic, and for
+	// k >= 1 the GYO core has exactly 2k+1 edges regardless of the path
+	// length m — the fringe grows with m, the hard core only with k.
+	for _, m := range []int{3, 6, 12} {
+		for k := 0; k <= m-1 && k <= 4; k++ {
+			h, err := NearAcyclicHypergraph(m, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.NumEdges() != m+k {
+				t.Fatalf("m=%d k=%d: %d edges, want %d", m, k, h.NumEdges(), m+k)
+			}
+			_, core := h.CoreDecomposition()
+			if k == 0 {
+				if !h.IsAcyclic() {
+					t.Fatalf("m=%d k=0: want acyclic", m)
+				}
+				continue
+			}
+			if h.IsAcyclic() {
+				t.Fatalf("m=%d k=%d: want cyclic", m, k)
+			}
+			if len(core) != 2*k+1 {
+				t.Fatalf("m=%d k=%d: core size %d, want %d", m, k, len(core), 2*k+1)
+			}
+		}
+	}
+}
+
+func TestNearAcyclicHypergraphParamErrors(t *testing.T) {
+	for _, bad := range [][2]int{{0, 0}, {3, -1}, {3, 3}, {1, 1}} {
+		if _, err := NearAcyclicHypergraph(bad[0], bad[1]); err == nil {
+			t.Errorf("m=%d k=%d: expected parameter error", bad[0], bad[1])
+		}
+	}
+}

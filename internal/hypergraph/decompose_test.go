@@ -1,0 +1,158 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// coreVerts returns the union of the core edges' vertices in h.
+func coreVerts(h *Hypergraph, core []int) map[string]bool {
+	out := make(map[string]bool)
+	for _, i := range core {
+		for _, v := range h.Edge(i) {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// checkDecomposition verifies the structural contract of
+// CoreDecomposition on any hypergraph: the eliminations plus the core
+// partition the edge indices, core size agrees with IsAcyclic, and every
+// elimination's cover is alive (not yet eliminated) at removal time.
+func checkDecomposition(t *testing.T, h *Hypergraph) ([]Elimination, []int) {
+	t.Helper()
+	elim, core := h.CoreDecomposition()
+	if len(elim)+len(core) != h.NumEdges() {
+		t.Fatalf("eliminations (%d) + core (%d) != edges (%d)", len(elim), len(core), h.NumEdges())
+	}
+	seen := make(map[int]bool)
+	removed := make(map[int]bool)
+	for _, e := range elim {
+		if seen[e.Edge] {
+			t.Fatalf("edge %d eliminated twice", e.Edge)
+		}
+		seen[e.Edge] = true
+		if removed[e.Cover] {
+			t.Fatalf("edge %d covered by %d, which was already eliminated", e.Edge, e.Cover)
+		}
+		if e.Cover == e.Edge {
+			t.Fatalf("edge %d covers itself", e.Edge)
+		}
+		removed[e.Edge] = true
+	}
+	for _, i := range core {
+		if seen[i] {
+			t.Fatalf("edge %d both eliminated and in core", i)
+		}
+		seen[i] = true
+	}
+	if acyclic := h.IsAcyclic(); acyclic != (len(core) <= 1) {
+		t.Fatalf("IsAcyclic=%v but core size %d", acyclic, len(core))
+	}
+	return elim, core
+}
+
+func TestCoreDecompositionFamilies(t *testing.T) {
+	cases := []struct {
+		name     string
+		h        *Hypergraph
+		wantCore int
+	}{
+		{"path", Path(6), 1},
+		{"star", Star(5), 1},
+		{"triangle", Triangle(), 3},
+		{"cycle4", Cycle(4), 4},
+		{"cycle6", Cycle(6), 6},
+		{"allbutone4", AllButOne(4), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, core := checkDecomposition(t, tc.h)
+			// Acyclic families reduce to at most one edge; cyclic cores
+			// keep every edge of these fully cyclic families.
+			want := tc.wantCore
+			if want <= 1 && len(core) > 1 {
+				t.Fatalf("core %v for acyclic family", core)
+			}
+			if want > 1 && len(core) != want {
+				t.Fatalf("core size %d, want %d", len(core), want)
+			}
+		})
+	}
+}
+
+func TestCoreDecompositionPathPlusChords(t *testing.T) {
+	// Path A1..A7 plus chords {A1,A3},{A1,A4}: the hand-verified
+	// near-acyclic family — core is the first k+1 path edges plus the k
+	// chords, fringe is the rest of the path.
+	h := Must(
+		[]string{"A1", "A2"}, []string{"A2", "A3"}, []string{"A3", "A4"},
+		[]string{"A4", "A5"}, []string{"A5", "A6"}, []string{"A6", "A7"},
+		[]string{"A1", "A3"}, []string{"A1", "A4"},
+	)
+	elim, core := checkDecomposition(t, h)
+	wantCore := map[int]bool{0: true, 1: true, 2: true, 6: true, 7: true}
+	if len(core) != len(wantCore) {
+		t.Fatalf("core %v, want indices %v", core, wantCore)
+	}
+	for _, i := range core {
+		if !wantCore[i] {
+			t.Fatalf("core %v contains unexpected edge %d", core, i)
+		}
+	}
+	// Shared-vertex invariant, checked explicitly: when an edge is
+	// eliminated, every vertex it shares with a still-alive edge must be
+	// in its cover. Replay the eliminations forward.
+	alive := make(map[int]bool)
+	for i := 0; i < h.NumEdges(); i++ {
+		alive[i] = true
+	}
+	for _, e := range elim {
+		cover := make(map[string]bool)
+		for _, v := range h.Edge(e.Cover) {
+			cover[v] = true
+		}
+		for other := range alive {
+			if other == e.Edge {
+				continue
+			}
+			shared := make(map[string]bool)
+			for _, v := range h.Edge(e.Edge) {
+				shared[v] = true
+			}
+			for _, v := range h.Edge(other) {
+				if shared[v] && !cover[v] {
+					t.Fatalf("edge %d shares %q with alive edge %d outside cover %d",
+						e.Edge, v, other, e.Cover)
+				}
+			}
+		}
+		delete(alive, e.Edge)
+	}
+}
+
+func TestCoreDecompositionRandomGraphs(t *testing.T) {
+	// Random 2-uniform hypergraphs (graphs): the structural contract and
+	// the core/IsAcyclic agreement must hold on arbitrary shapes,
+	// including disconnected ones and duplicate edges.
+	rng := rand.New(rand.NewSource(31))
+	names := []string{"A", "B", "C", "D", "E", "F", "G"}
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(len(names)-2)
+		m := 1 + rng.Intn(9)
+		var edges [][]string
+		for len(edges) < m {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, []string{names[u], names[v]})
+		}
+		h, err := New(edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkDecomposition(t, h)
+	}
+}

@@ -1,0 +1,195 @@
+// Differential harness for the parallel solver: the sequential search is
+// the oracle, and every worker count must reproduce its feasibility
+// verdict — on random sparse systems and on the real programs the engine
+// builds from generated instances. Witness contents may differ between
+// runs (workers race to the first solution); witness validity may not.
+package ilp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"bagconsistency/internal/core"
+	"bagconsistency/internal/gen"
+	"bagconsistency/internal/ilp"
+)
+
+// workerSweep is the worker-count grid of the differential suite (1 uses
+// the sequential path by construction).
+var workerSweep = []int{1, 2, 8}
+
+// randomProblem samples a small sparse system; roughly half the draws are
+// infeasible at these densities.
+func randomProblem(rng *rand.Rand) *ilp.Problem {
+	m := 2 + rng.Intn(4)
+	n := 1 + rng.Intn(10)
+	cols := make([][]int, n)
+	for j := range cols {
+		seen := make(map[int]bool)
+		for len(cols[j]) == 0 || rng.Intn(2) == 0 {
+			r := rng.Intn(m)
+			if !seen[r] {
+				seen[r] = true
+				cols[j] = append(cols[j], r)
+			}
+		}
+	}
+	b := make([]int64, m)
+	for i := range b {
+		b[i] = int64(rng.Intn(8))
+	}
+	return &ilp.Problem{M: m, Cols: cols, B: b}
+}
+
+// checkSweep solves p at every worker count and LP-pruning setting and
+// fails unless all verdicts match want and every SAT witness verifies.
+func checkSweep(t *testing.T, p *ilp.Problem, want bool, label string) {
+	t.Helper()
+	for _, lp := range []bool{false, true} {
+		for _, w := range workerSweep {
+			sol, err := ilp.Solve(p, ilp.Options{Workers: w, LPPruning: lp})
+			if err != nil {
+				t.Fatalf("%s: workers=%d lp=%v: %v", label, w, lp, err)
+			}
+			if sol.Feasible != want {
+				t.Fatalf("%s: workers=%d lp=%v: verdict %v, sequential oracle %v",
+					label, w, lp, sol.Feasible, want)
+			}
+			if sol.Feasible && !p.Verify(sol.X) {
+				t.Fatalf("%s: workers=%d lp=%v: witness %v does not verify", label, w, lp, sol.X)
+			}
+			if sol.Nodes <= 0 {
+				t.Fatalf("%s: workers=%d lp=%v: nonpositive node count %d", label, w, lp, sol.Nodes)
+			}
+		}
+	}
+}
+
+func TestDifferentialRandomProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		p := randomProblem(rng)
+		oracle, err := ilp.Solve(p, ilp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: sequential oracle: %v", trial, err)
+		}
+		checkSweep(t, p, oracle.Feasible, "random")
+	}
+}
+
+func TestDifferentialBranchOrder(t *testing.T) {
+	// Low-first and high-first explore mirrored trees; the parallel sweep
+	// must agree with the oracle under both orders.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		p := randomProblem(rng)
+		oracle, err := ilp.Solve(p, ilp.Options{BranchLowFirst: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerSweep {
+			sol, err := ilp.Solve(p, ilp.Options{Workers: w, BranchLowFirst: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Feasible != oracle.Feasible {
+				t.Fatalf("trial %d: workers=%d low-first verdict %v, oracle %v",
+					trial, w, sol.Feasible, oracle.Feasible)
+			}
+			if sol.Feasible && !p.Verify(sol.X) {
+				t.Fatalf("trial %d: workers=%d low-first witness does not verify", trial, w)
+			}
+		}
+	}
+}
+
+// engineProgram builds the real P(R1,...,Rm) of a collection, exactly what
+// the checker hands the solver.
+func engineProgram(t *testing.T, c *core.Collection) *ilp.Problem {
+	t.Helper()
+	p, _, err := c.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDifferentialEngineCorpora(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+
+	// Feasible: margins of random 3-dimensional contingency tables.
+	for trial := 0; trial < 6; trial++ {
+		inst, err := gen.RandomThreeDCT(rng, 2+rng.Intn(2), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll, err := inst.ToCollection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSweep(t, engineProgram(t, coll), true, "threedct")
+	}
+
+	// Infeasible but pairwise consistent: the NP-hard regime's core shape.
+	for trial := 0; trial < 3; trial++ {
+		inst, err := gen.InfeasibleThreeDCT(rng, 2, 3, 200, 200_000)
+		if err != nil {
+			t.Skipf("no infeasible instance found at this seed: %v", err)
+		}
+		coll, err := inst.ToCollection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSweep(t, engineProgram(t, coll), false, "infeasible-threedct")
+	}
+
+	// Feasible near-acyclic schemas: path plus chords at every k.
+	for k := 0; k <= 3; k++ {
+		h, err := gen.NearAcyclicHypergraph(5, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll, _, err := gen.RandomConsistent(rng, h, 4, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSweep(t, engineProgram(t, coll), true, "near-acyclic")
+	}
+}
+
+func TestDifferentialColumnPermutation(t *testing.T) {
+	// Metamorphic at the solver layer: permuting columns is a relabeling
+	// of variables, so the verdict is invariant and MaxNodes is respected
+	// on both sides.
+	rng := rand.New(rand.NewSource(19))
+	const budget = 1 << 20
+	for trial := 0; trial < 60; trial++ {
+		p := randomProblem(rng)
+		perm := rng.Perm(len(p.Cols))
+		q := &ilp.Problem{M: p.M, Cols: make([][]int, len(p.Cols)), B: p.B}
+		for j, pj := range perm {
+			q.Cols[pj] = p.Cols[j]
+		}
+		for _, w := range workerSweep {
+			opts := ilp.Options{Workers: w, MaxNodes: budget}
+			a, err := ilp.Solve(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ilp.Solve(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Feasible != b.Feasible {
+				t.Fatalf("trial %d workers=%d: permuted verdict %v != original %v",
+					trial, w, b.Feasible, a.Feasible)
+			}
+			if a.Nodes > budget+int64(w) || b.Nodes > budget+int64(w) {
+				t.Fatalf("trial %d workers=%d: node budget exceeded: %d / %d", trial, w, a.Nodes, b.Nodes)
+			}
+			if b.Feasible && !q.Verify(b.X) {
+				t.Fatalf("trial %d workers=%d: permuted witness does not verify", trial, w)
+			}
+		}
+	}
+}

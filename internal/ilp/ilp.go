@@ -49,6 +49,14 @@ type Options struct {
 	// low-first is kept as an ablation and explores the same tree on
 	// infeasible instances.
 	BranchLowFirst bool
+	// Workers sets the number of concurrent search workers for Solve. 0 or
+	// 1 runs the sequential search; n > 1 runs the work-stealing parallel
+	// search of parallel.go. The feasibility verdict and the validity of
+	// any returned witness are identical for every worker count; the
+	// specific witness found and the node count may differ run to run.
+	// Enumerate and Count always run sequentially (their deterministic
+	// emission order is part of their contract).
+	Workers int
 }
 
 // DefaultMaxNodes is the node budget used when Options.MaxNodes is 0.
@@ -60,8 +68,16 @@ type Solution struct {
 	Feasible bool
 	// X is a feasible assignment (nil when infeasible).
 	X []int64
-	// Nodes is the number of search nodes explored.
+	// Nodes is the number of search nodes explored. Under the parallel
+	// search this varies run to run (workers race to the first solution);
+	// it never exceeds MaxNodes by more than the worker count.
 	Nodes int64
+	// Steals counts frontier handoffs between workers (parallel search
+	// only; 0 for the sequential path).
+	Steals int64
+	// Idles counts worker transitions into the idle state while waiting
+	// for stealable work (parallel search only).
+	Idles int64
 }
 
 // validate checks problem well-formedness.
@@ -158,19 +174,26 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 // periodically and unwinds with ctx.Err() once it is done or past its
 // deadline.
 func SolveContext(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
+	if opts.Workers > 1 {
+		return solveParallel(ctx, p, opts)
+	}
 	sr, st, err := newSearch(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
 	var found []int64
-	err = sr.dfs(st, func(x []int64) error {
+	solved := false
+	err = sr.dfs(st, nil, func(x []int64) error {
+		// An explicit flag, not found != nil: the zero-column program's
+		// solution is the empty slice, which append leaves nil.
 		found = append([]int64(nil), x...)
+		solved = true
 		return errStop
 	})
 	if err != nil && !errors.Is(err, errStop) {
 		return nil, err
 	}
-	if found == nil {
+	if !solved {
 		return &Solution{Feasible: false, Nodes: sr.nodes}, nil
 	}
 	return &Solution{Feasible: true, X: found, Nodes: sr.nodes}, nil
@@ -203,7 +226,7 @@ func EnumerateContext(ctx context.Context, p *Problem, opts Options, fn func(x [
 	if err != nil {
 		return err
 	}
-	return sr.dfs(st, fn)
+	return sr.dfs(st, nil, fn)
 }
 
 // errStop is a sentinel used by Solve to stop after the first solution.
@@ -295,26 +318,29 @@ func (st *state) done() bool {
 }
 
 // lpFeasible checks the rational relaxation of the residual subproblem.
-func (sr *searcher) lpFeasible(st *state) (bool, error) {
+// hint is the basis of a related relaxation (the parent node's, in stable
+// original-column ids) used to warm-start the simplex; the returned basis
+// is handed down to child nodes the same way.
+func (sr *searcher) lpFeasible(st *state, hint lp.Basis) (bool, lp.Basis, error) {
 	var cols [][]int
+	var ids []int
 	for j, rows := range sr.p.Cols {
 		if st.active[j] {
 			cols = append(cols, rows)
+			ids = append(ids, j)
 		}
 	}
 	if len(cols) == 0 {
-		return st.done(), nil
+		return st.done(), nil, nil
 	}
-	res, err := lp.SolveSparse(sr.p.M, cols, st.residual, nil)
-	if err != nil {
-		return false, err
-	}
-	return res.Feasible, nil
+	return lp.FeasibleSparseWarm(sr.p.M, cols, st.residual, ids, hint)
 }
 
 // dfs runs the branch-and-bound search. fn is invoked on each complete
-// solution; returning errStop (or any error) unwinds the search.
-func (sr *searcher) dfs(st *state, fn func(x []int64) error) error {
+// solution; returning errStop (or any error) unwinds the search. hint is
+// the LP basis of the parent node's relaxation (nil at the root), threaded
+// down so each node's simplex warm-starts from its parent.
+func (sr *searcher) dfs(st *state, hint lp.Basis, fn func(x []int64) error) error {
 	sr.nodes++
 	if sr.nodes > sr.maxNodes {
 		return ErrNodeLimit
@@ -340,14 +366,16 @@ func (sr *searcher) dfs(st *state, fn func(x []int64) error) error {
 		}
 		return fn(sol)
 	}
+	basis := hint
 	if sr.opts.LPPruning {
-		ok, err := sr.lpFeasible(st)
+		ok, b, err := sr.lpFeasible(st, hint)
 		if err != nil {
 			return err
 		}
 		if !ok {
 			return nil
 		}
+		basis = b
 	}
 
 	// Pick the unsatisfied row with the fewest active columns, then branch
@@ -392,7 +420,7 @@ func (sr *searcher) dfs(st *state, fn func(x []int64) error) error {
 		if !sr.assign(child, branch, v) {
 			return nil
 		}
-		return sr.dfs(child, fn)
+		return sr.dfs(child, basis, fn)
 	}
 	if sr.opts.BranchLowFirst {
 		for v := int64(0); v <= ub; v++ {

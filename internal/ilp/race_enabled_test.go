@@ -1,0 +1,7 @@
+//go:build race
+
+package ilp_test
+
+// raceEnabled scales the concurrency-hammer tests up when the race
+// detector is on (mirrors internal/core's pattern).
+const raceEnabled = true

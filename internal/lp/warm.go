@@ -1,0 +1,207 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// Basis names the basic columns of a feasible tableau by caller-stable
+// column identifiers, so a basis can be carried between related solves
+// whose active column sets differ (the branch-and-bound of package ilp
+// deactivates columns as it assigns them, but the surviving columns keep
+// their original indices).
+type Basis []int
+
+// FeasibleSparseWarm decides rational feasibility of the 0/1 system
+// Σ_{j : i ∈ cols[j]} x_j = b[i], x ≥ 0, with an optional warm start.
+//
+// ids[j] is a caller-stable identifier for column j (nil means the local
+// index is the identifier). hint, when non-nil, names by stable id the
+// columns that were basic in a related solve — typically the parent
+// node's relaxation in a branch-and-bound tree. Hinted columns are
+// crash-pivoted into the phase-1 basis with an exact ratio test before
+// simplex runs: each successful crash pivot replaces one artificial
+// variable while keeping the tableau primal-feasible, so phase 1
+// usually starts at (or one pivot from) optimality instead of
+// rediscovering the parent's basis pivot by pivot. Hints that no longer
+// apply — ids absent from this solve, columns whose ratio-test row holds
+// a real variable — are skipped, never trusted; the answer is exact for
+// any hint, including an adversarial one.
+//
+// It returns feasibility and, when feasible, the final basis as sorted
+// stable ids for reuse by sibling and child solves.
+func FeasibleSparseWarm(m int, cols [][]int, b []int64, ids []int, hint Basis) (bool, Basis, error) {
+	n := len(cols)
+	if m <= 0 {
+		return false, nil, fmt.Errorf("lp: need at least one row")
+	}
+	if len(b) != m {
+		return false, nil, fmt.Errorf("lp: b has %d entries, want %d", len(b), m)
+	}
+	if ids != nil && len(ids) != n {
+		return false, nil, fmt.Errorf("lp: ids has %d entries, want %d", len(ids), n)
+	}
+	if n == 0 {
+		for _, v := range b {
+			if v != 0 {
+				return false, nil, nil
+			}
+		}
+		return true, nil, nil
+	}
+
+	// Phase-1 tableau, columns 0..n-1 real, n..n+m-1 artificial, last rhs.
+	width := n + m + 1
+	t := make([][]*big.Rat, m+1)
+	for i := 0; i <= m; i++ {
+		t[i] = make([]*big.Rat, width)
+		for j := range t[i] {
+			t[i][j] = new(big.Rat)
+		}
+	}
+	for j, rows := range cols {
+		for _, i := range rows {
+			if i < 0 || i >= m {
+				return false, nil, fmt.Errorf("lp: column %d references row %d outside [0,%d)", j, i, m)
+			}
+			t[i][j].SetInt64(1)
+		}
+	}
+	for i := 0; i < m; i++ {
+		if b[i] < 0 {
+			for j := 0; j < n; j++ {
+				t[i][j].Neg(t[i][j])
+			}
+			t[i][width-1].SetInt64(-b[i])
+		} else {
+			t[i][width-1].SetInt64(b[i])
+		}
+		t[i][n+i].SetInt64(1)
+	}
+	basis := make([]int, m)
+	isBasic := make([]bool, n+m)
+	for i := range basis {
+		basis[i] = n + i
+		isBasic[n+i] = true
+	}
+	obj := t[m]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			obj[j].Sub(obj[j], t[i][j])
+		}
+		obj[width-1].Sub(obj[width-1], t[i][width-1])
+	}
+
+	pivot := func(row, col int) {
+		inv := new(big.Rat).Inv(t[row][col])
+		for j := 0; j < width; j++ {
+			t[row][j].Mul(t[row][j], inv)
+		}
+		for i := 0; i <= m; i++ {
+			if i == row || t[i][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(t[i][col])
+			for j := 0; j < width; j++ {
+				tmp := new(big.Rat).Mul(f, t[row][j])
+				t[i][j].Sub(t[i][j], tmp)
+			}
+		}
+		isBasic[basis[row]] = false
+		isBasic[col] = true
+		basis[row] = col
+	}
+
+	// Crash phase: replay the hinted basis. Each hint pivots its column in
+	// at an exact min-ratio row — which preserves rhs ≥ 0 — but only when
+	// that row's basic variable is artificial, so crash pivots strictly
+	// drive artificials out and never evict a previously crashed column.
+	if len(hint) > 0 {
+		idPos := make(map[int]int, n)
+		if ids != nil {
+			for j, id := range ids {
+				idPos[id] = j
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				idPos[j] = j
+			}
+		}
+		for _, hid := range hint {
+			col, ok := idPos[hid]
+			if !ok || isBasic[col] {
+				continue
+			}
+			var best *big.Rat
+			for i := 0; i < m; i++ {
+				if t[i][col].Sign() > 0 {
+					ratio := new(big.Rat).Quo(t[i][width-1], t[i][col])
+					if best == nil || ratio.Cmp(best) < 0 {
+						best = ratio
+					}
+				}
+			}
+			if best == nil {
+				continue
+			}
+			row := -1
+			for i := 0; i < m; i++ {
+				if basis[i] >= n && t[i][col].Sign() > 0 &&
+					new(big.Rat).Quo(t[i][width-1], t[i][col]).Cmp(best) == 0 {
+					row = i
+					break
+				}
+			}
+			if row < 0 {
+				continue // min ratio only at rows holding real variables
+			}
+			pivot(row, col)
+		}
+	}
+
+	// Bland phase 1 from the crashed basis; Bland's rule terminates from
+	// any starting basis, so the crash cannot introduce cycling.
+	for {
+		col := -1
+		for j := 0; j < n+m; j++ {
+			if obj[j].Sign() < 0 {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			break
+		}
+		row := -1
+		var best *big.Rat
+		for i := 0; i < m; i++ {
+			if t[i][col].Sign() > 0 {
+				ratio := new(big.Rat).Quo(t[i][width-1], t[i][col])
+				if row < 0 || ratio.Cmp(best) < 0 ||
+					(ratio.Cmp(best) == 0 && basis[i] < basis[row]) {
+					row, best = i, ratio
+				}
+			}
+		}
+		if row < 0 {
+			return false, nil, fmt.Errorf("lp: phase-1 objective unbounded (internal error)")
+		}
+		pivot(row, col)
+	}
+	if obj[width-1].Sign() != 0 {
+		return false, nil, nil
+	}
+	var out Basis
+	for _, bj := range basis {
+		if bj < n {
+			if ids != nil {
+				out = append(out, ids[bj])
+			} else {
+				out = append(out, bj)
+			}
+		}
+	}
+	sort.Ints(out)
+	return true, out, nil
+}

@@ -1,0 +1,109 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSparseSystem returns a random 0/1 sparse system in the
+// (m, cols, b) form shared by FeasibleSparseWarm and SolveSparse.
+func randomSparseSystem(rng *rand.Rand) (int, [][]int, []int64) {
+	m := 1 + rng.Intn(5)
+	n := 1 + rng.Intn(8)
+	cols := make([][]int, n)
+	for j := range cols {
+		seen := make(map[int]bool)
+		for len(cols[j]) == 0 || rng.Intn(2) == 0 {
+			r := rng.Intn(m)
+			if !seen[r] {
+				seen[r] = true
+				cols[j] = append(cols[j], r)
+			}
+		}
+	}
+	b := make([]int64, m)
+	for i := range b {
+		b[i] = int64(rng.Intn(6))
+	}
+	return m, cols, b
+}
+
+// TestWarmAgreesWithSolveSparse cross-checks the warm-start feasibility
+// solver against the reference solver on random systems, with no hint,
+// with its own returned basis as hint, and with a garbage hint — the
+// answer must be identical in all cases.
+func TestWarmAgreesWithSolveSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		m, cols, b := randomSparseSystem(rng)
+		ref, err := SolveSparse(m, cols, b, nil)
+		if err != nil {
+			t.Fatalf("trial %d: SolveSparse: %v", trial, err)
+		}
+		ids := make([]int, len(cols))
+		for j := range ids {
+			ids[j] = 100 + 3*j // stable ids need not be dense indices
+		}
+		cold, basis, err := FeasibleSparseWarm(m, cols, b, ids, nil)
+		if err != nil {
+			t.Fatalf("trial %d: cold warm-solver: %v", trial, err)
+		}
+		if cold != ref.Feasible {
+			t.Fatalf("trial %d: cold verdict %v, reference %v (m=%d cols=%v b=%v)",
+				trial, cold, ref.Feasible, m, cols, b)
+		}
+		// Self-hint: replaying the returned basis must not change the answer.
+		selfed, _, err := FeasibleSparseWarm(m, cols, b, ids, basis)
+		if err != nil {
+			t.Fatalf("trial %d: self-hinted warm-solver: %v", trial, err)
+		}
+		if selfed != ref.Feasible {
+			t.Fatalf("trial %d: self-hinted verdict %v, reference %v", trial, selfed, ref.Feasible)
+		}
+		// Garbage hint: unknown ids and arbitrary repeats must be ignored.
+		garbage := Basis{-5, 100, 100, 99999, 103}
+		dirty, _, err := FeasibleSparseWarm(m, cols, b, ids, garbage)
+		if err != nil {
+			t.Fatalf("trial %d: garbage-hinted warm-solver: %v", trial, err)
+		}
+		if dirty != ref.Feasible {
+			t.Fatalf("trial %d: garbage-hinted verdict %v, reference %v", trial, dirty, ref.Feasible)
+		}
+	}
+}
+
+func TestWarmBasisIsStableIDs(t *testing.T) {
+	// x0 + x1 = 2 (row 0), x1 = 1 (row 1): feasible, and any basis must
+	// name columns through the ids mapping.
+	ids := []int{42, 17}
+	ok, basis, err := FeasibleSparseWarm(2, [][]int{{0}, {0, 1}}, []int64{2, 1}, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("system should be feasible")
+	}
+	for _, id := range basis {
+		if id != 42 && id != 17 {
+			t.Fatalf("basis %v contains id outside the ids mapping", basis)
+		}
+	}
+}
+
+func TestWarmEmptyAndDegenerate(t *testing.T) {
+	if ok, _, err := FeasibleSparseWarm(2, nil, []int64{0, 0}, nil, nil); err != nil || !ok {
+		t.Fatalf("no columns, zero rhs: ok=%v err=%v, want feasible", ok, err)
+	}
+	if ok, _, err := FeasibleSparseWarm(2, nil, []int64{0, 1}, nil, nil); err != nil || ok {
+		t.Fatalf("no columns, nonzero rhs: ok=%v err=%v, want infeasible", ok, err)
+	}
+	if _, _, err := FeasibleSparseWarm(0, nil, nil, nil, nil); err == nil {
+		t.Fatal("m=0 should error")
+	}
+	if _, _, err := FeasibleSparseWarm(2, [][]int{{0}}, []int64{1, 0}, []int{1, 2}, nil); err == nil {
+		t.Fatal("ids length mismatch should error")
+	}
+	if _, _, err := FeasibleSparseWarm(2, [][]int{{7}}, []int64{1, 0}, nil, nil); err == nil {
+		t.Fatal("out-of-range row should error")
+	}
+}

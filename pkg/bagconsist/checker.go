@@ -227,6 +227,8 @@ func (c *Checker) checkGlobalUncached(ctx context.Context, coll *Collection) (*R
 		Method:     string(dec.Method),
 		Bags:       coll.Len(),
 		Nodes:      dec.Nodes,
+		Steals:     dec.Steals,
+		Idles:      dec.Idles,
 		Elapsed:    time.Since(start),
 	}
 	if dec.Witness != nil {

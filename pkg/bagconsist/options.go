@@ -53,7 +53,12 @@ type config struct {
 	branchLowFirst  bool
 	minimizeWitness bool
 	parallelism     int
-	cache           *Cache
+	// solverParallelism is the worker count of the integer search itself;
+	// 0 means "follow parallelism". It never changes verdicts, only how
+	// the search tree is walked.
+	solverParallelism int
+	decompose         bool
+	cache             *Cache
 
 	// Persistence wiring, resolved by New after all options applied (so
 	// option order cannot matter): persistDir is opened into store when
@@ -69,20 +74,27 @@ type config struct {
 
 func defaultConfig() config {
 	return config{
-		method:          Auto,
-		minimizeWitness: true,
-		parallelism:     runtime.GOMAXPROCS(0),
+		method:            Auto,
+		minimizeWitness:   true,
+		parallelism:       runtime.GOMAXPROCS(0),
+		solverParallelism: 1,
 	}
 }
 
 // global projects the config onto the internal options type.
 func (c config) global() core.GlobalOptions {
+	workers := c.solverParallelism
+	if workers == 0 {
+		workers = c.parallelism
+	}
 	return core.GlobalOptions{
 		ForceILP:                c.method == ILP,
 		SkipWitnessMinimization: !c.minimizeWitness,
 		MaxNodes:                c.maxNodes,
 		LPPruning:               c.lpPruning,
 		BranchLowFirst:          c.branchLowFirst,
+		SolverWorkers:           workers,
+		Decompose:               c.decompose,
 	}
 }
 
@@ -130,6 +142,34 @@ func WithParallelism(n int) Option {
 		}
 		c.parallelism = n
 	}
+}
+
+// WithSolverParallelism sets the worker count of the integer search that
+// decides cyclic instances: n > 1 runs the work-stealing parallel
+// branch-and-bound inside each query, n == 1 (the default) keeps the
+// search sequential, and n == 0 sizes the search from the Checker's
+// Parallelism(). The feasibility verdict and the validity of any witness
+// are identical for every worker count — only wall time and node counts
+// change — so cache keys deliberately ignore this knob. The default stays
+// sequential because CheckBatch already runs Parallelism() queries
+// concurrently; turn this up for single expensive cyclic instances.
+func WithSolverParallelism(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 1
+		}
+		c.solverParallelism = n
+	}
+}
+
+// WithDecomposition enables the decomposition-hybrid procedure on cyclic
+// schemas: GYO strips the acyclic fringe, the integer search runs only on
+// the cyclic core, and the fringe is reattached around the core witness by
+// the polynomial pairwise composition. Near-acyclic instances — a small
+// cyclic core inside a large acyclic schema — collapse from exponential in
+// the whole schema to exponential in the core only. Off by default.
+func WithDecomposition(on bool) Option {
+	return func(c *config) { c.decompose = on }
 }
 
 // WithCache gives the Checker a private result cache holding up to size
