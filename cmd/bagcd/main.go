@@ -16,6 +16,7 @@
 //	      [-max-nodes N] [-default-timeout 0] [-max-timeout 60s]
 //	      [-admission fifo|hardness] [-shed-threshold 0.5]
 //	      [-expensive-support N]
+//	      [-trace-slow-ms N] [-trace-ring N] [-log-format text|json]
 //	      [-drain-timeout 30s] [-max-batch-lines N] [-version]
 //
 // -solver-parallelism runs the integer search for a single cyclic
@@ -34,6 +35,16 @@
 // estimated queue wait + service time shed immediately. See
 // docs/SERVING.md "Admission control".
 //
+// Every request carrying a W3C traceparent header records a phase-span
+// tree (queue wait, cache tiers, engine phases down to the ILP search)
+// into a bounded ring served by GET /debug/traces, and returns the tree
+// in Report.Phases. -trace-slow-ms N additionally traces every request
+// and captures those slower than N ms (N=0 captures all) into a slow
+// ring (/debug/traces?slow=1) — persisted to <data-dir>/slow_traces.ndjson
+// when -data-dir is set. Access logs are structured (log/slog; request
+// id = trace id); -log-format json switches them to JSON. See
+// docs/OBSERVABILITY.md.
+//
 // Endpoints (see docs/SERVING.md for wire formats):
 //
 //	POST /v1/check        global consistency of one collection
@@ -41,6 +52,7 @@
 //	POST /v1/batch        NDJSON streaming batch
 //	GET  /healthz         liveness, queue and cache occupancy
 //	GET  /metrics         Prometheus text exposition
+//	GET  /debug/traces    recent request traces (?slow=1: slow captures)
 package main
 
 import (
@@ -49,18 +61,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"bagconsistency/internal/buildinfo"
 	"bagconsistency/internal/metrics"
 	"bagconsistency/internal/service"
+	"bagconsistency/internal/trace"
 	"bagconsistency/pkg/bagconsist"
 )
 
@@ -91,7 +105,12 @@ type options struct {
 	admission         string
 	shedThreshold     float64
 	expensiveSupport  int
+	traceSlowMs       int64
+	traceRing         int
+	logFormat         string
 	storeLogf         func(format string, args ...any) // recovery warnings; tests capture it
+	accessLog         *slog.Logger                     // set by run(); tests may inject their own
+	slow              *trace.SlowCapture               // built by buildServer when -trace-slow-ms >= 0
 }
 
 func parseFlags(args []string, out io.Writer) (*options, bool, error) {
@@ -115,6 +134,9 @@ func parseFlags(args []string, out io.Writer) (*options, bool, error) {
 	fs.StringVar(&opt.admission, "admission", "fifo", "admission policy: fifo (drop-tail) or hardness (shed predicted-expensive work first under overload)")
 	fs.Float64Var(&opt.shedThreshold, "shed-threshold", service.DefaultShedThreshold, "queue-occupancy fraction beyond which -admission hardness sheds expensive requests")
 	fs.IntVar(&opt.expensiveSupport, "expensive-support", service.DefaultExpensiveSupport, "total tuple support above which a request is classed expensive regardless of schema")
+	fs.Int64Var(&opt.traceSlowMs, "trace-slow-ms", -1, "trace every request and capture those slower than N ms (0 captures all; -1 disables — traceparent-carrying requests are still traced)")
+	fs.IntVar(&opt.traceRing, "trace-ring", service.DefaultTraceRingSize, "recent request traces kept for GET /debug/traces")
+	fs.StringVar(&opt.logFormat, "log-format", "text", "structured log encoding: text or json")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, false, err
@@ -167,6 +189,15 @@ func (o *options) validate() error {
 	}
 	if o.expensiveSupport < 1 {
 		return fmt.Errorf("-expensive-support must be at least 1, got %d", o.expensiveSupport)
+	}
+	if o.traceSlowMs < -1 {
+		return fmt.Errorf("-trace-slow-ms must be >= -1, got %d", o.traceSlowMs)
+	}
+	if o.traceRing < 1 {
+		return fmt.Errorf("-trace-ring must be at least 1, got %d", o.traceRing)
+	}
+	if o.logFormat != "text" && o.logFormat != "json" {
+		return fmt.Errorf("-log-format must be text or json, got %q", o.logFormat)
 	}
 	return nil
 }
@@ -231,11 +262,25 @@ func buildServer(opt *options) (*service.Service, http.Handler, *bagconsist.Stor
 	if err != nil {
 		return fail(err)
 	}
+	if opt.traceSlowMs >= 0 && opt.slow == nil {
+		slowPath := ""
+		if opt.dataDir != "" {
+			slowPath = filepath.Join(opt.dataDir, "slow_traces.ndjson")
+		}
+		opt.slow, err = trace.NewSlowCapture(time.Duration(opt.traceSlowMs)*time.Millisecond, opt.traceRing, slowPath)
+		if err != nil {
+			return fail(fmt.Errorf("slow-trace capture: %w", err))
+		}
+	}
 	handler, err := service.NewHandler(service.ServerConfig{
 		Service:       svc,
 		Metrics:       reg,
 		Cache:         cache,
 		MaxBatchLines: opt.maxBatchLines,
+		TraceRingSize: opt.traceRing,
+		TraceAll:      opt.traceSlowMs >= 0,
+		Slow:          opt.slow,
+		AccessLog:     opt.accessLog,
 	})
 	if err != nil {
 		return fail(err)
@@ -248,24 +293,38 @@ func run(args []string, out io.Writer) error {
 	if err != nil || done {
 		return err
 	}
-	logger := log.New(out, "bagcd: ", log.LstdFlags)
+	var lh slog.Handler
+	if opt.logFormat == "json" {
+		lh = slog.NewJSONHandler(out, nil)
+	} else {
+		lh = slog.NewTextHandler(out, nil)
+	}
+	logger := slog.New(lh)
 	if opt.storeLogf == nil {
-		opt.storeLogf = logger.Printf
+		opt.storeLogf = func(format string, args ...any) {
+			logger.Warn(fmt.Sprintf(format, args...))
+		}
+	}
+	if opt.accessLog == nil {
+		opt.accessLog = logger
 	}
 
 	svc, handler, st, err := buildServer(opt)
 	if err != nil {
 		return err
 	}
+	if opt.slow != nil {
+		defer opt.slow.Close()
+	}
 	if st != nil {
 		defer func() {
 			if cerr := st.Close(); cerr != nil {
-				logger.Printf("closing store: %v", cerr)
+				logger.Error("closing store", "error", cerr)
 			}
 		}()
 		s := st.Stats()
-		logger.Printf("persistent store %s: %d records in %d segments (%d bytes)",
-			opt.dataDir, s.Records, s.Segments, s.DiskBytes)
+		logger.Info("persistent store open",
+			"dir", opt.dataDir, "records", s.Records, "segments", s.Segments, "disk_bytes", s.DiskBytes)
 	}
 	// Optional profiling endpoint, on its own listener so the debug
 	// surface never shares a port (or handler namespace) with production
@@ -282,10 +341,10 @@ func run(args []string, out io.Writer) error {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		logger.Printf("pprof listening on %s", pln.Addr())
+		logger.Info("pprof listening", "addr", pln.Addr().String())
 		go func() {
 			if err := http.Serve(pln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
-				logger.Printf("pprof server: %v", err)
+				logger.Error("pprof server", "error", err)
 			}
 		}()
 	}
@@ -295,8 +354,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	// The resolved address is part of the contract: with port 0 it is the
-	// only way callers (and the smoke test) learn where to connect.
-	logger.Printf("listening on %s (%s)", ln.Addr(), buildinfo.String())
+	// only way callers (and the smoke test) learn where to connect. The
+	// message keeps the "listening on <addr>" shape that tooling greps.
+	version, commit := buildinfo.VersionCommit()
+	logger.Info(fmt.Sprintf("listening on %s", ln.Addr()),
+		"addr", ln.Addr().String(), "version", version, "commit", commit)
 
 	srv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
@@ -306,7 +368,7 @@ func run(args []string, out io.Writer) error {
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		logger.Printf("received %v, draining (timeout %v)", sig, opt.drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "timeout", opt.drainTimeout.String())
 	case err := <-serveErr:
 		return err
 	}
@@ -326,6 +388,6 @@ func run(args []string, out io.Writer) error {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Printf("drained, exiting")
+	logger.Info("drained, exiting")
 	return nil
 }

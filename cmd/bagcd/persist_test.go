@@ -284,7 +284,7 @@ func startDaemonProcess(t *testing.T, bin string, args ...string) string {
 	daemonMu.Unlock()
 
 	sc := bufio.NewScanner(stdout)
-	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrRe := regexp.MustCompile(`listening on ([^"\s]+)`)
 	lineCh := make(chan string, 1)
 	go func() {
 		for sc.Scan() {

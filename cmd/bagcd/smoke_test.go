@@ -301,7 +301,7 @@ func TestBagcdBinarySIGTERMDrain(t *testing.T) {
 
 	// The first log line carries the resolved random port.
 	sc := bufio.NewScanner(stdout)
-	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrRe := regexp.MustCompile(`listening on ([^"\s]+)`)
 	var addr string
 	for sc.Scan() {
 		if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"bagconsistency/internal/gen"
+	"bagconsistency/internal/hypergraph"
+	"bagconsistency/internal/trace"
+	"bagconsistency/pkg/bagclient"
+	"bagconsistency/pkg/bagconsist"
+)
+
+// walkSpans asserts the structural invariants of one span subtree: every
+// span is named, durations are non-negative, and each child's interval
+// nests inside its parent's. Returns the number of spans visited.
+func walkSpans(t *testing.T, n *trace.Node, traceID string) int {
+	t.Helper()
+	if n.Name == "" {
+		t.Errorf("trace %s: unnamed span", traceID)
+	}
+	if n.DurationNs < 0 {
+		t.Errorf("trace %s: span %s has negative duration %d", traceID, n.Name, n.DurationNs)
+	}
+	count := 1
+	end := n.StartNs + n.DurationNs
+	for _, c := range n.Children {
+		if c.StartNs < n.StartNs || c.StartNs+c.DurationNs > end {
+			t.Errorf("trace %s: child %s [%d,%d] escapes parent %s [%d,%d]",
+				traceID, c.Name, c.StartNs, c.StartNs+c.DurationNs, n.Name, n.StartNs, end)
+		}
+		count += walkSpans(t, c, traceID)
+	}
+	return count
+}
+
+// findSpan returns the first span with the given name in depth-first
+// order, or nil.
+func findSpan(n *trace.Node, name string) *trace.Node {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if found := findSpan(c, name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// findPhase is findSpan over the wire-format phase tree.
+func findPhase(ps []bagconsist.PhaseSpan, name string) *bagconsist.PhaseSpan {
+	for i := range ps {
+		if ps[i].Name == name {
+			return &ps[i]
+		}
+		if found := findPhase(ps[i].Children, name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// TestTraceSmoke is the CI trace smoke: boot the full daemon stack with
+// -trace-slow-ms 0 (trace and capture everything), drive mixed
+// acyclic/cyclic requests, then assert
+//
+//  1. /debug/traces serves well-formed balanced span trees — children
+//     nest inside parent intervals;
+//  2. a cyclic CheckGlobal's span tree reaches engine.ilp-search with
+//     node counters, and its summed top-level phases account for >= 90%
+//     of the request's wall time;
+//  3. an explicit W3C traceparent propagates: the ring holds a trace
+//     under exactly the id the client sent.
+func TestTraceSmoke(t *testing.T) {
+	opt := &options{
+		addr:        "127.0.0.1:0",
+		queueDepth:  256,
+		cacheSize:   64,
+		maxNodes:    5_000_000,
+		maxTimeout:  time.Minute,
+		parallelism: 4,
+		traceSlowMs: 0, // trace every request, capture every trace as slow
+		traceRing:   64,
+	}
+	cli, drain := bootDaemon(t, opt)
+	defer drain()
+	ctx := context.Background()
+
+	// Acyclic traffic: two distinct star instances, repeated so cache-hit
+	// requests are traced too.
+	rng := rand.New(rand.NewSource(9))
+	var globals [][]bagclient.NamedBag
+	for range 2 {
+		coll, _, err := gen.RandomConsistent(rng, hypergraph.Star(4), 12, 64, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		globals = append(globals, clientBags(t, coll))
+	}
+	for i := range 6 {
+		rep, err := cli.Check(ctx, globals[i%2])
+		if err != nil || !rep.Consistent {
+			t.Fatalf("acyclic check %d: rep=%+v err=%v", i, rep, err)
+		}
+		if len(rep.Phases) == 0 {
+			t.Fatalf("acyclic check %d: traced daemon returned no phases", i)
+		}
+	}
+	pr, ps, err := gen.Section3Family(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range 2 {
+		rep, err := cli.CheckPair(ctx, bagclient.NamedBag{Name: "r", Bag: pr}, bagclient.NamedBag{Name: "s", Bag: ps})
+		if err != nil || !rep.Consistent {
+			t.Fatalf("pair check: rep=%+v err=%v", rep, err)
+		}
+	}
+
+	// Cyclic traffic: a 3DCT instance whose integer search runs for
+	// milliseconds (seed 3: ~200 search nodes), so the engine phases —
+	// not the fixed per-request overheads — dominate the wall time. Sent
+	// with an explicit traceparent to prove end-to-end propagation.
+	crng := rand.New(rand.NewSource(3))
+	inst, err := gen.RandomThreeDCT(crng, 3, 1<<8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclicColl, err := inst.ToCollection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sentTraceID = "b1ac0de5b1ac0de5b1ac0de5b1ac0de5"
+	tp := "00-" + sentTraceID + "-00f067aa0ba902b7-01"
+	cyclicRep, err := cli.Check(ctx, clientBags(t, cyclicColl), bagclient.WithTraceParent(tp))
+	if err != nil || !cyclicRep.Consistent {
+		t.Fatalf("cyclic check: rep=%+v err=%v", cyclicRep, err)
+	}
+	if cyclicRep.Method != "integer-program" {
+		t.Fatalf("cyclic check method = %q, want integer-program", cyclicRep.Method)
+	}
+	if cyclicRep.Nodes == 0 {
+		t.Fatal("cyclic check reported zero search nodes")
+	}
+
+	// (2) The returned phase tree reaches the ILP frontier with counters,
+	// and the top-level phases cover >= 90% of the request wall time.
+	if len(cyclicRep.Phases) != 1 {
+		t.Fatalf("cyclic phases = %d roots, want 1", len(cyclicRep.Phases))
+	}
+	root := cyclicRep.Phases[0]
+	ilp := findPhase(cyclicRep.Phases, trace.SpanILPSearch)
+	if ilp == nil {
+		t.Fatalf("cyclic phase tree has no %s span: %+v", trace.SpanILPSearch, root)
+	}
+	if ilp.Counters["nodes"] == 0 {
+		t.Fatalf("ilp-search span carries no node counter: %+v", ilp)
+	}
+	if root.DurationNs <= 0 {
+		t.Fatalf("root phase duration %d", root.DurationNs)
+	}
+	var covered int64
+	for _, c := range root.Children {
+		covered += c.DurationNs
+	}
+	if float64(covered) < 0.9*float64(root.DurationNs) {
+		t.Fatalf("top-level phases cover %dns of %dns root (%.0f%%), want >= 90%%",
+			covered, root.DurationNs, 100*float64(covered)/float64(root.DurationNs))
+	}
+
+	// (1) + (3): the debug ring holds balanced trees, including one under
+	// the exact id the client sent.
+	var body struct {
+		Traces []*trace.Snapshot `json:"traces"`
+	}
+	fetchTraces := func(url string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", url, resp.StatusCode)
+		}
+		body = struct {
+			Traces []*trace.Snapshot `json:"traces"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+	}
+	fetchTraces(cli.BaseURL() + "/debug/traces")
+	if len(body.Traces) == 0 {
+		t.Fatal("/debug/traces returned no traces")
+	}
+	foundSent := false
+	for _, snap := range body.Traces {
+		if snap.Root == nil {
+			t.Fatalf("trace %s has no root span", snap.TraceID)
+		}
+		if snap.Root.Name != trace.SpanRequest {
+			t.Errorf("trace %s root = %q, want %q", snap.TraceID, snap.Root.Name, trace.SpanRequest)
+		}
+		if n := walkSpans(t, snap.Root, snap.TraceID); n < 2 {
+			t.Errorf("trace %s: only %d spans", snap.TraceID, n)
+		}
+		if snap.TraceID == sentTraceID {
+			foundSent = true
+			if findSpan(snap.Root, trace.SpanILPSearch) == nil {
+				t.Errorf("propagated trace %s lost its ilp-search span", sentTraceID)
+			}
+		}
+	}
+	if !foundSent {
+		ids := make([]string, 0, len(body.Traces))
+		for _, s := range body.Traces {
+			ids = append(ids, s.TraceID)
+		}
+		t.Fatalf("sent traceparent id %s not in ring: %v", sentTraceID, ids)
+	}
+
+	// Threshold 0 marks every trace slow, so the slow ring is populated
+	// too (the slow-query capture workflow end to end).
+	fetchTraces(cli.BaseURL() + "/debug/traces?slow=1")
+	if len(body.Traces) == 0 {
+		t.Fatal("/debug/traces?slow=1 returned no captures at threshold 0")
+	}
+}

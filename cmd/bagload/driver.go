@@ -2,13 +2,17 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"bagconsistency/internal/load"
+	"bagconsistency/internal/trace"
 	"bagconsistency/pkg/bagclient"
+	"bagconsistency/pkg/bagconsist"
 )
 
 // outcomeKind partitions every fired request into exactly one bucket;
@@ -30,6 +34,23 @@ type fireResult struct {
 	latency  float64 // seconds, wall time of the request
 	lineErrs int     // batch only: lines that carried an error
 	late     bool    // fired >1ms after its scheduled slot
+	traceID  string  // non-empty when the request carried a traceparent
+	phases   []bagconsist.PhaseSpan
+}
+
+// sampleTraceparent derives the deterministic traceparent for sampled
+// event index: the trace id encodes the run seed and the event index, so
+// the same (seed, schedule) reproduces the same ids and a captured trace
+// can be matched back to its schedule slot — and to the daemon's own
+// /debug/traces ring, which records the same id.
+func sampleTraceparent(seed int64, index int) (header, traceID string) {
+	var id trace.ID
+	id[0] = 0xb1 // "bagload" marker; also guarantees a non-zero id
+	binary.BigEndian.PutUint64(id[4:12], uint64(seed))
+	binary.BigEndian.PutUint32(id[12:16], uint32(index))
+	var sp trace.SpanID
+	binary.BigEndian.PutUint64(sp[:], uint64(index)+1)
+	return trace.FormatTraceparent(id, sp), id.String()
 }
 
 // payloads holds the corpus pre-encoded into client request shapes so
@@ -61,7 +82,12 @@ func buildPayloads(corpus []load.Item) *payloads {
 // drive fires the schedule open-loop: each event launches at its offset
 // from the run start whether or not earlier requests have completed.
 // The function returns when every fired request has resolved.
-func drive(ctx context.Context, cli *bagclient.Client, pay *payloads, events []load.Event, reqTimeout time.Duration) []fireResult {
+//
+// With traceSample > 0 every traceSample-th pair/global event carries a
+// deterministic traceparent (batch lines share one server-side request,
+// so their per-collection phases would be misattributed — they are never
+// sampled); the returned phase trees ride back on fireResult.phases.
+func drive(ctx context.Context, cli *bagclient.Client, pay *payloads, events []load.Event, reqTimeout time.Duration, seed int64, traceSample int) []fireResult {
 	var opts []bagclient.RequestOption
 	if reqTimeout > 0 {
 		opts = append(opts, bagclient.WithTimeout(reqTimeout))
@@ -75,30 +101,39 @@ func drive(ctx context.Context, cli *bagclient.Client, pay *payloads, events []l
 			time.Sleep(d)
 		}
 		late := time.Since(start)-e.At > time.Millisecond
+		tp, traceID := "", ""
+		if traceSample > 0 && i%traceSample == 0 && e.Class != load.ClassBatch {
+			tp, traceID = sampleTraceparent(seed, i)
+		}
 		wg.Add(1)
-		go func(i int, e load.Event) {
+		go func(i int, e load.Event, tp, traceID string) {
 			defer wg.Done()
-			results[i] = fire(ctx, cli, pay, e, reqTimeout, opts)
+			results[i] = fire(ctx, cli, pay, e, reqTimeout, opts, tp)
 			results[i].late = late
-		}(i, e)
+			results[i].traceID = traceID
+		}(i, e, tp, traceID)
 	}
 	wg.Wait()
 	return results
 }
 
-func fire(ctx context.Context, cli *bagclient.Client, pay *payloads, e load.Event, reqTimeout time.Duration, opts []bagclient.RequestOption) fireResult {
+func fire(ctx context.Context, cli *bagclient.Client, pay *payloads, e load.Event, reqTimeout time.Duration, opts []bagclient.RequestOption, tp string) fireResult {
 	if reqTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, reqTimeout)
 		defer cancel()
 	}
+	if tp != "" {
+		opts = append(opts[:len(opts):len(opts)], bagclient.WithTraceParent(tp))
+	}
 	res := fireResult{class: e.Class}
 	begin := time.Now()
 	var err error
+	var rep *bagconsist.Report
 	switch e.Class {
 	case load.ClassPair:
 		p := pay.pairs[e.Items[0]]
-		_, err = cli.CheckPair(ctx, p[0], p[1], opts...)
+		rep, err = cli.CheckPair(ctx, p[0], p[1], opts...)
 	case load.ClassBatch:
 		colls := make([][]bagclient.NamedBag, len(e.Items))
 		for j, item := range e.Items {
@@ -112,11 +147,36 @@ func fire(ctx context.Context, cli *bagclient.Client, pay *payloads, e load.Even
 			}
 		}
 	default:
-		_, err = cli.Check(ctx, pay.globals[e.Items[0]], opts...)
+		rep, err = cli.Check(ctx, pay.globals[e.Items[0]], opts...)
 	}
 	res.latency = time.Since(begin).Seconds()
 	res.outcome = classifyOutcome(err)
+	if tp != "" && err == nil && rep != nil {
+		res.phases = rep.Phases
+	}
 	return res
+}
+
+// capturedTraces selects the K slowest sampled requests that returned a
+// phase tree, slowest first.
+func capturedTraces(results []fireResult, top int) []CapturedTrace {
+	var cand []CapturedTrace
+	for _, r := range results {
+		if r.traceID == "" || len(r.phases) == 0 {
+			continue
+		}
+		cand = append(cand, CapturedTrace{
+			TraceID:   r.traceID,
+			Class:     r.class.String(),
+			LatencyMs: r.latency * 1000,
+			Phases:    r.phases,
+		})
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].LatencyMs > cand[j].LatencyMs })
+	if len(cand) > top {
+		cand = cand[:top]
+	}
+	return cand
 }
 
 // classifyOutcome maps a client error to its conservation bucket.

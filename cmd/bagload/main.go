@@ -12,11 +12,19 @@
 //	        [-mix-pair W] [-mix-global W] [-mix-batch W] [-zipf-s S]
 //	        [-corpus-items N] [-corpus-acyclic-frac F] [-corpus-cyclic-n N]
 //	        [-request-timeout 10s] [-retries 0] [-json] [-out report.json]
+//	        [-trace-sample N] [-trace-top K]
 //
 // Open-loop means the driver fires every event at its scheduled offset
 // regardless of how many earlier requests are still outstanding: the
 // arrival process never slows down to match a struggling server, so the
 // measured tail is the tail a real client population would see.
+//
+// -trace-sample N attaches a deterministic W3C traceparent to one in N
+// pair/global requests; the daemon returns each sampled request's
+// phase-span tree in Report.Phases, and the K slowest (-trace-top) are
+// embedded in the report's "traces" field — so a tail-latency number in
+// the ledger comes with the span evidence (queue wait vs engine phases)
+// that explains it.
 //
 // With -selfhost the tool boots the full bagcd serving stack in-process
 // on a loopback port, making a whole experiment arm (daemon config +
@@ -63,6 +71,9 @@ type options struct {
 	requestTimeout time.Duration
 	retries        int
 
+	traceSample int
+	traceTop    int
+
 	jsonOut bool
 	outPath string
 	label   string
@@ -95,6 +106,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&opt.requestTimeout, "request-timeout", 10*time.Second, "per-request end-to-end budget (0 disables)")
 	fs.IntVar(&opt.retries, "retries", 0, "client retries on 503 (0 keeps sheds visible)")
 
+	fs.IntVar(&opt.traceSample, "trace-sample", 0, "attach a deterministic traceparent to 1 in N pair/global requests (0 disables)")
+	fs.IntVar(&opt.traceTop, "trace-top", 5, "embed the K slowest sampled traces in the report")
+
 	fs.BoolVar(&opt.jsonOut, "json", false, "write the JSON report to stdout instead of the table")
 	fs.StringVar(&opt.outPath, "out", "", "also write the JSON report to this file")
 	fs.StringVar(&opt.label, "label", "", "free-form run label recorded in the report")
@@ -126,6 +140,12 @@ func (o *options) validate() error {
 		if _, err := service.ParsePolicy(o.sh.Admission); err != nil {
 			return err
 		}
+	}
+	if o.traceSample < 0 {
+		return fmt.Errorf("bagload: -trace-sample must be >= 0")
+	}
+	if o.traceTop < 0 {
+		return fmt.Errorf("bagload: -trace-top must be >= 0")
 	}
 	return nil
 }
@@ -231,7 +251,7 @@ func run(ctx context.Context, opt *options, progress io.Writer) (*Report, error)
 		return nil, err
 	}
 	start := time.Now()
-	results := drive(ctx, cli, buildPayloads(corpus), events, opt.requestTimeout)
+	results := drive(ctx, cli, buildPayloads(corpus), events, opt.requestTimeout, opt.seed, opt.traceSample)
 	wall := time.Since(start).Seconds()
 
 	// Quiesce before the closing scrape so the server-side conservation
@@ -382,6 +402,7 @@ func aggregate(opt *options, arrival load.Arrival, events []load.Event, results 
 			BatchSize:         opt.batchSize,
 			RequestTimeoutMs:  msOf(opt.requestTimeout),
 			Retries:           opt.retries,
+			TraceSample:       opt.traceSample,
 			CorpusItems:       opt.corpusItems,
 			CorpusAcyclicFrac: opt.corpusAcyclicFrac,
 			CorpusSupport:     opt.corpusSupport,
@@ -393,6 +414,7 @@ func aggregate(opt *options, arrival load.Arrival, events []load.Event, results 
 		PerClass:     perClassOut,
 		Server:       server,
 		Conservation: cons,
+		Traces:       capturedTraces(results, opt.traceTop),
 	}
 }
 

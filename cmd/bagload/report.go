@@ -9,6 +9,7 @@ import (
 
 	"bagconsistency/internal/buildinfo"
 	"bagconsistency/internal/metrics"
+	"bagconsistency/pkg/bagconsist"
 )
 
 // ReportSchema versions the JSON report layout; ledger entries pin it so
@@ -29,6 +30,20 @@ type Report struct {
 	PerClass     map[string]ClassStats `json:"per_class"`
 	Server       *ServerStats          `json:"server,omitempty"`
 	Conservation Conservation          `json:"conservation"`
+
+	// Traces holds the K slowest sampled requests' phase trees
+	// (-trace-sample / -trace-top), so a ledger entry can attribute a tail
+	// latency to queue wait versus engine phases with direct evidence.
+	Traces []CapturedTrace `json:"traces,omitempty"`
+}
+
+// CapturedTrace is one sampled request's end-to-end phase tree as the
+// server returned it in Report.Phases.
+type CapturedTrace struct {
+	TraceID   string                 `json:"trace_id"`
+	Class     string                 `json:"class"`
+	LatencyMs float64                `json:"latency_ms"` // client-observed wall time
+	Phases    []bagconsist.PhaseSpan `json:"phases"`
 }
 
 // RunConfig echoes every knob that shaped the run, making the report
@@ -47,6 +62,7 @@ type RunConfig struct {
 	BatchSize        int     `json:"batch_size"`
 	RequestTimeoutMs float64 `json:"request_timeout_ms"`
 	Retries          int     `json:"retries"`
+	TraceSample      int     `json:"trace_sample,omitempty"`
 
 	CorpusItems       int     `json:"corpus_items"`
 	CorpusAcyclicFrac float64 `json:"corpus_acyclic_frac"`

@@ -48,6 +48,11 @@ func resolve() (version, commit string) {
 	return version, commit
 }
 
+// VersionCommit returns the effective version and commit separately, for
+// callers that expose them as structured fields (the bagcd_build_info
+// metric, slog startup lines) rather than one display string.
+func VersionCommit() (version, commit string) { return resolve() }
+
 // String renders a one-line identification, e.g.
 //
 //	dev (commit 92fb27e, go1.24.0)

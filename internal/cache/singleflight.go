@@ -3,6 +3,9 @@ package cache
 import (
 	"context"
 	"sync"
+	"time"
+
+	"bagconsistency/internal/trace"
 )
 
 // Group coalesces concurrent calls with the same key: the first caller
@@ -39,8 +42,12 @@ func (g *Group) Do(ctx context.Context, key string, fn func() (any, error)) (v a
 		}
 		if c, ok := g.calls[key]; ok {
 			g.mu.Unlock()
+			// Followers trace the coalescing wait: on a traced request this
+			// span is the whole story of a shared result's latency.
+			waitStart := time.Now()
 			select {
 			case <-c.done:
+				trace.Record(ctx, trace.SpanFlightWait, waitStart)
 				if c.err == nil {
 					return c.val, true, nil
 				}
@@ -48,6 +55,7 @@ func (g *Group) Do(ctx context.Context, key string, fn func() (any, error)) (v a
 				// leader (the failed call was already deregistered).
 				continue
 			case <-ctx.Done():
+				trace.Record(ctx, trace.SpanFlightWait, waitStart)
 				return nil, false, ctx.Err()
 			}
 		}

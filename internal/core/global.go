@@ -6,6 +6,7 @@ import (
 
 	"bagconsistency/internal/bag"
 	"bagconsistency/internal/ilp"
+	"bagconsistency/internal/trace"
 )
 
 // Method identifies which algorithm decided a global-consistency query.
@@ -109,7 +110,9 @@ func (c *Collection) GloballyConsistentContext(ctx context.Context, opts GlobalO
 		return nil, err
 	}
 	if !opts.ForceILP && c.hg.IsAcyclic() {
-		w, ok, err := c.WitnessAcyclicContext(ctx, opts)
+		actx, span := trace.Start(ctx, trace.SpanAcyclic)
+		w, ok, err := c.WitnessAcyclicContext(actx, opts)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +120,9 @@ func (c *Collection) GloballyConsistentContext(ctx context.Context, opts GlobalO
 	}
 
 	// Cheap necessary condition first.
+	_, pwSpan := trace.Start(ctx, trace.SpanPairwise)
 	pw, err := c.PairwiseConsistent()
+	pwSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +140,13 @@ func (c *Collection) GloballyConsistentContext(ctx context.Context, opts GlobalO
 // program P(R1,...,Rm) and decodes any solution into a witness bag. The
 // caller has already established pairwise consistency.
 func (c *Collection) solveProgram(ctx context.Context, opts GlobalOptions) (*Decision, error) {
+	_, buildSpan := trace.Start(ctx, trace.SpanProgram)
 	p, tuples, err := c.BuildProgram()
+	if p != nil {
+		buildSpan.SetCounter("rows", int64(p.M))
+		buildSpan.SetCounter("columns", int64(len(p.Cols)))
+	}
+	buildSpan.End()
 	if err != nil {
 		return nil, err
 	}

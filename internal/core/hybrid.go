@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"bagconsistency/internal/bag"
+	"bagconsistency/internal/trace"
 )
 
 // solveHybrid decides global consistency by decomposition: GYO strips the
@@ -34,7 +36,11 @@ func (c *Collection) solveHybrid(ctx context.Context, opts GlobalOptions) (*Deci
 	if err != nil {
 		return nil, err
 	}
-	dec, err := sub.solveProgram(ctx, opts)
+	cctx, coreSpan := trace.Start(ctx, trace.SpanHybridCore)
+	coreSpan.SetAttr("core_edges", strconv.Itoa(len(core)))
+	coreSpan.SetAttr("fringe_edges", strconv.Itoa(len(elim)))
+	dec, err := sub.solveProgram(cctx, opts)
+	coreSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -49,22 +55,27 @@ func (c *Collection) solveHybrid(ctx context.Context, opts GlobalOptions) (*Deci
 			return PairWitness(r, s)
 		}
 	}
+	fctx, fringeSpan := trace.Start(ctx, trace.SpanHybridFringe)
 	acc := dec.Witness
 	for i := len(elim) - 1; i >= 0; i-- {
 		if err := ctx.Err(); err != nil {
+			fringeSpan.End()
 			return nil, err
 		}
-		next, ok, err := witnessOf(ctx, acc, c.bags[elim[i].Edge])
+		next, ok, err := witnessOf(fctx, acc, c.bags[elim[i].Edge])
 		if err != nil {
+			fringeSpan.End()
 			return nil, err
 		}
 		if !ok {
 			// The decomposition invariant makes this unreachable for a
 			// pairwise consistent collection.
+			fringeSpan.End()
 			return nil, fmt.Errorf("core: hybrid reattachment lost consistency at edge %d", elim[i].Edge)
 		}
 		acc = next
 	}
+	fringeSpan.End()
 	dec.Witness = acc
 	return dec, nil
 }

@@ -10,6 +10,7 @@ import (
 	"bagconsistency/internal/lp"
 	"bagconsistency/internal/maxflow"
 	"bagconsistency/internal/table"
+	"bagconsistency/internal/trace"
 )
 
 // PairConsistent reports whether two bags are consistent, using the
@@ -209,14 +210,24 @@ func MinimalPairWitness(r, s *bag.Bag) (*bag.Bag, bool, error) {
 // A final full max-flow on the surviving edges keeps the extracted
 // witness deterministic.
 func MinimalPairWitnessContext(ctx context.Context, r, s *bag.Bag) (*bag.Bag, bool, error) {
+	_, mSpan := trace.Start(ctx, trace.SpanMarginals)
 	ok, err := PairConsistent(r, s)
+	mSpan.End()
 	if err != nil || !ok {
 		return nil, false, err
 	}
+	_, bSpan := trace.Start(ctx, trace.SpanPairNet)
 	pn, err := buildPairNetwork(r, s)
+	bSpan.End()
 	if err != nil {
 		return nil, false, err
 	}
+	_, fSpan := trace.Start(ctx, trace.SpanMaxflow)
+	defer func() {
+		fSpan.SetCounter("augmentations", pn.nw.Augmentations())
+		fSpan.SetCounter("probes", int64(len(pn.middle)))
+		fSpan.End()
+	}()
 	if !pn.saturated() {
 		return nil, false, fmt.Errorf("core: marginals agree but network is unsaturated")
 	}

@@ -16,8 +16,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"bagconsistency/internal/lp"
+	"bagconsistency/internal/trace"
 )
 
 // ErrNodeLimit is returned when the search exceeds its node budget.
@@ -174,7 +176,23 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 // periodically and unwinds with ctx.Err() once it is done or past its
 // deadline.
 func SolveContext(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
+	ctx, span := trace.Start(ctx, trace.SpanILPSearch)
+	defer span.End()
+	sol, err := solveTraced(ctx, p, opts, span)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		return nil, err
+	}
+	span.SetCounter("nodes", sol.Nodes)
+	span.SetCounter("steals", sol.Steals)
+	span.SetCounter("idles", sol.Idles)
+	span.SetAttr("feasible", strconv.FormatBool(sol.Feasible))
+	return sol, nil
+}
+
+func solveTraced(ctx context.Context, p *Problem, opts Options, span *trace.Span) (*Solution, error) {
 	if opts.Workers > 1 {
+		span.SetAttr("workers", strconv.Itoa(opts.Workers))
 		return solveParallel(ctx, p, opts)
 	}
 	sr, st, err := newSearch(ctx, p, opts)
@@ -191,6 +209,9 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (*Solution, err
 		return errStop
 	})
 	if err != nil && !errors.Is(err, errStop) {
+		if sr.nodes > 0 {
+			span.SetCounter("nodes", sr.nodes)
+		}
 		return nil, err
 	}
 	if !solved {

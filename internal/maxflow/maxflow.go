@@ -33,7 +33,17 @@ type Network struct {
 	level []int32
 	iter  []int
 	queue []int32
+
+	// aug counts augmenting paths pushed over the network's lifetime
+	// (across Reset calls), surfaced as the "augmentations" counter on
+	// engine.maxflow trace spans. The algorithms stay trace-free; callers
+	// read the counter.
+	aug int64
 }
+
+// Augmentations returns the number of augmenting paths pushed since the
+// network was built, across all MaxFlow/TryReroute calls.
+func (nw *Network) Augmentations() int64 { return nw.aug }
 
 type edge struct {
 	to   int32
@@ -149,6 +159,7 @@ func (nw *Network) augment(src, dst int, limit int64) int64 {
 			if pushed == 0 {
 				break
 			}
+			nw.aug++
 			total += pushed
 		}
 	}
@@ -303,6 +314,7 @@ func (nw *Network) MaxFlowEdmondsKarp() int64 {
 			nw.edges[eid^1].cap += bottleneck
 			v = int(nw.edges[eid^1].to)
 		}
+		nw.aug++
 		total += bottleneck
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"bagconsistency/internal/bagio"
 	"bagconsistency/internal/buildinfo"
 	"bagconsistency/internal/metrics"
+	"bagconsistency/internal/trace"
 	"bagconsistency/pkg/bagconsist"
 )
 
@@ -35,6 +37,20 @@ type ServerConfig struct {
 	// MaxBatchLines bounds the number of NDJSON lines per /v1/batch
 	// request; 0 means DefaultMaxBatchLines.
 	MaxBatchLines int
+	// TraceRingSize bounds the in-memory ring behind GET /debug/traces;
+	// 0 means DefaultTraceRingSize. Requests carrying a W3C traceparent
+	// header are always traced into the ring; TraceAll traces the rest.
+	TraceRingSize int
+	// TraceAll records a span tree for every check/pair/batch request,
+	// not just traceparent-carrying ones (bagcd sets it when
+	// -trace-slow-ms is enabled, so slow-query capture sees everything).
+	TraceAll bool
+	// Slow, when non-nil, receives every completed trace and keeps those
+	// crossing its latency threshold (bagcd -trace-slow-ms).
+	Slow *trace.SlowCapture
+	// AccessLog, when non-nil, receives one structured entry per HTTP
+	// request (request id = trace id).
+	AccessLog *slog.Logger
 }
 
 const (
@@ -45,6 +61,8 @@ const (
 	DefaultRetryAfter = 1 * time.Second
 	// DefaultMaxBatchLines bounds NDJSON batch size per request.
 	DefaultMaxBatchLines = 10_000
+	// DefaultTraceRingSize bounds /debug/traces when unconfigured.
+	DefaultTraceRingSize = 128
 )
 
 // errorBody is the JSON error envelope of every non-2xx response.
@@ -89,6 +107,10 @@ type server struct {
 	retryAfter    time.Duration
 	maxBatchLines int
 	started       time.Time
+	ring          *trace.Ring
+	traceAll      bool
+	slow          *trace.SlowCapture
+	access        *slog.Logger
 
 	httpRequests func(path, code string) *metrics.Counter
 }
@@ -109,6 +131,10 @@ func NewHandler(cfg ServerConfig) (http.Handler, error) {
 	if cfg.Service == nil || cfg.Metrics == nil {
 		return nil, errors.New("service: ServerConfig.Service and Metrics are required")
 	}
+	ringSize := cfg.TraceRingSize
+	if ringSize <= 0 {
+		ringSize = DefaultTraceRingSize
+	}
 	s := &server{
 		svc:           cfg.Service,
 		reg:           cfg.Metrics,
@@ -117,6 +143,10 @@ func NewHandler(cfg ServerConfig) (http.Handler, error) {
 		retryAfter:    cfg.RetryAfter,
 		maxBatchLines: cfg.MaxBatchLines,
 		started:       time.Now(),
+		ring:          trace.NewRing(ringSize),
+		traceAll:      cfg.TraceAll,
+		slow:          cfg.Slow,
+		access:        cfg.AccessLog,
 	}
 	if s.maxBody <= 0 {
 		s.maxBody = DefaultMaxBodyBytes
@@ -132,6 +162,9 @@ func NewHandler(cfg ServerConfig) (http.Handler, error) {
 			fmt.Sprintf(`path=%q,code=%s`, path, strconv.Quote(code)),
 			"HTTP requests by path and status code.")
 	}
+	version, commit := buildinfo.VersionCommit()
+	s.reg.Gauge("bagcd_build_info", fmt.Sprintf(`version=%q,commit=%q`, version, commit),
+		"Build metadata of the running binary; the value is always 1.").Set(1)
 	if s.cache != nil {
 		s.reg.CounterFunc("bagcd_cache_hits_total", "", "Shared result cache hits.",
 			func() float64 { return float64(s.cache.Stats().Hits) })
@@ -185,24 +218,90 @@ func NewHandler(cfg ServerConfig) (http.Handler, error) {
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/check", s.instrument("/v1/check", func(w http.ResponseWriter, r *http.Request) int {
+	mux.HandleFunc("POST /v1/check", s.instrument("/v1/check", true, func(w http.ResponseWriter, r *http.Request) int {
 		return s.handleCheck(w, r, Global)
 	}))
-	mux.HandleFunc("POST /v1/check/pair", s.instrument("/v1/check/pair", func(w http.ResponseWriter, r *http.Request) int {
+	mux.HandleFunc("POST /v1/check/pair", s.instrument("/v1/check/pair", true, func(w http.ResponseWriter, r *http.Request) int {
 		return s.handleCheck(w, r, Pair)
 	}))
-	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
-	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", true, s.handleBatch))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.instrument("/debug/traces", false, s.handleTraces))
 	return mux, nil
 }
 
-// instrument adapts a status-returning handler and counts it.
-func (s *server) instrument(path string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+// instrument adapts a status-returning handler, counts it, and owns the
+// request's observability envelope: the trace root span (for traceable
+// endpoints when the caller sent a traceparent or TraceAll is on) and the
+// structured access-log line, whose request id is the trace id.
+func (s *server) instrument(path string, traceable bool, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var tr *trace.Trace
+		id, parentSpan, hasParent := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		if traceable && (hasParent || s.traceAll) {
+			tr = trace.New(id, trace.SpanRequest) // zero id → fresh random one
+			root := tr.Root()
+			root.SetAttr("path", path)
+			if hasParent {
+				root.SetAttr("parent_span", parentSpan.String())
+			}
+			r = r.WithContext(trace.NewContext(r.Context(), tr))
+		}
 		code := h(w, r)
 		s.httpRequests(path, strconv.Itoa(code)).Inc()
+		var traceID string
+		if tr != nil {
+			root := tr.Root()
+			root.SetAttr("status", strconv.Itoa(code))
+			root.End()
+			snap := tr.Snapshot()
+			s.ring.Add(snap)
+			s.slow.Offer(snap)
+			traceID = snap.TraceID
+		}
+		if s.access != nil {
+			if traceID == "" {
+				if hasParent {
+					traceID = id.String()
+				} else {
+					// Untraced requests still get a correlatable id.
+					traceID = trace.NewID().String()
+				}
+			}
+			s.access.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("trace_id", traceID),
+				slog.String("method", r.Method),
+				slog.String("path", path),
+				slog.Int("status", code),
+				slog.Float64("duration_ms", float64(time.Since(start).Microseconds())/1000),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
 	}
+}
+
+// tracesBody is the GET /debug/traces response envelope.
+type tracesBody struct {
+	Traces []*trace.Snapshot `json:"traces"`
+}
+
+// handleTraces serves the bounded trace ring, newest first. ?slow=1
+// selects the slow-query ring instead (requests beyond -trace-slow-ms).
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) int {
+	ring := s.ring
+	if r.URL.Query().Get("slow") == "1" {
+		if s.slow == nil {
+			return s.writeError(w, http.StatusNotFound, errors.New("slow-query capture disabled (-trace-slow-ms)"))
+		}
+		ring = s.slow.Ring()
+	}
+	snaps := ring.Snapshots()
+	if snaps == nil {
+		snaps = []*trace.Snapshot{}
+	}
+	return s.writeJSON(w, http.StatusOK, tracesBody{Traces: snaps})
 }
 
 func (s *server) writeJSON(w http.ResponseWriter, code int, v any) int {
@@ -268,11 +367,14 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request, kind Kind) 
 	if err != nil {
 		return s.writeError(w, http.StatusBadRequest, err)
 	}
+	_, decodeSpan := trace.Start(r.Context(), trace.SpanDecode)
 	_, bags, err := bagio.DecodeAny(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
+		decodeSpan.End()
 		return s.writeError(w, http.StatusBadRequest, err)
 	}
 	req, err := buildRequest(kind, bags, timeout)
+	decodeSpan.End()
 	if err != nil {
 		return s.writeError(w, http.StatusBadRequest, err)
 	}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"bagconsistency/internal/metrics"
+	"bagconsistency/internal/trace"
 	"bagconsistency/pkg/bagconsist"
 )
 
@@ -295,6 +296,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*bagconsist.Report, erro
 	if s.draining {
 		s.mu.RUnlock()
 		s.rejected.Inc()
+		trace.SpanFromContext(ctx).SetAttr("rejected", "draining")
 		return nil, ErrDraining
 	}
 	if s.policy == HardnessAware {
@@ -302,6 +304,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*bagconsist.Report, erro
 			s.mu.RUnlock()
 			s.shed.Inc()
 			s.shedReasons[reason].Inc()
+			trace.SpanFromContext(ctx).SetAttr("shed", reason)
 			return nil, ErrOverloaded
 		}
 	}
@@ -315,6 +318,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*bagconsist.Report, erro
 		s.mu.RUnlock()
 		s.shed.Inc()
 		s.shedReasons[shedQueueFull].Inc()
+		trace.SpanFromContext(ctx).SetAttr("shed", shedQueueFull)
 		return nil, ErrOverloaded
 	}
 
@@ -386,6 +390,7 @@ func (s *Service) run(t *task) {
 	// exact conservation invariant after drain.
 	if err := t.ctx.Err(); err != nil {
 		s.abandoned.Inc()
+		trace.SpanFromContext(t.ctx).SetAttr("abandoned", "true")
 		t.done <- result{nil, err}
 		return
 	}
@@ -406,6 +411,9 @@ func (s *Service) run(t *task) {
 	s.inflight.Add(1)
 	start := time.Now()
 	wait := start.Sub(t.enqueued)
+	// The wait span is backdated to the enqueue instant, so a traced
+	// request's tree accounts for queue time before any engine phase.
+	trace.Record(ctx, trace.SpanQueueWait, t.enqueued).SetAttr("cost", t.cost.String())
 	var rep *bagconsist.Report
 	var err error
 	switch t.req.Kind {

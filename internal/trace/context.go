@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"context"
+	"time"
+)
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the trace, positioned at its root
+// span: subsequent Start calls nest under the root.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t.Root())
+}
+
+// SpanFromContext returns the context's current span, or nil when the
+// request is not traced.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// FromContext returns the context's trace, or nil when untraced.
+func FromContext(ctx context.Context) *Trace {
+	if sp := SpanFromContext(ctx); sp != nil {
+		return sp.tr
+	}
+	return nil
+}
+
+// Start begins a span named name under the context's current span and
+// returns a context positioned at the new span plus the span itself.
+// When the context carries no trace (or the arena is full) it returns
+// ctx unchanged and a nil span — the disabled path is one map-free
+// context lookup and a nil check, with zero allocations.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.StartChild(name)
+	if sp == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// Record attaches an already-elapsed phase to the context's current span:
+// a span covering [start, now]. Used when a phase's start predates the
+// call site, e.g. the admission queue wait recorded at dequeue time.
+func Record(ctx context.Context, name string, start time.Time) *Span {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return nil
+	}
+	sp := parent.StartChild(name)
+	sp.SetStart(start)
+	sp.End()
+	return sp
+}

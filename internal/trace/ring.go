@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+// Ring is a bounded circular buffer of completed trace snapshots, the
+// backing store for the /debug/traces endpoint. Oldest entries are
+// overwritten once the ring is full.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*Snapshot
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding up to capacity snapshots (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]*Snapshot, capacity)}
+}
+
+// Add stores a snapshot, evicting the oldest entry when full.
+func (r *Ring) Add(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshots returns the stored snapshots, newest first.
+func (r *Ring) Snapshots() []*Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]*Snapshot, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of stored snapshots.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// SlowCapture keeps the traces of requests slower than a threshold: a
+// dedicated ring for the /debug/traces?slow=1 view plus an optional
+// append-only NDJSON file so slow queries survive restarts alongside the
+// instance fingerprints recorded in their spans.
+type SlowCapture struct {
+	threshold time.Duration
+	ring      *Ring
+
+	mu   sync.Mutex
+	f    *os.File
+	enc  *json.Encoder
+	errs int
+}
+
+// NewSlowCapture captures snapshots with duration >= threshold into a
+// ring of ringCap entries. If path is non-empty, captured snapshots are
+// also appended to it as NDJSON (one snapshot per line); file errors are
+// counted, not fatal — slow-query capture must never take the server
+// down.
+func NewSlowCapture(threshold time.Duration, ringCap int, path string) (*SlowCapture, error) {
+	c := &SlowCapture{threshold: threshold, ring: NewRing(ringCap)}
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		c.f = f
+		c.enc = json.NewEncoder(f)
+	}
+	return c, nil
+}
+
+// Offer captures the snapshot if it crosses the threshold, reporting
+// whether it did.
+func (c *SlowCapture) Offer(s *Snapshot) bool {
+	if c == nil || s == nil || time.Duration(s.DurationNs) < c.threshold {
+		return false
+	}
+	c.ring.Add(s)
+	c.mu.Lock()
+	if c.enc != nil {
+		if err := c.enc.Encode(s); err != nil {
+			c.errs++
+		}
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// Ring returns the slow-trace ring.
+func (c *SlowCapture) Ring() *Ring {
+	if c == nil {
+		return nil
+	}
+	return c.ring
+}
+
+// Errors returns the count of failed file writes.
+func (c *SlowCapture) Errors() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errs
+}
+
+// Close releases the underlying file, if any.
+func (c *SlowCapture) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f, c.enc = nil, nil
+	return err
+}

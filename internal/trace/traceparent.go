@@ -1,0 +1,74 @@
+package trace
+
+import "encoding/hex"
+
+// SpanID is the 8-byte parent-span identifier of a W3C traceparent.
+type SpanID [8]byte
+
+// String renders the SpanID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewSpanID returns a random non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	id := NewID()
+	copy(s[:], id[:8])
+	if s == (SpanID{}) {
+		s[0] = 1
+	}
+	return s
+}
+
+// ParseTraceparent parses a W3C trace-context traceparent header:
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	e.g.    00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// It accepts any known-shape version except the forbidden ff, and
+// rejects all-zero trace or parent IDs as the spec requires. ok reports
+// whether the header was valid.
+func ParseTraceparent(h string) (id ID, parent SpanID, ok bool) {
+	if len(h) < 55 {
+		return id, parent, false
+	}
+	// A future version may append fields after the flags; only the fixed
+	// 55-byte prefix is interpreted, and only if properly delimited.
+	if len(h) > 55 && h[55] != '-' {
+		return id, parent, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return id, parent, false
+	}
+	if !isHex(h[:2]) || h[:2] == "ff" {
+		return id, parent, false
+	}
+	if _, err := hex.Decode(id[:], []byte(h[3:35])); err != nil {
+		return ID{}, parent, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(h[36:52])); err != nil {
+		return ID{}, SpanID{}, false
+	}
+	if !isHex(h[53:55]) {
+		return ID{}, SpanID{}, false
+	}
+	if id.IsZero() || parent == (SpanID{}) {
+		return ID{}, SpanID{}, false
+	}
+	return id, parent, true
+}
+
+// FormatTraceparent renders a version-00 traceparent with the sampled
+// flag set.
+func FormatTraceparent(id ID, parent SpanID) string {
+	return "00-" + id.String() + "-" + parent.String() + "-01"
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -155,24 +155,44 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 // BaseURL returns the daemon base URL the client was built with.
 func (c *Client) BaseURL() string { return c.base.String() }
 
+// requestParams collects everything a RequestOption may shape on one
+// call: query parameters and request headers.
+type requestParams struct {
+	query  url.Values
+	header http.Header
+}
+
 // RequestOption tunes one call.
-type RequestOption func(*url.Values)
+type RequestOption func(*requestParams)
 
 // WithTimeout asks the server to bound this request's compute, independent
 // of the client context's own deadline.
 func WithTimeout(d time.Duration) RequestOption {
-	return func(v *url.Values) { v.Set("timeout_ms", strconv.FormatInt(d.Milliseconds(), 10)) }
+	return func(p *requestParams) {
+		p.query.Set("timeout_ms", strconv.FormatInt(d.Milliseconds(), 10))
+	}
 }
 
-func (c *Client) endpoint(path string, opts []RequestOption) string {
+// WithTraceParent attaches a W3C traceparent header
+// ("00-<32 hex trace id>-<16 hex span id>-01") to the call. A bagcd that
+// receives it records the request's phase-span tree — queue wait, cache
+// tiers, engine phases down to the ILP search — retrievable from
+// GET /debug/traces and returned inline as Report.Phases. See
+// docs/OBSERVABILITY.md.
+func WithTraceParent(tp string) RequestOption {
+	return func(p *requestParams) { p.header.Set("traceparent", tp) }
+}
+
+// endpoint resolves the request URL and headers for one call.
+func (c *Client) endpoint(path string, opts []RequestOption) (string, http.Header) {
 	u := *c.base
 	u.Path = strings.TrimRight(u.Path, "/") + path
-	v := u.Query()
+	p := requestParams{query: u.Query(), header: make(http.Header)}
 	for _, o := range opts {
-		o(&v)
+		o(&p)
 	}
-	u.RawQuery = v.Encode()
-	return u.String()
+	u.RawQuery = p.query.Encode()
+	return u.String(), p.header
 }
 
 func encodeBags(bags []NamedBag) ([]byte, error) {
@@ -191,11 +211,14 @@ func encodeBags(bags []NamedBag) ([]byte, error) {
 }
 
 // do POSTs body and retries 503s; on success the caller owns resp.Body.
-func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
+func (c *Client) do(ctx context.Context, method, url string, header http.Header, body []byte) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
+		}
+		for k, vs := range header {
+			req.Header[k] = vs
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
@@ -263,7 +286,8 @@ func (c *Client) postReport(ctx context.Context, path string, bags []NamedBag, o
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.do(ctx, http.MethodPost, c.endpoint(path, opts), body)
+	url, header := c.endpoint(path, opts)
+	resp, err := c.do(ctx, http.MethodPost, url, header, body)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +339,8 @@ func (c *Client) CheckBatch(ctx context.Context, collections [][]NamedBag, opts 
 		body.Write(line)
 		body.WriteByte('\n')
 	}
-	resp, err := c.do(ctx, http.MethodPost, c.endpoint("/v1/batch", opts), body.Bytes())
+	url, header := c.endpoint("/v1/batch", opts)
+	resp, err := c.do(ctx, http.MethodPost, url, header, body.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +381,8 @@ func (c *Client) CheckBatch(ctx context.Context, collections [][]NamedBag, opts 
 // Health fetches GET /healthz. A draining daemon answers 503 but still
 // returns its status body, so Health reports it rather than failing.
 func (c *Client) Health(ctx context.Context) (*Health, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/healthz", nil), nil)
+	url, _ := c.endpoint("/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -377,7 +403,8 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 
 // Metrics fetches the raw Prometheus exposition from GET /metrics.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/metrics", nil), nil)
+	url, _ := c.endpoint("/metrics", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return "", err
 	}

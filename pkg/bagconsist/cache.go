@@ -9,6 +9,7 @@ import (
 	"bagconsistency/internal/bag"
 	"bagconsistency/internal/cache"
 	"bagconsistency/internal/canon"
+	"bagconsistency/internal/trace"
 )
 
 // Cache is a shared result cache for Checkers: a sharded LRU keyed by
@@ -209,24 +210,34 @@ func (c config) optionsKey() string {
 // and CheckGlobal. kind namespaces the query ("pair" vs "global" over the
 // same bags answer different questions); bags is the instance;
 // compute runs the underlying uncached query.
-func (c *Checker) cachedCheck(ctx context.Context, kind string, bags []*bag.Bag, compute func() (*Report, error)) (*Report, error) {
+func (c *Checker) cachedCheck(ctx context.Context, kind string, bags []*bag.Bag, compute func(context.Context) (*Report, error)) (*Report, error) {
 	start := time.Now()
 	// Cached and uncached paths must agree on cancellation: a hit must
 	// not mask an already-dead context.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, fpSpan := trace.Start(ctx, trace.SpanFingerprint)
 	can, err := canon.Bags(bags)
+	fpSpan.End()
 	if err != nil {
 		// Canonicalization failing (nil bag, empty instance) means the
 		// underlying query will produce the authoritative error.
-		return compute()
+		return compute(ctx)
 	}
+	// The fingerprint names the instance in slow-query captures.
+	trace.SpanFromContext(ctx).SetAttr("fp", can.FP.String())
 	optsKey := c.cfg.optionsKey()
 	key := kind + "|" + optsKey + "|" + can.FP.String()
-	if v, ok := c.cfg.cache.lru.Get(key); ok {
+	_, ramSpan := trace.Start(ctx, trace.SpanCacheRAM)
+	v, ok := c.cfg.cache.lru.Get(key)
+	if ok {
+		ramSpan.SetAttr("outcome", "hit")
+		ramSpan.End()
 		return v.(*cachedResult).report(can, time.Since(start))
 	}
+	ramSpan.SetAttr("outcome", "miss")
+	ramSpan.End()
 
 	// RAM miss: singleflight everything slower than the LRU — the disk
 	// probe as much as the computation. After a restart, N concurrent
@@ -249,11 +260,21 @@ func (c *Checker) cachedCheck(ctx context.Context, kind string, bags []*bag.Bag,
 		// A restart-surviving result may be on disk. A disk hit is
 		// promoted into the LRU so the fingerprint's next query is a RAM
 		// hit.
-		if cr, ok := c.cfg.cache.diskGet(kind, optsKey, can.FP); ok {
-			c.cfg.cache.lru.Add(key, cr)
-			return cr, nil
+		if c.cfg.cache.Persistent() {
+			_, diskSpan := trace.Start(ctx, trace.SpanCacheStore)
+			cr, ok := c.cfg.cache.diskGet(kind, optsKey, can.FP)
+			if ok {
+				diskSpan.SetAttr("outcome", "hit-promoted")
+				diskSpan.End()
+				c.cfg.cache.lru.Add(key, cr)
+				return cr, nil
+			}
+			diskSpan.SetAttr("outcome", "miss")
+			diskSpan.End()
 		}
-		rep, cerr := compute()
+		cctx, computeSpan := trace.Start(ctx, trace.SpanCompute)
+		rep, cerr := compute(cctx)
+		computeSpan.End()
 		if cerr != nil {
 			return nil, cerr
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bagconsistency/internal/core"
+	"bagconsistency/internal/trace"
 )
 
 // ErrInconsistent is returned by Witness when the instance has no witness
@@ -103,12 +104,20 @@ func (c *Checker) CheckPair(ctx context.Context, r, s *Bag) (*Report, error) {
 	if err := c.ready(); err != nil {
 		return nil, err
 	}
+	ctx, span := trace.Start(ctx, trace.SpanCheck)
+	span.SetAttr("kind", "pair")
+	var rep *Report
+	var err error
 	if c.cfg.cache != nil {
-		return c.cachedCheck(ctx, "pair", []*Bag{r, s}, func() (*Report, error) {
-			return c.checkPairUncached(ctx, r, s)
+		rep, err = c.cachedCheck(ctx, "pair", []*Bag{r, s}, func(cctx context.Context) (*Report, error) {
+			return c.checkPairUncached(cctx, r, s)
 		})
+	} else {
+		rep, err = c.checkPairUncached(ctx, r, s)
 	}
-	return c.checkPairUncached(ctx, r, s)
+	span.End()
+	attachPhases(ctx, rep)
+	return rep, err
 }
 
 func (c *Checker) checkPairUncached(ctx context.Context, r, s *Bag) (*Report, error) {
@@ -122,10 +131,14 @@ func (c *Checker) checkPairUncached(ctx context.Context, r, s *Bag) (*Report, er
 	switch c.cfg.method {
 	case Auto:
 		rep.Method = "marginal"
+		_, msp := trace.Start(ctx, trace.SpanMarginals)
 		ok, err = core.PairConsistent(r, s)
+		msp.End()
 	case Flow:
 		rep.Method = Flow.String()
+		_, fsp := trace.Start(ctx, trace.SpanMaxflow)
 		ok, err = core.PairConsistentViaFlow(r, s)
+		fsp.End()
 		if err == nil && ok {
 			if v, uerr := r.UnarySize(); uerr == nil {
 				rep.FlowValue = v // saturation target = routed flow
@@ -161,6 +174,8 @@ func (c *Checker) PairWitness(ctx context.Context, r, s *Bag) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, span := trace.Start(ctx, trace.SpanCheck)
+	span.SetAttr("kind", "pair-witness")
 	var w *Bag
 	var ok bool
 	var err error
@@ -169,10 +184,12 @@ func (c *Checker) PairWitness(ctx context.Context, r, s *Bag) (*Report, error) {
 	} else {
 		w, ok, err = core.PairWitness(r, s)
 	}
+	span.End()
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{Consistent: ok, Method: Flow.String(), Bags: 2, Elapsed: time.Since(start)}
+	defer attachPhases(ctx, rep)
 	if !ok {
 		return rep, ErrInconsistent
 	}
@@ -198,12 +215,20 @@ func (c *Checker) CheckGlobal(ctx context.Context, coll *Collection) (*Report, e
 	if err := c.ready(); err != nil {
 		return nil, err
 	}
+	ctx, span := trace.Start(ctx, trace.SpanCheck)
+	span.SetAttr("kind", "global")
+	var rep *Report
+	var err error
 	if c.cfg.cache != nil {
-		return c.cachedCheck(ctx, "global", coll.Bags(), func() (*Report, error) {
-			return c.checkGlobalUncached(ctx, coll)
+		rep, err = c.cachedCheck(ctx, "global", coll.Bags(), func(cctx context.Context) (*Report, error) {
+			return c.checkGlobalUncached(cctx, coll)
 		})
+	} else {
+		rep, err = c.checkGlobalUncached(ctx, coll)
 	}
-	return c.checkGlobalUncached(ctx, coll)
+	span.End()
+	attachPhases(ctx, rep)
+	return rep, err
 }
 
 func (c *Checker) checkGlobalUncached(ctx context.Context, coll *Collection) (*Report, error) {

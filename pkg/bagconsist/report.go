@@ -41,6 +41,11 @@ type Report struct {
 	CacheHit bool `json:"cache_hit,omitempty"`
 	// Elapsed is the wall time of the query (nanoseconds in JSON).
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// Phases is the request's phase-timing tree, populated only when the
+	// query ran under a tracing context (TraceContext, or a traced bagcd
+	// request). Untraced queries omit it, keeping the wire format of
+	// previous releases byte-identical.
+	Phases []PhaseSpan `json:"phases,omitempty"`
 	// Error records a per-instance failure inside CheckBatch; single
 	// queries return Go errors instead and never set it.
 	Error string `json:"error,omitempty"`

@@ -99,6 +99,108 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// pinPhases makes a phase tree deterministic for golden comparison: wall
+// timings are replaced by synthetic values while names, nesting, attrs,
+// and counters — the structure the golden locks — are kept verbatim.
+func pinPhases(ps []bagconsist.PhaseSpan) {
+	for i := range ps {
+		ps[i].StartNs = int64(i) * 1000
+		ps[i].DurationNs = 1000
+		pinPhases(ps[i].Children)
+	}
+}
+
+// TestReportPhasesGolden locks the wire format of Report.Phases: the same
+// golden query run under a tracing context must produce this span tree.
+// Together with TestReportJSONGolden (whose untraced report has no
+// "phases" key) it proves tracing is opt-in on the wire.
+func TestReportPhasesGolden(t *testing.T) {
+	r, s, err := gen.Section3Family(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := bagconsist.NewCollection2(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := bagconsist.TraceContext(context.Background())
+	rep, err := bagconsist.New().CheckGlobal(ctx, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) == 0 {
+		t.Fatal("traced CheckGlobal returned no phases")
+	}
+	rep.Elapsed = 1234 * time.Microsecond
+	pinPhases(rep.Phases)
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "report_traced_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("traced Report JSON drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestReportPhasesRoundTrip proves the phase tree survives the wire
+// unchanged.
+func TestReportPhasesRoundTrip(t *testing.T) {
+	r, s, err := gen.Section3Family(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := bagconsist.NewCollection2(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := bagconsist.TraceContext(context.Background())
+	rep, err := bagconsist.New().CheckGlobal(ctx, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bagconsist.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("phases changed across the wire:\nfirst  %s\nsecond %s", data, again)
+	}
+	// The untraced report of the same query must not carry the key at all.
+	plain, err := bagconsist.New().CheckGlobal(context.Background(), coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdata, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(pdata, []byte(`"phases"`)) {
+		t.Fatalf("untraced report leaked a phases key: %s", pdata)
+	}
+}
+
 // TestBatchReportJSONError locks the error-slot encoding used by the
 // batch layer.
 func TestBatchReportJSONError(t *testing.T) {
