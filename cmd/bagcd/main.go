@@ -17,6 +17,9 @@
 //	      [-admission fifo|hardness] [-shed-threshold 0.5]
 //	      [-expensive-support N]
 //	      [-trace-slow-ms N] [-trace-ring N] [-log-format text|json]
+//	      [-hotkey-k N] [-calib-interval 1m]
+//	      [-flightrec] [-flightrec-queue-frac F] [-flightrec-p99-budget D]
+//	      [-flightrec-retain N]
 //	      [-drain-timeout 30s] [-max-batch-lines N] [-version]
 //
 // -solver-parallelism runs the integer search for a single cyclic
@@ -44,6 +47,18 @@
 // when -data-dir is set. Access logs are structured (log/slog; request
 // id = trace id); -log-format json switches them to JSON. See
 // docs/OBSERVABILITY.md.
+//
+// Workload analytics ride the same cache-layer canonicalization: a
+// SpaceSaving sketch of -hotkey-k counters tracks per-fingerprint
+// hits/misses/sheds/service time (GET /debug/workload, bagcd_hotkey_*
+// metrics; -hotkey-k 0 disables). Cost-model calibration compares each
+// completion against the admission EWMA in effect when it ran
+// (bagcd_cost_error_ratio{class} histograms; -calib-interval cuts
+// periodic deltas). -flightrec arms the overload flight recorder:
+// when queue fill reaches -flightrec-queue-frac or windowed p99
+// crosses -flightrec-p99-budget, it captures a bounded CPU+heap
+// profile plus the workload and trace state into <data-dir>/flightrec
+// (rotated, -flightrec-retain kept).
 //
 // Endpoints (see docs/SERVING.md for wire formats):
 //
@@ -74,6 +89,7 @@ import (
 	"bagconsistency/internal/buildinfo"
 	"bagconsistency/internal/metrics"
 	"bagconsistency/internal/service"
+	"bagconsistency/internal/telemetry"
 	"bagconsistency/internal/trace"
 	"bagconsistency/pkg/bagconsist"
 )
@@ -108,9 +124,20 @@ type options struct {
 	traceSlowMs       int64
 	traceRing         int
 	logFormat         string
+	hotkeyK           int
+	calibInterval     time.Duration
+	flightrec         bool
+	flightQueueFrac   float64
+	flightP99Budget   time.Duration
+	flightRetain      int
+	flightCheck       time.Duration                    // trigger poll interval; no flag (tests speed it up)
+	flightCooldown    time.Duration                    // capture spacing; no flag (tests shrink it)
 	storeLogf         func(format string, args ...any) // recovery warnings; tests capture it
 	accessLog         *slog.Logger                     // set by run(); tests may inject their own
 	slow              *trace.SlowCapture               // built by buildServer when -trace-slow-ms >= 0
+	workload          *telemetry.Workload              // built by buildServer when -hotkey-k > 0
+	calib             *telemetry.Calibrator            // always built by buildServer
+	flight            *telemetry.Recorder              // built by buildServer when -flightrec
 }
 
 func parseFlags(args []string, out io.Writer) (*options, bool, error) {
@@ -137,6 +164,12 @@ func parseFlags(args []string, out io.Writer) (*options, bool, error) {
 	fs.Int64Var(&opt.traceSlowMs, "trace-slow-ms", -1, "trace every request and capture those slower than N ms (0 captures all; -1 disables — traceparent-carrying requests are still traced)")
 	fs.IntVar(&opt.traceRing, "trace-ring", service.DefaultTraceRingSize, "recent request traces kept for GET /debug/traces")
 	fs.StringVar(&opt.logFormat, "log-format", "text", "structured log encoding: text or json")
+	fs.IntVar(&opt.hotkeyK, "hotkey-k", 256, "SpaceSaving hot-key sketch counters behind /debug/workload and bagcd_hotkey_* (0 disables workload analytics)")
+	fs.DurationVar(&opt.calibInterval, "calib-interval", time.Minute, "period of cost-model calibration delta snapshots (0 keeps cumulative tallies only)")
+	fs.BoolVar(&opt.flightrec, "flightrec", false, "arm the overload flight recorder: capture pprof + workload + traces into <data-dir>/flightrec on queue or p99 pressure (requires -data-dir)")
+	fs.Float64Var(&opt.flightQueueFrac, "flightrec-queue-frac", 0.9, "queue fill fraction that triggers a flight capture (0 disables the queue trigger)")
+	fs.DurationVar(&opt.flightP99Budget, "flightrec-p99-budget", 0, "windowed p99 end-to-end latency that triggers a flight capture (0 disables the latency trigger)")
+	fs.IntVar(&opt.flightRetain, "flightrec-retain", 8, "flight capture directories retained (oldest pruned first)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, false, err
@@ -199,6 +232,26 @@ func (o *options) validate() error {
 	if o.logFormat != "text" && o.logFormat != "json" {
 		return fmt.Errorf("-log-format must be text or json, got %q", o.logFormat)
 	}
+	if o.hotkeyK < 0 {
+		return fmt.Errorf("-hotkey-k must be >= 0, got %d", o.hotkeyK)
+	}
+	if o.calibInterval < 0 {
+		return fmt.Errorf("-calib-interval must be >= 0, got %s", o.calibInterval)
+	}
+	if o.flightrec {
+		if o.dataDir == "" {
+			return fmt.Errorf("-flightrec needs -data-dir for its capture directory")
+		}
+		if o.flightQueueFrac < 0 || o.flightQueueFrac > 1 {
+			return fmt.Errorf("-flightrec-queue-frac must be in [0, 1], got %g", o.flightQueueFrac)
+		}
+		if o.flightP99Budget < 0 {
+			return fmt.Errorf("-flightrec-p99-budget must be >= 0, got %s", o.flightP99Budget)
+		}
+		if o.flightRetain < 1 {
+			return fmt.Errorf("-flightrec-retain must be at least 1, got %d", o.flightRetain)
+		}
+	}
 	return nil
 }
 
@@ -249,6 +302,34 @@ func buildServer(opt *options) (*service.Service, http.Handler, *bagconsist.Stor
 	if err != nil {
 		return fail(err)
 	}
+	// Workload analytics: the cache layer's observer feeds canonical
+	// fingerprints into the SpaceSaving sketch via the worker's capture
+	// carrier; the top-K surfaces on /debug/workload and bagcd_hotkey_*.
+	if opt.hotkeyK > 0 {
+		opt.workload = telemetry.NewWorkload(opt.hotkeyK)
+		checkerOpts = append(checkerOpts, bagconsist.WithCheckObserver(telemetry.RecordCheck))
+		telemetry.RegisterWorkloadMetrics(reg, opt.workload, service.DefaultWorkloadTopN)
+	}
+	// Calibration is always on: it only compares numbers the admission
+	// controller already tracks, and its histograms make a drifting cost
+	// model visible on /metrics whatever the policy.
+	opt.calib = telemetry.NewCalibrator(reg)
+	if opt.calibInterval > 0 {
+		opt.calib.StartPeriodic(opt.calibInterval)
+	}
+	if opt.flightrec && opt.flight == nil {
+		opt.flight, err = telemetry.NewRecorder(telemetry.RecorderConfig{
+			Dir:           filepath.Join(opt.dataDir, "flightrec"),
+			QueueFrac:     opt.flightQueueFrac,
+			P99Budget:     opt.flightP99Budget,
+			Retain:        opt.flightRetain,
+			CheckInterval: opt.flightCheck,
+			Cooldown:      opt.flightCooldown,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("flight recorder: %w", err))
+		}
+	}
 	svc, err := service.New(service.Config{
 		Checker:          bagconsist.New(checkerOpts...),
 		QueueDepth:       opt.queueDepth,
@@ -258,6 +339,9 @@ func buildServer(opt *options) (*service.Service, http.Handler, *bagconsist.Stor
 		ShedThreshold:    opt.shedThreshold,
 		ExpensiveSupport: opt.expensiveSupport,
 		Metrics:          reg,
+		Workload:         opt.workload,
+		Calibration:      opt.calib,
+		Flight:           opt.flight,
 	})
 	if err != nil {
 		return fail(err)
@@ -272,6 +356,9 @@ func buildServer(opt *options) (*service.Service, http.Handler, *bagconsist.Stor
 			return fail(fmt.Errorf("slow-trace capture: %w", err))
 		}
 	}
+	// The trace ring is built here (not inside NewHandler) so the flight
+	// recorder's Traces probe reads the very ring the handler fills.
+	ring := trace.NewRing(opt.traceRing)
 	handler, err := service.NewHandler(service.ServerConfig{
 		Service:       svc,
 		Metrics:       reg,
@@ -281,9 +368,33 @@ func buildServer(opt *options) (*service.Service, http.Handler, *bagconsist.Stor
 		TraceAll:      opt.traceSlowMs >= 0,
 		Slow:          opt.slow,
 		AccessLog:     opt.accessLog,
+		Ring:          ring,
+		Workload:      opt.workload,
+		Calibration:   opt.calib,
+		Flight:        opt.flight,
 	})
 	if err != nil {
 		return fail(err)
+	}
+	if opt.flight != nil {
+		opt.flight.Start(telemetry.RecorderProbes{
+			QueueFill: svc.QueueFill,
+			Workload: func() any {
+				return service.WorkloadStatus{
+					Schema:      service.WorkloadStatusSchema,
+					Workload:    opt.workload.Snapshot(0),
+					Calibration: opt.calib.Snapshot(),
+				}
+			},
+			Traces: func() []*trace.Snapshot {
+				snaps := ring.Snapshots()
+				if opt.slow != nil {
+					snaps = append(snaps, opt.slow.Ring().Snapshots()...)
+				}
+				return snaps
+			},
+			Logf: opt.storeLogf,
+		})
 	}
 	return svc, handler, st, nil
 }
@@ -316,6 +427,8 @@ func run(args []string, out io.Writer) error {
 	if opt.slow != nil {
 		defer opt.slow.Close()
 	}
+	defer opt.calib.Close()
+	defer opt.flight.Close()
 	if st != nil {
 		defer func() {
 			if cerr := st.Close(); cerr != nil {

@@ -9,6 +9,7 @@ import (
 
 	"bagconsistency/internal/buildinfo"
 	"bagconsistency/internal/metrics"
+	"bagconsistency/pkg/bagclient"
 	"bagconsistency/pkg/bagconsist"
 )
 
@@ -35,6 +36,38 @@ type Report struct {
 	// (-trace-sample / -trace-top), so a ledger entry can attribute a tail
 	// latency to queue wait versus engine phases with direct evidence.
 	Traces []CapturedTrace `json:"traces,omitempty"`
+
+	// Workload pairs the server's hot-key sketch and calibration
+	// telemetry with the client's exact per-key counts — the ground truth
+	// only the load generator knows. Present when the target serves
+	// /debug/workload (selfhost with -sh-hotkey-k > 0, or a daemon
+	// running -hotkey-k).
+	Workload *WorkloadReport `json:"workload,omitempty"`
+}
+
+// WorkloadReport is the analytics cross-check: the sketch's claimed
+// top-K versus the schedule's actual per-fingerprint send counts.
+type WorkloadReport struct {
+	// Server is the /debug/workload status scraped after the run
+	// quiesced: sketch top-K, calibration snapshot, flight recorder.
+	Server *bagclient.WorkloadStatus `json:"server,omitempty"`
+	// ClientTopK are the exact per-fingerprint counts the driver sent,
+	// hottest first — computed from the schedule, not sampled.
+	ClientTopK []ClientKeyCount `json:"client_top_k"`
+	// AgreementK and TopKAgreement report set overlap between the
+	// sketch's top-K keys and the client's top-K keys:
+	// |intersection| / K with K = AgreementK. 1.0 means the sketch named
+	// exactly the keys the schedule actually favored.
+	AgreementK    int     `json:"agreement_k"`
+	TopKAgreement float64 `json:"top_k_agreement"`
+}
+
+// ClientKeyCount is one fingerprint's exact client-side ledger.
+type ClientKeyCount struct {
+	Key  string `json:"key"`
+	Sent int    `json:"sent"`
+	OK   int    `json:"ok"`
+	Shed int    `json:"shed"`
 }
 
 // CapturedTrace is one sampled request's end-to-end phase tree as the
@@ -83,6 +116,7 @@ type SelfhostConfig struct {
 	MaxNodes         int64   `json:"max_nodes"`
 	MaxTimeoutMs     float64 `json:"max_timeout_ms"`
 	BranchLowFirst   bool    `json:"branch_low_first"`
+	HotkeyK          int     `json:"hotkey_k,omitempty"`
 }
 
 // TrafficStats counts the open-loop send side. Sent partitions exactly
@@ -148,6 +182,12 @@ type ServerStats struct {
 	CacheEvictions    float64            `json:"cache_evictions"`
 	MeanQueueWaitMs   map[string]float64 `json:"mean_queue_wait_ms"`
 	MeanServiceMs     map[string]float64 `json:"mean_service_ms"`
+	// ILP engine deltas: branch-and-bound nodes expanded, work-stealing
+	// steals, and idle worker parks during the run — the compute-side
+	// cost behind the latency numbers above.
+	ILPNodes  float64 `json:"ilp_nodes,omitempty"`
+	ILPSteals float64 `json:"ilp_steals,omitempty"`
+	ILPIdles  float64 `json:"ilp_idles,omitempty"`
 }
 
 // Conservation is the request-accounting invariant, both halves.
@@ -217,7 +257,12 @@ func writeTable(w io.Writer, r *Report) {
 			fmt.Fprintf(w, "  %-6s queue-wait %8.2fms   service %8.2fms\n",
 				kind, s.MeanQueueWaitMs[kind], s.MeanServiceMs[kind])
 		}
+		if s.ILPNodes > 0 || s.ILPSteals > 0 || s.ILPIdles > 0 {
+			fmt.Fprintf(w, "  ilp: nodes %g   steals %g   idles %g\n",
+				s.ILPNodes, s.ILPSteals, s.ILPIdles)
+		}
 	}
+	writeWorkloadSection(w, r.Workload)
 	c := r.Conservation
 	fmt.Fprintf(w, "\nconservation: client %s", holdsWord(c.ClientHolds))
 	if c.ServerHolds != nil {

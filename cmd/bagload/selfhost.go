@@ -9,6 +9,7 @@ import (
 
 	"bagconsistency/internal/metrics"
 	"bagconsistency/internal/service"
+	"bagconsistency/internal/telemetry"
 	"bagconsistency/pkg/bagconsist"
 )
 
@@ -41,6 +42,17 @@ func bootSelfhost(cfg SelfhostConfig) (*selfhost, error) {
 		checkerOpts = append(checkerOpts, bagconsist.WithBranchLowFirst(true))
 	}
 	reg := metrics.NewRegistry()
+	// Workload analytics mirror bagcd's own wiring: the cache observer
+	// hands canonical fingerprints to the hot-key sketch, and the
+	// calibrator scores cost-model predictions. The selfhost never runs
+	// the flight recorder — a load run is its own post-mortem.
+	var workload *telemetry.Workload
+	if cfg.HotkeyK > 0 {
+		workload = telemetry.NewWorkload(cfg.HotkeyK)
+		checkerOpts = append(checkerOpts, bagconsist.WithCheckObserver(telemetry.RecordCheck))
+		telemetry.RegisterWorkloadMetrics(reg, workload, service.DefaultWorkloadTopN)
+	}
+	calib := telemetry.NewCalibrator(reg)
 	svc, err := service.New(service.Config{
 		Checker:          bagconsist.New(checkerOpts...),
 		QueueDepth:       cfg.QueueDepth,
@@ -49,14 +61,18 @@ func bootSelfhost(cfg SelfhostConfig) (*selfhost, error) {
 		ShedThreshold:    cfg.ShedThreshold,
 		ExpensiveSupport: cfg.ExpensiveSupport,
 		Metrics:          reg,
+		Workload:         workload,
+		Calibration:      calib,
 	})
 	if err != nil {
 		return nil, err
 	}
 	handler, err := service.NewHandler(service.ServerConfig{
-		Service: svc,
-		Metrics: reg,
-		Cache:   shared,
+		Service:     svc,
+		Metrics:     reg,
+		Cache:       shared,
+		Workload:    workload,
+		Calibration: calib,
 	})
 	if err != nil {
 		return nil, err

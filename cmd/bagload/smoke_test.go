@@ -37,6 +37,7 @@ func smokeOptions(d time.Duration) *options {
 			Admission:    "hardness",
 			MaxNodes:     5_000_000,
 			MaxTimeoutMs: 20_000,
+			HotkeyK:      64,
 		},
 	}
 }
@@ -98,6 +99,44 @@ func TestLoadSmoke(t *testing.T) {
 	if rep.Runner.GoVersion == "" || rep.Runner.GOMAXPROCS == 0 {
 		t.Errorf("runner metadata incomplete: %+v", rep.Runner)
 	}
+	if rep.Server.ILPNodes == 0 {
+		t.Error("zero ILP nodes despite cache misses that must have computed")
+	}
+
+	// Workload analytics: the selfhost ran with -sh-hotkey-k 64, which
+	// exceeds the distinct fingerprints a 20-item corpus can produce
+	// (≤ 40: one global + one pair key per item), so the sketch is exact
+	// and every top-K claim must be backed by the client's own ledger.
+	wl := rep.Workload
+	if wl == nil || wl.Server == nil || wl.Server.Workload == nil {
+		t.Fatal("no workload section in the report")
+	}
+	if wl.Server.Workload.Stream == 0 || len(wl.ClientTopK) == 0 {
+		t.Fatalf("empty workload analytics: %+v", wl)
+	}
+	sent := map[string]int{}
+	for _, c := range wl.ClientTopK {
+		sent[c.Key] = c.Sent
+	}
+	for _, hk := range wl.Server.Workload.TopK {
+		if hk.ErrBound != 0 {
+			t.Errorf("sketch not exact despite k > distinct keys: %+v", hk)
+		}
+		want, ok := sent[hk.Key]
+		if !ok {
+			t.Errorf("sketch tracks key %s the client never sent", hk.Key)
+		} else if int(hk.Count) > want {
+			t.Errorf("key %s: sketch count %d exceeds client sends %d", hk.Key, hk.Count, want)
+		}
+	}
+	if wl.AgreementK == 0 || wl.TopKAgreement == 0 {
+		t.Errorf("top-K agreement degenerate: k=%d agreement=%g", wl.AgreementK, wl.TopKAgreement)
+	}
+	if wl.Server.Calibration == nil || len(wl.Server.Calibration.Cumulative) == 0 {
+		t.Errorf("calibration summary missing: %+v", wl.Server.Calibration)
+	}
+	// The human table must render every new section.
+	writeTable(io.Discard, rep)
 }
 
 // TestOptionsValidate pins the flag-validation surface.

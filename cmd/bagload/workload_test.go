@@ -1,0 +1,94 @@
+package main
+
+import (
+	"testing"
+
+	"bagconsistency/internal/load"
+	"bagconsistency/internal/telemetry"
+	"bagconsistency/pkg/bagclient"
+	"bagconsistency/pkg/bagconsist"
+)
+
+func statusWithTopK(keys ...string) *bagclient.WorkloadStatus {
+	topK := make([]telemetry.HotKey, len(keys))
+	for i, k := range keys {
+		topK[i] = telemetry.HotKey{Key: k}
+	}
+	return &bagclient.WorkloadStatus{Workload: &telemetry.WorkloadSnapshot{TopK: topK}}
+}
+
+// TestTopKAgreement pins the set-overlap semantics: K clamps to the
+// shorter table, and agreement counts membership, not rank.
+func TestTopKAgreement(t *testing.T) {
+	counts := []ClientKeyCount{{Key: "b"}, {Key: "a"}, {Key: "d"}}
+	k, agree := topKAgreement(statusWithTopK("a", "b", "c"), counts, 5)
+	if k != 3 || agree < 0.66 || agree > 0.67 {
+		t.Fatalf("k=%d agreement=%g, want 3 and 2/3", k, agree)
+	}
+	// Rank disagreement inside the set is not penalized.
+	if k, agree := topKAgreement(statusWithTopK("a", "b"), counts, 2); k != 2 || agree != 1 {
+		t.Fatalf("k=%d agreement=%g, want perfect set overlap", k, agree)
+	}
+	if k, agree := topKAgreement(statusWithTopK(), counts, 5); k != 0 || agree != 0 {
+		t.Fatalf("empty sketch: k=%d agreement=%g", k, agree)
+	}
+}
+
+// TestClientKeyCounts replays a tiny hand-built schedule and checks the
+// exact ledger: pair and global checks of the same item count under
+// different canonical keys, batch events count each line under its
+// collection's key, and OK is only credited to clean batches.
+func TestClientKeyCounts(t *testing.T) {
+	corpus, err := load.BuildCorpus(load.CorpusSpec{Seed: 1, Items: 3, AcyclicFrac: 1, Support: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpG := make([]string, len(corpus))
+	fpP := make([]string, len(corpus))
+	for i, it := range corpus {
+		if fpG[i], err = bagconsist.FingerprintCollection(it.Collection); err != nil {
+			t.Fatal(err)
+		}
+		if fpP[i], err = bagconsist.FingerprintPair(it.R, it.S); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	events := []load.Event{
+		{Class: load.ClassPair, Items: []int{0}},
+		{Class: load.ClassGlobal, Items: []int{0}},
+		{Class: load.ClassGlobal, Items: []int{0}},
+		{Class: load.ClassBatch, Items: []int{1, 2}},
+		{Class: load.ClassBatch, Items: []int{1, 2}},
+	}
+	results := []fireResult{
+		{class: load.ClassPair, outcome: outcomeOK},
+		{class: load.ClassGlobal, outcome: outcomeOK},
+		{class: load.ClassGlobal, outcome: outcomeShed},
+		{class: load.ClassBatch, outcome: outcomeOK},
+		{class: load.ClassBatch, outcome: outcomeOK, lineErrs: 1}, // dirty: no OK credit
+	}
+
+	counts := clientKeyCounts(corpus, events, results)
+	byKey := map[string]ClientKeyCount{}
+	for _, c := range counts {
+		byKey[c.Key] = c
+	}
+	for _, want := range []ClientKeyCount{
+		{Key: fpP[0], Sent: 1, OK: 1},
+		{Key: fpG[0], Sent: 2, OK: 1, Shed: 1},
+		{Key: fpG[1], Sent: 2, OK: 1},
+		{Key: fpG[2], Sent: 2, OK: 1},
+	} {
+		if got := byKey[want.Key]; got != want {
+			t.Errorf("key %s: got %+v, want %+v", want.Key, got, want)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("distinct keys = %d, want 4: %+v", len(counts), counts)
+	}
+	// Hottest first, ties broken by key — the order is deterministic.
+	if counts[3].Key != fpP[0] {
+		t.Errorf("coldest key = %s, want the single pair check %s", counts[3].Key, fpP[0])
+	}
+}

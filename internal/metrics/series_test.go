@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Satellite coverage: exact-quantile Sample edge cases the load
+// reports depend on — empty sample, single observation, all-equal
+// values.
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.N() != 0 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("empty Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	if got := ExactQuantile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("ExactQuantile(nil) = %v, want NaN", got)
+	}
+	// String must not panic on emptiness.
+	if out := s.String(); !strings.Contains(out, "n=0") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestSampleSingleObservation(t *testing.T) {
+	s := NewSample(1)
+	s.Observe(0.25)
+	if s.N() != 1 || s.Mean() != 0.25 {
+		t.Fatalf("N=%d mean=%v", s.N(), s.Mean())
+	}
+	// Every valid quantile of a singleton is the observation itself.
+	for _, q := range []float64{0.001, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != 0.25 {
+			t.Errorf("Quantile(%v) = %v, want 0.25", q, got)
+		}
+	}
+	// Out-of-domain quantiles stay NaN even with data present.
+	for _, q := range []float64{0, -1, 1.5, math.NaN()} {
+		if got := s.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+}
+
+func TestSampleAllEqualValues(t *testing.T) {
+	s := NewSample(100)
+	for i := 0; i < 100; i++ {
+		s.Observe(3.5)
+	}
+	if got := s.Mean(); got != 3.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	qs := s.Quantiles(0.001, 0.5, 0.99, 0.999, 1)
+	for i, got := range qs {
+		if got != 3.5 {
+			t.Errorf("quantile #%d = %v, want 3.5", i, got)
+		}
+	}
+}
+
+// TestSeriesFuncExposition: a dynamic family emits whatever fn returns
+// at scrape time, sorted by label string, typed as a gauge.
+func TestSeriesFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	current := []Series{
+		{Labels: `key="zz"`, Value: 3},
+		{Labels: `key="aa"`, Value: 7},
+	}
+	r.SeriesFunc("bagcd_hotkey_count", "per-key estimates", func() []Series { return current })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP bagcd_hotkey_count per-key estimates\n" +
+		"# TYPE bagcd_hotkey_count gauge\n" +
+		"bagcd_hotkey_count{key=\"aa\"} 7\n" +
+		"bagcd_hotkey_count{key=\"zz\"} 3\n"
+	if sb.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	// The label set churns between scrapes — stale keys disappear, new
+	// ones appear, without any registry mutation.
+	current = []Series{{Labels: `key="bb"`, Value: 1}}
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, `key="aa"`) || !strings.Contains(out, `key="bb"`) {
+		t.Fatalf("label churn not reflected:\n%s", out)
+	}
+}
+
+func TestSeriesFuncNilAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.SeriesFunc("bagcd_hotkey_hits", "", func() []Series { return nil })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "# TYPE bagcd_hotkey_hits gauge\n" {
+		t.Fatalf("empty dynamic family exposition: %q", got)
+	}
+}
+
+func TestSeriesFuncKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.SeriesFunc("bagcd_hotkey_count", "", func() []Series { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Counter("bagcd_hotkey_count", "", "")
+}
+
+// TestNewFamiliesDeterministicOrdering: the full bagcd_hotkey_* +
+// bagcd_cost_error_* block scrapes identically twice in a row, with
+// families in sorted name order and histogram series in label order.
+func TestNewFamiliesDeterministicOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.SeriesFunc("bagcd_hotkey_count", "", func() []Series {
+		return []Series{{Labels: `key="b"`, Value: 2}, {Labels: `key="a"`, Value: 5}}
+	})
+	r.SeriesFunc("bagcd_hotkey_sheds", "", func() []Series {
+		return []Series{{Labels: `key="a"`, Value: 1}}
+	})
+	r.CounterFunc("bagcd_hotkey_stream_total", "", "", func() float64 { return 7 })
+	buckets := []float64{0.5, 1, 2}
+	r.Histogram("bagcd_cost_error_ratio", `class="expensive"`, "", buckets).Observe(1.5)
+	r.Histogram("bagcd_cost_error_ratio", `class="cheap"`, "", buckets).Observe(0.9)
+
+	scrape := func() string {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := scrape()
+	if second := scrape(); second != first {
+		t.Fatalf("scrapes differ:\n%s\n---\n%s", first, second)
+	}
+	order := []string{
+		"# TYPE bagcd_cost_error_ratio histogram",
+		`bagcd_cost_error_ratio_bucket{class="cheap",le="0.5"}`,
+		`bagcd_cost_error_ratio_count{class="cheap"}`,
+		`bagcd_cost_error_ratio_bucket{class="expensive",le="0.5"}`,
+		"# TYPE bagcd_hotkey_count gauge",
+		`bagcd_hotkey_count{key="a"} 5`,
+		`bagcd_hotkey_count{key="b"} 2`,
+		`bagcd_hotkey_sheds{key="a"} 1`,
+		"bagcd_hotkey_stream_total 7",
+	}
+	pos := -1
+	for _, marker := range order {
+		i := strings.Index(first, marker)
+		if i < 0 {
+			t.Fatalf("scrape missing %q:\n%s", marker, first)
+		}
+		if i < pos {
+			t.Fatalf("scrape ordering wrong around %q:\n%s", marker, first)
+		}
+		pos = i
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"bagconsistency/internal/bagio"
 	"bagconsistency/internal/buildinfo"
 	"bagconsistency/internal/metrics"
+	"bagconsistency/internal/telemetry"
 	"bagconsistency/internal/trace"
 	"bagconsistency/pkg/bagconsist"
 )
@@ -51,6 +52,21 @@ type ServerConfig struct {
 	// AccessLog, when non-nil, receives one structured entry per HTTP
 	// request (request id = trace id).
 	AccessLog *slog.Logger
+	// Ring, when non-nil, replaces the handler's internal trace ring so
+	// the caller can share it (bagcd hands the same ring to the flight
+	// recorder's Traces probe). Nil keeps the PR 8 behavior: a private
+	// ring of TraceRingSize entries.
+	Ring *trace.Ring
+	// Workload, when non-nil, backs GET /debug/workload with the hot-key
+	// sketch snapshot. It should be the same Workload the Service was
+	// built with.
+	Workload *telemetry.Workload
+	// Calibration, when non-nil, embeds cost-model calibration snapshots
+	// in GET /debug/workload.
+	Calibration *telemetry.Calibrator
+	// Flight, when non-nil, embeds the overload flight recorder's status
+	// in GET /debug/workload.
+	Flight *telemetry.Recorder
 }
 
 const (
@@ -111,6 +127,9 @@ type server struct {
 	traceAll      bool
 	slow          *trace.SlowCapture
 	access        *slog.Logger
+	workload      *telemetry.Workload
+	calibration   *telemetry.Calibrator
+	flight        *telemetry.Recorder
 
 	httpRequests func(path, code string) *metrics.Counter
 }
@@ -135,6 +154,10 @@ func NewHandler(cfg ServerConfig) (http.Handler, error) {
 	if ringSize <= 0 {
 		ringSize = DefaultTraceRingSize
 	}
+	ring := cfg.Ring
+	if ring == nil {
+		ring = trace.NewRing(ringSize)
+	}
 	s := &server{
 		svc:           cfg.Service,
 		reg:           cfg.Metrics,
@@ -143,10 +166,13 @@ func NewHandler(cfg ServerConfig) (http.Handler, error) {
 		retryAfter:    cfg.RetryAfter,
 		maxBatchLines: cfg.MaxBatchLines,
 		started:       time.Now(),
-		ring:          trace.NewRing(ringSize),
+		ring:          ring,
 		traceAll:      cfg.TraceAll,
 		slow:          cfg.Slow,
 		access:        cfg.AccessLog,
+		workload:      cfg.Workload,
+		calibration:   cfg.Calibration,
+		flight:        cfg.Flight,
 	}
 	if s.maxBody <= 0 {
 		s.maxBody = DefaultMaxBodyBytes
@@ -228,6 +254,7 @@ func NewHandler(cfg ServerConfig) (http.Handler, error) {
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
 	mux.HandleFunc("GET /debug/traces", s.instrument("/debug/traces", false, s.handleTraces))
+	mux.HandleFunc("GET /debug/workload", s.instrument("/debug/workload", false, s.handleWorkload))
 	return mux, nil
 }
 
@@ -302,6 +329,55 @@ func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) int {
 		snaps = []*trace.Snapshot{}
 	}
 	return s.writeJSON(w, http.StatusOK, tracesBody{Traces: snaps})
+}
+
+// WorkloadStatus is the GET /debug/workload body: the hot-key sketch
+// snapshot plus, when enabled, cost-model calibration and overload
+// flight-recorder state. Sections the daemon was not configured with
+// are omitted.
+type WorkloadStatus struct {
+	Schema         string                         `json:"schema"`
+	UptimeSeconds  float64                        `json:"uptime_seconds"`
+	Workload       *telemetry.WorkloadSnapshot    `json:"workload,omitempty"`
+	Calibration    *telemetry.CalibrationSnapshot `json:"calibration,omitempty"`
+	FlightRecorder *telemetry.RecorderStatus      `json:"flight_recorder,omitempty"`
+}
+
+// WorkloadStatusSchema versions the /debug/workload envelope.
+const WorkloadStatusSchema = "workload-status/v1"
+
+// DefaultWorkloadTopN is how many hot keys /debug/workload reports when
+// ?top=N is absent.
+const DefaultWorkloadTopN = 10
+
+// handleWorkload serves workload analytics: the SpaceSaving hot-key
+// table (?top=N bounds it), calibration snapshots, and flight-recorder
+// status. 404 when the daemon runs without workload telemetry
+// (-hotkey-k=0).
+func (s *server) handleWorkload(w http.ResponseWriter, r *http.Request) int {
+	if s.workload == nil {
+		return s.writeError(w, http.StatusNotFound, errors.New("workload telemetry disabled (-hotkey-k)"))
+	}
+	topN := DefaultWorkloadTopN
+	if raw := r.URL.Query().Get("top"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", raw))
+		}
+		topN = n
+	}
+	body := WorkloadStatus{
+		Schema:        WorkloadStatusSchema,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workload:      s.workload.Snapshot(topN),
+	}
+	if s.calibration != nil {
+		body.Calibration = s.calibration.Snapshot()
+	}
+	if s.flight != nil {
+		body.FlightRecorder = s.flight.Status()
+	}
+	return s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) writeJSON(w http.ResponseWriter, code int, v any) int {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"bagconsistency/internal/metrics"
+	"bagconsistency/internal/telemetry"
 	"bagconsistency/internal/trace"
 	"bagconsistency/pkg/bagconsist"
 )
@@ -95,6 +96,19 @@ type Config struct {
 	// Metrics receives request/latency/queue instrumentation; nil runs
 	// unobserved.
 	Metrics *metrics.Registry
+	// Workload, when set, receives per-fingerprint hot-key accounting:
+	// every completed check (fingerprint + cache outcome + service time)
+	// and every shed (fingerprinted directly, since sheds never reach
+	// the engine). Nil disables workload analytics.
+	Workload *telemetry.Workload
+	// Calibration, when set, receives one (predicted, observed)
+	// service-time pair per successful completion, keyed by the
+	// admission cost class — the drift monitor of `-admission hardness`.
+	Calibration *telemetry.Calibrator
+	// Flight, when set, is fed end-to-end latencies for its p99 trigger
+	// window. The service never fires captures itself; the recorder's
+	// own loop does, via the QueueFill probe.
+	Flight *telemetry.Recorder
 }
 
 // DefaultQueueDepth bounds the admission queue when Config leaves it 0.
@@ -119,6 +133,11 @@ type Service struct {
 	expensiveSupport int
 	workerCount      int
 	estimates        [2]ewma // service-time estimator per Cost class
+
+	// Telemetry (all optional; see Config).
+	workload    *telemetry.Workload
+	calibration *telemetry.Calibrator
+	flight      *telemetry.Recorder
 
 	mu       sync.RWMutex // guards draining flips vs. enqueues
 	draining bool
@@ -193,6 +212,9 @@ func New(cfg Config) (*Service, error) {
 		shedDepth:        shedDepth,
 		expensiveSupport: expensiveSupport,
 		workerCount:      cfg.Checker.Parallelism(),
+		workload:         cfg.Workload,
+		calibration:      cfg.Calibration,
+		flight:           cfg.Flight,
 		admitted:         reg.Counter("bagcd_requests_admitted_total", "", "Requests admitted to the queue."),
 		shed:             reg.Counter("bagcd_requests_shed_total", "", "Requests shed before admission, any reason."),
 		rejected:         reg.Counter("bagcd_requests_rejected_draining_total", "", "Requests rejected because the service was draining."),
@@ -305,6 +327,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*bagconsist.Report, erro
 			s.shed.Inc()
 			s.shedReasons[reason].Inc()
 			trace.SpanFromContext(ctx).SetAttr("shed", reason)
+			s.observeShed(req)
 			return nil, ErrOverloaded
 		}
 	}
@@ -319,6 +342,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*bagconsist.Report, erro
 		s.shed.Inc()
 		s.shedReasons[shedQueueFull].Inc()
 		trace.SpanFromContext(ctx).SetAttr("shed", shedQueueFull)
+		s.observeShed(req)
 		return nil, ErrOverloaded
 	}
 
@@ -359,6 +383,37 @@ func (s *Service) admissionVeto(ctx context.Context, cost Cost) string {
 	return ""
 }
 
+// observeShed attributes an admission rejection to its hot key. Sheds
+// never reach the engine's cached path, so the fingerprint is computed
+// here — the public canonicalization fast path, no check involved.
+// Called after the read lock is released; instances that cannot be
+// fingerprinted (the engine would reject them anyway) are skipped.
+func (s *Service) observeShed(req Request) {
+	if s.workload == nil {
+		return
+	}
+	s.workload.ObserveShed(requestFingerprint(req))
+}
+
+// requestFingerprint names the request's instance canonically, or ""
+// when it cannot be fingerprinted.
+func requestFingerprint(req Request) string {
+	var fp string
+	switch req.Kind {
+	case Pair:
+		fp, _ = bagconsist.FingerprintPair(req.R, req.S)
+	default:
+		fp, _ = bagconsist.FingerprintCollection(req.Collection)
+	}
+	return fp
+}
+
+// QueueFill returns queue depth over capacity in [0, 1] — the flight
+// recorder's queue-pressure probe.
+func (s *Service) QueueFill() float64 {
+	return float64(len(s.queue)) / float64(cap(s.queue))
+}
+
 // meanServiceEstimate blends the per-class EWMAs into one queue-drain
 // rate estimate, weighting classes equally when both have history.
 func (s *Service) meanServiceEstimate() (float64, bool) {
@@ -395,6 +450,13 @@ func (s *Service) run(t *task) {
 		return
 	}
 	ctx := t.ctx
+	// The capture carrier lets the cache layer's observer hand the
+	// canonical fingerprint (computed anyway for the cache key) back to
+	// this worker — per-key accounting without re-canonicalizing.
+	var capture *telemetry.Capture
+	if s.workload != nil {
+		ctx, capture = telemetry.WithCapture(ctx)
+	}
 	timeout := t.req.Timeout
 	if timeout <= 0 {
 		timeout = s.defaultTimeout
@@ -428,7 +490,26 @@ func (s *Service) run(t *task) {
 	s.queueWait[t.req.Kind].Observe(wait.Seconds())
 	s.serviceTime[t.req.Kind].Observe(elapsed.Seconds())
 	s.latencies[t.req.Kind].Observe((wait + elapsed).Seconds())
+	// Calibration compares against the estimate that was in effect when
+	// this request ran, so the prediction is read before the estimator
+	// absorbs the new observation.
+	var predicted float64
+	if s.calibration != nil {
+		predicted, _ = s.estimates[t.cost].value()
+	}
 	s.estimates[t.cost].observe(elapsed.Seconds())
+	if err == nil {
+		if capture != nil {
+			if fp, hit, ok := capture.Get(); ok {
+				s.workload.ObserveCheck(fp, hit, elapsed)
+			} else if fp := requestFingerprint(t.req); fp != "" {
+				// Cacheless checker: no observer ran, fingerprint directly.
+				s.workload.ObserveCheck(fp, rep != nil && rep.CacheHit, elapsed)
+			}
+		}
+		s.calibration.Observe(t.cost.String(), predicted, elapsed.Seconds())
+	}
+	s.flight.Observe((wait + elapsed).Seconds())
 	if rep != nil && !rep.CacheHit {
 		if rep.Nodes > 0 {
 			s.ilpNodes.Add(uint64(rep.Nodes))

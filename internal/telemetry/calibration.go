@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"bagconsistency/internal/metrics"
+)
+
+// ErrorRatioBuckets are the cumulative bounds of the
+// bagcd_cost_error_ratio histograms: log-spaced around 1.0 (perfect
+// prediction), wide enough to see both a 10x-optimistic and a
+// 10x-pessimistic cost model.
+var ErrorRatioBuckets = []float64{
+	0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2, 4, 10,
+}
+
+// Calibrator accounts how well the admission controller's per-class
+// EWMA service-time estimates predict what actually happens. Every
+// completed request contributes one observed/predicted ratio to its
+// class; the cumulative tallies plus a bounded ring of periodic deltas
+// make `-admission hardness` drift visible without a metrics backend.
+type Calibrator struct {
+	mu      sync.Mutex
+	classes map[string]*classCalib
+	periods []CalibrationPeriod // oldest first, bounded by maxPeriods
+	every   time.Duration       // periodic snapshot interval (0 = disabled)
+	stop    chan struct{}
+	stopped sync.Once
+	reg     *metrics.Registry
+}
+
+type classCalib struct {
+	hist        *metrics.Histogram // bagcd_cost_error_ratio{class=...}
+	n           uint64
+	unpredicted uint64 // completions arriving before the class had any estimate
+	sumLog2     float64
+	sumAbsLog2  float64
+	within2x    uint64
+
+	// values at the close of the previous period, for delta snapshots
+	lastN, lastUnpredicted, lastWithin2x uint64
+	lastSumLog2, lastSumAbsLog2          float64
+}
+
+// maxPeriods bounds the retained periodic snapshots; at the default
+// 60s interval this is about half an hour of drift history.
+const maxPeriods = 32
+
+// NewCalibrator returns a calibrator exposing its histograms on reg
+// (reg may be nil in tests).
+func NewCalibrator(reg *metrics.Registry) *Calibrator {
+	return &Calibrator{classes: make(map[string]*classCalib), reg: reg}
+}
+
+// Observe records one completed request: class is the admission cost
+// class label, predicted the EWMA estimate in effect when the request
+// was classified (<= 0 when the estimator was cold), observed the
+// measured service time. Both times are in seconds.
+func (c *Calibrator) Observe(class string, predicted, observed float64) {
+	if c == nil || observed < 0 || math.IsNaN(observed) || math.IsInf(observed, 0) {
+		return
+	}
+	c.mu.Lock()
+	cc := c.class(class)
+	if predicted <= 0 || math.IsNaN(predicted) || math.IsInf(predicted, 0) {
+		cc.unpredicted++
+		c.mu.Unlock()
+		return
+	}
+	// Clamp tiny observations so cache hits measured below the clock
+	// resolution do not produce infinite ratios.
+	if observed < 1e-9 {
+		observed = 1e-9
+	}
+	ratio := observed / predicted
+	lg := math.Log2(ratio)
+	cc.n++
+	cc.sumLog2 += lg
+	cc.sumAbsLog2 += math.Abs(lg)
+	if math.Abs(lg) <= 1 {
+		cc.within2x++
+	}
+	hist := cc.hist
+	c.mu.Unlock()
+	if hist != nil {
+		hist.Observe(ratio)
+	}
+}
+
+// class returns the per-class accumulator, registering its histogram
+// on first use. Caller holds c.mu.
+func (c *Calibrator) class(class string) *classCalib {
+	cc, ok := c.classes[class]
+	if !ok {
+		cc = &classCalib{}
+		if c.reg != nil {
+			cc.hist = c.reg.Histogram("bagcd_cost_error_ratio",
+				fmt.Sprintf(`class="%s"`, class),
+				"Observed service time over the EWMA prediction in effect at completion (1.0 = perfect).",
+				ErrorRatioBuckets)
+		}
+		c.classes[class] = cc
+	}
+	return cc
+}
+
+// ClassCalibration summarizes one cost class, either cumulatively or
+// over one period. MeanLog2Error is the signed bias (positive: slower
+// than predicted); MeanAbsLog2Error the magnitude (1.0 = off by 2x on
+// average); Within2xFrac the fraction of predictions within a factor
+// of two of the observation.
+type ClassCalibration struct {
+	Class            string  `json:"class"`
+	N                uint64  `json:"n"`
+	Unpredicted      uint64  `json:"unpredicted"`
+	MeanLog2Error    float64 `json:"mean_log2_error"`
+	MeanAbsLog2Error float64 `json:"mean_abs_log2_error"`
+	Within2xFrac     float64 `json:"within_2x_frac"`
+}
+
+// CalibrationPeriod is the delta accumulated over one snapshot
+// interval.
+type CalibrationPeriod struct {
+	EndUnixMs int64              `json:"end_unix_ms"`
+	Classes   []ClassCalibration `json:"classes"`
+}
+
+// CalibrationSnapshot is the JSON shape embedded in /debug/workload.
+type CalibrationSnapshot struct {
+	Schema     string              `json:"schema"` // CalibrationSchema
+	IntervalMs int64               `json:"interval_ms,omitempty"`
+	Cumulative []ClassCalibration  `json:"cumulative"`
+	Periods    []CalibrationPeriod `json:"periods,omitempty"`
+}
+
+// CalibrationSchema versions the snapshot shape.
+const CalibrationSchema = "calibration/v1"
+
+func summarize(class string, n, unpredicted, within2x uint64, sumLog2, sumAbsLog2 float64) ClassCalibration {
+	out := ClassCalibration{Class: class, N: n, Unpredicted: unpredicted}
+	if n > 0 {
+		out.MeanLog2Error = sumLog2 / float64(n)
+		out.MeanAbsLog2Error = sumAbsLog2 / float64(n)
+		out.Within2xFrac = float64(within2x) / float64(n)
+	}
+	return out
+}
+
+// Snapshot renders cumulative per-class calibration plus the retained
+// periodic deltas, classes sorted by name for determinism.
+func (c *Calibrator) Snapshot() *CalibrationSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := &CalibrationSnapshot{
+		Schema:     CalibrationSchema,
+		IntervalMs: c.every.Milliseconds(),
+		Cumulative: make([]ClassCalibration, 0, len(c.classes)),
+	}
+	for class, cc := range c.classes {
+		snap.Cumulative = append(snap.Cumulative,
+			summarize(class, cc.n, cc.unpredicted, cc.within2x, cc.sumLog2, cc.sumAbsLog2))
+	}
+	sort.Slice(snap.Cumulative, func(i, j int) bool {
+		return snap.Cumulative[i].Class < snap.Cumulative[j].Class
+	})
+	snap.Periods = append(snap.Periods, c.periods...)
+	return snap
+}
+
+// StartPeriodic begins cutting delta snapshots every interval,
+// retaining the most recent maxPeriods. Stop with Close.
+func (c *Calibrator) StartPeriodic(interval time.Duration) {
+	if c == nil || interval <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.every = interval
+	if c.stop != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.stop = make(chan struct{})
+	stop := c.stop
+	c.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.cutPeriod(time.Now())
+			}
+		}
+	}()
+}
+
+// cutPeriod closes the current period: the delta of every class since
+// the last cut becomes one CalibrationPeriod.
+func (c *Calibrator) cutPeriod(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := CalibrationPeriod{EndUnixMs: now.UnixMilli()}
+	for class, cc := range c.classes {
+		p.Classes = append(p.Classes, summarize(class,
+			cc.n-cc.lastN, cc.unpredicted-cc.lastUnpredicted, cc.within2x-cc.lastWithin2x,
+			cc.sumLog2-cc.lastSumLog2, cc.sumAbsLog2-cc.lastSumAbsLog2))
+		cc.lastN, cc.lastUnpredicted, cc.lastWithin2x = cc.n, cc.unpredicted, cc.within2x
+		cc.lastSumLog2, cc.lastSumAbsLog2 = cc.sumLog2, cc.sumAbsLog2
+	}
+	sort.Slice(p.Classes, func(i, j int) bool { return p.Classes[i].Class < p.Classes[j].Class })
+	c.periods = append(c.periods, p)
+	if len(c.periods) > maxPeriods {
+		c.periods = c.periods[len(c.periods)-maxPeriods:]
+	}
+}
+
+// Close stops the periodic snapshotter, if running.
+func (c *Calibrator) Close() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	stop := c.stop
+	c.mu.Unlock()
+	if stop != nil {
+		c.stopped.Do(func() { close(stop) })
+	}
+}

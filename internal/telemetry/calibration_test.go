@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"bagconsistency/internal/metrics"
+)
+
+func TestCalibratorCumulative(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewCalibrator(reg)
+	// cheap: two perfect predictions, one 2x slow, one 4x slow.
+	c.Observe("cheap", 0.001, 0.001)
+	c.Observe("cheap", 0.001, 0.001)
+	c.Observe("cheap", 0.001, 0.002)
+	c.Observe("cheap", 0.001, 0.004)
+	// expensive: one cold-estimator completion, one 2x fast.
+	c.Observe("expensive", 0, 0.5)
+	c.Observe("expensive", 1.0, 0.5)
+
+	snap := c.Snapshot()
+	if snap.Schema != CalibrationSchema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	if len(snap.Cumulative) != 2 || snap.Cumulative[0].Class != "cheap" || snap.Cumulative[1].Class != "expensive" {
+		t.Fatalf("classes wrong: %+v", snap.Cumulative)
+	}
+	cheap := snap.Cumulative[0]
+	if cheap.N != 4 || cheap.Unpredicted != 0 {
+		t.Fatalf("cheap counts: %+v", cheap)
+	}
+	// mean log2 error = (0+0+1+2)/4 = 0.75; abs identical (all >= 0).
+	if math.Abs(cheap.MeanLog2Error-0.75) > 1e-9 || math.Abs(cheap.MeanAbsLog2Error-0.75) > 1e-9 {
+		t.Fatalf("cheap error stats: %+v", cheap)
+	}
+	if math.Abs(cheap.Within2xFrac-0.75) > 1e-9 { // the 4x miss is outside 2x
+		t.Fatalf("cheap within2x: %v", cheap.Within2xFrac)
+	}
+	exp := snap.Cumulative[1]
+	if exp.N != 1 || exp.Unpredicted != 1 {
+		t.Fatalf("expensive counts: %+v", exp)
+	}
+	if math.Abs(exp.MeanLog2Error+1) > 1e-9 || exp.Within2xFrac != 1 {
+		t.Fatalf("expensive error stats: %+v", exp)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`bagcd_cost_error_ratio_bucket{class="cheap",le="1"} 2`,
+		`bagcd_cost_error_ratio_bucket{class="cheap",le="2"} 3`,
+		`bagcd_cost_error_ratio_bucket{class="cheap",le="4"} 4`,
+		`bagcd_cost_error_ratio_count{class="cheap"} 4`,
+		`bagcd_cost_error_ratio_count{class="expensive"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestCalibratorPeriods(t *testing.T) {
+	c := NewCalibrator(nil)
+	c.Observe("cheap", 0.001, 0.002)
+	c.cutPeriod(time.UnixMilli(1000))
+	c.Observe("cheap", 0.001, 0.001)
+	c.Observe("cheap", 0.001, 0.001)
+	c.cutPeriod(time.UnixMilli(2000))
+
+	snap := c.Snapshot()
+	if len(snap.Periods) != 2 {
+		t.Fatalf("periods = %d", len(snap.Periods))
+	}
+	p0, p1 := snap.Periods[0], snap.Periods[1]
+	if p0.EndUnixMs != 1000 || p1.EndUnixMs != 2000 {
+		t.Fatalf("period stamps: %d, %d", p0.EndUnixMs, p1.EndUnixMs)
+	}
+	if p0.Classes[0].N != 1 || math.Abs(p0.Classes[0].MeanAbsLog2Error-1) > 1e-9 {
+		t.Fatalf("first period not a delta: %+v", p0.Classes[0])
+	}
+	if p1.Classes[0].N != 2 || p1.Classes[0].MeanAbsLog2Error != 0 {
+		t.Fatalf("second period not a delta: %+v", p1.Classes[0])
+	}
+	// Cumulative still sees all three.
+	if snap.Cumulative[0].N != 3 {
+		t.Fatalf("cumulative N = %d", snap.Cumulative[0].N)
+	}
+}
+
+func TestCalibratorPeriodRingBounded(t *testing.T) {
+	c := NewCalibrator(nil)
+	for i := 0; i < maxPeriods+10; i++ {
+		c.Observe("cheap", 0.001, 0.001)
+		c.cutPeriod(time.UnixMilli(int64(i)))
+	}
+	snap := c.Snapshot()
+	if len(snap.Periods) != maxPeriods {
+		t.Fatalf("period ring = %d, want %d", len(snap.Periods), maxPeriods)
+	}
+	if snap.Periods[len(snap.Periods)-1].EndUnixMs != int64(maxPeriods+9) {
+		t.Fatalf("ring lost the newest period")
+	}
+}
+
+func TestCalibratorPeriodic(t *testing.T) {
+	c := NewCalibrator(nil)
+	c.StartPeriodic(5 * time.Millisecond)
+	defer c.Close()
+	c.Observe("cheap", 0.001, 0.001)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(c.Snapshot().Periods) > 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("periodic snapshotter never cut a period")
+}
+
+func TestCalibratorGuards(t *testing.T) {
+	var nilC *Calibrator
+	nilC.Observe("cheap", 1, 1)
+	if nilC.Snapshot() != nil {
+		t.Fatal("nil calibrator snapshot must be nil")
+	}
+	nilC.Close()
+	c := NewCalibrator(nil)
+	c.Observe("cheap", 1, math.NaN())
+	c.Observe("cheap", math.Inf(1), 1)
+	snap := c.Snapshot()
+	if snap.Cumulative[0].N != 0 || snap.Cumulative[0].Unpredicted != 1 {
+		t.Fatalf("guard accounting wrong: %+v", snap.Cumulative[0])
+	}
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// KeyStats accumulates per-key serving facts alongside the sketch
+// counter. When SpaceSaving recycles a counter for a new key the stats
+// reset with it: they always describe the currently monitored key only,
+// never the evicted ancestors (the count/err pair carries the
+// overestimation, the stats stay exact-for-this-tenancy).
+type KeyStats struct {
+	Hits         uint64 // served from cache (RAM, disk, or singleflight follower)
+	Misses       uint64 // authoritative computations
+	Sheds        uint64 // admission rejections attributed to this key
+	ServiceSumNs int64  // total observed service time (compute+cache, not queue)
+	ServiceN     uint64 // completions contributing to ServiceSumNs
+}
+
+// Item is one monitored key as reported by the sketch: Count is the
+// estimated occurrence count, Err the maximum overestimation inherited
+// from evicted predecessors, so Count-Err <= true count <= Count.
+type Item struct {
+	Key   string
+	Count uint64
+	Err   uint64
+	Stats KeyStats
+}
+
+// Sketch is a SpaceSaving heavy-hitter summary over a string key
+// stream using at most k counters. It is deterministic (no sampling,
+// no hashing) and guarantees that after N observations any key with
+// true count > N/k is among the monitored keys. Not safe for
+// concurrent use; Workload adds the locking.
+type Sketch struct {
+	k       int
+	n       uint64
+	entries map[string]*ssEntry
+	heap    ssHeap // min-heap by count; index 0 is the eviction victim
+}
+
+type ssEntry struct {
+	key   string
+	count uint64
+	err   uint64
+	idx   int // position in the heap
+	stats KeyStats
+}
+
+// NewSketch returns a sketch monitoring at most k keys (minimum 1).
+func NewSketch(k int) *Sketch {
+	if k < 1 {
+		k = 1
+	}
+	return &Sketch{k: k, entries: make(map[string]*ssEntry, k)}
+}
+
+// Observe counts one occurrence of key and returns the key's mutable
+// stats block so the caller can fold in hit/miss/shed/service facts
+// without a second lookup. The pointer is only valid until the next
+// Observe call (the counter may be recycled for another key).
+func (s *Sketch) Observe(key string) *KeyStats {
+	s.n++
+	if e, ok := s.entries[key]; ok {
+		e.count++
+		heap.Fix(&s.heap, e.idx)
+		return &e.stats
+	}
+	if len(s.entries) < s.k {
+		e := &ssEntry{key: key, count: 1}
+		s.entries[key] = e
+		heap.Push(&s.heap, e)
+		return &e.stats
+	}
+	// Classic SpaceSaving replacement: the new key inherits the minimum
+	// counter, recording the old count as its error bound.
+	e := s.heap[0]
+	delete(s.entries, e.key)
+	e.err = e.count
+	e.count++
+	e.key = key
+	e.stats = KeyStats{}
+	s.entries[key] = e
+	heap.Fix(&s.heap, 0)
+	return &e.stats
+}
+
+// N returns the total number of observations.
+func (s *Sketch) N() uint64 { return s.n }
+
+// K returns the counter budget.
+func (s *Sketch) K() int { return s.k }
+
+// Tracked returns the number of currently monitored keys.
+func (s *Sketch) Tracked() int { return len(s.entries) }
+
+// TopK returns up to n monitored keys ordered by estimated count
+// descending, ties broken by error bound ascending then key ascending,
+// so the output is a pure function of the observation sequence.
+// n <= 0 returns every monitored key.
+func (s *Sketch) TopK(n int) []Item {
+	out := make([]Item, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, Item{Key: e.key, Count: e.count, Err: e.err, Stats: e.stats})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Err != out[j].Err {
+			return out[i].Err < out[j].Err
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ssHeap orders entries by count ascending so heap[0] is always the
+// eviction victim. Ties need no ordering: any minimum is a valid
+// SpaceSaving victim, and heap operations are deterministic for a
+// fixed observation sequence.
+type ssHeap []*ssEntry
+
+func (h ssHeap) Len() int           { return len(h) }
+func (h ssHeap) Less(i, j int) bool { return h[i].count < h[j].count }
+func (h ssHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *ssHeap) Push(x any)        { e := x.(*ssEntry); e.idx = len(*h); *h = append(*h, e) }
+func (h *ssHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }

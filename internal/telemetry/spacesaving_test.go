@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// streams for the guarantee property test: each returns the full
+// observation sequence so exact counts can be tallied alongside.
+func adversarialStreams() map[string][]string {
+	streams := make(map[string][]string)
+
+	// Flood-then-burst: a long run of distinct one-off keys (forcing
+	// constant evictions) with a few heavy keys burst in afterwards.
+	{
+		var s []string
+		for i := 0; i < 5000; i++ {
+			s = append(s, fmt.Sprintf("flood-%d", i))
+		}
+		for h := 0; h < 4; h++ {
+			for i := 0; i < 1500; i++ {
+				s = append(s, fmt.Sprintf("heavy-%d", h))
+			}
+		}
+		streams["flood-then-burst"] = s
+	}
+
+	// Interleaved sneak: heavy hitters interleaved one-for-one with
+	// fresh keys that each try to evict them.
+	{
+		var s []string
+		for i := 0; i < 8000; i++ {
+			if i%2 == 0 {
+				s = append(s, fmt.Sprintf("heavy-%d", i%8))
+			} else {
+				s = append(s, fmt.Sprintf("fresh-%d", i))
+			}
+		}
+		streams["interleaved-sneak"] = s
+	}
+
+	// Round-robin churn over exactly k+1 keys: maximal counter
+	// recycling, no key is a true heavy hitter.
+	{
+		var s []string
+		for i := 0; i < 6000; i++ {
+			s = append(s, fmt.Sprintf("rr-%d", i%65))
+		}
+		streams["round-robin-churn"] = s
+	}
+
+	// Ramp: key j appears j times, so the heavy tail emerges gradually
+	// and late keys must displace early ones.
+	{
+		var s []string
+		for j := 1; j <= 150; j++ {
+			for c := 0; c < j; c++ {
+				s = append(s, fmt.Sprintf("ramp-%d", j))
+			}
+		}
+		streams["ramp"] = s
+	}
+
+	return streams
+}
+
+func zipfStream(seed int64, n int, universe int, skew float64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, skew, 1, uint64(universe-1))
+	s := make([]string, n)
+	for i := range s {
+		s[i] = fmt.Sprintf("zipf-%d", z.Uint64())
+	}
+	return s
+}
+
+// checkGuarantee asserts the classic SpaceSaving properties against
+// exact counts: (1) any key with true count > N/k is monitored;
+// (2) for every monitored key, Count-Err <= true <= Count;
+// (3) the stream length matches.
+func checkGuarantee(t *testing.T, name string, stream []string, k int) {
+	t.Helper()
+	sk := NewSketch(k)
+	exact := make(map[string]uint64)
+	for _, key := range stream {
+		sk.Observe(key)
+		exact[key]++
+	}
+	if got, want := sk.N(), uint64(len(stream)); got != want {
+		t.Fatalf("%s: N() = %d, want %d", name, got, want)
+	}
+	items := sk.TopK(0)
+	if len(items) > k {
+		t.Fatalf("%s: %d monitored keys exceeds budget k=%d", name, len(items), k)
+	}
+	monitored := make(map[string]Item, len(items))
+	for _, it := range items {
+		monitored[it.Key] = it
+	}
+	threshold := uint64(len(stream) / k)
+	for key, c := range exact {
+		if c > threshold {
+			if _, ok := monitored[key]; !ok {
+				t.Errorf("%s: key %q has true count %d > N/k=%d but is not monitored",
+					name, key, c, threshold)
+			}
+		}
+	}
+	for _, it := range items {
+		truth := exact[it.Key]
+		if it.Count < truth {
+			t.Errorf("%s: key %q estimate %d underestimates true count %d",
+				name, it.Key, it.Count, truth)
+		}
+		if it.Count-it.Err > truth {
+			t.Errorf("%s: key %q lower bound %d exceeds true count %d",
+				name, it.Key, it.Count-it.Err, truth)
+		}
+	}
+}
+
+// TestSpaceSavingGuarantee is the acceptance-criterion property test:
+// the classic guarantee (every key with true count > N/k is in the
+// summary) holds on adversarial streams and on Zipf streams across
+// seeds, skews, and counter budgets.
+func TestSpaceSavingGuarantee(t *testing.T) {
+	for name, stream := range adversarialStreams() {
+		for _, k := range []int{1, 8, 64} {
+			checkGuarantee(t, fmt.Sprintf("%s/k=%d", name, k), stream, k)
+		}
+	}
+	for _, seed := range []int64{42, 123, 456} {
+		for _, skew := range []float64{1.07, 1.5, 2.0} {
+			stream := zipfStream(seed, 20000, 5000, skew)
+			for _, k := range []int{16, 128} {
+				checkGuarantee(t, fmt.Sprintf("zipf/seed=%d/s=%.2f/k=%d", seed, skew, k), stream, k)
+			}
+		}
+	}
+}
+
+// TestSpaceSavingDeterministic: same stream, same budget => identical
+// TopK output, element for element.
+func TestSpaceSavingDeterministic(t *testing.T) {
+	stream := zipfStream(7, 10000, 1000, 1.2)
+	run := func() []Item {
+		sk := NewSketch(32)
+		for _, key := range stream {
+			sk.Observe(key)
+		}
+		return sk.TopK(0)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs disagree on size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at rank %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSpaceSavingStatsResetOnEviction: a recycled counter must not
+// carry the evicted key's hit/miss/service accumulators.
+func TestSpaceSavingStatsResetOnEviction(t *testing.T) {
+	sk := NewSketch(1)
+	st := sk.Observe("a")
+	st.Hits = 10
+	st.ServiceSumNs = 500
+	st.ServiceN = 10
+	st2 := sk.Observe("b") // evicts a
+	if st2.Hits != 0 || st2.ServiceSumNs != 0 || st2.ServiceN != 0 {
+		t.Fatalf("stats leaked across eviction: %+v", *st2)
+	}
+	items := sk.TopK(0)
+	if len(items) != 1 || items[0].Key != "b" || items[0].Count != 2 || items[0].Err != 1 {
+		t.Fatalf("unexpected summary after eviction: %+v", items)
+	}
+}
+
+// TestSpaceSavingExactWhenUnderBudget: with fewer distinct keys than
+// counters the sketch is an exact counter with zero error bounds.
+func TestSpaceSavingExactWhenUnderBudget(t *testing.T) {
+	sk := NewSketch(100)
+	exact := make(map[string]uint64)
+	stream := zipfStream(9, 5000, 50, 1.3)
+	for _, key := range stream {
+		sk.Observe(key)
+		exact[key]++
+	}
+	items := sk.TopK(0)
+	if len(items) != len(exact) {
+		t.Fatalf("tracked %d keys, want %d", len(items), len(exact))
+	}
+	for _, it := range items {
+		if it.Err != 0 {
+			t.Errorf("key %q has nonzero error bound %d under budget", it.Key, it.Err)
+		}
+		if it.Count != exact[it.Key] {
+			t.Errorf("key %q count %d, want exact %d", it.Key, it.Count, exact[it.Key])
+		}
+	}
+}
+
+// TestSpaceSavingTopKOrdering: output sorts by count desc, then error
+// bound asc, then key asc, and honors the requested truncation.
+func TestSpaceSavingTopKOrdering(t *testing.T) {
+	sk := NewSketch(10)
+	for i := 0; i < 3; i++ {
+		sk.Observe("c")
+		sk.Observe("a")
+	}
+	sk.Observe("b")
+	items := sk.TopK(2)
+	if len(items) != 2 {
+		t.Fatalf("TopK(2) returned %d items", len(items))
+	}
+	if items[0].Key != "a" || items[1].Key != "c" {
+		t.Fatalf("tie-break ordering wrong: got %q, %q", items[0].Key, items[1].Key)
+	}
+}

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bagconsistency/internal/metrics"
+)
+
+// Workload is the concurrency-safe workload analyzer: a SpaceSaving
+// sketch over canonical fingerprints plus exact stream-level totals.
+// One instance serves the whole daemon; every completed or shed
+// request folds in here.
+type Workload struct {
+	mu     sync.Mutex
+	sketch *Sketch
+	hits   uint64 // exact totals over the whole stream, not just tracked keys
+	misses uint64
+	sheds  uint64
+}
+
+// NewWorkload returns a workload analyzer monitoring up to k keys.
+func NewWorkload(k int) *Workload {
+	return &Workload{sketch: NewSketch(k)}
+}
+
+// ObserveCheck records one completed check for the given canonical
+// fingerprint: cacheHit says whether it was served from cache, service
+// is the observed service time (queue wait excluded).
+func (w *Workload) ObserveCheck(fp string, cacheHit bool, service time.Duration) {
+	if w == nil || fp == "" {
+		return
+	}
+	w.mu.Lock()
+	st := w.sketch.Observe(fp)
+	if cacheHit {
+		st.Hits++
+		w.hits++
+	} else {
+		st.Misses++
+		w.misses++
+	}
+	if service > 0 {
+		st.ServiceSumNs += int64(service)
+		st.ServiceN++
+	}
+	w.mu.Unlock()
+}
+
+// ObserveShed records one admission rejection for the fingerprint.
+func (w *Workload) ObserveShed(fp string) {
+	if w == nil || fp == "" {
+		return
+	}
+	w.mu.Lock()
+	st := w.sketch.Observe(fp)
+	st.Sheds++
+	w.sheds++
+	w.mu.Unlock()
+}
+
+// TopK returns up to n hot keys (see Sketch.TopK for the ordering).
+func (w *Workload) TopK(n int) []Item {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sketch.TopK(n)
+}
+
+// HotKey is one entry of the exported top-K table.
+type HotKey struct {
+	Key           string  `json:"key"`
+	Count         uint64  `json:"count"`
+	ErrBound      uint64  `json:"err_bound"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Sheds         uint64  `json:"sheds"`
+	MeanServiceMs float64 `json:"mean_service_ms"`
+}
+
+// WorkloadSnapshot is the JSON shape served under /debug/workload and
+// embedded in bagload reports.
+type WorkloadSnapshot struct {
+	Schema string `json:"schema"` // WorkloadSchema
+	K      int    `json:"k"`
+	// Stream is the total number of sketch observations N; any key with
+	// true count > GuaranteeCount = N/K is guaranteed present in TopK
+	// (when TopK is not truncated below the tracked set).
+	Stream         uint64   `json:"stream"`
+	Tracked        int      `json:"tracked"`
+	GuaranteeCount uint64   `json:"guarantee_count"`
+	Hits           uint64   `json:"hits"`
+	Misses         uint64   `json:"misses"`
+	Sheds          uint64   `json:"sheds"`
+	TopK           []HotKey `json:"top_k"`
+}
+
+// WorkloadSchema versions the snapshot shape.
+const WorkloadSchema = "workload/v1"
+
+// Snapshot renders the current state with up to topN hot keys
+// (topN <= 0 means all tracked keys).
+func (w *Workload) Snapshot(topN int) *WorkloadSnapshot {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	items := w.sketch.TopK(topN)
+	snap := &WorkloadSnapshot{
+		Schema:  WorkloadSchema,
+		K:       w.sketch.K(),
+		Stream:  w.sketch.N(),
+		Tracked: w.sketch.Tracked(),
+		Hits:    w.hits,
+		Misses:  w.misses,
+		Sheds:   w.sheds,
+	}
+	w.mu.Unlock()
+	snap.GuaranteeCount = snap.Stream / uint64(snap.K)
+	snap.TopK = make([]HotKey, 0, len(items))
+	for _, it := range items {
+		hk := HotKey{
+			Key:      it.Key,
+			Count:    it.Count,
+			ErrBound: it.Err,
+			Hits:     it.Stats.Hits,
+			Misses:   it.Stats.Misses,
+			Sheds:    it.Stats.Sheds,
+		}
+		if it.Stats.ServiceN > 0 {
+			hk.MeanServiceMs = float64(it.Stats.ServiceSumNs) / float64(it.Stats.ServiceN) / 1e6
+		}
+		snap.TopK = append(snap.TopK, hk)
+	}
+	return snap
+}
+
+// RegisterWorkloadMetrics exposes the analyzer on reg as the
+// bagcd_hotkey_* block: scalar stream totals plus dynamic top-K
+// families labeled key="<fingerprint>" whose label sets track the
+// sketch (stale keys drop off the scrape when they fall out of the
+// top-K — exactly the behavior static registration cannot give).
+func RegisterWorkloadMetrics(reg *metrics.Registry, w *Workload, topN int) {
+	if reg == nil || w == nil {
+		return
+	}
+	if topN <= 0 {
+		topN = 10
+	}
+	reg.CounterFunc("bagcd_hotkey_stream_total", "",
+		"Total workload sketch observations (completions + sheds).",
+		func() float64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return float64(w.sketch.N())
+		})
+	reg.GaugeFunc("bagcd_hotkey_tracked", "",
+		"Distinct fingerprints currently monitored by the SpaceSaving sketch.",
+		func() float64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return float64(w.sketch.Tracked())
+		})
+	reg.GaugeFunc("bagcd_hotkey_guarantee_count", "",
+		"N/k: any fingerprint with true count above this is guaranteed tracked.",
+		func() float64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return float64(w.sketch.N() / uint64(w.sketch.K()))
+		})
+	top := func(value func(Item) float64) func() []metrics.Series {
+		return func() []metrics.Series {
+			items := w.TopK(topN)
+			out := make([]metrics.Series, 0, len(items))
+			for _, it := range items {
+				out = append(out, metrics.Series{
+					Labels: fmt.Sprintf(`key="%s"`, it.Key),
+					Value:  value(it),
+				})
+			}
+			return out
+		}
+	}
+	reg.SeriesFunc("bagcd_hotkey_count", "Estimated occurrence count per hot fingerprint (SpaceSaving upper estimate).",
+		top(func(it Item) float64 { return float64(it.Count) }))
+	reg.SeriesFunc("bagcd_hotkey_err_bound", "Maximum overestimation of bagcd_hotkey_count per hot fingerprint.",
+		top(func(it Item) float64 { return float64(it.Err) }))
+	reg.SeriesFunc("bagcd_hotkey_hits", "Cache hits per hot fingerprint.",
+		top(func(it Item) float64 { return float64(it.Stats.Hits) }))
+	reg.SeriesFunc("bagcd_hotkey_misses", "Authoritative computations per hot fingerprint.",
+		top(func(it Item) float64 { return float64(it.Stats.Misses) }))
+	reg.SeriesFunc("bagcd_hotkey_sheds", "Admission rejections per hot fingerprint.",
+		top(func(it Item) float64 { return float64(it.Stats.Sheds) }))
+	reg.SeriesFunc("bagcd_hotkey_mean_service_seconds", "Mean observed service time per hot fingerprint.",
+		top(func(it Item) float64 {
+			if it.Stats.ServiceN == 0 {
+				return 0
+			}
+			return float64(it.Stats.ServiceSumNs) / float64(it.Stats.ServiceN) / 1e9
+		}))
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bagconsistency/internal/metrics"
+)
+
+func TestWorkloadSnapshot(t *testing.T) {
+	w := NewWorkload(8)
+	w.ObserveCheck("aaa", false, 4*time.Millisecond)
+	w.ObserveCheck("aaa", true, 1*time.Millisecond)
+	w.ObserveCheck("aaa", true, 1*time.Millisecond)
+	w.ObserveCheck("bbb", false, 10*time.Millisecond)
+	w.ObserveShed("aaa")
+	w.ObserveShed("ccc")
+
+	snap := w.Snapshot(0)
+	if snap.Schema != WorkloadSchema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	if snap.Stream != 6 || snap.Hits != 2 || snap.Misses != 2 || snap.Sheds != 2 {
+		t.Fatalf("totals wrong: %+v", snap)
+	}
+	if snap.Tracked != 3 || len(snap.TopK) != 3 {
+		t.Fatalf("tracked %d topk %d", snap.Tracked, len(snap.TopK))
+	}
+	a := snap.TopK[0]
+	if a.Key != "aaa" || a.Count != 4 || a.Hits != 2 || a.Misses != 1 || a.Sheds != 1 {
+		t.Fatalf("hot key aaa wrong: %+v", a)
+	}
+	if a.MeanServiceMs < 1.9 || a.MeanServiceMs > 2.1 {
+		t.Fatalf("aaa mean service = %v ms, want ~2", a.MeanServiceMs)
+	}
+	if snap.TopK[1].Key != "bbb" || snap.TopK[2].Key != "ccc" {
+		t.Fatalf("ordering wrong: %+v", snap.TopK)
+	}
+
+	trunc := w.Snapshot(1)
+	if len(trunc.TopK) != 1 || trunc.Tracked != 3 {
+		t.Fatalf("truncated snapshot wrong: %+v", trunc)
+	}
+}
+
+func TestWorkloadNilAndEmptyKeySafe(t *testing.T) {
+	var w *Workload
+	w.ObserveCheck("x", true, time.Millisecond)
+	w.ObserveShed("x")
+	if w.Snapshot(5) != nil || w.TopK(5) != nil {
+		t.Fatal("nil workload must yield nil views")
+	}
+	w2 := NewWorkload(4)
+	w2.ObserveCheck("", true, time.Millisecond) // fingerprint unavailable: dropped
+	w2.ObserveShed("")
+	if got := w2.Snapshot(0).Stream; got != 0 {
+		t.Fatalf("empty keys must not count, stream = %d", got)
+	}
+}
+
+// TestWorkloadConcurrent exercises the locking under -race.
+func TestWorkloadConcurrent(t *testing.T) {
+	w := NewWorkload(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fp := fmt.Sprintf("fp-%d", (g*31+i)%40)
+				switch i % 3 {
+				case 0:
+					w.ObserveCheck(fp, true, time.Microsecond)
+				case 1:
+					w.ObserveCheck(fp, false, time.Millisecond)
+				default:
+					w.ObserveShed(fp)
+				}
+				if i%100 == 0 {
+					w.Snapshot(8)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Snapshot(0).Stream; got != 8*500 {
+		t.Fatalf("stream = %d, want %d", got, 8*500)
+	}
+}
+
+func TestRegisterWorkloadMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	w := NewWorkload(8)
+	RegisterWorkloadMetrics(reg, w, 5)
+	w.ObserveCheck("feed", false, 2*time.Millisecond)
+	w.ObserveCheck("feed", true, time.Millisecond)
+	w.ObserveShed("dead")
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"bagcd_hotkey_stream_total 3",
+		"bagcd_hotkey_tracked 2",
+		`bagcd_hotkey_count{key="feed"} 2`,
+		`bagcd_hotkey_hits{key="feed"} 1`,
+		`bagcd_hotkey_misses{key="feed"} 1`,
+		`bagcd_hotkey_sheds{key="dead"} 1`,
+		`bagcd_hotkey_mean_service_seconds{key="feed"} 0.0015`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestCaptureContext(t *testing.T) {
+	ctx, cap := WithCapture(context.Background())
+	if _, _, ok := cap.Get(); ok {
+		t.Fatal("fresh capture must be empty")
+	}
+	RecordCheck(ctx, "pair", "deadbeef", true)
+	fp, hit, ok := cap.Get()
+	if !ok || fp != "deadbeef" || !hit {
+		t.Fatalf("capture = (%q, %v, %v)", fp, hit, ok)
+	}
+	// A context without a capture is a no-op, not a panic.
+	RecordCheck(context.Background(), "pair", "deadbeef", true)
+	// Nil capture and empty fingerprint are safe too.
+	var nilCap *Capture
+	nilCap.Record("x", false)
+	cap.Record("", false)
+	if fp, _, _ = cap.Get(); fp != "deadbeef" {
+		t.Fatalf("empty record must not clobber, fp = %q", fp)
+	}
+}

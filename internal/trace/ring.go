@@ -2,7 +2,12 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -73,16 +78,56 @@ func (r *Ring) Len() int {
 
 // SlowCapture keeps the traces of requests slower than a threshold: a
 // dedicated ring for the /debug/traces?slow=1 view plus an optional
-// append-only NDJSON file so slow queries survive restarts alongside the
-// instance fingerprints recorded in their spans.
+// NDJSON file so slow queries survive restarts alongside the instance
+// fingerprints recorded in their spans. The file is size-bounded:
+// when it crosses the rotation threshold it is renamed to
+// <path>.NNNNNN and a fresh file opened in place, and only the newest
+// retained rotations are kept — an unattended daemon can run for
+// months without slow captures eating the data dir.
 type SlowCapture struct {
 	threshold time.Duration
 	ring      *Ring
 
-	mu   sync.Mutex
-	f    *os.File
-	enc  *json.Encoder
-	errs int
+	mu       sync.Mutex
+	f        *os.File
+	enc      *json.Encoder
+	errs     int
+	path     string
+	maxBytes int64
+	retain   int
+	seq      int // last rotation sequence number used
+	rotated  int // rotations performed this process (tests)
+}
+
+// SlowOption tunes a SlowCapture's file rotation.
+type SlowOption func(*SlowCapture)
+
+// DefaultSlowMaxBytes is the rotation threshold of the slow-trace
+// NDJSON file: generous for post-mortems, harmless for a disk.
+const DefaultSlowMaxBytes = 64 << 20
+
+// DefaultSlowRetain is how many rotated slow-trace files are kept
+// (the active file is always kept on top of these).
+const DefaultSlowRetain = 4
+
+// WithSlowMaxBytes sets the size threshold at which the NDJSON file
+// rotates (n <= 0 keeps the default).
+func WithSlowMaxBytes(n int64) SlowOption {
+	return func(c *SlowCapture) {
+		if n > 0 {
+			c.maxBytes = n
+		}
+	}
+}
+
+// WithSlowRetain sets how many rotated files are retained (n < 0
+// keeps the default; 0 deletes each rotation immediately).
+func WithSlowRetain(n int) SlowOption {
+	return func(c *SlowCapture) {
+		if n >= 0 {
+			c.retain = n
+		}
+	}
 }
 
 // NewSlowCapture captures snapshots with duration >= threshold into a
@@ -90,8 +135,17 @@ type SlowCapture struct {
 // also appended to it as NDJSON (one snapshot per line); file errors are
 // counted, not fatal — slow-query capture must never take the server
 // down.
-func NewSlowCapture(threshold time.Duration, ringCap int, path string) (*SlowCapture, error) {
-	c := &SlowCapture{threshold: threshold, ring: NewRing(ringCap)}
+func NewSlowCapture(threshold time.Duration, ringCap int, path string, opts ...SlowOption) (*SlowCapture, error) {
+	c := &SlowCapture{
+		threshold: threshold,
+		ring:      NewRing(ringCap),
+		path:      path,
+		maxBytes:  DefaultSlowMaxBytes,
+		retain:    DefaultSlowRetain,
+	}
+	for _, o := range opts {
+		o(c)
+	}
 	if path != "" {
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -99,6 +153,13 @@ func NewSlowCapture(threshold time.Duration, ringCap int, path string) (*SlowCap
 		}
 		c.f = f
 		c.enc = json.NewEncoder(f)
+		// Resume the rotation sequence after files from earlier runs so
+		// a restart never overwrites a retained rotation.
+		for _, name := range c.rotations() {
+			if seq, ok := rotationSeq(c.path, name); ok && seq > c.seq {
+				c.seq = seq
+			}
+		}
 	}
 	return c, nil
 }
@@ -114,10 +175,103 @@ func (c *SlowCapture) Offer(s *Snapshot) bool {
 	if c.enc != nil {
 		if err := c.enc.Encode(s); err != nil {
 			c.errs++
+		} else if st, err := c.f.Stat(); err == nil && st.Size() >= c.maxBytes {
+			// Rotate under the same lock that serializes writes: the
+			// snapshot just encoded is complete in the file being rotated
+			// out, and the next Offer writes to a fresh file — no capture
+			// is ever split or dropped by rotation itself.
+			c.rotate()
 		}
 	}
 	c.mu.Unlock()
 	return true
+}
+
+// rotate renames the active file to the next numbered rotation and
+// reopens path fresh, then prunes rotations beyond the retention
+// count. Caller holds c.mu. Errors are counted, never fatal.
+func (c *SlowCapture) rotate() {
+	if err := c.f.Close(); err != nil {
+		c.errs++
+	}
+	c.seq++
+	if err := os.Rename(c.path, fmt.Sprintf("%s.%06d", c.path, c.seq)); err != nil {
+		c.errs++
+	}
+	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Without a fresh file the capture degrades to ring-only; errs
+		// records that persistence is gone.
+		c.f, c.enc = nil, nil
+		c.errs++
+		return
+	}
+	c.f, c.enc = f, json.NewEncoder(f)
+	c.rotated++
+	names := c.rotations()
+	for len(names) > c.retain {
+		if err := os.Remove(names[0]); err != nil {
+			c.errs++
+		}
+		names = names[1:]
+	}
+}
+
+// rotations lists this capture's rotated files, oldest first.
+func (c *SlowCapture) rotations() []string {
+	matches, err := filepath.Glob(c.path + ".*")
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, m := range matches {
+		if _, ok := rotationSeq(c.path, m); ok {
+			names = append(names, m)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, _ := rotationSeq(c.path, names[i])
+		b, _ := rotationSeq(c.path, names[j])
+		return a < b
+	})
+	return names
+}
+
+// rotationSeq extracts the sequence number from a rotated file name.
+func rotationSeq(path, name string) (int, bool) {
+	suffix, ok := strings.CutPrefix(name, path+".")
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.Atoi(suffix)
+	if err != nil || seq < 1 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Rotations returns the number of file rotations performed by this
+// process.
+func (c *SlowCapture) Rotations() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rotated
+}
+
+// RotatedFiles returns the retained rotated file paths, oldest first.
+func (c *SlowCapture) RotatedFiles() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.path == "" {
+		return nil
+	}
+	return c.rotations()
 }
 
 // Ring returns the slow-trace ring.

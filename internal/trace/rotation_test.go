@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func slowSnapshot(durNs int64) *Snapshot {
+	tr := New(NewID(), "request")
+	tr.Root().End()
+	s := tr.Snapshot()
+	s.DurationNs = durNs
+	return s
+}
+
+// countCapturedLines decodes every NDJSON line across the active file
+// and all retained rotations, failing on any torn or invalid line.
+func countCapturedLines(t *testing.T, active string, rotated []string) int {
+	t.Helper()
+	total := 0
+	for _, path := range append(append([]string(nil), rotated...), active) {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var snap Snapshot
+			if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+				t.Fatalf("%s holds a torn capture: %v", path, err)
+			}
+			if snap.TraceID == "" {
+				t.Fatalf("%s holds a capture without a trace id", path)
+			}
+			total++
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return total
+}
+
+// TestSlowCaptureRotationLosesNothing is the satellite guarantee:
+// concurrent offers across many rotations, and every single capture is
+// on disk afterwards, intact, exactly once per Offer.
+func TestSlowCaptureRotationLosesNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow_traces.ndjson")
+	// Tiny rotation threshold so almost every capture rotates; retention
+	// high enough that nothing is pruned.
+	c, err := NewSlowCapture(0, 8, path, WithSlowMaxBytes(256), WithSlowRetain(1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if !c.Offer(slowSnapshot(int64(time.Millisecond))) {
+					t.Error("offer above threshold not captured")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errs := c.Errors(); errs != 0 {
+		t.Fatalf("capture errors: %d", errs)
+	}
+	rotated := c.RotatedFiles()
+	if c.Rotations() == 0 || len(rotated) == 0 {
+		t.Fatal("test exercised no rotations")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := countCapturedLines(t, path, rotated), goroutines*perG; got != want {
+		t.Fatalf("captures on disk = %d, want %d (rotation lost data)", got, want)
+	}
+}
+
+// TestSlowCaptureRetention: rotations beyond the retention count are
+// pruned oldest-first, and the active file always survives.
+func TestSlowCaptureRetention(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow_traces.ndjson")
+	c, err := NewSlowCapture(0, 4, path, WithSlowMaxBytes(1), WithSlowRetain(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ { // every offer crosses 1 byte => 10 rotations
+		c.Offer(slowSnapshot(1))
+	}
+	if got := c.Rotations(); got != 10 {
+		t.Fatalf("rotations = %d, want 10", got)
+	}
+	rotated := c.RotatedFiles()
+	if len(rotated) != 2 {
+		t.Fatalf("retained %d rotations, want 2: %v", len(rotated), rotated)
+	}
+	if rotated[0] != path+".000009" || rotated[1] != path+".000010" {
+		t.Fatalf("retention kept the wrong rotations: %v", rotated)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("active file missing after rotation: %v", err)
+	}
+}
+
+// TestSlowCaptureSequenceSurvivesRestart: reopening over retained
+// rotations continues the sequence instead of overwriting them.
+func TestSlowCaptureSequenceSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow_traces.ndjson")
+	c1, err := NewSlowCapture(0, 4, path, WithSlowMaxBytes(1), WithSlowRetain(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Offer(slowSnapshot(1))
+	c1.Offer(slowSnapshot(1))
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewSlowCapture(0, 4, path, WithSlowMaxBytes(1), WithSlowRetain(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Offer(slowSnapshot(1))
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rotated := c2.RotatedFiles()
+	if len(rotated) != 3 {
+		t.Fatalf("rotations after restart: %v", rotated)
+	}
+	if rotated[2] != path+".000003" {
+		t.Fatalf("restart restarted the sequence: %v", rotated)
+	}
+	if got := countCapturedLines(t, path, rotated); got != 3 {
+		t.Fatalf("captures across restart = %d, want 3", got)
+	}
+}
+
+// TestSlowCaptureDefaultsUnrotated: with default thresholds a handful
+// of captures never rotates — the PR 8 behavior is preserved for the
+// common case.
+func TestSlowCaptureDefaultsUnrotated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow_traces.ndjson")
+	c, err := NewSlowCapture(0, 4, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c.Offer(slowSnapshot(1))
+	}
+	if c.Rotations() != 0 || len(c.RotatedFiles()) != 0 {
+		t.Fatal("default thresholds rotated a tiny file")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countCapturedLines(t, path, nil); got != 50 {
+		t.Fatalf("captures = %d, want 50", got)
+	}
+}

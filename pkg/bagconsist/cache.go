@@ -226,14 +226,16 @@ func (c *Checker) cachedCheck(ctx context.Context, kind string, bags []*bag.Bag,
 		return compute(ctx)
 	}
 	// The fingerprint names the instance in slow-query captures.
-	trace.SpanFromContext(ctx).SetAttr("fp", can.FP.String())
+	fp := can.FP.String()
+	trace.SpanFromContext(ctx).SetAttr("fp", fp)
 	optsKey := c.cfg.optionsKey()
-	key := kind + "|" + optsKey + "|" + can.FP.String()
+	key := kind + "|" + optsKey + "|" + fp
 	_, ramSpan := trace.Start(ctx, trace.SpanCacheRAM)
 	v, ok := c.cfg.cache.lru.Get(key)
 	if ok {
 		ramSpan.SetAttr("outcome", "hit")
 		ramSpan.End()
+		c.observeCheck(ctx, kind, fp, true)
 		return v.(*cachedResult).report(can, time.Since(start))
 	}
 	ramSpan.SetAttr("outcome", "miss")
@@ -296,7 +298,19 @@ func (c *Checker) cachedCheck(ctx context.Context, kind string, bags []*bag.Bag,
 		c.cfg.cache.lru.RecordCoalesced()
 	}
 	if !shared && direct != nil {
+		// This caller's own computation: the one non-hit outcome.
+		c.observeCheck(ctx, kind, fp, false)
 		return direct, nil
 	}
+	// Coalesced follower, leader LRU re-check, or disk promotion — all
+	// served without computing for this caller.
+	c.observeCheck(ctx, kind, fp, true)
 	return v.(*cachedResult).report(can, time.Since(start))
+}
+
+// observeCheck notifies the configured telemetry observer, if any.
+func (c *Checker) observeCheck(ctx context.Context, kind, fp string, cacheHit bool) {
+	if c.cfg.observer != nil {
+		c.cfg.observer(ctx, kind, fp, cacheHit)
+	}
 }

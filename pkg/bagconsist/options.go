@@ -59,6 +59,9 @@ type config struct {
 	solverParallelism int
 	decompose         bool
 	cache             *Cache
+	// observer, when set, is notified after every cache-backed check
+	// (see WithCheckObserver). Pure telemetry: never part of optionsKey.
+	observer CheckObserver
 
 	// Persistence wiring, resolved by New after all options applied (so
 	// option order cannot matter): persistDir is opened into store when
