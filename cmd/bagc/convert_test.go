@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bagconsistency/internal/bagio"
+)
+
+// writeNamed puts content in a temp file under the given base name (the
+// extension drives convert's format dispatch) and returns its path.
+func writeNamed(t *testing.T, base, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), base)
+	if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// text → bagcol → text through the CLI is byte-stable, and -verify
+// confirms it in-process.
+func TestConvertTextToBagcolRoundTrip(t *testing.T) {
+	in := write(t, consistentPair)
+	out := filepath.Join(t.TempDir(), "pair.bagcol")
+	var buf bytes.Buffer
+	if err := run([]string{"convert", "-o", out, "-verify", in}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "round-trip exactly") {
+		t.Fatalf("missing verify confirmation:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bagio.IsColumnar(data) {
+		t.Fatal("output file is not bagcol")
+	}
+
+	// Converting back to text reproduces the canonical form of the input.
+	var text bytes.Buffer
+	if err := run([]string{"convert", "-format", "text", out}, &text); err != nil {
+		t.Fatal(err)
+	}
+	bags, err := bagio.ParseCollection(strings.NewReader(consistentPair))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := bagio.WriteCollection(&want, bags); err != nil {
+		t.Fatal(err)
+	}
+	if text.String() != want.String() {
+		t.Fatalf("text round trip drifted:\n%s\n----\n%s", text.String(), want.String())
+	}
+}
+
+// Two CSV relation dumps merge into one collection whose bags are named
+// after the files, and the result feeds straight into check.
+func TestConvertCSVMerge(t *testing.T) {
+	r := writeNamed(t, "orders.csv", "CUSTOMER,ITEM,n\nalice,widget,2\nbob,gadget,1\n")
+	s := writeNamed(t, "totals.csv", "CUSTOMER,n\nalice,2\nbob,1\n")
+	out := filepath.Join(t.TempDir(), "merged.bagcol")
+	var buf bytes.Buffer
+	if err := run([]string{"convert", "-o", out, "-count-col", "n", "-name", "retail", "-verify", r, s}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	name, bags, closer, err := bagio.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if name != "retail" || len(bags) != 2 {
+		t.Fatalf("name %q, %d bags", name, len(bags))
+	}
+	if bags[0].Name != "orders" || bags[1].Name != "totals" {
+		t.Fatalf("bag names %q, %q", bags[0].Name, bags[1].Name)
+	}
+
+	var check bytes.Buffer
+	if err := run([]string{"check", out}, &check); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(check.String(), "CONSISTENT") {
+		t.Fatalf("check output:\n%s", check.String())
+	}
+}
+
+// TSV input, count column exercised through the extension dispatch.
+func TestConvertTSVWithCountCol(t *testing.T) {
+	p := writeNamed(t, "rel.tsv", "A\tn\nx y\t3\n")
+	var buf bytes.Buffer
+	if err := run([]string{"convert", "-count-col", "n", "-format", "json", p}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"x y"`) || !strings.Contains(buf.String(), `"count": 3`) {
+		t.Fatalf("json output:\n%s", buf.String())
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	in := write(t, consistentPair)
+	if err := run([]string{"convert"}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("no-args error: %v", err)
+	}
+	if err := run([]string{"convert", "-format", "parquet", in}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "unknown output format") {
+		t.Fatalf("bad-format error: %v", err)
+	}
+	if err := run([]string{"convert", filepath.Join(t.TempDir(), "missing.bag")}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+// All subcommands accept bagcol input through the sniffing loader.
+func TestCheckReadsBagcol(t *testing.T) {
+	in := write(t, inconsistentPair)
+	out := filepath.Join(t.TempDir(), "pair.bagcol")
+	if err := run([]string{"convert", "-o", out, in}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"check", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "INCONSISTENT") {
+		t.Fatalf("check output:\n%s", buf.String())
+	}
+}

@@ -12,9 +12,13 @@
 //	bagc store inspect <dir>               summarize a persistent result store
 //	bagc store verify <dir>                integrity-scan every record (exit 1 if corrupt)
 //	bagc store compact <dir>               rewrite the store keeping only live records
+//	bagc convert -o <out> <file>...        convert between text, JSON, CSV/TSV and bagcol
 //
-// Files use the bagio text format ("bag <name>" / "schema <attrs>" /
-// tuple lines); see internal/bagio. The file "-" reads standard input.
+// Input files may be in any supported format — the line-oriented text
+// format, the JSON wire forms, or the binary columnar bagcol format
+// (sniffed by content; bagcol files are memory-mapped). convert
+// additionally reads .csv/.tsv relation dumps (header row = schema; see
+// docs/FORMATS.md). The file "-" reads standard input.
 // Store directories are the -data-dir of a bagcd daemon (stopped: the
 // store is single-owner); see docs/STORAGE.md.
 package main
@@ -51,6 +55,9 @@ func run(args []string, out io.Writer) error {
 	if cmd == "store" {
 		return runStore(rest, out)
 	}
+	if cmd == "convert" {
+		return runConvert(rest, out)
+	}
 
 	fs := flag.NewFlagSet("bagc "+cmd, flag.ContinueOnError)
 	maxNodes := fs.Int64("max-nodes", 10_000_000, "node budget for the integer search on cyclic schemas")
@@ -62,10 +69,11 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() != 1 {
 		return errors.New("expected exactly one input file (use - for stdin)")
 	}
-	bags, err := load(fs.Arg(0))
+	_, bags, closer, err := loadAny(fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	defer closer.Close()
 	coll, err := bagio.ToCollection(bags)
 	if err != nil {
 		return err
@@ -89,21 +97,6 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
-}
-
-func load(path string) ([]bagio.NamedBag, error) {
-	var r io.Reader
-	if path == "-" {
-		r = os.Stdin
-	} else {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		r = f
-	}
-	return bagio.ParseCollection(r)
 }
 
 func check(ctx context.Context, out io.Writer, checker *bagconsist.Checker, coll *bagconsist.Collection) error {

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"bagconsistency/internal/service"
+)
+
+func TestMaxBodyBytesFlag(t *testing.T) {
+	opt, _, err := parseFlags([]string{"-max-body-bytes", "1073741824"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.maxBodyBytes != 1<<30 {
+		t.Fatalf("maxBodyBytes = %d", opt.maxBodyBytes)
+	}
+
+	opt, _, err = parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.maxBodyBytes != service.DefaultMaxBodyBytes {
+		t.Fatalf("default maxBodyBytes = %d, want %d", opt.maxBodyBytes, service.DefaultMaxBodyBytes)
+	}
+
+	if _, _, err := parseFlags([]string{"-max-body-bytes", "0"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-max-body-bytes") {
+		t.Fatalf("zero cap accepted: %v", err)
+	}
+}

@@ -117,6 +117,7 @@ type options struct {
 	maxTimeout        time.Duration
 	drainTimeout      time.Duration
 	maxBatchLines     int
+	maxBodyBytes      int64
 	pprofAddr         string
 	admission         string
 	shedThreshold     float64
@@ -157,6 +158,7 @@ func parseFlags(args []string, out io.Writer) (*options, bool, error) {
 	fs.DurationVar(&opt.maxTimeout, "max-timeout", 60*time.Second, "cap on per-request compute budgets (0 = uncapped)")
 	fs.DurationVar(&opt.drainTimeout, "drain-timeout", 30*time.Second, "how long to let in-flight requests finish on shutdown")
 	fs.IntVar(&opt.maxBatchLines, "max-batch-lines", service.DefaultMaxBatchLines, "NDJSON lines accepted per /v1/batch request")
+	fs.Int64Var(&opt.maxBodyBytes, "max-body-bytes", service.DefaultMaxBodyBytes, "request body size cap in bytes (raise for bulk bagcol instances)")
 	fs.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = off)")
 	fs.StringVar(&opt.admission, "admission", "fifo", "admission policy: fifo (drop-tail) or hardness (shed predicted-expensive work first under overload)")
 	fs.Float64Var(&opt.shedThreshold, "shed-threshold", service.DefaultShedThreshold, "queue-occupancy fraction beyond which -admission hardness sheds expensive requests")
@@ -207,6 +209,9 @@ func (o *options) validate() error {
 	}
 	if o.maxBatchLines < 1 {
 		return fmt.Errorf("-max-batch-lines must be at least 1, got %d", o.maxBatchLines)
+	}
+	if o.maxBodyBytes < 1 {
+		return fmt.Errorf("-max-body-bytes must be at least 1, got %d", o.maxBodyBytes)
 	}
 	if o.storeSegBytes < 0 {
 		return fmt.Errorf("-store-segment-bytes must be >= 0, got %d", o.storeSegBytes)
@@ -364,6 +369,7 @@ func buildServer(opt *options) (*service.Service, http.Handler, *bagconsist.Stor
 		Metrics:       reg,
 		Cache:         cache,
 		MaxBatchLines: opt.maxBatchLines,
+		MaxBodyBytes:  opt.maxBodyBytes,
 		TraceRingSize: opt.traceRing,
 		TraceAll:      opt.traceSlowMs >= 0,
 		Slow:          opt.slow,

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"bagconsistency/internal/bagio"
+	"bagconsistency/internal/harness"
+)
+
+// ingestSink keeps decode results observable so the measured loops
+// cannot be optimized away.
+var ingestSink int
+
+// ingestInstance synthesizes a two-relation instance with n total tuples
+// (r over {A,B}, s over {B,C}, n/2 distinct rows each, value domains of
+// ~sqrt(n/2) per attribute) and returns its three serialized forms. The
+// text bytes are written straight from the generating loop — the shape a
+// warehouse export would have, not the canonical sorted order — so the
+// text decode measurement includes realistic, unordered input.
+func ingestInstance(n int) (text, jsonBytes, col []byte, err error) {
+	rows := n / 2
+	if rows < 1 {
+		rows = 1
+	}
+	d := int(math.Ceil(math.Sqrt(float64(rows))))
+	var tb bytes.Buffer
+	tb.Grow(rows * 40)
+	write := func(name, a1, a2 string) {
+		fmt.Fprintf(&tb, "bag %s\nschema %s %s\n", name, a1, a2)
+		for i := 0; i < rows; i++ {
+			fmt.Fprintf(&tb, "%s%d %s%d : %d\n", a1, i/d, a2, i%d, i%9+1)
+		}
+		tb.WriteByte('\n')
+	}
+	write("r", "A", "B")
+	write("s", "B", "C")
+	text = tb.Bytes()
+
+	bags, err := bagio.ParseCollection(bytes.NewReader(text))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var jb bytes.Buffer
+	if err := bagio.EncodeJSON(&jb, bags); err != nil {
+		return nil, nil, nil, err
+	}
+	var cb bytes.Buffer
+	if err := bagio.EncodeColumnar(&cb, "ingest", bags); err != nil {
+		return nil, nil, nil, err
+	}
+	return text, jb.Bytes(), cb.Bytes(), nil
+}
+
+// benchIngest measures decode throughput of the wire formats on the same
+// instance: text, JSON, bagcol from memory, and bagcol through the mmap
+// path (open + decode + close per op, the cold-file shape a bulk load
+// has). Entries carry tuples/sec and the process's peak RSS at the time
+// the measurement finished; the mmap variant runs first at each size, so
+// its RSS snapshot is taken before the heap-heavy text and JSON decodes
+// inflate the high-water mark. Speedup entries (variant bagcol /
+// bagcol-mmap) compare each binary path against the text parser on the
+// same instance — the PR 10 acceptance number lives here.
+func benchIngest(log io.Writer, doc *Output, opts harness.Options, quick bool) error {
+	sizes := []int{10_000, 100_000, 1_000_000, 10_000_000}
+	if quick {
+		sizes = []int{10_000, 100_000}
+	}
+	dir, err := os.MkdirTemp("", "bagcol-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	for _, n := range sizes {
+		text, jsonBytes, col, err := ingestInstance(n)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("ingest-%d.bagcol", n))
+		if err := os.WriteFile(path, col, 0o644); err != nil {
+			return err
+		}
+		type variant struct {
+			name string
+			fn   func() error
+		}
+		variants := []variant{
+			{"bagcol-mmap", func() error {
+				mc, err := bagio.OpenMapped(path)
+				if err != nil {
+					return err
+				}
+				ingestSink += len(mc.Bags)
+				return mc.Close()
+			}},
+			{"bagcol", func() error {
+				_, bags, err := bagio.DecodeColumnar(col)
+				if err != nil {
+					return err
+				}
+				ingestSink += len(bags)
+				return nil
+			}},
+			{"json", func() error {
+				bags, err := bagio.DecodeJSON(bytes.NewReader(jsonBytes))
+				if err != nil {
+					return err
+				}
+				ingestSink += len(bags)
+				return nil
+			}},
+			{"text", func() error {
+				bags, err := bagio.ParseCollection(bytes.NewReader(text))
+				if err != nil {
+					return err
+				}
+				ingestSink += len(bags)
+				return nil
+			}},
+		}
+		var textNs float64
+		byVariant := map[string]float64{}
+		for _, v := range variants {
+			if v.name == "json" && n >= 10_000_000 {
+				// The JSON decoder is the slowest path by far; at 1e7
+				// tuples one iteration is minutes. Dropped, not sampled —
+				// the 1e6 point already places it.
+				fmt.Fprintf(log, "  ingest/%s/n=%d skipped (decode too slow at this size)\n", v.name, n)
+				continue
+			}
+			res, err := harness.Measure(v.fn, opts)
+			if err != nil {
+				return err
+			}
+			e := Entry{
+				Name:   fmt.Sprintf("ingest/%s/cache=off/n=%d", v.name, n),
+				Family: "ingest", Method: "decode", Cache: "off",
+				Params:       fmt.Sprintf("n=%d,format=%s", n, v.name),
+				TuplesPerSec: float64(n) / res.NsPerOp * 1e9,
+				PeakRSSBytes: peakRSSBytes(),
+			}
+			record(log, doc, e, res)
+			fmt.Fprintf(log, "  %-44s %12.1f Mtuples/s, peak RSS %d MiB\n",
+				"", e.TuplesPerSec/1e6, e.PeakRSSBytes>>20)
+			byVariant[v.name] = res.NsPerOp
+			if v.name == "text" {
+				textNs = res.NsPerOp
+			}
+		}
+		for _, v := range []string{"bagcol", "bagcol-mmap"} {
+			ns, ok := byVariant[v]
+			if !ok || textNs <= 0 {
+				continue
+			}
+			sp := Speedup{
+				Family: "ingest", Params: fmt.Sprintf("n=%d", n), Variant: v,
+				ColdNs: textNs, WarmNs: ns,
+				Speedup: textNs / ns,
+			}
+			doc.Speedups = append(doc.Speedups, sp)
+			fmt.Fprintf(log, "  speedup %-36s %10.1fx (text %.0f ns -> %s %.0f ns)\n",
+				sp.Params+"/"+v, sp.Speedup, textNs, v, ns)
+		}
+	}
+	return nil
+}

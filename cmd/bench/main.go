@@ -16,7 +16,14 @@
 //	      [-prev OLD.json] [-compare BASELINE.json]
 //
 // -family takes a comma-separated subset of
-// pair|acyclic|cyclic|cycliccore|cache|batch|restart (empty = all).
+// pair|acyclic|cyclic|cycliccore|cache|batch|restart|ingest (empty = all).
+//
+// The ingest family is the bulk-load acceptance measurement: the same
+// instance decoded from text, JSON, bagcol bytes and an mmap'd bagcol
+// file at 1e4..1e7 tuples, with tuples/sec and peak RSS per entry and
+// Speedup records comparing each binary path against the text parser;
+// `bench -family ingest -out BENCH_pr10.json` regenerates the committed
+// BENCH_pr10.json.
 //
 // The cycliccore family is the parallel-solver acceptance measurement:
 // near-acyclic schemas (a path with k chords) decided sequentially, with
@@ -67,7 +74,7 @@ var ctx = context.Background()
 func main() {
 	quick := flag.Bool("quick", false, "shorter measurement floors and smaller sweeps")
 	out := flag.String("out", "BENCH_pr2.json", "output JSON path (- for stdout)")
-	family := flag.String("family", "", "comma-separated families to run (pair, acyclic, cyclic, cycliccore, cache, batch, restart; empty = all)")
+	family := flag.String("family", "", "comma-separated families to run (pair, acyclic, cyclic, cycliccore, cache, batch, restart, ingest; empty = all)")
 	prev := flag.String("prev", "", "previous-engine BENCH json; embeds engine-speedup entries for matching uncached benchmarks")
 	compare := flag.String("compare", "", "baseline BENCH json; exit nonzero on >25% ns/op regression in uncached engine families")
 	normalize := flag.Bool("normalize", false, "with -compare: divide ratios by their median first, gating relative regressions only (for runners of a different speed class than the baseline machine)")
@@ -113,6 +120,14 @@ type Entry struct {
 	// HitRate is the cache hit rate over the measurement, when a cache
 	// was configured.
 	HitRate float64 `json:"hit_rate,omitempty"`
+	// TuplesPerSec is decode throughput for the ingest family (tuples in
+	// the instance divided by ns/op).
+	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
+	// PeakRSSBytes is the process's high-water resident set size when the
+	// measurement finished (ingest family; 0 where unsupported). Peak RSS
+	// is monotone over the process lifetime, so within one run an entry's
+	// value reflects every measurement up to and including its own.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // Speedup records the headline cached-repeat acceleration: the ratio of
@@ -175,6 +190,7 @@ func run(log io.Writer, outPath string, quick bool, family string) error {
 		{"cache", benchCacheSpeedup},
 		{"batch", benchBatch},
 		{"restart", benchRestart},
+		{"ingest", benchIngest},
 	}
 	want := map[string]bool{}
 	if family != "" {
@@ -282,7 +298,7 @@ func embedEngineSpeedups(log io.Writer, outPath, prevPath string) error {
 // engineFamilies are the uncached compute families the regression gate
 // watches: the ones a data-plane change moves. Cache/batch/restart
 // measure the serving tiers and have their own bars in the tests.
-var engineFamilies = map[string]bool{"pair": true, "acyclic": true, "cyclic": true, "cycliccore": true}
+var engineFamilies = map[string]bool{"pair": true, "acyclic": true, "cyclic": true, "cycliccore": true, "ingest": true}
 
 // maxRegression is the -compare failure threshold.
 const maxRegression = 1.25

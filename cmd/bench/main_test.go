@@ -37,7 +37,7 @@ func TestQuickSweepWritesJSON(t *testing.T) {
 			t.Errorf("entry %s has empty measurement: %+v", e.Name, e)
 		}
 	}
-	for _, f := range []string{"pair", "acyclic", "cyclic", "cycliccore", "batch", "restart"} {
+	for _, f := range []string{"pair", "acyclic", "cyclic", "cycliccore", "batch", "restart", "ingest"} {
 		if families[f] == 0 {
 			t.Errorf("no entries for family %q", f)
 		}
@@ -45,14 +45,18 @@ func TestQuickSweepWritesJSON(t *testing.T) {
 	if len(doc.Speedups) == 0 {
 		t.Fatal("no cache speedups measured")
 	}
-	var sawRestart, sawDecomp bool
+	var sawRestart, sawDecomp, sawIngest bool
 	for _, sp := range doc.Speedups {
 		// cycliccore speedups compare solver configurations (parallel /
-		// decomposition vs the sequential monolith), not cache tiers; no
-		// cache is configured there at all.
-		if sp.Family == "cycliccore" {
+		// decomposition vs the sequential monolith) and ingest speedups
+		// compare wire formats (bagcol decode vs text parse), not cache
+		// tiers; no cache is configured in either.
+		if sp.Family == "cycliccore" || sp.Family == "ingest" {
 			if sp.Variant == "par4+decomp" {
 				sawDecomp = true
+			}
+			if sp.Family == "ingest" {
+				sawIngest = true
 			}
 			if sp.ColdNs <= 0 || sp.WarmNs <= 0 {
 				t.Errorf("%s/%s/%s: empty measurement: %+v", sp.Family, sp.Params, sp.Variant, sp)
@@ -91,6 +95,9 @@ func TestQuickSweepWritesJSON(t *testing.T) {
 	}
 	if !sawDecomp {
 		t.Error("no cycliccore par4+decomp speedup measured")
+	}
+	if !sawIngest {
+		t.Error("no ingest format speedup measured")
 	}
 }
 

@@ -1,0 +1,15 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// peakRSSBytes reports the process's high-water resident set size.
+// Linux counts ru_maxrss in kilobytes.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}

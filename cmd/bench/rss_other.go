@@ -1,0 +1,7 @@
+//go:build !linux
+
+package main
+
+// peakRSSBytes reports the process's high-water resident set size, or 0
+// where the platform offers no getrusage equivalent.
+func peakRSSBytes() int64 { return 0 }

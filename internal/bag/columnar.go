@@ -110,3 +110,47 @@ func FromColumnar(s *Schema, cols []*table.Dict, rows table.Rows) (*Bag, error) 
 	b.finishRows()
 	return b, nil
 }
+
+// FromColumnarStrict is FromColumnar for buffers that arrive from
+// outside the process (the bagcol decoder): in addition to the shape
+// check it validates that every id is in range for its column's
+// dictionary, every count is positive, and no support row repeats.
+// The validation is integer-only — O(N·W) array loads plus the index
+// probes the bag builds anyway — so bulk ingest stays allocation-free
+// per tuple. The buffers are adopted on success; on error they are not
+// retained.
+func FromColumnarStrict(s *Schema, cols []*table.Dict, rows table.Rows) (*Bag, error) {
+	if len(cols) != s.Len() || rows.W != s.Len() {
+		return nil, fmt.Errorf("bag: columnar data with %d columns (width %d) for schema %v", len(cols), rows.W, s)
+	}
+	n := rows.N()
+	w := rows.W
+	if len(rows.IDs) != n*w {
+		return nil, fmt.Errorf("bag: columnar data with %d counts but %d ids (width %d)", n, len(rows.IDs), w)
+	}
+	limits := make([]uint32, w)
+	for c := 0; c < w; c++ {
+		limits[c] = uint32(cols[c].Len())
+	}
+	for i := 0; i < n; i++ {
+		row := rows.IDs[i*w : (i+1)*w]
+		for c, id := range row {
+			if id >= limits[c] {
+				return nil, fmt.Errorf("bag: row %d attribute %q: id %d out of range (dictionary has %d values)", i, s.Attrs()[c], id, limits[c])
+			}
+		}
+	}
+	for i, cnt := range rows.Counts {
+		if cnt <= 0 {
+			return nil, fmt.Errorf("bag: row %d has non-positive multiplicity %d", i, cnt)
+		}
+	}
+	b := &Bag{schema: s, cols: cols, rows: rows, index: table.NewIndex(n)}
+	// Building the index and proving row distinctness are one pass: the
+	// insert probe that would find a duplicate is the same probe a
+	// separate Find would repeat.
+	if j, i := b.index.RebuildDistinct(&b.rows); j >= 0 {
+		return nil, fmt.Errorf("bag: rows %d and %d are duplicates", j, i)
+	}
+	return b, nil
+}

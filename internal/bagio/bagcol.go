@@ -1,0 +1,725 @@
+// bagcol: the binary columnar instance format (version 1).
+//
+// bagcol mirrors internal/table's layout on the wire so bulk ingest can
+// hand buffers straight to the engine: per-attribute dictionary pages
+// (length-prefixed string blobs), flat row-major []uint32 id buffers and
+// []int64 multiplicities, each section framed by a CRC32 like
+// internal/store records. Decoding a well-formed file performs no
+// per-tuple work beyond integer validation and index building — on a
+// little-endian machine with an aligned buffer (every mmap), the id and
+// count arrays are aliased in place and never copied.
+//
+// docs/FORMATS.md specifies the layout byte for byte; the constants and
+// section order below implement exactly that document.
+package bagio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unsafe"
+
+	"bagconsistency/internal/bag"
+	"bagconsistency/internal/table"
+)
+
+// MagicColumnar is the 8-byte file signature of bagcol version 1. The
+// trailing newline makes an accidental text-format collision impossible
+// (no text line starts a valid instance with this token) and gives
+// `file`-style sniffers a clean token.
+const MagicColumnar = "BAGCOL1\n"
+
+// ContentTypeColumnar is the MIME type clients use to send bagcol bodies
+// to the daemon's check endpoints.
+const ContentTypeColumnar = "application/x-bagcol"
+
+// IsColumnar reports whether data begins with the bagcol magic.
+func IsColumnar(data []byte) bool {
+	return len(data) >= len(MagicColumnar) && string(data[:len(MagicColumnar)]) == MagicColumnar
+}
+
+// nativeLittleEndian reports whether this machine stores integers the way
+// bagcol does. On little-endian hosts the decoder may alias id/count
+// arrays directly into the input buffer; otherwise it falls back to a
+// copying decode.
+var nativeLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// ---------------------------------------------------------------------------
+// Encoder
+
+// colWriter streams the format with a running per-section CRC32 (IEEE),
+// mirroring internal/store's record framing. All integers are
+// little-endian; pad() keeps section boundaries aligned so the decoder
+// can alias arrays in place.
+type colWriter struct {
+	w   *bufio.Writer
+	off int64
+	crc uint32
+	sum bool // section CRC accumulation active
+	err error
+}
+
+var colPadding [8]byte
+
+func (cw *colWriter) raw(b []byte) {
+	if cw.err != nil {
+		return
+	}
+	if cw.sum {
+		cw.crc = crc32.Update(cw.crc, crc32.IEEETable, b)
+	}
+	_, cw.err = cw.w.Write(b)
+	cw.off += int64(len(b))
+}
+
+func (cw *colWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	cw.raw(b[:])
+}
+
+func (cw *colWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	cw.raw(b[:])
+}
+
+// str writes a u32 length prefix, the bytes, and padding to a 4-byte
+// boundary.
+func (cw *colWriter) str(s string) {
+	if len(s) > math.MaxUint32 {
+		cw.fail(fmt.Errorf("bagio: bagcol: string of %d bytes exceeds format limit", len(s)))
+		return
+	}
+	cw.u32(uint32(len(s)))
+	cw.raw([]byte(s))
+	cw.pad(4)
+}
+
+// u32s bulk-writes a id array. On little-endian hosts the slice's own
+// memory is the wire representation, so it goes out in one write.
+func (cw *colWriter) u32s(v []uint32) {
+	if len(v) == 0 {
+		return
+	}
+	if nativeLittleEndian {
+		cw.raw(unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4))
+		return
+	}
+	var buf [4096]byte
+	for len(v) > 0 {
+		n := 0
+		for _, x := range v {
+			if n+4 > len(buf) {
+				break
+			}
+			binary.LittleEndian.PutUint32(buf[n:], x)
+			n += 4
+		}
+		cw.raw(buf[:n])
+		v = v[n/4:]
+	}
+}
+
+func (cw *colWriter) i64s(v []int64) {
+	if len(v) == 0 {
+		return
+	}
+	if nativeLittleEndian {
+		cw.raw(unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8))
+		return
+	}
+	var buf [4096]byte
+	for len(v) > 0 {
+		n := 0
+		for _, x := range v {
+			if n+8 > len(buf) {
+				break
+			}
+			binary.LittleEndian.PutUint64(buf[n:], uint64(x))
+			n += 8
+		}
+		cw.raw(buf[:n])
+		v = v[n/8:]
+	}
+}
+
+// pad writes zero bytes up to the next multiple of align (a power of two
+// at most 8).
+func (cw *colWriter) pad(align int64) {
+	if n := (align - cw.off%align) % align; n > 0 {
+		cw.raw(colPadding[:n])
+	}
+}
+
+// begin starts a CRC-framed section; end writes the accumulated CRC
+// (which does not cover itself) and the trailing 8-byte alignment pad.
+func (cw *colWriter) begin() {
+	cw.crc = 0
+	cw.sum = true
+}
+
+func (cw *colWriter) end() {
+	cw.sum = false
+	cw.u32(cw.crc)
+	cw.pad(8)
+}
+
+func (cw *colWriter) fail(err error) {
+	if cw.err == nil {
+		cw.err = err
+	}
+}
+
+// fileDict is one per-attribute dictionary page under construction.
+// Dictionaries are file-level: every bag column over the same attribute
+// name shares one page, so on decode those columns share one *table.Dict
+// and the engine's cross-bag remaps collapse to identity.
+type fileDict struct {
+	attr string
+	vals []string
+	blob int // total value bytes
+	idx  map[string]uint32
+}
+
+// EncodeColumnar writes the named collection to w in bagcol v1.
+func EncodeColumnar(w io.Writer, name string, bags []NamedBag) error {
+	if len(bags) > math.MaxUint32 {
+		return fmt.Errorf("bagio: bagcol: %d bags exceeds format limit", len(bags))
+	}
+
+	// Pass 1: build the shared per-attribute dictionaries and, per bag
+	// column, the translation from the bag's own id space into the file
+	// dictionary's. The first bag to use an attribute defines the page's
+	// id order, so single-writer collections remap by identity and their
+	// id buffers are written without copying.
+	var dicts []*fileDict
+	dictOf := make(map[string]int)
+	type colPlan struct {
+		dictIdx uint32
+		remap   []uint32 // nil: file ids equal bag ids
+	}
+	plans := make([][]colPlan, len(bags))
+	views := make([]bag.View, len(bags))
+	for bi, nb := range bags {
+		v := nb.Bag.View()
+		views[bi] = v
+		attrs := v.Schema.Attrs()
+		plans[bi] = make([]colPlan, len(attrs))
+		for c, attr := range attrs {
+			di, ok := dictOf[attr]
+			if !ok {
+				di = len(dicts)
+				dicts = append(dicts, &fileDict{attr: attr, idx: make(map[string]uint32)})
+				dictOf[attr] = di
+			}
+			d := dicts[di]
+			snap := v.Cols[c].Snapshot()
+			identity := true
+			remap := make([]uint32, len(snap))
+			for id, val := range snap {
+				fid, ok := d.idx[val]
+				if !ok {
+					if len(d.vals) == math.MaxUint32 {
+						return fmt.Errorf("bagio: bagcol: dictionary %q exceeds 2^32-1 values", attr)
+					}
+					fid = uint32(len(d.vals))
+					d.vals = append(d.vals, val)
+					d.blob += len(val)
+					d.idx[val] = fid
+				}
+				remap[id] = fid
+				if fid != uint32(id) {
+					identity = false
+				}
+			}
+			if identity {
+				remap = nil
+			}
+			plans[bi][c] = colPlan{dictIdx: uint32(di), remap: remap}
+		}
+	}
+	for _, d := range dicts {
+		if d.blob > math.MaxUint32 {
+			return fmt.Errorf("bagio: bagcol: dictionary %q blob of %d bytes exceeds format limit", d.attr, d.blob)
+		}
+	}
+
+	// Pass 2: stream the sections.
+	cw := &colWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	cw.raw([]byte(MagicColumnar))
+
+	cw.begin()
+	cw.u32(0) // flags: none defined in v1
+	cw.u32(uint32(len(dicts)))
+	cw.u32(uint32(len(bags)))
+	cw.str(name)
+	cw.end()
+
+	for _, d := range dicts {
+		cw.begin()
+		cw.str(d.attr)
+		cw.u32(uint32(len(d.vals)))
+		off := uint32(0)
+		cw.u32(off)
+		for _, v := range d.vals {
+			off += uint32(len(v))
+			cw.u32(off)
+		}
+		for _, v := range d.vals {
+			cw.raw([]byte(v))
+		}
+		cw.pad(4)
+		cw.end()
+	}
+
+	// Remapped rows are staged through a bounded scratch buffer so a
+	// non-identity encode of a 10M-tuple bag does not hold a second full
+	// id buffer in memory.
+	var scratch []uint32
+	for bi, nb := range bags {
+		v := views[bi]
+		n := v.Rows.N()
+		w := v.Rows.W
+		if uint64(n) > math.MaxUint32 {
+			return fmt.Errorf("bagio: bagcol: bag %q has %d rows, exceeds format limit", nb.Name, n)
+		}
+		cw.begin()
+		cw.str(nb.Name)
+		cw.u32(uint32(w))
+		identity := true
+		for c := 0; c < w; c++ {
+			cw.u32(plans[bi][c].dictIdx)
+			if plans[bi][c].remap != nil {
+				identity = false
+			}
+		}
+		cw.pad(8)
+		cw.u64(uint64(n))
+		if identity {
+			cw.u32s(v.Rows.IDs[:n*w])
+		} else {
+			const chunkRows = 16 << 10
+			if cap(scratch) < chunkRows*w {
+				scratch = make([]uint32, chunkRows*w)
+			}
+			for base := 0; base < n; base += chunkRows {
+				rows := min(chunkRows, n-base)
+				out := scratch[:rows*w]
+				for i := 0; i < rows; i++ {
+					src := v.Rows.IDs[(base+i)*w : (base+i+1)*w]
+					dst := out[i*w : (i+1)*w]
+					for c := 0; c < w; c++ {
+						if r := plans[bi][c].remap; r != nil {
+							dst[c] = r[src[c]]
+						} else {
+							dst[c] = src[c]
+						}
+					}
+				}
+				cw.u32s(out)
+			}
+		}
+		cw.pad(8)
+		cw.i64s(v.Rows.Counts[:n])
+		cw.end()
+	}
+
+	if cw.err != nil {
+		return cw.err
+	}
+	return cw.w.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+
+// colParser walks a bagcol buffer with bounds-checked primitives. Every
+// length and count field is validated against the bytes actually present
+// before anything is allocated or sliced, so hostile prefixes can neither
+// panic nor balloon memory past the input's own size.
+type colParser struct {
+	data []byte
+	off  int
+	zc   bool // alias arrays in place (little-endian + 8-byte-aligned base)
+}
+
+func (p *colParser) remaining() int { return len(p.data) - p.off }
+
+func (p *colParser) need(n int) error {
+	if n < 0 || p.remaining() < n {
+		return fmt.Errorf("bagio: bagcol: truncated at byte %d (need %d bytes, %d left)", p.off, n, p.remaining())
+	}
+	return nil
+}
+
+func (p *colParser) u32() (uint32, error) {
+	if err := p.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(p.data[p.off:])
+	p.off += 4
+	return v, nil
+}
+
+func (p *colParser) u64() (uint64, error) {
+	if err := p.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(p.data[p.off:])
+	p.off += 8
+	return v, nil
+}
+
+// str reads a u32-length-prefixed string plus its 4-byte-boundary pad.
+// The bytes are copied: names and attrs end up in long-lived schema
+// structures that must not alias a caller-owned (or mapped) buffer.
+func (p *colParser) str() (string, error) {
+	n, err := p.u32()
+	if err != nil {
+		return "", err
+	}
+	if err := p.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(p.data[p.off : p.off+int(n)])
+	p.off += int(n)
+	return s, p.align(4)
+}
+
+// align skips padding to the next multiple of n, requiring the pad bytes
+// to be zero so every valid file has exactly one encoding.
+func (p *colParser) align(n int) error {
+	pad := (n - p.off%n) % n
+	if err := p.need(pad); err != nil {
+		return err
+	}
+	for _, b := range p.data[p.off : p.off+pad] {
+		if b != 0 {
+			return fmt.Errorf("bagio: bagcol: nonzero padding at byte %d", p.off)
+		}
+	}
+	p.off += pad
+	return nil
+}
+
+// u32s reads n little-endian uint32s, aliasing the buffer when the
+// machine allows it. The aliased slice has cap == len, so any append by
+// a caller copies instead of writing through to the (possibly mapped,
+// read-only) input.
+func (p *colParser) u32s(n int) ([]uint32, error) {
+	if err := p.need(n * 4); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	var out []uint32
+	if p.zc && p.off%4 == 0 {
+		out = unsafe.Slice((*uint32)(unsafe.Pointer(&p.data[p.off])), n)
+	} else {
+		out = make([]uint32, n)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint32(p.data[p.off+4*i:])
+		}
+	}
+	p.off += n * 4
+	return out, nil
+}
+
+func (p *colParser) i64s(n int) ([]int64, error) {
+	if err := p.need(n * 8); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	var out []int64
+	if p.zc && p.off%8 == 0 {
+		out = unsafe.Slice((*int64)(unsafe.Pointer(&p.data[p.off])), n)
+	} else {
+		out = make([]int64, n)
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(p.data[p.off+8*i:]))
+		}
+	}
+	p.off += n * 8
+	return out, nil
+}
+
+// checkCRC verifies the stored section CRC against the bytes from start
+// to the current offset.
+func (p *colParser) checkCRC(start int, what string) error {
+	want := crc32.ChecksumIEEE(p.data[start:p.off])
+	got, err := p.u32()
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("bagio: bagcol: %s CRC mismatch at byte %d (stored %08x, computed %08x)", what, p.off-4, got, want)
+	}
+	return p.align(8)
+}
+
+// decodedDict is one parsed dictionary page: the attribute it interns and
+// the shared engine dictionary every column over that attribute adopts.
+type decodedDict struct {
+	attr string
+	dict *table.Dict
+}
+
+// DecodeColumnar decodes a bagcol buffer into named bags. The buffer is
+// adopted: on little-endian machines the returned bags alias data's id
+// and count arrays (and dictionary value bytes), so the caller must not
+// modify data afterwards and must keep any underlying mapping alive for
+// the life of the bags (see OpenMapped).
+func DecodeColumnar(data []byte) (string, []NamedBag, error) {
+	if !IsColumnar(data) {
+		return "", nil, fmt.Errorf("bagio: bagcol: missing magic")
+	}
+	p := &colParser{data: data, off: len(MagicColumnar)}
+	p.zc = nativeLittleEndian && uintptr(unsafe.Pointer(&data[0]))%8 == 0
+
+	// Header.
+	start := p.off
+	flags, err := p.u32()
+	if err != nil {
+		return "", nil, err
+	}
+	if flags != 0 {
+		return "", nil, fmt.Errorf("bagio: bagcol: unsupported flags %#x (file written by a newer version)", flags)
+	}
+	ndicts, err := p.u32()
+	if err != nil {
+		return "", nil, err
+	}
+	nbags, err := p.u32()
+	if err != nil {
+		return "", nil, err
+	}
+	name, err := p.str()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := p.checkCRC(start, "header"); err != nil {
+		return "", nil, err
+	}
+	// A dict section is at least 24 bytes, a bag section at least 32, so
+	// the counts bound slice preallocation by the input's own size.
+	if uint64(ndicts) > uint64(p.remaining())/24 {
+		return "", nil, fmt.Errorf("bagio: bagcol: header claims %d dictionaries, only %d bytes follow", ndicts, p.remaining())
+	}
+	if uint64(nbags) > uint64(p.remaining())/32 {
+		return "", nil, fmt.Errorf("bagio: bagcol: header claims %d bags, only %d bytes follow", nbags, p.remaining())
+	}
+
+	dicts := make([]decodedDict, 0, ndicts)
+	seenAttr := make(map[string]bool, ndicts)
+	for di := 0; di < int(ndicts); di++ {
+		start := p.off
+		attr, err := p.str()
+		if err != nil {
+			return "", nil, err
+		}
+		if seenAttr[attr] {
+			return "", nil, fmt.Errorf("bagio: bagcol: dictionary %d duplicates attribute %q", di, attr)
+		}
+		seenAttr[attr] = true
+		nvals, err := p.u32()
+		if err != nil {
+			return "", nil, err
+		}
+		if uint64(nvals)+1 > uint64(p.remaining())/4 {
+			return "", nil, fmt.Errorf("bagio: bagcol: dictionary %q claims %d values, only %d bytes follow", attr, nvals, p.remaining())
+		}
+		nv := int(nvals)
+		offBase := p.off
+		p.off += (nv + 1) * 4
+		offAt := func(i int) int {
+			return int(binary.LittleEndian.Uint32(p.data[offBase+4*i:]))
+		}
+		if offAt(0) != 0 {
+			return "", nil, fmt.Errorf("bagio: bagcol: dictionary %q offset table does not start at 0", attr)
+		}
+		blobLen := offAt(nv)
+		if err := p.need(blobLen); err != nil {
+			return "", nil, err
+		}
+		blob := p.data[p.off : p.off+blobLen]
+		p.off += blobLen
+		if err := p.align(4); err != nil {
+			return "", nil, err
+		}
+		vals := make([]string, nv)
+		seen := make(map[string]bool, nv)
+		prev := 0
+		for i := 0; i < nv; i++ {
+			end := offAt(i + 1)
+			if end < prev || end > blobLen {
+				return "", nil, fmt.Errorf("bagio: bagcol: dictionary %q value %d has offsets %d..%d outside blob of %d bytes", attr, i, prev, end, blobLen)
+			}
+			var v string
+			if end > prev {
+				// Zero-copy: the string aliases the blob bytes. Safe
+				// because strings are immutable and the collection keeps
+				// the buffer alive.
+				v = unsafe.String(&blob[prev], end-prev)
+			}
+			if seen[v] {
+				return "", nil, fmt.Errorf("bagio: bagcol: dictionary %q repeats value %q", attr, v)
+			}
+			seen[v] = true
+			vals[i] = v
+			prev = end
+		}
+		if err := p.checkCRC(start, fmt.Sprintf("dictionary %q", attr)); err != nil {
+			return "", nil, err
+		}
+		dicts = append(dicts, decodedDict{attr: attr, dict: table.DictFromSnapshot(vals)})
+	}
+
+	bags := make([]NamedBag, 0, nbags)
+	for bi := 0; bi < int(nbags); bi++ {
+		start := p.off
+		bagName, err := p.str()
+		if err != nil {
+			return "", nil, err
+		}
+		nattrs, err := p.u32()
+		if err != nil {
+			return "", nil, err
+		}
+		if uint64(nattrs) > uint64(p.remaining())/4 {
+			return "", nil, fmt.Errorf("bagio: bagcol: bag %q claims %d attributes, only %d bytes follow", bagName, nattrs, p.remaining())
+		}
+		w := int(nattrs)
+		attrs := make([]string, w)
+		cols := make([]*table.Dict, w)
+		for c := 0; c < w; c++ {
+			di, err := p.u32()
+			if err != nil {
+				return "", nil, err
+			}
+			if int(di) >= len(dicts) {
+				return "", nil, fmt.Errorf("bagio: bagcol: bag %q column %d references dictionary %d of %d", bagName, c, di, len(dicts))
+			}
+			attrs[c] = dicts[di].attr
+			cols[c] = dicts[di].dict
+			if c > 0 && attrs[c-1] >= attrs[c] {
+				return "", nil, fmt.Errorf("bagio: bagcol: bag %q attributes not in canonical order (%q then %q)", bagName, attrs[c-1], attrs[c])
+			}
+		}
+		if err := p.align(8); err != nil {
+			return "", nil, err
+		}
+		nrows64, err := p.u64()
+		if err != nil {
+			return "", nil, err
+		}
+		// Each row costs at least its 8-byte count, so this bound both
+		// rejects truncation early and caps the int conversion.
+		if nrows64 > uint64(p.remaining())/8 {
+			return "", nil, fmt.Errorf("bagio: bagcol: bag %q claims %d rows, only %d bytes follow", bagName, nrows64, p.remaining())
+		}
+		n := int(nrows64)
+		if w > 0 && uint64(n) > uint64(p.remaining())/(4*uint64(w)) {
+			return "", nil, fmt.Errorf("bagio: bagcol: bag %q claims %d rows of width %d, only %d bytes follow", bagName, n, w, p.remaining())
+		}
+		ids, err := p.u32s(n * w)
+		if err != nil {
+			return "", nil, err
+		}
+		if err := p.align(8); err != nil {
+			return "", nil, err
+		}
+		counts, err := p.i64s(n)
+		if err != nil {
+			return "", nil, err
+		}
+		if err := p.checkCRC(start, fmt.Sprintf("bag %q", bagName)); err != nil {
+			return "", nil, err
+		}
+		s, err := bag.NewSchema(attrs...)
+		if err != nil {
+			return "", nil, fmt.Errorf("bagio: bagcol: bag %q: %w", bagName, err)
+		}
+		b, err := bag.FromColumnarStrict(s, cols, table.Rows{W: w, IDs: ids, Counts: counts})
+		if err != nil {
+			return "", nil, fmt.Errorf("bagio: bagcol: bag %q: %w", bagName, err)
+		}
+		bags = append(bags, NamedBag{Name: bagName, Bag: b})
+	}
+
+	if p.remaining() != 0 {
+		return "", nil, fmt.Errorf("bagio: bagcol: %d trailing bytes after last section", p.remaining())
+	}
+	return name, bags, nil
+}
+
+// ---------------------------------------------------------------------------
+// Mapped collections
+
+// MappedCollection is a decoded bagcol instance whose bags may alias an
+// mmap'd (read-only) file. The bags are valid until Close; they must be
+// treated as read-only — the check/serve paths never mutate input bags,
+// but calling Add or Set on a mapped bag may fault.
+type MappedCollection struct {
+	Name string
+	Bags []NamedBag
+	// Mapped reports whether the bags alias an OS mapping (true) or a
+	// private heap buffer (false, the fallback for pipes, empty files and
+	// platforms without mmap).
+	Mapped bool
+	munmap func() error
+	closed bool
+}
+
+// Close releases the underlying mapping. The collection's bags must not
+// be used afterwards.
+func (m *MappedCollection) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if m.munmap != nil {
+		return m.munmap()
+	}
+	return nil
+}
+
+// OpenMapped opens a bagcol file and decodes it zero-copy from a
+// read-only memory mapping when the platform and file allow it (a
+// regular, non-empty file on a Unix system); otherwise it falls back to
+// reading the file into memory and decoding that. Either way the decode
+// itself is identical — mmap-vs-reader equivalence is a tested property.
+func OpenMapped(path string) (*MappedCollection, error) {
+	data, munmap, mapped, err := readOrMap(path)
+	if err != nil {
+		return nil, err
+	}
+	name, bags, err := DecodeColumnar(data)
+	if err != nil {
+		if munmap != nil {
+			munmap()
+		}
+		return nil, err
+	}
+	return &MappedCollection{Name: name, Bags: bags, Mapped: mapped, munmap: munmap}, nil
+}
+
+// DecodeColumnarReader is the pure-io.Reader decode path: it drains r
+// into memory and decodes. Use it for pipes and network bodies; use
+// OpenMapped for files.
+func DecodeColumnarReader(r io.Reader) (string, []NamedBag, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return "", nil, err
+	}
+	return DecodeColumnar(data)
+}

@@ -58,6 +58,7 @@ func ParseCollection(r io.Reader) ([]NamedBag, error) {
 	var out []NamedBag
 	var cur *NamedBag
 	lineno := 0
+	curLine := 0 // line of the current bag's "bag" header, for headerless-schema errors
 	for sc.Scan() {
 		lineno++
 		line := sc.Text()
@@ -74,10 +75,11 @@ func ParseCollection(r io.Reader) ([]NamedBag, error) {
 				return nil, fmt.Errorf("bagio: line %d: want \"bag <name>\"", lineno)
 			}
 			if cur != nil && cur.Bag == nil {
-				return nil, fmt.Errorf("bagio: bag %q has no schema", cur.Name)
+				return nil, fmt.Errorf("bagio: line %d: bag %q has no schema", curLine, cur.Name)
 			}
 			out = append(out, NamedBag{Name: fields[1]})
 			cur = &out[len(out)-1]
+			curLine = lineno
 		case "schema":
 			if cur == nil {
 				return nil, fmt.Errorf("bagio: line %d: schema before any bag", lineno)
@@ -113,10 +115,10 @@ func ParseCollection(r io.Reader) ([]NamedBag, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bagio: line %d: %w", lineno+1, err)
 	}
 	if cur != nil && cur.Bag == nil {
-		return nil, fmt.Errorf("bagio: bag %q has no schema", cur.Name)
+		return nil, fmt.Errorf("bagio: line %d: bag %q has no schema", curLine, cur.Name)
 	}
 	return out, nil
 }
@@ -286,14 +288,18 @@ func decodeJSONCollection(data []byte) (string, []NamedBag, error) {
 }
 
 // DecodeAny reads a collection in whichever format the bytes are in: the
-// JSON array form, the named-collection JSON object, or the line-oriented
-// text format. The JSON forms are recognized by a leading '[' or '{'; the
-// text format has neither (bags start with the "bag" keyword). This is the
-// daemon's request decoding, so one endpoint serves both kinds of client.
+// binary bagcol format (recognized by its 8-byte magic), the JSON array
+// form, the named-collection JSON object, or the line-oriented text
+// format. The JSON forms are recognized by a leading '[' or '{'; the text
+// format has neither (bags start with the "bag" keyword). This is the
+// daemon's request decoding, so one endpoint serves every kind of client.
 func DecodeAny(r io.Reader) (string, []NamedBag, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return "", nil, err
+	}
+	if IsColumnar(data) {
+		return DecodeColumnar(data)
 	}
 	trimmed := bytes.TrimLeft(data, " \t\r\n")
 	if len(trimmed) > 0 && (trimmed[0] == '[' || trimmed[0] == '{') {

@@ -1,0 +1,151 @@
+package bagio
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"bagconsistency/internal/bag"
+)
+
+// CSVOptions configures ReadCSV. The zero value reads comma-separated
+// data whose first row names the attributes and treats every data row as
+// one tuple occurrence (bag semantics: repeated rows accumulate
+// multiplicity).
+type CSVOptions struct {
+	// Comma is the field separator; 0 means ','. Use '\t' for TSV.
+	Comma rune
+	// Name is the resulting bag's name; "" means "csv".
+	Name string
+	// CountCol optionally names a column holding per-row multiplicities
+	// (a non-negative integer) instead of counting row repetitions. The
+	// column is excluded from the schema.
+	CountCol string
+}
+
+// ReadCSV bulk-loads one relation from CSV: the header row is the
+// schema (attribute names, in any order — the bag stores them in
+// canonical sorted order), and every following row is a tuple. This is
+// the relational-dump entry point the paper's data-exchange framing
+// implies: one warehouse table per file, multiplicities either by row
+// repetition or an explicit count column.
+func ReadCSV(r io.Reader, opts CSVOptions) (NamedBag, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if errors.Is(err, io.EOF) {
+		return NamedBag{}, errors.New("bagio: csv: empty input (need a header row naming the attributes)")
+	}
+	if err != nil {
+		return NamedBag{}, fmt.Errorf("bagio: csv: %w", err)
+	}
+
+	countIdx := -1
+	attrs := make([]string, 0, len(header))
+	for i, h := range header {
+		if opts.CountCol != "" && h == opts.CountCol {
+			if countIdx >= 0 {
+				return NamedBag{}, fmt.Errorf("bagio: csv: two columns named %q", opts.CountCol)
+			}
+			countIdx = i
+			continue
+		}
+		attrs = append(attrs, h)
+	}
+	if opts.CountCol != "" && countIdx < 0 {
+		return NamedBag{}, fmt.Errorf("bagio: csv: no column named %q in header %v", opts.CountCol, header)
+	}
+	s, err := bag.NewSchema(attrs...)
+	if err != nil {
+		return NamedBag{}, fmt.Errorf("bagio: csv: header: %w", err)
+	}
+	if s.Len() != len(attrs) {
+		return NamedBag{}, fmt.Errorf("bagio: csv: duplicate attribute in header %v", header)
+	}
+	// File column order → canonical schema position (Add wants values in
+	// canonical order).
+	perm := make([]int, len(header))
+	for i, h := range header {
+		if i == countIdx {
+			perm[i] = -1
+			continue
+		}
+		perm[i] = s.Pos(h)
+	}
+
+	name := opts.Name
+	if name == "" {
+		name = "csv"
+	}
+	b := bag.New(s)
+	vals := make([]string, s.Len())
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return NamedBag{}, fmt.Errorf("bagio: csv: %w", err) // csv errors carry line numbers
+		}
+		line, _ := cr.FieldPos(0)
+		count := int64(1)
+		for i, v := range rec {
+			if i == countIdx {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 0 {
+					return NamedBag{}, fmt.Errorf("bagio: csv: line %d: bad count %q", line, v)
+				}
+				count = n
+				continue
+			}
+			vals[perm[i]] = v
+		}
+		if err := b.Add(vals, count); err != nil {
+			return NamedBag{}, fmt.Errorf("bagio: csv: line %d: %w", line, err)
+		}
+	}
+	return NamedBag{Name: name, Bag: b}, nil
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
+
+// LoadFile reads a collection from a file in any supported format,
+// sniffing the content: bagcol files are decoded through OpenMapped
+// (zero-copy on capable platforms), everything else through DecodeAny
+// (JSON array, JSON collection, or text). The returned closer must stay
+// open for as long as the bags are in use — for bagcol it pins the
+// memory mapping the bags alias.
+func LoadFile(path string) (string, []NamedBag, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	var magic [len(MagicColumnar)]byte
+	n, _ := io.ReadFull(f, magic[:])
+	if n == len(magic) && IsColumnar(magic[:]) {
+		f.Close()
+		mc, err := OpenMapped(path)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		return mc.Name, mc.Bags, mc, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return "", nil, nil, err
+	}
+	defer f.Close()
+	name, bags, err := DecodeAny(f)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return name, bags, nopCloser{}, nil
+}

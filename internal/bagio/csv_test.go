@@ -1,0 +1,86 @@
+package bagio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	// Columns deliberately out of canonical order (B before A): the
+	// loader must permute values into schema order, and repeated rows
+	// must accumulate multiplicity.
+	in := "B,A\nb1,a1\nb1,a1\nb2,a2\n"
+	nb, err := ReadCSV(strings.NewReader(in), CSVOptions{Name: "rel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Name != "rel" {
+		t.Fatalf("name %q", nb.Name)
+	}
+	want := mustParse(t, "bag rel\nschema A B\na1 b1 : 2\na2 b2 : 1\n")
+	if canonText(t, []NamedBag{nb}) != canonText(t, want) {
+		t.Fatalf("decoded:\n%s\nwant:\n%s", canonText(t, []NamedBag{nb}), canonText(t, want))
+	}
+}
+
+func TestReadCSVCountColumn(t *testing.T) {
+	in := "A,n,B\na1,3,b1\na1,2,b1\na2,0,b2\n"
+	nb, err := ReadCSV(strings.NewReader(in), CSVOptions{Name: "rel", CountCol: "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3+2 accumulate; the explicit zero row contributes nothing.
+	want := mustParse(t, "bag rel\nschema A B\na1 b1 : 5\n")
+	if canonText(t, []NamedBag{nb}) != canonText(t, want) {
+		t.Fatalf("decoded:\n%s\nwant:\n%s", canonText(t, []NamedBag{nb}), canonText(t, want))
+	}
+}
+
+func TestReadTSV(t *testing.T) {
+	in := "A\tB\na 1\tb 1\n" // TSV values may contain spaces
+	nb, err := ReadCSV(strings.NewReader(in), CSVOptions{Name: "rel", Comma: '\t'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := nb.Bag.View()
+	if got := v.Cols[0].Snapshot()[0]; got != "a 1" {
+		t.Fatalf("value %q, want %q", got, "a 1")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		opts CSVOptions
+		want string
+	}{
+		{"empty", "", CSVOptions{}, "empty input"},
+		{"dup header", "A,A\nx,y\n", CSVOptions{}, "duplicate attribute"},
+		{"missing count col", "A,B\nx,y\n", CSVOptions{CountCol: "n"}, "no column named"},
+		{"bad count", "A,n\nx,zero\n", CSVOptions{CountCol: "n"}, "bad count"},
+		{"negative count", "A,n\nx,-2\n", CSVOptions{CountCol: "n"}, "bad count"},
+		{"ragged row", "A,B\nx\n", CSVOptions{}, "wrong number of fields"},
+		{"empty attr", ",B\nx,y\n", CSVOptions{}, "empty attribute"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tc.in), tc.opts)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadCSVErrorLineNumbers: loader errors point at the offending line.
+func TestReadCSVErrorLineNumbers(t *testing.T) {
+	in := "A,n\nx,1\ny,bogus\n"
+	_, err := ReadCSV(strings.NewReader(in), CSVOptions{CountCol: "n"})
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %v does not name line 3", err)
+	}
+}

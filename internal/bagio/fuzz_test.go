@@ -87,6 +87,11 @@ func FuzzDecodeAny(f *testing.F) {
 	f.Add(`[{"schema":["A"],"tuples":[{"values":["x"],"count":0}]}]`)
 	f.Add(`[{"schema":["A"],"tuples":[{"values":[":"],"count":1}]}]`)
 	f.Add(`[{"schema":["A"],"tuples":[{"values":["a b"],"count":1}]}]`)
+	// Binary bagcol seeds: the sniffer must route magic-prefixed bodies to
+	// the columnar decoder and reject mutants without panicking.
+	for _, seed := range columnarSeeds(f) {
+		f.Add(string(seed))
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		name, bags, err := DecodeAny(strings.NewReader(input))
 		if err != nil {
@@ -110,6 +115,70 @@ func FuzzDecodeAny(f *testing.F) {
 			if back[i].Name != bags[i].Name || !back[i].Bag.Equal(bags[i].Bag) {
 				t.Fatalf("bag %d changed in round trip", i)
 			}
+		}
+	})
+}
+
+// columnarSeeds builds the bagcol fuzz corpus: a well-formed instance plus
+// the attack shapes the decoder must reject — truncated header, corrupted
+// section CRC, and a row id pointing past its dictionary.
+func columnarSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	bags, err := ParseCollection(strings.NewReader(colSample))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeColumnar(&buf, "fuzzcoll", bags); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[len(crcFlip)/2] ^= 0x40
+	return [][]byte{
+		valid,
+		valid[:len(MagicColumnar)],    // bare magic, no header
+		valid[:len(MagicColumnar)+10], // truncated mid-header
+		valid[:len(valid)-3],          // truncated mid-final-section
+		crcFlip,                       // corrupted section payload
+		buildHostile(f, hostileKnobs{rowID: 99, count: 1}),  // dict id out of range
+		buildHostile(f, hostileKnobs{dictIdx: 7, count: 1}), // dict index out of range
+	}
+}
+
+// FuzzDecodeColumnar checks the binary decoder on raw bytes: it must never
+// panic or over-allocate on hostile length prefixes, and any instance it
+// accepts must re-encode and decode back to byte-identical canonical text.
+func FuzzDecodeColumnar(f *testing.F) {
+	for _, seed := range columnarSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, bags, err := DecodeColumnar(data)
+		if err != nil {
+			return
+		}
+		var text1 bytes.Buffer
+		if err := WriteCollection(&text1, bags); err != nil {
+			t.Fatalf("text encode of decoded instance failed: %v", err)
+		}
+		var enc bytes.Buffer
+		if err := EncodeColumnar(&enc, name, bags); err != nil {
+			t.Fatalf("re-encode of decoded instance failed: %v", err)
+		}
+		backName, back, err := DecodeColumnar(enc.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if backName != name || len(back) != len(bags) {
+			t.Fatalf("round trip changed name %q->%q or count %d->%d", name, backName, len(bags), len(back))
+		}
+		var text2 bytes.Buffer
+		if err := WriteCollection(&text2, back); err != nil {
+			t.Fatalf("text encode after round trip failed: %v", err)
+		}
+		if !bytes.Equal(text1.Bytes(), text2.Bytes()) {
+			t.Fatalf("canonical text changed across round trip:\n%s\n----\n%s", text1.Bytes(), text2.Bytes())
 		}
 	})
 }

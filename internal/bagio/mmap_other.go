@@ -1,0 +1,15 @@
+//go:build !linux && !darwin
+
+package bagio
+
+import "os"
+
+// readOrMap on platforms without a wired-up mmap just reads the file;
+// OpenMapped still works, only without the zero-copy mapping.
+func readOrMap(path string) (data []byte, munmap func() error, mapped bool, err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, nil, false, nil
+}

@@ -1,0 +1,42 @@
+//go:build linux || darwin
+
+package bagio
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"syscall"
+)
+
+// readOrMap returns the file's bytes, preferring a read-only memory
+// mapping for regular non-empty files (page-aligned, so the decoder's
+// zero-copy aliasing always engages). The munmap func is non-nil exactly
+// when mapped is true; heap-backed fallbacks need no cleanup.
+func readOrMap(path string) (data []byte, munmap func() error, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if st.Mode().IsRegular() && st.Size() > 0 {
+		if st.Size() > math.MaxInt {
+			return nil, nil, false, fmt.Errorf("bagio: bagcol: %s: file of %d bytes exceeds address space", path, st.Size())
+		}
+		m, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err == nil {
+			return m, func() error { return syscall.Munmap(m) }, true, nil
+		}
+		// Fall through to the read path (e.g. filesystems without mmap).
+	}
+	data, err = io.ReadAll(f)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, nil, false, nil
+}

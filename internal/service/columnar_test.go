@@ -1,0 +1,102 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"bagconsistency/internal/bagio"
+	"bagconsistency/pkg/bagconsist"
+)
+
+func pairBagcol(t *testing.T, text string) []byte {
+	t.Helper()
+	bags, err := bagio.ParseCollection(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := bagio.EncodeColumnar(&buf, "wire", bags); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postTyped(t *testing.T, url, contentType string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// A bagcol body under its declared content type goes down the strict
+// binary path on /v1/check, and the sniffing path accepts it too.
+func TestCheckEndpointAcceptsColumnar(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := pairBagcol(t, consistentPairText)
+	for label, ct := range map[string]string{
+		"declared":          bagio.ContentTypeColumnar,
+		"with params":       bagio.ContentTypeColumnar + "; charset=binary",
+		"sniffed (untyped)": "application/octet-stream",
+	} {
+		resp, data := postTyped(t, ts.URL+"/v1/check", ct, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", label, resp.StatusCode, data)
+		}
+		var rep bagconsist.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !rep.Consistent || rep.Witness == nil {
+			t.Fatalf("%s: report %+v, want consistent with witness", label, rep)
+		}
+	}
+}
+
+// A mislabeled body (text under the binary content type) is a 400 from
+// the strict decoder, not silently re-sniffed.
+func TestCheckEndpointColumnarStrict(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, data := postTyped(t, ts.URL+"/v1/check", bagio.ContentTypeColumnar, []byte(consistentPairText))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+}
+
+func TestPairEndpointAcceptsColumnar(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := pairBagcol(t, inconsistentPairText)
+	resp, data := postTyped(t, ts.URL+"/v1/check/pair", bagio.ContentTypeColumnar, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var rep bagconsist.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistent {
+		t.Fatalf("report %+v, want inconsistent", rep)
+	}
+}
+
+// /v1/batch is NDJSON-framed; a bagcol body is a 415 pointing at /v1/check.
+func TestBatchRejectsColumnarWith415(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := pairBagcol(t, consistentPairText)
+	resp, data := postTyped(t, ts.URL+"/v1/batch", bagio.ContentTypeColumnar, body)
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("status %d, want 415: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "/v1/check") {
+		t.Fatalf("error does not redirect caller to /v1/check: %s", data)
+	}
+}

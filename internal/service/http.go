@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"bagconsistency/internal/bagio"
@@ -438,13 +439,30 @@ func errStatus(err error) int {
 	}
 }
 
+// isColumnarRequest reports whether the client declared a bagcol body.
+// (DecodeAny would sniff the magic anyway; the explicit Content-Type buys
+// a strict decode — a malformed binary body fails with a bagcol error
+// instead of falling through to the text parser's line errors.)
+func isColumnarRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == bagio.ContentTypeColumnar
+}
+
 func (s *server) handleCheck(w http.ResponseWriter, r *http.Request, kind Kind) int {
 	timeout, err := requestTimeout(r)
 	if err != nil {
 		return s.writeError(w, http.StatusBadRequest, err)
 	}
 	_, decodeSpan := trace.Start(r.Context(), trace.SpanDecode)
-	_, bags, err := bagio.DecodeAny(http.MaxBytesReader(w, r.Body, s.maxBody))
+	var bags []bagio.NamedBag
+	if isColumnarRequest(r) {
+		_, bags, err = bagio.DecodeColumnarReader(http.MaxBytesReader(w, r.Body, s.maxBody))
+	} else {
+		_, bags, err = bagio.DecodeAny(http.MaxBytesReader(w, r.Body, s.maxBody))
+	}
 	if err != nil {
 		decodeSpan.End()
 		return s.writeError(w, http.StatusBadRequest, err)
@@ -487,6 +505,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	timeout, err := requestTimeout(r)
 	if err != nil {
 		return s.writeError(w, http.StatusBadRequest, err)
+	}
+	if isColumnarRequest(r) {
+		// The batch endpoint is line-oriented NDJSON; a binary columnar
+		// body cannot be framed as lines. Send bagcol instances to
+		// /v1/check or /v1/check/pair instead.
+		return s.writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("service: %s is not accepted on /v1/batch (NDJSON only); POST bagcol bodies to /v1/check", bagio.ContentTypeColumnar))
 	}
 	if s.svc.Draining() {
 		return s.writeError(w, http.StatusServiceUnavailable, ErrDraining)

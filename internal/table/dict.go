@@ -34,10 +34,16 @@ import "sync"
 // takes a write lock and lookups a read lock, so concurrent readers of
 // derived bags stay safe while an owner keeps ingesting; hot loops avoid
 // the lock entirely by working on Snapshot and remap tables.
+//
+// A Dict built by DictFromSnapshot starts without its value→id map; the
+// map is materialized on the first Lookup or Intern. Until then the
+// dictionary costs exactly its value table — the property the zero-copy
+// bagcol decode path relies on (id-resolving reads via Value never need
+// the map at all).
 type Dict struct {
 	mu   sync.RWMutex
 	vals []string
-	idx  map[string]uint32
+	idx  map[string]uint32 // nil until first string-keyed access on a snapshot dict
 }
 
 // NewDict returns an empty dictionary.
@@ -45,13 +51,45 @@ func NewDict() *Dict {
 	return &Dict{idx: make(map[string]uint32)}
 }
 
+// DictFromSnapshot adopts a pre-interned value table: vals[i] is the
+// string with id i. The slice is adopted, not copied — the caller must
+// not mutate it afterwards. The value→id index is built lazily on the
+// first Lookup or Intern, so bulk-loading paths that only ever resolve
+// ids (Value, Snapshot) pay one slice-header allocation per column and
+// nothing per value.
+//
+// The values are expected to be distinct; duplicates are tolerated (the
+// later id wins string-keyed lookups) but make the dictionary
+// non-injective, which well-formed writers never produce.
+func DictFromSnapshot(vals []string) *Dict {
+	return &Dict{vals: vals}
+}
+
+// ensureIdx materializes the lazy value→id map. Callers must not hold mu.
+func (d *Dict) ensureIdx() {
+	d.mu.Lock()
+	if d.idx == nil {
+		idx := make(map[string]uint32, len(d.vals))
+		for i, v := range d.vals {
+			idx[v] = uint32(i)
+		}
+		d.idx = idx
+	}
+	d.mu.Unlock()
+}
+
 // Intern returns the id of v, assigning the next dense id on first sight.
 func (d *Dict) Intern(v string) uint32 {
 	d.mu.RLock()
+	lazy := d.idx == nil
 	id, ok := d.idx[v]
 	d.mu.RUnlock()
 	if ok {
 		return id
+	}
+	if lazy {
+		d.ensureIdx()
+		return d.Intern(v)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -67,6 +105,11 @@ func (d *Dict) Intern(v string) uint32 {
 // Lookup returns the id of v without interning it.
 func (d *Dict) Lookup(v string) (uint32, bool) {
 	d.mu.RLock()
+	if d.idx == nil {
+		d.mu.RUnlock()
+		d.ensureIdx()
+		d.mu.RLock()
+	}
 	id, ok := d.idx[v]
 	d.mu.RUnlock()
 	return id, ok
@@ -99,16 +142,18 @@ func (d *Dict) Snapshot() []string {
 	return s
 }
 
-// Clone returns an independent copy with the same id assignment.
+// Clone returns an independent copy with the same id assignment. A
+// snapshot dict whose index has not materialized yet clones as another
+// lazy dict (a nil index means "not built", not "empty").
 func (d *Dict) Clone() *Dict {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	c := &Dict{
-		vals: append([]string(nil), d.vals...),
-		idx:  make(map[string]uint32, len(d.idx)),
-	}
-	for v, id := range d.idx {
-		c.idx[v] = id
+	c := &Dict{vals: append([]string(nil), d.vals...)}
+	if d.idx != nil {
+		c.idx = make(map[string]uint32, len(d.idx))
+		for v, id := range d.idx {
+			c.idx[v] = id
+		}
 	}
 	return c
 }

@@ -1,0 +1,73 @@
+package table
+
+import "testing"
+
+// DictFromSnapshot adopts a decoded value table without building the
+// value→id map; string-keyed operations must materialize it lazily and
+// behave exactly like a dictionary built by interning.
+func TestDictFromSnapshotLazy(t *testing.T) {
+	vals := []string{"a", "b", "c"}
+	d := DictFromSnapshot(vals)
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if got := d.Value(1); got != "b" {
+		t.Fatalf("Value(1) = %q", got)
+	}
+	if id, ok := d.Lookup("c"); !ok || id != 2 {
+		t.Fatalf("Lookup(c) = %d, %v", id, ok)
+	}
+	if id := d.Intern("b"); id != 1 {
+		t.Fatalf("Intern(existing b) = %d, want 1", id)
+	}
+	if id := d.Intern("d"); id != 3 {
+		t.Fatalf("Intern(new d) = %d, want 3", id)
+	}
+	if id, ok := d.Lookup("d"); !ok || id != 3 {
+		t.Fatalf("Lookup(d) after intern = %d, %v", id, ok)
+	}
+}
+
+// Interning into a snapshot dict before any Lookup must not duplicate an
+// existing value (the lazy index has to materialize first).
+func TestDictFromSnapshotInternFirst(t *testing.T) {
+	d := DictFromSnapshot([]string{"x", "y"})
+	if id := d.Intern("x"); id != 0 {
+		t.Fatalf("Intern(x) = %d, want 0", id)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d after re-interning existing value", d.Len())
+	}
+}
+
+// A clone taken before the lazy index materializes must still answer
+// lookups correctly (a nil index means "not built", never "empty").
+func TestDictFromSnapshotCloneLazy(t *testing.T) {
+	d := DictFromSnapshot([]string{"p", "q"})
+	c := d.Clone()
+	if id := c.Intern("p"); id != 0 {
+		t.Fatalf("clone Intern(p) = %d, want 0", id)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("clone Len = %d", c.Len())
+	}
+	// The original is unaffected by the clone's operations.
+	if id := d.Intern("r"); id != 2 {
+		t.Fatalf("original Intern(r) = %d, want 2", id)
+	}
+	if _, ok := c.Lookup("r"); ok {
+		t.Fatal("clone sees value interned into the original")
+	}
+}
+
+// Remap between a snapshot dict and an interned dict exercises Lookup's
+// lazy materialization under the read path used by engine joins.
+func TestDictFromSnapshotRemap(t *testing.T) {
+	from := DictFromSnapshot([]string{"a", "b"})
+	to := NewDict()
+	to.Intern("b")
+	out := Remap(from, to)
+	if out[0] != MissingID || out[1] != 0 {
+		t.Fatalf("Remap = %v", out)
+	}
+}

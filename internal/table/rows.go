@@ -205,6 +205,33 @@ func (ix *Index) Rebuild(rs *Rows) {
 	}
 }
 
+// RebuildDistinct is Rebuild for rows that are merely claimed distinct
+// (the bagcol decoder's bulk path): it verifies the claim during the
+// build, comparing only on probe collisions, and returns the first
+// duplicate pair (j, i) with j < i, or (-1, -1) when all rows are
+// distinct. One hash and one probe chain per row — the same work
+// Rebuild does — where a separate Find pass would pay both again.
+// On a duplicate the index is left partially built; callers treat that
+// as fatal and discard it.
+func (ix *Index) RebuildDistinct(rs *Rows) (int, int) {
+	ix.init(rs.N())
+	for i := 0; i < rs.N(); i++ {
+		if (ix.used+1)*4 > len(ix.slots)*3 {
+			ix.grow(rs)
+		}
+		row := rs.Row(i)
+		slot := hashRow(row) & ix.mask
+		for ; ix.slots[slot] != 0; slot = (slot + 1) & ix.mask {
+			if pos := int(ix.slots[slot] - 1); rowEqualIDs(rs, pos, row) {
+				return pos, i
+			}
+		}
+		ix.slots[slot] = int32(i + 1)
+		ix.used++
+	}
+	return -1, -1
+}
+
 // Clone returns a deep copy of the index.
 func (ix *Index) Clone() *Index {
 	return &Index{slots: append([]int32(nil), ix.slots...), mask: ix.mask, used: ix.used}

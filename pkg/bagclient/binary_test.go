@@ -1,0 +1,108 @@
+package bagclient_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bagconsistency/internal/bagio"
+	"bagconsistency/pkg/bagclient"
+)
+
+// WithBinaryWire switches Check/CheckPair uploads to bagcol against the
+// real handler stack; the verdict must match the JSON wire.
+func TestBinaryWireRoundTrip(t *testing.T) {
+	ts := bootServer(t)
+	orders, totals := testBags(t)
+	bin, err := bagclient.New(ts.URL, bagclient.WithBinaryWire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsn, err := bagclient.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	brep, err := bin.Check(context.Background(), []bagclient.NamedBag{orders, totals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jrep, err := jsn.Check(context.Background(), []bagclient.NamedBag{orders, totals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brep.Consistent != jrep.Consistent {
+		t.Fatalf("binary wire verdict %v, json wire %v", brep.Consistent, jrep.Consistent)
+	}
+	if brep.Witness == nil {
+		t.Fatal("binary wire report lost the witness")
+	}
+
+	prep, err := bin.CheckPair(context.Background(), orders, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Consistent {
+		t.Fatalf("pair report %+v, want consistent", prep)
+	}
+}
+
+// The binary client must actually send bagcol bytes under the bagcol
+// content type, not JSON with a different label.
+func TestBinaryWireSendsColumnarBody(t *testing.T) {
+	var gotType string
+	var gotBody []byte
+	probe := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotType = r.Header.Get("Content-Type")
+		gotBody, _ = io.ReadAll(r.Body)
+		w.Write([]byte(`{"consistent":true}`))
+	}))
+	defer probe.Close()
+
+	cli, err := bagclient.New(probe.URL, bagclient.WithBinaryWire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, totals := testBags(t)
+	if _, err := cli.Check(context.Background(), []bagclient.NamedBag{orders, totals}); err != nil {
+		t.Fatal(err)
+	}
+	if gotType != bagio.ContentTypeColumnar {
+		t.Fatalf("Content-Type %q, want %q", gotType, bagio.ContentTypeColumnar)
+	}
+	if !bagio.IsColumnar(gotBody) {
+		t.Fatalf("body does not start with bagcol magic: %q", gotBody[:min(16, len(gotBody))])
+	}
+	if _, named, err := bagio.DecodeColumnar(gotBody); err != nil || len(named) != 2 {
+		t.Fatalf("body is not a decodable 2-bag instance: %v", err)
+	}
+}
+
+// CheckBatch stays NDJSON even on a binary-wire client (the batch
+// endpoint rejects bagcol by contract).
+func TestBinaryWireBatchStaysNDJSON(t *testing.T) {
+	var gotType string
+	probe := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotType = r.Header.Get("Content-Type")
+		body, _ := io.ReadAll(r.Body)
+		for range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+			w.Write([]byte(`{"consistent":true}` + "\n"))
+		}
+	}))
+	defer probe.Close()
+
+	cli, err := bagclient.New(probe.URL, bagclient.WithBinaryWire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, totals := testBags(t)
+	if _, err := cli.CheckBatch(context.Background(), [][]bagclient.NamedBag{{orders, totals}}); err != nil {
+		t.Fatal(err)
+	}
+	if gotType == bagio.ContentTypeColumnar {
+		t.Fatal("batch upload used the bagcol content type")
+	}
+}

@@ -79,6 +79,7 @@ type Client struct {
 	backoff    time.Duration
 	maxWait    time.Duration
 	jitter     float64
+	binary     bool
 }
 
 // Option configures a Client.
@@ -129,6 +130,16 @@ func WithRetryJitter(f float64) Option {
 		}
 		c.jitter = f
 	}
+}
+
+// WithBinaryWire makes Check and CheckPair upload instances in the
+// binary columnar bagcol format (Content-Type application/x-bagcol)
+// instead of JSON. The daemon decodes bagcol without per-tuple parsing,
+// so this is the right wire for bulk instances; responses are unchanged
+// (reports are always JSON). CheckBatch keeps the NDJSON wire — the
+// batch endpoint is line-oriented and does not accept binary bodies.
+func WithBinaryWire() Option {
+	return func(c *Client) { c.binary = true }
 }
 
 // New builds a client for the daemon at baseURL (e.g.
@@ -198,19 +209,27 @@ func (c *Client) endpoint(path string, opts []RequestOption) (string, http.Heade
 	return u.String(), p.header
 }
 
-func encodeBags(bags []NamedBag) ([]byte, error) {
+// encodeBags renders the request body in the client's configured wire
+// format, returning the bytes and their Content-Type.
+func (c *Client) encodeBags(bags []NamedBag) ([]byte, string, error) {
 	named := make([]bagio.NamedBag, len(bags))
 	for i, nb := range bags {
 		if nb.Bag == nil {
-			return nil, fmt.Errorf("bagclient: bag %d (%q) is nil", i, nb.Name)
+			return nil, "", fmt.Errorf("bagclient: bag %d (%q) is nil", i, nb.Name)
 		}
 		named[i] = bagio.NamedBag{Name: nb.Name, Bag: nb.Bag}
 	}
 	var buf bytes.Buffer
-	if err := bagio.EncodeJSON(&buf, named); err != nil {
-		return nil, err
+	if c.binary {
+		if err := bagio.EncodeColumnar(&buf, "", named); err != nil {
+			return nil, "", err
+		}
+		return buf.Bytes(), bagio.ContentTypeColumnar, nil
 	}
-	return buf.Bytes(), nil
+	if err := bagio.EncodeJSON(&buf, named); err != nil {
+		return nil, "", err
+	}
+	return buf.Bytes(), "application/json", nil
 }
 
 // do POSTs body and retries 503s; on success the caller owns resp.Body.
@@ -223,7 +242,7 @@ func (c *Client) do(ctx context.Context, method, url string, header http.Header,
 		for k, vs := range header {
 			req.Header[k] = vs
 		}
-		if body != nil {
+		if body != nil && req.Header.Get("Content-Type") == "" {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		resp, err := c.hc.Do(req)
@@ -285,11 +304,12 @@ func decodeError(resp *http.Response) error {
 }
 
 func (c *Client) postReport(ctx context.Context, path string, bags []NamedBag, opts []RequestOption) (*bagconsist.Report, error) {
-	body, err := encodeBags(bags)
+	body, contentType, err := c.encodeBags(bags)
 	if err != nil {
 		return nil, err
 	}
 	url, header := c.endpoint(path, opts)
+	header.Set("Content-Type", contentType)
 	resp, err := c.do(ctx, http.MethodPost, url, header, body)
 	if err != nil {
 		return nil, err
